@@ -1,0 +1,126 @@
+"""Fig. 6: Top-1 accuracy / pruning ratio / FLOPs reduction vs baselines.
+
+The paper compares its method against L1 [23], SSS [27], HRank [19],
+TPP [18], OrthConv [31] and DepGraph full-/no-grouping [13] on pretrained
+models, reporting three bar panels. Here every method — plus Taylor [25],
+APoZ [24] and a random control — prunes an identical copy of the same
+pretrained model to a matched compression target under the same fine-tune
+budget.
+
+Shape assertions:
+  * the class-aware method recovers accuracy within its tolerance;
+  * it ranks in the upper half of all methods on post-pruning accuracy
+    (the paper shows it highest in most cases);
+  * it beats the random control.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import ExperimentRecord, MethodComparison
+from repro.baselines import BaselineConfig, BaselineRunResult, run_method
+
+from conftest import (IMAGE_SIZE, TASKS, class_aware_run, pretrained,
+                      save_bench_records)
+
+METHODS = ["l1", "sss", "hrank", "tpp", "orthconv", "depgraph-full",
+           "depgraph-none", "taylor", "apoz", "random"]
+
+TASK_NAME = "VGG16-C10"
+_STATE: dict[str, object] = {}
+
+
+def ours_run() -> BaselineRunResult:
+    if "ours" in _STATE:
+        return _STATE["ours"]
+    summary = class_aware_run(TASK_NAME)  # cached: same run as Table I
+    _STATE["ours"] = BaselineRunResult(
+        method="class-aware",
+        baseline_accuracy=summary.baseline_accuracy,
+        final_accuracy=summary.final_accuracy,
+        pruning_ratio=summary.pruning_ratio,
+        flops_reduction=summary.flops_reduction,
+        iterations=len(summary.iterations))
+    return _STATE["ours"]
+
+
+def method_run(name: str) -> BaselineRunResult:
+    if name in _STATE:
+        return _STATE[name]
+    ours = ours_run()
+    task = TASKS[TASK_NAME]
+    if "base" not in _STATE:
+        _STATE["base"] = pretrained(task)
+    base, train, test, _ = _STATE["base"]
+    config = BaselineConfig(
+        target_ratio=max(ours.pruning_ratio * 0.9, 0.15),
+        fraction_per_iteration=0.12, finetune_epochs=3, max_iterations=6,
+        num_images=64, finetune_lr=0.01)
+    model = copy.deepcopy(base)
+    _STATE[name] = run_method(name, model, train, test,
+                              (3, IMAGE_SIZE, IMAGE_SIZE), config,
+                              task.training())
+    return _STATE[name]
+
+
+def test_fig6_class_aware(benchmark):
+    ours = benchmark.pedantic(ours_run, rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "final_acc": round(ours.final_accuracy, 4),
+        "pruning_ratio": round(ours.pruning_ratio, 4),
+    })
+    assert ours.accuracy_drop <= 0.08 + 1e-9
+
+
+@pytest.mark.parametrize("name", METHODS)
+def test_fig6_baseline(benchmark, name):
+    result = benchmark.pedantic(method_run, args=(name,), rounds=1,
+                                iterations=1)
+    benchmark.extra_info.update({
+        "final_acc": round(result.final_accuracy, 4),
+        "pruning_ratio": round(result.pruning_ratio, 4),
+        "flops_reduction": round(result.flops_reduction, 4),
+    })
+    assert result.pruning_ratio > 0.0
+
+
+def test_fig6_report(benchmark):
+    def build():
+        ours = ours_run()
+        if "base" not in _STATE:
+            _STATE["base"] = pretrained(TASKS[TASK_NAME])
+        _, _, _, original_acc = _STATE["base"]
+        comparison = MethodComparison(TASK_NAME,
+                                      original_accuracy=original_acc)
+        comparison.add(ours)
+        records = []
+        for name in METHODS:
+            result = method_run(name)
+            comparison.add(result)
+            records.append(ExperimentRecord(
+                experiment="fig6", setting=f"{TASK_NAME}/{name}",
+                measured=dict(acc=result.final_accuracy * 100,
+                              ratio=result.pruning_ratio * 100,
+                              flops=result.flops_reduction * 100)))
+        records.append(ExperimentRecord(
+            experiment="fig6", setting=f"{TASK_NAME}/class-aware",
+            measured=dict(acc=ours.final_accuracy * 100,
+                          ratio=ours.pruning_ratio * 100,
+                          flops=ours.flops_reduction * 100)))
+        save_bench_records("fig6", records)
+        return comparison
+
+    comparison = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\n" + comparison.table())
+    print("\n" + comparison.panels())
+
+    # Shape: upper half on accuracy, above random.
+    rank = comparison.rank_of("class-aware")
+    total = len(comparison.results)
+    assert rank <= (total + 1) // 2, (
+        f"class-aware ranked {rank}/{total} on accuracy")
+    random_acc = next(r.final_accuracy for r in comparison.results
+                      if r.method == "random")
+    ours = ours_run()
+    assert ours.final_accuracy >= random_acc - 0.02

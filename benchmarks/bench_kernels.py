@@ -1,0 +1,147 @@
+"""Engine micro-benchmarks and the paper's Taylor-vs-exact speedup claim.
+
+The paper motivates the first-order Taylor approximation (Eq. 4) by the
+cost of the exact zeroing evaluation (Eq. 3): one forward pass *per
+activation* versus one forward+backward pass per batch. This file measures
+that ratio directly, plus the throughput of the kernels everything else is
+built from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactZeroingEngine, TaylorScoreEngine, prune_groups
+from repro.baselines import trace_coupled_groups
+from repro.flops import profile_model
+from repro.models import MLP, vgg11
+from repro.tensor import Tensor, conv2d, max_pool2d
+from repro.tensor.conv import im2col
+
+
+rng = np.random.default_rng(0)
+
+
+class TestConvKernels:
+    def test_conv_forward(self, benchmark):
+        x = Tensor(rng.normal(size=(8, 16, 16, 16)).astype(np.float32))
+        w = Tensor(rng.normal(size=(32, 16, 3, 3)).astype(np.float32))
+        benchmark(lambda: conv2d(x, w, padding=1))
+
+    def test_conv_forward_backward(self, benchmark):
+        x = Tensor(rng.normal(size=(8, 16, 16, 16)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.normal(size=(32, 16, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+
+        def run():
+            x.zero_grad()
+            w.zero_grad()
+            conv2d(x, w, padding=1).sum().backward()
+
+        benchmark(run)
+
+    def test_im2col(self, benchmark):
+        x = rng.normal(size=(8, 16, 16, 16)).astype(np.float32)
+        benchmark(lambda: im2col(x, 3, 3, stride=1, padding=1))
+
+    def test_max_pool(self, benchmark):
+        x = Tensor(rng.normal(size=(8, 32, 16, 16)).astype(np.float32))
+        benchmark(lambda: max_pool2d(x, 2))
+
+
+class TestModelKernels:
+    def test_vgg_forward(self, benchmark):
+        model = vgg11(num_classes=10, image_size=16, width=0.25)
+        model.eval()
+        x = Tensor(rng.normal(size=(8, 3, 16, 16)).astype(np.float32))
+        from repro.tensor import no_grad
+
+        def run():
+            with no_grad():
+                model(x)
+
+        benchmark(run)
+
+    def test_profile_model(self, benchmark):
+        model = vgg11(num_classes=10, image_size=16, width=0.25)
+        benchmark(lambda: profile_model(model, (3, 16, 16)))
+
+    def test_depgraph_trace(self, benchmark):
+        from repro.models import resnet20
+        model = resnet20(num_classes=10, width=0.25)
+        benchmark(lambda: trace_coupled_groups(model, (3, 8, 8)))
+
+    def test_surgery(self, benchmark):
+        import copy
+        base = vgg11(num_classes=10, image_size=8, width=0.5)
+        groups = base.prunable_groups()
+        keep = {g.name: np.arange(
+            max(base.get_module(g.conv).out_channels // 2, 1))
+            for g in groups}
+
+        def run():
+            model = copy.deepcopy(base)
+            prune_groups(model, model.prunable_groups(), keep)
+
+        benchmark(run)
+
+
+class TestTaylorVsExact:
+    """The efficiency argument for Eq. 4 over Eq. 3 (Sec. III-B)."""
+
+    @staticmethod
+    def _setup():
+        model = MLP(24, [12, 8], 3, seed=0)
+        images = rng.normal(size=(4, 24)).astype(np.float32)
+        targets = np.array([0, 1, 2, 0])
+        paths = [g.conv for g in model.prunable_groups()]
+        return model, images, targets, paths
+
+    def test_taylor_engine(self, benchmark):
+        model, images, targets, paths = self._setup()
+        engine = TaylorScoreEngine(model, paths)
+        benchmark(lambda: engine.scores(images, targets))
+
+    def test_exact_engine(self, benchmark):
+        model, images, targets, paths = self._setup()
+        engine = ExactZeroingEngine(model, paths)
+        benchmark.pedantic(lambda: engine.scores(images, targets),
+                           rounds=3, iterations=1)
+
+    def test_speedup_claim(self, benchmark):
+        """Taylor must be at least an order of magnitude faster even on a
+        20-activation toy network; the gap widens with activation count."""
+        import time
+        model, images, targets, paths = self._setup()
+        taylor = TaylorScoreEngine(model, paths)
+        exact = ExactZeroingEngine(model, paths)
+
+        def measure():
+            t0 = time.perf_counter()
+            for _ in range(5):
+                taylor.scores(images, targets)
+            t_taylor = (time.perf_counter() - t0) / 5
+            t0 = time.perf_counter()
+            exact.scores(images, targets)
+            t_exact = time.perf_counter() - t0
+            return t_exact / t_taylor
+
+        ratio = benchmark.pedantic(measure, rounds=1, iterations=1)
+        benchmark.extra_info["exact_over_taylor"] = round(ratio, 1)
+        print(f"\nexact/Taylor cost ratio on a 20-activation MLP: {ratio:.1f}x")
+        assert ratio > 5.0
+
+
+class TestImportanceEvaluation:
+    def test_full_importance_pass(self, benchmark, ):
+        from repro.core import ImportanceConfig, ImportanceEvaluator
+        from repro.data import SyntheticConfig, SyntheticImageClassification
+        model = vgg11(num_classes=5, image_size=8, width=0.25)
+        data = SyntheticImageClassification(SyntheticConfig(
+            num_classes=5, image_size=8, samples_per_class=10, seed=0))
+        evaluator = ImportanceEvaluator(
+            model, data, num_classes=5,
+            config=ImportanceConfig(images_per_class=5))
+        paths = [g.conv for g in model.prunable_groups()]
+        benchmark.pedantic(lambda: evaluator.evaluate(paths), rounds=2,
+                           iterations=1)

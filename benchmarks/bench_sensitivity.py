@@ -1,0 +1,71 @@
+"""Extension: layer sensitivity and its link to class-aware importance.
+
+For each layer of the trained VGG, mask increasing fractions of its
+lowest-norm filters (no retraining) and measure accuracy. The class-aware
+hypothesis — filters important for many classes matter more — predicts
+that layers with higher mean importance scores are the ones whose masking
+hurts; we measure that correlation against the cached Table I importance
+report.
+
+Shape assertions: masking more filters never helps (monotone curves up to
+noise), and the sensitivity/importance rank correlation is not strongly
+negative.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ExperimentRecord, layer_sensitivity,
+                            sensitivity_vs_importance)
+from repro.core.importance import ImportanceReport
+
+from conftest import TASKS, class_aware_run, pretrained, save_bench_records
+
+FRACTIONS = (0.0, 0.3, 0.6)
+
+_STATE: dict[str, object] = {}
+
+
+def sensitivity_curves():
+    if "curves" in _STATE:
+        return _STATE["curves"]
+    task = TASKS["VGG16-C10"]
+    model, train, test, _ = pretrained(task)
+    groups = model.prunable_groups()
+    curves = layer_sensitivity(model, test, groups, fractions=FRACTIONS)
+    _STATE["curves"] = curves
+    return curves
+
+
+def test_sensitivity_curves(benchmark):
+    curves = benchmark.pedantic(sensitivity_curves, rounds=1, iterations=1)
+    print("\nEXTENSION: layer sensitivity (accuracy with fraction of "
+          "lowest-norm filters masked)")
+    for name, curve in curves.items():
+        cells = "  ".join(f"{f:.0%}:{a * 100:5.1f}%" for f, a
+                          in zip(curve.fractions, curve.accuracies))
+        print(f"  {name:<14} {cells}")
+    # Masking filters can only remove information: monotone within noise.
+    violations = 0
+    for curve in curves.values():
+        if curve.accuracies[-1] > curve.accuracies[0] + 0.05:
+            violations += 1
+    assert violations <= len(curves) // 4
+
+
+def test_sensitivity_importance_correlation(benchmark):
+    curves = sensitivity_curves()
+    summary = class_aware_run("VGG16-C10")  # cached Table I run
+    report = ImportanceReport(num_classes=TASKS["VGG16-C10"].num_classes)
+    report.total = dict(summary.report_before)
+
+    def correlate():
+        return sensitivity_vs_importance(curves, report, fraction=0.6)
+
+    rho = benchmark.pedantic(correlate, rounds=1, iterations=1)
+    print(f"\nsensitivity/importance Spearman rho: {rho:.3f}")
+    save_bench_records("ext_sensitivity", [ExperimentRecord(
+        experiment="ext-sensitivity", setting="VGG16-C10",
+        measured=dict(rho=rho))])
+    # The class-aware story predicts non-negative association.
+    assert rho > -0.5

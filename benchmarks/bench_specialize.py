@@ -1,0 +1,90 @@
+"""Extension experiment: class-subset specialisation.
+
+Not a paper table — the operational consequence of the paper's central
+object, the per-class importance matrix (Eq. 5–7): a trained 10-class
+network is specialised to 2-, 3- and 5-class subsets by removing every
+filter no retained class needs. Criteria that only produce a scalar per
+filter (L1 norm, HRank, ...) cannot express this operation at all.
+
+Shape assertions: fewer retained classes → larger pruning ratio, and the
+specialised models stay well above chance on their subset.
+"""
+
+import copy
+
+import pytest
+
+from repro.analysis import ExperimentRecord, format_table
+from repro.core import SpecializationConfig, specialize
+
+from conftest import IMAGE_SIZE, TASKS, bench_importance, pretrained, \
+    save_bench_records
+
+SUBSETS = {
+    "2-class": [0, 5],
+    "3-class": [1, 4, 8],
+    "5-class": [0, 2, 4, 6, 8],
+}
+
+_RESULTS: dict[str, object] = {}
+
+
+def specialize_run(label: str):
+    if label in _RESULTS:
+        return _RESULTS[label]
+    task = TASKS["VGG16-C10"]
+    base, train, test, _ = pretrained(task)
+    model = copy.deepcopy(base)
+    import dataclasses
+    result = specialize(
+        model, train, test, num_classes=task.num_classes,
+        classes=SUBSETS[label],
+        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
+        config=SpecializationConfig(
+            min_class_score=0.3, finetune_epochs=4,
+            importance=bench_importance(task)),
+        training=dataclasses.replace(task.training(), lr=0.01))
+    _RESULTS[label] = result
+    return result
+
+
+@pytest.mark.parametrize("label", list(SUBSETS))
+def test_specialize_subset(benchmark, label):
+    result = benchmark.pedantic(specialize_run, args=(label,), rounds=1,
+                                iterations=1)
+    chance = 1.0 / len(SUBSETS[label])
+    benchmark.extra_info.update({
+        "accuracy": round(result.accuracy, 4),
+        "pruning_ratio": round(result.pruning_ratio, 4),
+    })
+    assert result.accuracy > chance + 0.15
+    assert result.pruning_ratio > 0.05
+
+
+def test_specialize_report(benchmark):
+    def build():
+        rows, records = [], []
+        for label, classes in SUBSETS.items():
+            result = specialize_run(label)
+            rows.append([
+                label,
+                f"{result.accuracy * 100:.2f}%",
+                f"{result.pruning_ratio * 100:.1f}%",
+                f"{result.flops_reduction * 100:.1f}%",
+            ])
+            records.append(ExperimentRecord(
+                experiment="ext-specialize", setting=label,
+                measured=dict(acc=result.accuracy * 100,
+                              ratio=result.pruning_ratio * 100,
+                              flops=result.flops_reduction * 100)))
+        save_bench_records("ext_specialize", records)
+        return format_table(
+            ["subset", "accuracy", "prun. ratio", "FLOPs red."],
+            rows, title="EXTENSION: class-subset specialisation (VGG16-C10)")
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+    two = specialize_run("2-class")
+    five = specialize_run("5-class")
+    # Fewer retained classes leave fewer needed filters.
+    assert two.pruning_ratio >= five.pruning_ratio - 0.05

@@ -1,0 +1,74 @@
+"""Table II: pruning-strategy ablation on ResNet56-C10.
+
+Paper numbers (full scale):
+
+    percentage            92.76%  drop -0.95%  ratio 73.7%  FLOPs 55.2%
+    threshold             92.78%  drop -0.94%  ratio 72.2%  FLOPs 60.4%
+    percentage+threshold  92.89%  drop -0.82%  ratio 77.9%  FLOPs 62.3%
+
+Shape assertion at benchmark scale: every strategy stays inside the
+accuracy budget, and the combination prunes at least as much as the weaker
+single rule (the paper shows it winning on both axes).
+"""
+
+import pytest
+
+from repro.analysis import ExperimentRecord, format_table
+
+from conftest import class_aware_run, save_bench_records
+
+PAPER = {
+    "percentage": dict(pruned=92.76, drop=-0.95, ratio=73.7, flops=55.2),
+    "threshold": dict(pruned=92.78, drop=-0.94, ratio=72.2, flops=60.4),
+    "percentage+threshold": dict(pruned=92.89, drop=-0.82, ratio=77.9,
+                                 flops=62.3),
+}
+
+
+def strategy_result(strategy: str):
+    return class_aware_run("ResNet56-C10", strategy=strategy)
+
+
+@pytest.mark.parametrize("strategy", list(PAPER))
+def test_table2_strategy(benchmark, strategy):
+    result = benchmark.pedantic(strategy_result, args=(strategy,),
+                                rounds=1, iterations=1)
+    benchmark.extra_info.update({
+        "pruned_acc": round(result.final_accuracy, 4),
+        "pruning_ratio": round(result.pruning_ratio, 4),
+        "flops_reduction": round(result.flops_reduction, 4),
+    })
+    assert result.accuracy_drop <= 0.08 + 1e-9
+
+
+def test_table2_report(benchmark):
+    def build():
+        rows, records = [], []
+        for strategy, paper in PAPER.items():
+            result = strategy_result(strategy)
+            rows.append([
+                strategy,
+                f"{result.final_accuracy * 100:.2f}%",
+                f"{-result.accuracy_drop * 100:+.2f}%",
+                f"{result.pruning_ratio * 100:.1f}%",
+                f"{result.flops_reduction * 100:.1f}%",
+            ])
+            records.append(ExperimentRecord(
+                experiment="table2", setting=strategy, paper=paper,
+                measured=dict(pruned=result.final_accuracy * 100,
+                              drop=-result.accuracy_drop * 100,
+                              ratio=result.pruning_ratio * 100,
+                              flops=result.flops_reduction * 100)))
+        save_bench_records("table2", records)
+        return format_table(
+            ["strategy", "pruned acc", "drop", "prun. ratio", "FLOPs red."],
+            rows, title="TABLE II (ResNet56-C10, benchmark scale)")
+
+    print("\n" + benchmark.pedantic(build, rounds=1, iterations=1))
+
+    combined = strategy_result("percentage+threshold")
+    singles = [strategy_result("percentage"), strategy_result("threshold")]
+    # Shape: the combination prunes at least as much as the weaker single
+    # rule without blowing the accuracy budget.
+    assert combined.pruning_ratio >= min(s.pruning_ratio for s in singles) - 0.05
+    assert combined.accuracy_drop <= 0.08 + 1e-9

@@ -1,0 +1,74 @@
+"""Ablation: the score-threshold knob and its accuracy/compression frontier.
+
+DESIGN.md design decision #3: the paper fixes one operating point
+(threshold = 30% of the class count). This bench sweeps the threshold on
+VGG16-C10 and reports the frontier, verifying the knob behaves
+monotonically — a higher class-count threshold admits more filters as
+prunable and therefore compresses at least as much.
+"""
+
+import pytest
+
+from repro.analysis import (ExperimentRecord, format_table, pareto_front,
+                            threshold_sweep)
+from repro.core import FrameworkConfig
+
+from conftest import IMAGE_SIZE, TASKS, bench_importance, pretrained, \
+    save_bench_records
+
+THRESHOLDS = [1.0, 3.0, 5.0]
+
+_POINTS: dict[str, object] = {}
+
+
+def sweep():
+    if "points" in _POINTS:
+        return _POINTS["points"]
+    task = TASKS["VGG16-C10"]
+    model, train, test, _ = pretrained(task)
+    points = threshold_sweep(
+        model, train, test, num_classes=task.num_classes,
+        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
+        thresholds=THRESHOLDS,
+        base_config=FrameworkConfig(
+            max_fraction_per_iteration=0.12, finetune_epochs=3,
+            accuracy_drop_tolerance=0.10, max_iterations=4,
+            finetune_lr=0.01,
+            importance=bench_importance(task)),
+        training=task.training())
+    _POINTS["points"] = points
+    return points
+
+
+def test_tradeoff_sweep(benchmark):
+    points = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"{p.threshold:.1f}", f"{p.accuracy * 100:.2f}%",
+             f"{p.pruning_ratio * 100:.1f}%",
+             f"{p.flops_reduction * 100:.1f}%", p.stop_reason]
+            for p in points]
+    print("\n" + format_table(
+        ["threshold", "accuracy", "prun. ratio", "FLOPs red.", "stop"],
+        rows, title="ABLATION: threshold sweep (VGG16-C10)"))
+    save_bench_records("ext_tradeoff", [
+        ExperimentRecord(
+            experiment="ext-tradeoff", setting=f"thr={p.threshold}",
+            measured=dict(acc=p.accuracy * 100,
+                          ratio=p.pruning_ratio * 100,
+                          flops=p.flops_reduction * 100))
+        for p in points])
+
+    ratios = [p.pruning_ratio for p in points]
+    # Monotone knob: higher threshold never prunes less (small slack for
+    # fine-tuning stochasticity near convergence).
+    assert all(b >= a - 0.05 for a, b in zip(ratios, ratios[1:]))
+
+
+def test_tradeoff_pareto(benchmark):
+    points = sweep()
+    front = benchmark.pedantic(pareto_front, args=(points,), rounds=1,
+                               iterations=1)
+    assert 1 <= len(front) <= len(points)
+    print("\npareto frontier:")
+    for p in front:
+        print(f"  thr={p.threshold:.1f} acc={p.accuracy:.3f} "
+              f"ratio={p.pruning_ratio:.3f}")

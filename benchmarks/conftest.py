@@ -1,0 +1,257 @@
+"""Shared benchmark infrastructure.
+
+Every bench file regenerates one table or figure of the paper at a
+CPU-tractable scale (reduced resolution/width, same architectures and
+hyperparameter *structure*). Pretrained weights are cached on disk keyed by
+the experiment setup so repeated benchmark runs skip the training phase.
+
+Scale notes: the paper trains full-width nets at 32×32 on an A100 for up
+to 130 epochs per iteration; here nets are width-0.25 at 12×12 trained for
+tens of epochs. Absolute numbers therefore differ; the *shape* of every
+comparison (who wins, what rises, what the combination buys) is asserted
+in the benchmark bodies.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (ImportanceConfig, Trainer, TrainingConfig,
+                        evaluate_model)
+from repro.data import SyntheticConfig, SyntheticImageClassification
+from repro.models import build_model
+
+CACHE_DIR = Path(__file__).parent / "_cache"
+RESULTS_DIR = Path(__file__).parent / "results"
+
+IMAGE_SIZE = 12
+WIDTH = 0.25
+
+
+@dataclass(frozen=True)
+class BenchTask:
+    """One network/dataset pair of the paper's evaluation.
+
+    ``width`` is chosen per architecture so every network carries genuine
+    redundancy at benchmark scale: a width-0.25 ResNet56 has stages of
+    4/8/16 channels, each filter then being important for nearly all
+    classes — nothing to prune, unlike the paper's full-width network.
+    """
+
+    name: str            # e.g. "VGG16-C10"
+    model_name: str      # registry name
+    num_classes: int
+    samples_per_class: int
+    epochs: int
+    seed: int
+    width: float = WIDTH
+
+    def datasets(self):
+        train = SyntheticImageClassification(SyntheticConfig(
+            num_classes=self.num_classes, image_size=IMAGE_SIZE,
+            samples_per_class=self.samples_per_class, seed=self.seed))
+        test = SyntheticImageClassification(SyntheticConfig(
+            num_classes=self.num_classes, image_size=IMAGE_SIZE,
+            samples_per_class=max(self.samples_per_class // 3, 5),
+            seed=self.seed), train=False)
+        return train, test
+
+    def build(self):
+        return build_model(self.model_name, num_classes=self.num_classes,
+                           image_size=IMAGE_SIZE, width=self.width,
+                           seed=self.seed)
+
+    def training(self, lambda1: float = 1e-4, lambda2: float = 1e-2):
+        # Step decay late in training stabilises the small-batch runs;
+        # the milestones never trigger during the short fine-tuning
+        # phases (which restart the scheduler).
+        return TrainingConfig(epochs=self.epochs, batch_size=64, lr=0.05,
+                              momentum=0.9, weight_decay=5e-4,
+                              lambda1=lambda1, lambda2=lambda2,
+                              lr_milestones=(int(self.epochs * 0.6),
+                                             int(self.epochs * 0.85)),
+                              lr_gamma=0.2)
+
+
+# The paper's four Table I rows, at benchmark scale. CIFAR-100 rows use a
+# smaller per-class sample budget to bound runtime.
+TASKS: dict[str, BenchTask] = {
+    "VGG16-C10": BenchTask("VGG16-C10", "vgg16", 10, 40, 40, 10),
+    "VGG19-C100": BenchTask("VGG19-C100", "vgg19", 100, 12, 50, 11),
+    "ResNet56-C10": BenchTask("ResNet56-C10", "resnet56", 10, 40, 50, 12,
+                              width=0.5),
+    "ResNet56-C100": BenchTask("ResNet56-C100", "resnet56", 100, 12, 50, 13,
+                               width=0.5),
+    # Cheaper stand-ins used by figure benches where four full rows would
+    # dominate runtime.
+    "VGG11-C10": BenchTask("VGG11-C10", "vgg11", 10, 40, 25, 14),
+    "ResNet20-C10": BenchTask("ResNet20-C10", "resnet20", 10, 40, 25, 15),
+}
+
+
+def bench_importance(task: BenchTask) -> ImportanceConfig:
+    """Importance settings used by every bench.
+
+    The paper's absolute τ = 1e-50 counts any nonzero Taylor sensitivity;
+    that presupposes full-scale networks in which vast numbers of
+    activations are *exactly* zero (dead ReLUs, unselected max-pool
+    positions). At benchmark scale almost every activation carries some
+    gradient — especially in ResNets, whose residual paths and global
+    average pooling spread gradient everywhere — so the benches use the
+    scale-free quantile mode: an activation counts as important for a
+    class when its Taylor score is in the top 10% of the network's scores
+    for that class. This restores the score spread of the paper's Fig. 4
+    while keeping the criterion, aggregation and pruning rules identical.
+    """
+    # M = 10 for the 10-class tasks (the paper's setting); M = 6 for the
+    # 100-class tasks to bound the 100-backward-passes-per-iteration cost
+    # (bench_m_sensitivity shows scores are already converged well below
+    # M = 10).
+    images = 10 if task.num_classes <= 10 else 6
+    return ImportanceConfig(
+        images_per_class=min(images, task.samples_per_class),
+        tau_mode="quantile", tau_quantile=0.9)
+
+
+def pretrained(task: BenchTask, lambda1: float = 1e-4,
+               lambda2: float = 1e-2):
+    """Train (or load from cache) the task's model with the modified loss.
+
+    Returns ``(model, train_ds, test_ds, baseline_accuracy)``.
+    """
+    CACHE_DIR.mkdir(exist_ok=True)
+    key = (f"{task.name}_l1{lambda1:g}_orth{lambda2:g}_s{task.seed}"
+           f"_w{task.width}_i{IMAGE_SIZE}_e{task.epochs}"
+           f"_n{task.samples_per_class}_v2")
+    path = CACHE_DIR / f"{key}.npz"
+    model = task.build()
+    train, test = task.datasets()
+    if path.exists():
+        state = dict(np.load(path))
+        model.load_state_dict(state)
+    else:
+        trainer = Trainer(model, train, test,
+                          task.training(lambda1=lambda1, lambda2=lambda2))
+        trainer.train()
+        np.savez(path, **model.state_dict())
+    _, acc = evaluate_model(model, test)
+    return model, train, test, acc
+
+
+@dataclass
+class FrameworkRunSummary:
+    """Serialisable summary of one class-aware framework run.
+
+    Framework runs are the expensive unit of this benchmark suite; several
+    benches need the *same* run (Table I's rows feed Figs. 4 and 7), so
+    runs are cached to disk keyed by their full configuration. Re-running
+    ``pytest benchmarks/`` with warm caches regenerates every table and
+    figure in seconds.
+    """
+
+    baseline_accuracy: float
+    final_accuracy: float
+    pruning_ratio: float
+    flops_reduction: float
+    stop_reason: str
+    group_names: list = field(default_factory=list)
+    report_before: dict = field(default_factory=dict)
+    report_after: dict = field(default_factory=dict)
+    iterations: list = field(default_factory=list)
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_accuracy - self.final_accuracy
+
+
+FINETUNE_LR = 0.01   # the paper's initial rate; see FrameworkConfig.finetune_lr
+
+
+def class_aware_run(task_name: str, *, strategy: str = "percentage+threshold",
+                    threshold: float | None = None, max_fraction: float = 0.10,
+                    finetune_epochs: int = 5, tolerance: float = 0.08,
+                    max_iterations: int = 5, lambda1: float = 1e-4,
+                    lambda2: float = 1e-2) -> FrameworkRunSummary:
+    """Run (or load from cache) the class-aware framework on a bench task."""
+    from repro.core import ClassAwarePruningFramework, FrameworkConfig
+
+    task = TASKS[task_name]
+    threshold = threshold if threshold is not None else 0.3 * task.num_classes
+    CACHE_DIR.mkdir(exist_ok=True)
+    key = (f"run_{task_name}_{strategy}_t{threshold:g}_f{max_fraction:g}"
+           f"_e{finetune_epochs}_tol{tolerance:g}_i{max_iterations}"
+           f"_l1{lambda1:g}_l2{lambda2:g}_w{task.width}_ep{task.epochs}"
+           f"_ftlr{FINETUNE_LR:g}_v3")
+    path = CACHE_DIR / f"{key}.json"
+    if path.exists():
+        with open(path) as fh:
+            payload = json.load(fh)
+        payload["report_before"] = {k: np.asarray(v) for k, v
+                                    in payload["report_before"].items()}
+        payload["report_after"] = {k: np.asarray(v) for k, v
+                                   in payload["report_after"].items()}
+        return FrameworkRunSummary(**payload)
+
+    model, train, test, _ = pretrained(task, lambda1=lambda1, lambda2=lambda2)
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=task.num_classes,
+        input_shape=(3, IMAGE_SIZE, IMAGE_SIZE),
+        config=FrameworkConfig(
+            score_threshold=threshold,
+            max_fraction_per_iteration=max_fraction,
+            strategy=strategy,
+            finetune_epochs=finetune_epochs,
+            accuracy_drop_tolerance=tolerance,
+            max_iterations=max_iterations,
+            finetune_lr=FINETUNE_LR,
+            importance=bench_importance(task)),
+        training=task.training(lambda1=lambda1, lambda2=lambda2))
+    result = framework.run()
+    summary = FrameworkRunSummary(
+        baseline_accuracy=result.baseline_accuracy,
+        final_accuracy=result.final_accuracy,
+        pruning_ratio=result.pruning_ratio,
+        flops_reduction=result.flops_reduction,
+        stop_reason=result.stop_reason,
+        group_names=[g.name for g in result.model.prunable_groups()],
+        report_before={k: v for k, v in result.report_before.total.items()},
+        report_after={k: v for k, v in result.report_after.total.items()},
+        iterations=[dict(iteration=it.iteration, removed=it.num_removed,
+                         acc_after_prune=it.accuracy_after_prune,
+                         acc_after_finetune=it.accuracy_after_finetune,
+                         params=it.params, flops=it.flops)
+                    for it in result.iterations],
+    )
+    with open(path, "w") as fh:
+        json.dump({
+            "baseline_accuracy": summary.baseline_accuracy,
+            "final_accuracy": summary.final_accuracy,
+            "pruning_ratio": summary.pruning_ratio,
+            "flops_reduction": summary.flops_reduction,
+            "stop_reason": summary.stop_reason,
+            "group_names": summary.group_names,
+            "report_before": {k: v.tolist() for k, v
+                              in summary.report_before.items()},
+            "report_after": {k: v.tolist() for k, v
+                             in summary.report_after.items()},
+            "iterations": summary.iterations,
+        }, fh)
+    return summary
+
+
+def save_bench_records(name: str, records) -> None:
+    """Persist a bench's measurements under benchmarks/results/."""
+    from repro.analysis import save_records
+    RESULTS_DIR.mkdir(exist_ok=True)
+    save_records(records, RESULTS_DIR / f"{name}.json")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

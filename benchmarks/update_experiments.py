@@ -1,0 +1,34 @@
+"""Render all benchmark measurements as markdown tables.
+
+Reads every ``benchmarks/results/*.json`` written by the benches and
+prints one markdown table per experiment — paste-ready for
+EXPERIMENTS.md.
+
+Usage::
+
+    python benchmarks/update_experiments.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import load_records
+from repro.analysis.reporting import records_to_markdown
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def main() -> None:
+    files = sorted(RESULTS_DIR.glob("*.json"))
+    if not files:
+        print("no results yet — run `pytest benchmarks/ --benchmark-only` first")
+        return
+    for path in files:
+        records = load_records(path)
+        print(f"\n### {path.stem}\n")
+        print(records_to_markdown(records))
+
+
+if __name__ == "__main__":
+    main()

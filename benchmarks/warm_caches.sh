@@ -1,0 +1,12 @@
+#!/bin/bash
+# Warm all benchmark caches sequentially (safe to interrupt and re-run:
+# pretrained models and framework runs are cached on disk, so each
+# invocation only computes what is still missing).
+set -x
+cd "$(dirname "$0")/.."
+for f in bench_table1 bench_table2 bench_table3 bench_fig4 bench_fig7 \
+         bench_fig8 bench_m_sensitivity bench_specialize bench_tradeoff \
+         bench_hardware bench_distill bench_sensitivity bench_fig6 bench_kernels; do
+    python -m pytest "benchmarks/${f}.py" --benchmark-only -q -s \
+        2>&1 | tail -4
+done

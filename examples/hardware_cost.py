@@ -1,0 +1,83 @@
+"""Hardware view: why the paper insists on *structured* pruning.
+
+Reproduces the Sec. II-A background argument on the systolic-array cost
+model: prune one trained network two ways to the same parameter budget —
+
+* structured, with the class-aware framework (whole filters removed), and
+* unstructured, with magnitude masking (individual weights zeroed) —
+
+then estimate execution cycles on a 16x16 weight-stationary systolic
+array, with and without zero-skipping hardware.
+
+Usage::
+
+    python examples/hardware_cost.py
+"""
+
+import copy
+
+from repro.baselines import UnstructuredPruner, sparsity_report
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, Trainer, TrainingConfig)
+from repro.data import make_cifar_like
+from repro.flops import (SystolicArrayConfig, cycle_reduction,
+                         estimate_cycles, profile_model, pruning_ratio)
+from repro.models import vgg11
+
+
+def main() -> None:
+    train, test = make_cifar_like(num_classes=10, image_size=12,
+                                  samples_per_class=50, seed=5)
+    base = vgg11(num_classes=10, image_size=12, width=0.25, seed=5)
+    training = TrainingConfig(epochs=30, batch_size=64, lr=0.05,
+                              momentum=0.9, weight_decay=5e-4,
+                              lambda1=1e-4, lambda2=1e-2)
+    print("== Training the base model ==")
+    Trainer(base, train, test, training).train()
+
+    print("\n== Structured: class-aware filter pruning ==")
+    structured = copy.deepcopy(base)
+    framework = ClassAwarePruningFramework(
+        structured, train, test, num_classes=10, input_shape=(3, 12, 12),
+        config=FrameworkConfig(score_threshold=3.0,
+                               max_fraction_per_iteration=0.12,
+                               finetune_epochs=3, finetune_lr=0.01,
+                               accuracy_drop_tolerance=0.08,
+                               max_iterations=5,
+                               importance=ImportanceConfig(
+                                   images_per_class=8, tau_mode="quantile",
+                                   tau_quantile=0.9)),
+        training=training)
+    result = framework.run()
+    print(result.summary_row("structured"))
+
+    print("\n== Unstructured: magnitude masking to the same sparsity ==")
+    unstructured = copy.deepcopy(base)
+    pruner = UnstructuredPruner(unstructured, train, test, training=training)
+    outcome = pruner.run(sparsity=float(result.pruning_ratio),
+                         finetune_epochs=3)
+    print(f"unstructured: sparsity {outcome.achieved_sparsity * 100:.1f}% "
+          f"accuracy {outcome.final_accuracy * 100:.2f}%")
+
+    print("\n== Systolic-array cost (16x16 PEs) ==")
+    plain = SystolicArrayConfig(zero_skipping=False)
+    skipping = SystolicArrayConfig(zero_skipping=True, skip_overhead=0.15)
+    dense = estimate_cycles(base, (3, 12, 12), plain)
+    print(f"{'dense baseline':<36}{dense.total_cycles:>12,} cycles")
+    for label, model, cfg in (
+            ("structured / plain array", structured, plain),
+            ("unstructured / plain array", unstructured, plain),
+            ("unstructured / zero-skipping array", unstructured, skipping)):
+        report = estimate_cycles(model, (3, 12, 12), cfg)
+        red = cycle_reduction(dense, report)
+        print(f"{label:<36}{report.total_cycles:>12,} cycles "
+              f"({red * 100:+5.1f}% vs dense)")
+
+    print("\nThe paper's point: the unstructured model removes as many "
+          "weights but saves (almost) no cycles unless the array pays for "
+          "zero-skipping hardware; the structurally pruned network is "
+          "smaller for free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""The paper's Fig. 1 story: class-aware pruning of MLP *neurons*.
+
+The motivating example of the paper shows a fully connected network where
+some neurons matter for several classes and others for only one; the
+latter can be pruned and the network retrained. This example runs exactly
+that: it trains an MLP, prints how many neurons are important for how many
+classes, prunes the few-class neurons, and shows the per-class importance
+matrix before and after.
+
+Usage::
+
+    python examples/mlp_neuron_pruning.py
+"""
+
+import numpy as np
+
+from repro.analysis import ascii_histogram, score_histogram
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, ImportanceEvaluator,
+                        TrainingConfig)
+from repro.data import make_cifar_like
+from repro.models import MLP
+
+
+def describe(report, num_classes: int, title: str) -> None:
+    scores = report.all_scores()
+    print(f"\n-- {title}: {len(scores)} neurons --")
+    counts, edges = score_histogram(scores, num_classes)
+    print(ascii_histogram(counts, edges, width=30))
+    for k in range(num_classes + 1):
+        n = int(((scores >= k) & (scores < k + 1)).sum())
+        if n and k <= 2:
+            print(f"   {n} neurons important for ~{k} classes")
+
+
+def main() -> None:
+    num_classes = 5
+    train, test = make_cifar_like(num_classes=num_classes, image_size=8,
+                                  samples_per_class=60, seed=4)
+    model = MLP(3 * 8 * 8, [64, 32, 16], num_classes, seed=4)
+    print(f"4-layer MLP: {model.num_parameters():,} parameters, "
+          f"hidden widths 64/32/16")
+
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=num_classes, input_shape=(3, 8, 8),
+        config=FrameworkConfig(
+            score_threshold=2.0, max_fraction_per_iteration=0.15,
+            finetune_epochs=4, finetune_lr=0.01, accuracy_drop_tolerance=0.05,
+            max_iterations=5,
+            importance=ImportanceConfig(images_per_class=10)),
+        training=TrainingConfig(epochs=25, batch_size=64, lr=0.05,
+                                momentum=0.9, weight_decay=5e-4,
+                                lambda1=1e-4, lambda2=1e-2))
+
+    print("\n== Training ==")
+    framework.pretrain(log=True)
+    result = framework.run(log=True)
+
+    describe(result.report_before, num_classes, "before pruning (Fig. 1 left)")
+    describe(result.report_after, num_classes, "after pruning (Fig. 1 right)")
+
+    print("\n== Per-class importance of the first hidden layer (after) ==")
+    group = result.model.prunable_groups()[0]
+    matrix = result.report_after.per_class[group.conv]
+    header = "neuron " + " ".join(f"c{c}" for c in range(num_classes))
+    print(header)
+    for i, row in enumerate(matrix[:10]):
+        print(f"{i:>6} " + " ".join(f"{v:4.1f}" for v in row))
+
+    print("\n" + result.summary_row("MLP-Synthetic5"))
+
+
+if __name__ == "__main__":
+    main()

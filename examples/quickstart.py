@@ -1,0 +1,61 @@
+"""Quickstart: class-aware pruning of a small VGG in ~a minute on CPU.
+
+Runs the full pipeline of the paper (DATE 2024) end to end:
+
+1. train a VGG-11 on the synthetic CIFAR-10 stand-in with the modified
+   cost function (cross entropy + L1 + orthogonality, Eq. 1);
+2. evaluate per-class filter importance (Eq. 3–7);
+3. iteratively prune + fine-tune (Fig. 5);
+4. report accuracy, pruning ratio and FLOPs reduction (Table I columns).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, TrainingConfig)
+from repro.data import make_cifar_like
+from repro.models import vgg11
+
+
+def main() -> None:
+    # A 10-class task standing in for CIFAR-10 (see DESIGN.md for why the
+    # substitution preserves the pruning behaviour).
+    train, test = make_cifar_like(num_classes=10, image_size=12,
+                                  samples_per_class=60, seed=0)
+
+    model = vgg11(num_classes=10, image_size=12, width=0.25, seed=0)
+    print(f"VGG-11 (width 0.25): {model.num_parameters():,} parameters")
+
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=10, input_shape=(3, 12, 12),
+        config=FrameworkConfig(
+            score_threshold=3.0,                # paper: 3 for 10 classes
+            max_fraction_per_iteration=0.10,    # paper: <= 10% per iter
+            finetune_epochs=5, finetune_lr=0.01,
+            accuracy_drop_tolerance=0.05,
+            max_iterations=6,
+            importance=ImportanceConfig(images_per_class=10,  # paper: M=10
+                                        tau=1e-50),            # paper's τ
+        ),
+        training=TrainingConfig(epochs=30, batch_size=64, lr=0.05,
+                                momentum=0.9, weight_decay=5e-4,
+                                lambda1=1e-4, lambda2=1e-2),
+    )
+
+    print("\n== Phase 1: training with the modified cost function ==")
+    framework.pretrain(log=True)
+
+    print("\n== Phase 2: iterative class-aware pruning ==")
+    result = framework.run(log=True)
+
+    print("\n== Result (Table I format) ==")
+    print(result.summary_row("VGG11-Synthetic10"))
+    print(f"stopped because: {result.stop_reason}")
+    print(f"importance score mean before {result.report_before.all_scores().mean():.2f}"
+          f" -> after {result.report_after.all_scores().mean():.2f} (Fig. 7 effect)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Fig. 8 / Table III: how the modified cost shapes the score distribution.
+
+Trains four copies of the same VGG — no regularisation, L1 only, orth
+only, and L1+orth — then prints each model's filter importance-score
+histogram and polarisation index, followed by Table III-style pruning
+results under identical pruning settings.
+
+The paper's claim: L1 produces more zero-score filters, orth produces more
+max-score filters, and the combination yields the most polarised
+distribution, which in turn prunes best.
+
+Usage::
+
+    python examples/regularizer_ablation.py
+"""
+
+from repro.analysis import DistributionComparison, polarization_index
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, ImportanceEvaluator, Trainer,
+                        TrainingConfig)
+from repro.data import make_cifar_like
+from repro.models import vgg11
+
+SETTINGS = [
+    ("none", 0.0, 0.0),
+    ("L1", 1e-4, 0.0),
+    ("orth", 0.0, 1e-2),
+    ("L1+orth", 1e-4, 1e-2),
+]
+
+
+def main() -> None:
+    train, test = make_cifar_like(num_classes=10, image_size=12,
+                                  samples_per_class=50, seed=3)
+    comparison = DistributionComparison("all conv layers", num_classes=10)
+    pruning_rows = []
+
+    for label, lambda1, lambda2 in SETTINGS:
+        print(f"\n== Training with {label} regularisation ==")
+        model = vgg11(num_classes=10, image_size=12, width=0.25, seed=3)
+        training = TrainingConfig(epochs=30, batch_size=64, lr=0.05,
+                                  momentum=0.9, weight_decay=5e-4,
+                                  lambda1=lambda1, lambda2=lambda2)
+        Trainer(model, train, test, training).train()
+
+        evaluator = ImportanceEvaluator(
+            model, train, num_classes=10,
+            config=ImportanceConfig(images_per_class=8))
+        report = evaluator.evaluate(
+            [g.conv for g in model.prunable_groups()])
+        scores = report.all_scores()
+        comparison.add(label, scores)
+        print(f"polarisation index: {polarization_index(scores, 10):.3f}")
+
+        framework = ClassAwarePruningFramework(
+            model, train, test, num_classes=10, input_shape=(3, 12, 12),
+            config=FrameworkConfig(score_threshold=3.0,
+                                   max_fraction_per_iteration=0.10,
+                                   finetune_epochs=3, finetune_lr=0.01,
+                               accuracy_drop_tolerance=0.08,
+                                   max_iterations=4,
+                                   importance=ImportanceConfig(images_per_class=8)),
+            training=training)
+        result = framework.run()
+        pruning_rows.append((label, result))
+
+    print("\n== Fig. 8: score distributions per regulariser ==")
+    print(comparison.render())
+
+    print("\n== Table III shape: pruning results per regulariser ==")
+    for label, result in pruning_rows:
+        print(result.summary_row(label))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+"""ResNet pruning under the shortcut constraint + strategy ablation.
+
+Reproduces the Table II experiment shape: on a CIFAR-style ResNet, compare
+the three pruning strategies — percentage only, threshold only, and the
+paper's percentage+threshold combination — under identical budgets.
+
+The paper's ResNet rule is visible in the metadata: only the *first*
+convolution of each residual block is prunable, so shortcut additions stay
+shape-consistent without touching projection layers.
+
+Usage::
+
+    python examples/resnet_pruning.py
+"""
+
+import copy
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, Trainer, TrainingConfig)
+from repro.data import make_cifar_like
+from repro.models import resnet20
+
+
+def main() -> None:
+    train, test = make_cifar_like(num_classes=10, image_size=12,
+                                  samples_per_class=50, seed=1)
+
+    base = resnet20(num_classes=10, width=0.5, seed=1)
+    groups = base.prunable_groups()
+    print(f"ResNet-20 (width 0.5): {base.num_parameters():,} parameters, "
+          f"{len(groups)} prunable groups (first conv of each block)")
+
+    training = TrainingConfig(epochs=30, batch_size=64, lr=0.05,
+                              momentum=0.9, weight_decay=5e-4,
+                              lambda1=1e-4, lambda2=1e-2)
+    print("\n== Training the base model ==")
+    Trainer(base, train, test, training).train(log=True)
+
+    print("\n== Strategy ablation (Table II shape) ==")
+    rows = []
+    for strategy in ("percentage", "threshold", "percentage+threshold"):
+        model = copy.deepcopy(base)
+        framework = ClassAwarePruningFramework(
+            model, train, test, num_classes=10, input_shape=(3, 12, 12),
+            config=FrameworkConfig(
+                score_threshold=3.0, max_fraction_per_iteration=0.10,
+                strategy=strategy, finetune_epochs=4, finetune_lr=0.01,
+                accuracy_drop_tolerance=0.05, max_iterations=5,
+                importance=ImportanceConfig(images_per_class=8)),
+            training=training)
+        result = framework.run()
+        rows.append((strategy, result))
+        print(result.summary_row(strategy))
+
+    print("\nThe paper's finding: the combination prunes at least as much "
+          "as either rule alone at comparable accuracy.")
+    for strategy, result in rows:
+        print(f"  {strategy:<24} drop={result.accuracy_drop * 100:+.2f}% "
+              f"ratio={result.pruning_ratio * 100:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim for environments without the `wheel` package.
+
+All metadata lives in pyproject.toml; this file only enables
+`pip install -e . --no-use-pep517` (legacy editable install), which is the
+only editable path available in this offline environment.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Score-distribution analysis, method comparisons and experiment records."""
+
+from .comparison import MethodComparison
+from .distribution import (DistributionComparison, ascii_bars,
+                           ascii_histogram, layer_average_scores,
+                           polarization_index, report_correlation,
+                           score_histogram)
+from .sensitivity import (LayerSensitivity, layer_sensitivity,
+                          sensitivity_vs_importance)
+from .reporting import (ExperimentRecord, format_table, load_records,
+                        save_records)
+from .tradeoff import TradeoffPoint, pareto_front, threshold_sweep
+
+__all__ = [
+    "score_histogram", "DistributionComparison", "ascii_histogram",
+    "ascii_bars", "layer_average_scores", "polarization_index",
+    "MethodComparison", "report_correlation",
+    "ExperimentRecord", "format_table", "save_records", "load_records",
+    "TradeoffPoint", "threshold_sweep", "pareto_front",
+    "LayerSensitivity", "layer_sensitivity", "sensitivity_vs_importance",
+]

@@ -1,0 +1,77 @@
+"""Multi-method comparison tables (paper Fig. 6).
+
+Collects per-method results — accuracy after pruning, pruning ratio, FLOPs
+reduction — and renders the three panels of Fig. 6 as aligned text tables
+plus ASCII bars, with the original (unpruned) accuracy as the reference
+line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.harness import BaselineRunResult
+from ..baselines.methods import method_display_name
+from .distribution import ascii_bars
+
+__all__ = ["MethodComparison"]
+
+
+@dataclass
+class MethodComparison:
+    """Accumulates Fig. 6 data points for one network/dataset pair."""
+
+    network: str
+    original_accuracy: float
+    results: list[BaselineRunResult] = field(default_factory=list)
+
+    def add(self, result: BaselineRunResult) -> None:
+        self.results.append(result)
+
+    def best_accuracy_method(self) -> str:
+        """Method with the highest post-pruning accuracy."""
+        if not self.results:
+            raise ValueError("no results recorded")
+        return max(self.results, key=lambda r: r.final_accuracy).method
+
+    def rank_of(self, method: str, metric: str = "final_accuracy") -> int:
+        """1-based rank of a method under a metric (1 = best/highest)."""
+        values = sorted((getattr(r, metric) for r in self.results), reverse=True)
+        mine = [getattr(r, metric) for r in self.results if r.method == method]
+        if not mine:
+            raise KeyError(f"method {method!r} not in comparison")
+        return values.index(mine[0]) + 1
+
+    def table(self) -> str:
+        """The three Fig. 6 panels as one aligned table."""
+        header = (f"{'method':<22}{'accuracy':>10}{'drop':>8}"
+                  f"{'prun.ratio':>12}{'FLOPs red.':>12}")
+        lines = [f"== {self.network}  (original accuracy "
+                 f"{self.original_accuracy * 100:.2f}%) ==", header,
+                 "-" * len(header)]
+        for r in sorted(self.results, key=lambda r: -r.final_accuracy):
+            lines.append(
+                f"{method_display_name(r.method):<22}"
+                f"{r.final_accuracy * 100:>9.2f}%"
+                f"{(r.final_accuracy - self.original_accuracy) * 100:>+7.2f}%"
+                f"{r.pruning_ratio * 100:>11.1f}%"
+                f"{r.flops_reduction * 100:>11.1f}%")
+        return "\n".join(lines)
+
+    def panels(self, width: int = 36) -> str:
+        """ASCII bar rendering of the accuracy / ratio / FLOPs panels."""
+        acc = {method_display_name(r.method): r.final_accuracy * 100
+               for r in self.results}
+        ratio = {method_display_name(r.method): r.pruning_ratio * 100
+                 for r in self.results}
+        flops = {method_display_name(r.method): r.flops_reduction * 100
+                 for r in self.results}
+        parts = [
+            f"-- Top-1 accuracy (%, original = {self.original_accuracy * 100:.2f})",
+            ascii_bars(acc, width=width, fmt="{:.2f}"),
+            "-- Pruning ratio (%)",
+            ascii_bars(ratio, width=width, fmt="{:.1f}"),
+            "-- FLOPs reduction (%)",
+            ascii_bars(flops, width=width, fmt="{:.1f}"),
+        ]
+        return "\n".join(parts)

@@ -1,0 +1,139 @@
+"""Importance-score distribution analysis (paper Figs. 4, 7, 8).
+
+The paper's qualitative evidence is carried by score histograms:
+
+* Fig. 4 — per-layer histogram of filter total scores before vs after
+  pruning (survivors shift towards the class-count maximum);
+* Fig. 7 — per-layer *average* score before vs after pruning;
+* Fig. 8 — histogram under the four regulariser settings (none / L1 /
+  orth / both), showing the polarisation the modified loss induces.
+
+Figures are rendered as ASCII bar charts so every benchmark reproduces
+them without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.importance import ImportanceReport
+
+__all__ = ["score_histogram", "DistributionComparison", "ascii_histogram",
+           "ascii_bars", "layer_average_scores", "polarization_index",
+           "report_correlation"]
+
+
+def report_correlation(a: ImportanceReport, b: ImportanceReport) -> float:
+    """Spearman rank correlation between two reports' total scores.
+
+    Used to verify the paper's Sec. IV claim that evaluating more than
+    M = 10 images per class leaves the importance scores "almost the
+    same": the correlation between the M=10 report and a larger-M report
+    should be near 1.
+    """
+    from scipy.stats import spearmanr
+    if set(a.total) != set(b.total):
+        raise ValueError("reports cover different groups")
+    x = a.all_scores()
+    y = b.all_scores()
+    if len(x) != len(y):
+        raise ValueError("reports cover different filter counts")
+    if np.allclose(x, x[0]) or np.allclose(y, y[0]):
+        # Degenerate constant vector: correlation undefined; treat exact
+        # equality as perfect agreement.
+        return 1.0 if np.allclose(x, y) else 0.0
+    rho, _ = spearmanr(x, y)
+    return float(rho)
+
+
+def score_histogram(scores: np.ndarray, num_classes: int,
+                    bins: int | None = None) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram of total importance scores over ``[0, num_classes]``.
+
+    Defaults to one bin per integer score (the paper's x-axis), so
+    ``counts[k]`` ≈ number of filters important for about ``k`` classes.
+    """
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    nbins = bins if bins is not None else num_classes + 1
+    edges = np.linspace(0, num_classes, nbins + 1)
+    # Closed right edge so a perfect score lands in the last bin.
+    counts, _ = np.histogram(np.clip(scores, 0, num_classes), bins=edges)
+    return counts, edges
+
+
+def polarization_index(scores: np.ndarray, num_classes: int) -> float:
+    """Fraction of filters in the extreme bins (bottom/top 10% of range).
+
+    A scalar summary of the Fig. 8 effect: L1+orth training should produce
+    a *more polarised* distribution than either regulariser alone.
+    """
+    if len(scores) == 0:
+        return 0.0
+    lo = num_classes * 0.1
+    hi = num_classes * 0.9
+    extreme = np.sum(scores <= lo) + np.sum(scores >= hi)
+    return float(extreme / len(scores))
+
+
+def layer_average_scores(report: ImportanceReport) -> dict[str, float]:
+    """Per-layer mean total score (one Fig. 7 series)."""
+    return report.layer_means()
+
+
+@dataclass
+class DistributionComparison:
+    """Before/after (or multi-setting) score distributions of one layer."""
+
+    label: str
+    num_classes: int
+    series: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def add(self, name: str, scores: np.ndarray) -> None:
+        self.series[name] = np.asarray(scores, dtype=np.float64)
+
+    def histograms(self, bins: int | None = None) -> dict[str, np.ndarray]:
+        return {name: score_histogram(s, self.num_classes, bins)[0]
+                for name, s in self.series.items()}
+
+    def means(self) -> dict[str, float]:
+        return {name: float(s.mean()) if len(s) else 0.0
+                for name, s in self.series.items()}
+
+    def render(self, width: int = 40) -> str:
+        """ASCII rendering of all series' histograms."""
+        blocks = [f"== {self.label} (scores 0..{self.num_classes}) =="]
+        for name, scores in self.series.items():
+            counts, edges = score_histogram(scores, self.num_classes)
+            blocks.append(f"-- {name}  (n={len(scores)}, "
+                          f"mean={scores.mean() if len(scores) else 0:.2f})")
+            blocks.append(ascii_histogram(counts, edges, width=width))
+        return "\n".join(blocks)
+
+
+def ascii_histogram(counts: np.ndarray, edges: np.ndarray,
+                    width: int = 40) -> str:
+    """Horizontal bar rendering of a histogram."""
+    peak = max(int(counts.max()), 1)
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(count / peak * width))
+        lines.append(f"[{edges[i]:5.1f},{edges[i + 1]:5.1f}) "
+                     f"{bar:<{width}} {int(count)}")
+    return "\n".join(lines)
+
+
+def ascii_bars(values: dict[str, float], width: int = 40,
+               fmt: str = "{:.3f}") -> str:
+    """Labelled horizontal bars (Fig. 6 / Fig. 7 style series)."""
+    if not values:
+        return "(empty)"
+    peak = max(abs(v) for v in values.values()) or 1.0
+    label_w = max(len(k) for k in values)
+    lines = []
+    for key, value in values.items():
+        bar = "#" * int(round(abs(value) / peak * width))
+        lines.append(f"{key:<{label_w}} {bar:<{width}} " + fmt.format(value))
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Experiment records and table formatting.
+
+Benchmarks persist their measurements as JSON records so EXPERIMENTS.md can
+be regenerated and paper-vs-measured comparisons are auditable.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["ExperimentRecord", "format_table", "save_records",
+           "load_records", "records_to_markdown"]
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.floating, np.integer)):
+        return value.item()
+    if isinstance(value, dict):
+        return {k: _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass
+class ExperimentRecord:
+    """One reproduced measurement tied to a paper table/figure.
+
+    Attributes
+    ----------
+    experiment:
+        Paper anchor, e.g. ``"table1"`` or ``"fig6"``.
+    setting:
+        Row/series label, e.g. ``"VGG16-C10"`` or ``"L1+orth"``.
+    paper:
+        The paper's reported numbers for this setting (for side-by-side
+        reporting; absolute match is not expected, shape is).
+    measured:
+        This reproduction's numbers.
+    """
+
+    experiment: str
+    setting: str
+    paper: dict[str, float] = field(default_factory=dict)
+    measured: dict[str, float] = field(default_factory=dict)
+    notes: str = ""
+
+    def to_dict(self) -> dict:
+        return _jsonable(asdict(self))
+
+    def row(self) -> str:
+        paper_s = ", ".join(f"{k}={v}" for k, v in self.paper.items())
+        meas_s = ", ".join(f"{k}={v:.3f}" if isinstance(v, float) else f"{k}={v}"
+                           for k, v in self.measured.items())
+        return f"{self.experiment:<8} {self.setting:<24} paper[{paper_s}] measured[{meas_s}]"
+
+
+def format_table(headers: list[str], rows: list[list[Any]],
+                 title: str = "") -> str:
+    """Align a list of rows under headers (monospace report tables)."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def records_to_markdown(records: list["ExperimentRecord"]) -> str:
+    """Render records as a GitHub-flavoured markdown table.
+
+    Used to regenerate the measured columns of EXPERIMENTS.md from the
+    JSON files the benchmarks write.
+    """
+    if not records:
+        return "(no records)"
+    metric_keys: list[str] = []
+    for record in records:
+        for key in record.measured:
+            if key not in metric_keys:
+                metric_keys.append(key)
+    header = ["experiment", "setting"] + metric_keys + ["paper"]
+    lines = ["| " + " | ".join(header) + " |",
+             "|" + "|".join("---" for _ in header) + "|"]
+    for record in records:
+        cells = [record.experiment, record.setting]
+        for key in metric_keys:
+            value = record.measured.get(key, "")
+            cells.append(f"{value:.2f}" if isinstance(value, float) else
+                         str(value))
+        paper = ", ".join(f"{k}={v}" for k, v in record.paper.items())
+        cells.append(paper or "—")
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)
+
+
+def save_records(records: list[ExperimentRecord], path: str | Path) -> None:
+    """Write records as a JSON list (parents created as needed)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump([r.to_dict() for r in records], fh, indent=2)
+
+
+def load_records(path: str | Path) -> list[ExperimentRecord]:
+    """Read records saved by :func:`save_records`."""
+    with open(path) as fh:
+        raw = json.load(fh)
+    return [ExperimentRecord(**item) for item in raw]

@@ -1,0 +1,90 @@
+"""Accuracy-vs-compression trade-off sweeps.
+
+The paper reports a single operating point per network (Table I); this
+utility maps out the whole frontier by sweeping the class-count threshold
+of the pruning strategy, which is the natural knob of the class-aware
+method (a higher threshold prunes filters important for more classes).
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+from ..core.framework import (ClassAwarePruningFramework, FrameworkConfig)
+from ..core.importance import ImportanceConfig
+from ..core.trainer import TrainingConfig
+from ..nn import Module
+
+__all__ = ["TradeoffPoint", "threshold_sweep", "pareto_front"]
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One operating point of the accuracy/compression frontier."""
+
+    threshold: float
+    accuracy: float
+    pruning_ratio: float
+    flops_reduction: float
+    stop_reason: str
+
+
+def threshold_sweep(model: Module, train_dataset, test_dataset,
+                    num_classes: int, input_shape: tuple[int, int, int],
+                    thresholds: list[float],
+                    base_config: FrameworkConfig | None = None,
+                    training: TrainingConfig | None = None,
+                    log: bool = False) -> list[TradeoffPoint]:
+    """Run the framework once per threshold on copies of a trained model.
+
+    Returns points in the order of ``thresholds``.
+    """
+    base_config = base_config or FrameworkConfig()
+    training = training or TrainingConfig()
+    points = []
+    for threshold in thresholds:
+        candidate = copy.deepcopy(model)
+        config = FrameworkConfig(
+            score_threshold=threshold,
+            max_fraction_per_iteration=base_config.max_fraction_per_iteration,
+            strategy=base_config.strategy,
+            finetune_epochs=base_config.finetune_epochs,
+            accuracy_drop_tolerance=base_config.accuracy_drop_tolerance,
+            max_iterations=base_config.max_iterations,
+            finetune_lr=base_config.finetune_lr,
+            importance=base_config.importance,
+        )
+        framework = ClassAwarePruningFramework(
+            candidate, train_dataset, test_dataset, num_classes,
+            input_shape, config=config, training=training)
+        result = framework.run()
+        point = TradeoffPoint(
+            threshold=threshold,
+            accuracy=result.final_accuracy,
+            pruning_ratio=result.pruning_ratio,
+            flops_reduction=result.flops_reduction,
+            stop_reason=result.stop_reason,
+        )
+        points.append(point)
+        if log:
+            print(f"threshold {threshold:5.2f}: acc={point.accuracy:.3f} "
+                  f"ratio={point.pruning_ratio:.3f}")
+    return points
+
+
+def pareto_front(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Points not dominated in (accuracy, pruning_ratio), sorted by ratio.
+
+    A point dominates another when it is at least as good on both axes and
+    strictly better on one.
+    """
+    front = []
+    for p in points:
+        dominated = any(
+            (q.accuracy >= p.accuracy and q.pruning_ratio >= p.pruning_ratio
+             and (q.accuracy > p.accuracy or q.pruning_ratio > p.pruning_ratio))
+            for q in points)
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.pruning_ratio)

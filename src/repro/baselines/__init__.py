@@ -1,0 +1,26 @@
+"""Baseline pruning methods the paper compares against (Fig. 6)."""
+
+from .depgraph import (CoupledGroup, DepGraphScorer, build_operation_graph,
+                       prune_coupled_group, trace_coupled_groups)
+from .harness import BaselineConfig, BaselineRunResult, ScorerPruner
+from .methods import (DepGraphPruner, METHOD_NAMES, SSSLoss,
+                      method_display_name, run_method)
+from .scorers import (APoZScorer, FilterScorer, HRankScorer, L1NormScorer,
+                      L2NormScorer, RandomScorer, SCORER_REGISTRY, SSSScorer,
+                      ScoringContext, TaylorScorer, WeightGradScorer,
+                      build_scorer)
+from .unstructured import (UnstructuredPruner, UnstructuredResult,
+                           apply_masks, gradient_masks, magnitude_masks,
+                           sparsity_report)
+
+__all__ = [
+    "FilterScorer", "ScoringContext", "L1NormScorer", "L2NormScorer",
+    "SSSScorer", "HRankScorer", "APoZScorer", "TaylorScorer",
+    "WeightGradScorer", "RandomScorer", "SCORER_REGISTRY", "build_scorer",
+    "BaselineConfig", "BaselineRunResult", "ScorerPruner",
+    "CoupledGroup", "trace_coupled_groups", "prune_coupled_group",
+    "DepGraphScorer", "DepGraphPruner", "build_operation_graph",
+    "run_method", "METHOD_NAMES", "SSSLoss", "method_display_name",
+    "UnstructuredPruner", "UnstructuredResult", "magnitude_masks",
+    "gradient_masks", "apply_masks", "sparsity_report",
+]

@@ -1,0 +1,168 @@
+"""Shared iterative prune-and-fine-tune harness for baseline criteria.
+
+The paper compares against methods whose published numbers come from very
+different training pipelines; to compare *criteria* fairly (Fig. 6), every
+method here runs through the same loop:
+
+    score → remove the globally lowest fraction → fine-tune → repeat
+    until the target parameter-pruning ratio is reached.
+
+This mirrors the class-aware framework's loop but replaces the class-aware
+selection with the baseline's criterion, and prunes towards a fixed target
+ratio (baselines have no intrinsic stopping rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.pruner import PercentageStrategy
+from ..core.surgery import group_sizes, prune_groups
+from ..core.trainer import Trainer, TrainingConfig, evaluate_model
+from ..data import Dataset
+from ..flops import flops_reduction, profile_model, pruning_ratio
+from ..models.pruning_spec import PrunableModel
+from ..nn import Module
+from .scorers import FilterScorer, ScoringContext
+
+__all__ = ["BaselineConfig", "BaselineRunResult", "ScorerPruner"]
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Schedule shared by all baseline runs.
+
+    Attributes
+    ----------
+    target_ratio:
+        Parameter pruning ratio to reach (fraction in (0, 1)).
+    fraction_per_iteration:
+        Fraction of the *remaining* filters removed per iteration.
+    finetune_epochs:
+        Fine-tuning epochs after each iteration.
+    max_iterations:
+        Safety bound.
+    num_images:
+        Sample budget for data-driven criteria.
+    finetune_lr:
+        Learning rate for post-pruning fine-tuning; ``None`` keeps the
+        training config's rate (see FrameworkConfig.finetune_lr for why a
+        reduced rate matters).
+    """
+
+    target_ratio: float = 0.5
+    fraction_per_iteration: float = 0.1
+    finetune_epochs: int = 1
+    max_iterations: int = 30
+    num_images: int = 64
+    seed: int = 0
+    finetune_lr: float | None = None
+
+
+@dataclass
+class BaselineRunResult:
+    """Fig. 6 data point for one method."""
+
+    method: str
+    baseline_accuracy: float
+    final_accuracy: float
+    pruning_ratio: float
+    flops_reduction: float
+    iterations: int
+    accuracies: list[float] = field(default_factory=list)
+
+    @property
+    def accuracy_drop(self) -> float:
+        return self.baseline_accuracy - self.final_accuracy
+
+    def row(self) -> str:
+        return (f"{self.method:<16} acc={self.final_accuracy * 100:6.2f}% "
+                f"(drop {self.accuracy_drop * 100:+5.2f}%) "
+                f"ratio={self.pruning_ratio * 100:5.1f}% "
+                f"flops_red={self.flops_reduction * 100:5.1f}%")
+
+
+class ScorerPruner:
+    """Iteratively prune a model using any :class:`FilterScorer`.
+
+    Parameters
+    ----------
+    model:
+        Trained prunable model (mutated in place).
+    scorer:
+        The baseline criterion.
+    loss_fn:
+        Optional custom fine-tuning objective (e.g. SSS's scale penalty);
+        defaults to the training config's loss.
+    """
+
+    def __init__(self, model: Module, train_dataset: Dataset,
+                 test_dataset: Dataset, input_shape: tuple[int, int, int],
+                 scorer: FilterScorer, config: BaselineConfig | None = None,
+                 training: TrainingConfig | None = None, loss_fn=None):
+        if not isinstance(model, PrunableModel):
+            raise TypeError(
+                f"{type(model).__name__} does not expose prunable_groups()")
+        self.model = model
+        self.train_dataset = train_dataset
+        self.test_dataset = test_dataset
+        self.input_shape = tuple(input_shape)
+        self.scorer = scorer
+        self.config = config or BaselineConfig()
+        self.training = training or TrainingConfig()
+        if self.config.finetune_lr is not None:
+            import dataclasses
+            self.training = dataclasses.replace(self.training,
+                                                lr=self.config.finetune_lr)
+        self.loss_fn = loss_fn
+
+    def run(self, log: bool = False) -> BaselineRunResult:
+        cfg = self.config
+        original = profile_model(self.model, self.input_shape)
+        _, baseline_acc = evaluate_model(self.model, self.test_dataset,
+                                         self.training.batch_size)
+        ctx = ScoringContext(dataset=self.train_dataset,
+                             num_images=cfg.num_images, seed=cfg.seed)
+        strategy = PercentageStrategy(cfg.fraction_per_iteration)
+        accuracies: list[float] = []
+        iterations = 0
+        for iteration in range(cfg.max_iterations):
+            groups = self.model.prunable_groups()
+            sizes = group_sizes(self.model, groups)
+            scores = self.scorer.scores(self.model, groups, ctx)
+            min_channels = {g.name: g.min_channels for g in groups}
+            decision = strategy.select(scores, min_channels)
+            if decision.is_empty():
+                break
+            keep = {name: np.setdiff1d(np.arange(sizes[name]), remove)
+                    for name, remove in decision.remove.items()}
+            prune_groups(self.model, groups, keep)
+            trainer = Trainer(self.model, self.train_dataset,
+                              self.test_dataset, self.training,
+                              loss_fn=self.loss_fn)
+            trainer.train(epochs=cfg.finetune_epochs)
+            _, acc = evaluate_model(self.model, self.test_dataset,
+                                    self.training.batch_size)
+            accuracies.append(acc)
+            iterations = iteration + 1
+            profile = profile_model(self.model, self.input_shape)
+            ratio = pruning_ratio(original, profile)
+            if log:
+                print(f"[{self.scorer.name}] iter {iteration}: "
+                      f"acc={acc:.3f} ratio={ratio:.3f}")
+            if ratio >= cfg.target_ratio:
+                break
+        final_profile = profile_model(self.model, self.input_shape)
+        _, final_acc = evaluate_model(self.model, self.test_dataset,
+                                      self.training.batch_size)
+        return BaselineRunResult(
+            method=self.scorer.name,
+            baseline_accuracy=baseline_acc,
+            final_accuracy=final_acc,
+            pruning_ratio=pruning_ratio(original, final_profile),
+            flops_reduction=flops_reduction(original, final_profile),
+            iterations=iterations,
+            accuracies=accuracies,
+        )

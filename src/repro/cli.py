@@ -1,0 +1,258 @@
+"""Command-line interface.
+
+Drives the full reproduction workflow from the shell on the synthetic
+task::
+
+    python -m repro train      --model vgg16 --num-classes 10 --out base.npz
+    python -m repro prune      --checkpoint base.npz --out pruned.npz
+    python -m repro profile    --checkpoint pruned.npz
+    python -m repro compare    --checkpoint base.npz --methods l1,sss,random
+    python -m repro specialize --checkpoint base.npz --classes 0,1 --out s.npz
+
+Every subcommand prints a short report; ``train``/``prune``/``specialize``
+write checkpoints loadable by :mod:`repro.io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--num-classes", type=int, default=10,
+                        help="classes in the synthetic task (10 or 100 mirror CIFAR)")
+    parser.add_argument("--image-size", type=int, default=12)
+    parser.add_argument("--samples-per-class", type=int, default=40)
+    parser.add_argument("--data-seed", type=int, default=0)
+
+
+def _datasets(args):
+    from .data import make_cifar_like
+    return make_cifar_like(num_classes=args.num_classes,
+                           image_size=args.image_size,
+                           samples_per_class=args.samples_per_class,
+                           seed=args.data_seed)
+
+
+def _training(args):
+    from .core import TrainingConfig
+    return TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
+                          lr=args.lr, momentum=0.9, weight_decay=5e-4,
+                          lambda1=args.lambda1, lambda2=args.lambda2)
+
+
+def _training_args(parser: argparse.ArgumentParser, epochs: int) -> None:
+    parser.add_argument("--epochs", type=int, default=epochs)
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--lr", type=float, default=0.05)
+    parser.add_argument("--lambda1", type=float, default=1e-4,
+                        help="L1 coefficient of the modified loss (Eq. 1)")
+    parser.add_argument("--lambda2", type=float, default=1e-2,
+                        help="orthogonality coefficient of the modified loss")
+
+
+def _load_checkpoint(path: str):
+    from .io import load_model
+    model = load_model(path)
+    return model, model.arch
+
+
+def cmd_train(args) -> int:
+    from .core import Trainer
+    from .io import save_model
+    from .models import build_model
+    train, test = _datasets(args)
+    model = build_model(args.model, num_classes=args.num_classes,
+                        image_size=args.image_size, width=args.width,
+                        seed=args.seed)
+    print(f"{args.model}: {model.num_parameters():,} parameters")
+    trainer = Trainer(model, train, test, _training(args))
+    history = trainer.train(log=not args.quiet)
+    save_model(model, args.out)
+    print(f"final test accuracy: {history.final_test_accuracy:.4f}")
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_prune(args) -> int:
+    from .core import (ClassAwarePruningFramework, FrameworkConfig,
+                       ImportanceConfig)
+    from .io import save_model
+    model, arch = _load_checkpoint(args.checkpoint)
+    args.num_classes = arch.get("num_classes", args.num_classes)
+    args.image_size = arch.get("image_size", args.image_size)
+    train, test = _datasets(args)
+    importance = ImportanceConfig(
+        images_per_class=args.images_per_class,
+        tau=args.tau, tau_mode=args.tau_mode,
+        tau_quantile=args.tau_quantile)
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=args.num_classes,
+        input_shape=(3, args.image_size, args.image_size),
+        config=FrameworkConfig(
+            score_threshold=(args.threshold if args.threshold is not None
+                             else 0.3 * args.num_classes),
+            max_fraction_per_iteration=args.max_fraction,
+            strategy=args.strategy,
+            finetune_epochs=args.finetune_epochs,
+            accuracy_drop_tolerance=args.tolerance,
+            max_iterations=args.max_iterations,
+            importance=importance),
+        training=_training(args))
+    result = framework.run(log=not args.quiet)
+    print(result.summary_row(arch.get("name", "model")))
+    print(f"stopped because: {result.stop_reason}")
+    save_model(result.model, args.out, arch=arch)
+    print(f"pruned checkpoint written to {args.out}")
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from .flops import profile_model
+    model, arch = _load_checkpoint(args.checkpoint)
+    size = arch.get("image_size", args.image_size)
+    profile = profile_model(model, (3, size, size))
+    print(profile.summary())
+    print(f"\ntotal FLOPs: {profile.total_flops:,}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from .analysis import MethodComparison
+    from .baselines import BaselineConfig, run_method
+    from .core import evaluate_model
+    model, arch = _load_checkpoint(args.checkpoint)
+    args.num_classes = arch.get("num_classes", args.num_classes)
+    args.image_size = arch.get("image_size", args.image_size)
+    train, test = _datasets(args)
+    _, original = evaluate_model(model, test)
+    comparison = MethodComparison(arch.get("name", "model"),
+                                  original_accuracy=original)
+    config = BaselineConfig(target_ratio=args.target_ratio,
+                            fraction_per_iteration=args.max_fraction,
+                            finetune_epochs=args.finetune_epochs,
+                            max_iterations=args.max_iterations)
+    for name in args.methods.split(","):
+        candidate = copy.deepcopy(model)
+        result = run_method(name.strip(), candidate, train, test,
+                            (3, args.image_size, args.image_size),
+                            config, _training(args))
+        comparison.add(result)
+        print(result.row())
+    print("\n" + comparison.table())
+    return 0
+
+
+def cmd_specialize(args) -> int:
+    from .core import ImportanceConfig, SpecializationConfig, specialize
+    from .io import save_model
+    model, arch = _load_checkpoint(args.checkpoint)
+    args.num_classes = arch.get("num_classes", args.num_classes)
+    args.image_size = arch.get("image_size", args.image_size)
+    train, test = _datasets(args)
+    classes = [int(c) for c in args.classes.split(",")]
+    result = specialize(
+        model, train, test, num_classes=args.num_classes, classes=classes,
+        input_shape=(3, args.image_size, args.image_size),
+        config=SpecializationConfig(
+            min_class_score=args.min_class_score,
+            finetune_epochs=args.finetune_epochs,
+            importance=ImportanceConfig(
+                images_per_class=args.images_per_class,
+                tau_mode="quantile", tau_quantile=args.tau_quantile)),
+        training=_training(args))
+    print(f"specialised to classes {classes}: accuracy {result.accuracy:.4f} "
+          f"ratio {result.pruning_ratio * 100:.1f}% "
+          f"flops_red {result.flops_reduction * 100:.1f}%")
+    arch = dict(arch)
+    arch["num_classes"] = len(classes)
+    save_model(result.model, args.out, arch=arch)
+    print(f"specialised checkpoint written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Class-Aware Pruning (DATE 2024) reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_train = sub.add_parser("train", help="train a model with the modified loss")
+    p_train.add_argument("--model", default="vgg16")
+    p_train.add_argument("--width", type=float, default=0.25)
+    p_train.add_argument("--seed", type=int, default=0)
+    p_train.add_argument("--out", required=True)
+    p_train.add_argument("--quiet", action="store_true")
+    _dataset_args(p_train)
+    _training_args(p_train, epochs=30)
+    p_train.set_defaults(func=cmd_train)
+
+    p_prune = sub.add_parser("prune", help="run the class-aware framework")
+    p_prune.add_argument("--checkpoint", required=True)
+    p_prune.add_argument("--out", required=True)
+    p_prune.add_argument("--threshold", type=float, default=None,
+                         help="score threshold (default: 0.3 x classes)")
+    p_prune.add_argument("--max-fraction", type=float, default=0.1)
+    p_prune.add_argument("--strategy", default="percentage+threshold",
+                         choices=["percentage", "threshold",
+                                  "percentage+threshold"])
+    p_prune.add_argument("--finetune-epochs", type=int, default=5)
+    p_prune.add_argument("--tolerance", type=float, default=0.05)
+    p_prune.add_argument("--max-iterations", type=int, default=8)
+    p_prune.add_argument("--images-per-class", type=int, default=10)
+    p_prune.add_argument("--tau", type=float, default=1e-50)
+    p_prune.add_argument("--tau-mode", default="quantile",
+                         choices=["absolute", "quantile"])
+    p_prune.add_argument("--tau-quantile", type=float, default=0.9)
+    p_prune.add_argument("--quiet", action="store_true")
+    _dataset_args(p_prune)
+    _training_args(p_prune, epochs=5)
+    p_prune.set_defaults(func=cmd_prune)
+
+    p_profile = sub.add_parser("profile", help="print params/MACs per layer")
+    p_profile.add_argument("--checkpoint", required=True)
+    p_profile.add_argument("--image-size", type=int, default=12)
+    p_profile.set_defaults(func=cmd_profile)
+
+    p_compare = sub.add_parser("compare", help="run baseline methods")
+    p_compare.add_argument("--checkpoint", required=True)
+    p_compare.add_argument("--methods", default="l1,sss,random")
+    p_compare.add_argument("--target-ratio", type=float, default=0.3)
+    p_compare.add_argument("--max-fraction", type=float, default=0.12)
+    p_compare.add_argument("--finetune-epochs", type=int, default=2)
+    p_compare.add_argument("--max-iterations", type=int, default=8)
+    _dataset_args(p_compare)
+    _training_args(p_compare, epochs=2)
+    p_compare.set_defaults(func=cmd_compare)
+
+    p_spec = sub.add_parser("specialize",
+                            help="specialise a model to a class subset")
+    p_spec.add_argument("--checkpoint", required=True)
+    p_spec.add_argument("--classes", required=True,
+                        help="comma-separated retained class ids")
+    p_spec.add_argument("--out", required=True)
+    p_spec.add_argument("--min-class-score", type=float, default=0.3)
+    p_spec.add_argument("--finetune-epochs", type=int, default=5)
+    p_spec.add_argument("--images-per-class", type=int, default=10)
+    p_spec.add_argument("--tau-quantile", type=float, default=0.9)
+    _dataset_args(p_spec)
+    _training_args(p_spec, epochs=5)
+    p_spec.set_defaults(func=cmd_specialize)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,204 @@
+"""Class-aware filter importance (Sec. III-B, Eq. 5–7).
+
+Pipeline per filter group (one prunable layer):
+
+1. For each class ``n``, draw ``M`` training images of that class.
+2. Compute Taylor scores ``Θ'`` of every activation for every image
+   (:class:`~repro.core.taylor.TaylorScoreEngine`).
+3. Binarise per image: ``s = 1 if Θ' > τ else 0``  (Eq. 5, τ = 1e-50).
+4. Average over the M images → ``s_ave`` per activation       (Eq. 6).
+5. Filter score w.r.t. class ``n`` = max over the filter's activations
+   of ``s_ave``                                               (Eq. 7).
+6. Total importance = Σ_n score(filter, n) ∈ [0, num_classes].
+
+A filter whose total score is small matters for few classes and is a
+pruning candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..data import Dataset, per_class_images
+from ..nn import Module
+from .taylor import ExactZeroingEngine, TaylorScoreEngine
+
+__all__ = ["ImportanceConfig", "ImportanceReport", "ImportanceEvaluator",
+           "aggregate_scores"]
+
+
+@dataclass(frozen=True)
+class ImportanceConfig:
+    """Hyperparameters of the importance evaluation.
+
+    Attributes
+    ----------
+    images_per_class:
+        ``M`` of Eq. 6; the paper uses 10 and reports that more images do
+        not change the scores.
+    tau:
+        Activation-score threshold of Eq. 5 (paper: 1e-50 — effectively
+        "any nonzero sensitivity counts"). Used when ``tau_mode`` is
+        ``"absolute"``.
+    tau_mode:
+        ``"absolute"`` uses ``tau`` directly (the paper's definition).
+        ``"quantile"`` sets the threshold per class evaluation to the
+        ``tau_quantile``-quantile of all Taylor scores across the
+        monitored layers. The paper's absolute 1e-50 relies on full-scale
+        networks, where huge numbers of activations underflow to exactly
+        zero; at reduced benchmark scale almost every activation carries
+        *some* gradient, and the quantile mode restores the score spread
+        the criterion needs while staying scale-free.
+    tau_quantile:
+        Quantile in (0, 1) for ``tau_mode="quantile"``.
+    aggregation:
+        ``"max"`` (Eq. 7) or ``"mean"`` — the latter is an ablation option
+        exposed because the max is a deliberate design choice of the paper.
+    use_exact:
+        Use the exact zeroing engine instead of the Taylor approximation
+        (validation only; drastically slower).
+    seed:
+        Seed for the per-class image sampling.
+    """
+
+    images_per_class: int = 10
+    tau: float = 1e-50
+    tau_mode: str = "absolute"
+    tau_quantile: float = 0.25
+    aggregation: str = "max"
+    use_exact: bool = False
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.images_per_class <= 0:
+            raise ValueError("images_per_class must be positive")
+        if self.aggregation not in ("max", "mean"):
+            raise ValueError(f"unknown aggregation {self.aggregation!r}")
+        if self.tau_mode not in ("absolute", "quantile"):
+            raise ValueError(f"unknown tau_mode {self.tau_mode!r}")
+        if not 0.0 < self.tau_quantile < 1.0:
+            raise ValueError("tau_quantile must be in (0, 1)")
+
+
+@dataclass
+class ImportanceReport:
+    """Importance scores of every filter in every evaluated group.
+
+    Attributes
+    ----------
+    total:
+        ``{group name: (num_filters,) float array}`` — the per-filter total
+        score (sum over classes), the quantity thresholded when pruning.
+    per_class:
+        ``{group name: (num_filters, num_classes) float array}`` — the
+        per-class decomposition (each entry in [0, 1]).
+    num_classes:
+        Number of classes the scores were computed over.
+    """
+
+    total: dict[str, np.ndarray] = field(default_factory=dict)
+    per_class: dict[str, np.ndarray] = field(default_factory=dict)
+    num_classes: int = 0
+
+    def all_scores(self) -> np.ndarray:
+        """Concatenated total scores across groups (analysis/histograms)."""
+        if not self.total:
+            return np.zeros(0, dtype=np.float64)
+        return np.concatenate([self.total[g] for g in sorted(self.total)])
+
+    def layer_means(self) -> dict[str, float]:
+        """Average total score per group (Fig. 7 series)."""
+        return {g: float(v.mean()) for g, v in self.total.items()}
+
+
+def aggregate_scores(taylor_scores: np.ndarray, tau: float,
+                     aggregation: str = "max") -> np.ndarray:
+    """Collapse per-image activation scores to per-filter class scores.
+
+    Parameters
+    ----------
+    taylor_scores:
+        ``(M, C, ...)`` array of Θ' values for images of *one* class: first
+        axis is the image, second the filter, the rest activation positions.
+
+    Returns
+    -------
+    ``(C,)`` array — the filters' importance for this class (Eq. 5–7).
+    """
+    if taylor_scores.ndim < 2:
+        raise ValueError("expected at least (M, C) scores")
+    indicator = (taylor_scores > tau).astype(np.float64)   # Eq. 5
+    s_ave = indicator.mean(axis=0)                          # Eq. 6, (C, ...)
+    if s_ave.ndim == 1:                                     # linear layer
+        return s_ave
+    flat = s_ave.reshape(s_ave.shape[0], -1)
+    if aggregation == "max":
+        return flat.max(axis=1)                             # Eq. 7
+    return flat.mean(axis=1)
+
+
+class ImportanceEvaluator:
+    """Compute an :class:`ImportanceReport` for a model on a dataset.
+
+    Parameters
+    ----------
+    model:
+        Network whose prunable groups are to be scored.
+    dataset:
+        Labelled training dataset (scores are always computed on training
+        data, per Sec. IV).
+    num_classes:
+        Total class count of the task.
+    config:
+        Evaluation hyperparameters.
+    loss_fn:
+        Optional override of the sensitivity loss (defaults to summed CE).
+    """
+
+    def __init__(self, model: Module, dataset: Dataset, num_classes: int,
+                 config: ImportanceConfig | None = None,
+                 loss_fn: Callable | None = None):
+        self.model = model
+        self.dataset = dataset
+        self.num_classes = num_classes
+        self.config = config or ImportanceConfig()
+        self.loss_fn = loss_fn
+
+    def evaluate(self, group_paths: list[str]) -> ImportanceReport:
+        """Score the filters of the given producer layers.
+
+        One forward+backward pass per class evaluates all layers at once,
+        so the cost is ``num_classes`` passes regardless of network size.
+        """
+        cfg = self.config
+        engine_cls = ExactZeroingEngine if cfg.use_exact else TaylorScoreEngine
+        engine = engine_cls(self.model, group_paths, loss_fn=self.loss_fn)
+        rng = np.random.default_rng(cfg.seed)
+
+        per_class: dict[str, np.ndarray] = {}
+        for class_index in range(self.num_classes):
+            images = per_class_images(self.dataset, class_index,
+                                      cfg.images_per_class, rng)
+            targets = np.full(len(images), class_index, dtype=np.intp)
+            taylor = engine.scores(images, targets)
+            if cfg.tau_mode == "quantile":
+                pooled = np.concatenate(
+                    [taylor[p].reshape(-1) for p in group_paths])
+                tau = float(np.quantile(pooled, cfg.tau_quantile))
+            else:
+                tau = cfg.tau
+            for path in group_paths:
+                class_scores = aggregate_scores(taylor[path], tau,
+                                                cfg.aggregation)
+                if path not in per_class:
+                    per_class[path] = np.zeros(
+                        (len(class_scores), self.num_classes), dtype=np.float64)
+                per_class[path][:, class_index] = class_scores
+
+        report = ImportanceReport(num_classes=self.num_classes)
+        report.per_class = per_class
+        report.total = {p: m.sum(axis=1) for p, m in per_class.items()}
+        return report

@@ -1,0 +1,82 @@
+"""Soft (masked) pruning for what-if analysis.
+
+Physical surgery is destructive; during exploration it is often useful to
+*simulate* a pruning decision first — zero the candidate filters' outputs
+with hooks, measure accuracy, then either commit (surgery) or revert
+(remove hooks). This module provides that workflow:
+
+    with FilterMasks(model, {"features.0": [1, 3]}) as masks:
+        _, acc = evaluate_model(model, test)     # accuracy if pruned
+    # hooks removed, model untouched
+
+The masked forward is numerically identical to pruning the same filters
+*followed by no fine-tuning* (verified in tests), which is exactly the
+"accuracy after prune" column the framework records each iteration.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from ..nn import Module
+from ..tensor import Tensor, ops
+
+__all__ = ["FilterMasks", "masked_accuracy", "simulate_decision"]
+
+
+class FilterMasks(contextlib.AbstractContextManager):
+    """Zero selected output channels of selected layers during forwards.
+
+    Parameters
+    ----------
+    model:
+        Model to mask (not modified structurally).
+    masked_channels:
+        ``{layer path: iterable of channel indices to zero}``.
+    """
+
+    def __init__(self, model: Module, masked_channels: dict[str, np.ndarray]):
+        self.model = model
+        self.masked_channels = {path: np.asarray(idx, dtype=np.intp)
+                                for path, idx in masked_channels.items()}
+        self._handles = []
+
+    def __enter__(self) -> "FilterMasks":
+        for path, idx in self.masked_channels.items():
+            module = self.model.get_module(path)
+
+            def hook(mod, args, out, idx=idx):
+                mask = np.ones(out.shape[1], dtype=np.float32)
+                mask[idx] = 0.0
+                shape = (1, -1) + (1,) * (out.ndim - 2)
+                return ops.mul(out, Tensor(mask.reshape(shape)))
+
+            self._handles.append(module.register_forward_hook(hook))
+        return self
+
+    def __exit__(self, *exc) -> None:
+        for handle in self._handles:
+            handle.remove()
+        self._handles.clear()
+
+
+def masked_accuracy(model: Module, dataset,
+                    masked_channels: dict[str, np.ndarray],
+                    batch_size: int = 256) -> float:
+    """Accuracy of the model with the given channels zeroed."""
+    from .trainer import evaluate_model
+    with FilterMasks(model, masked_channels):
+        _, acc = evaluate_model(model, dataset, batch_size)
+    return acc
+
+
+def simulate_decision(model: Module, dataset, decision,
+                      batch_size: int = 256) -> float:
+    """Accuracy if a :class:`~repro.core.pruner.PruningDecision` were applied.
+
+    Group names are assumed to be producer paths (true for all zoo
+    metadata), so the decision's removal map doubles as a mask map.
+    """
+    return masked_accuracy(model, dataset, decision.remove, batch_size)

@@ -1,0 +1,222 @@
+"""Pruning strategies (Sec. III-C) and their application to a model.
+
+The paper selects pruning victims with **two stacked rules**:
+
+* an importance-score *threshold* scaled with the class count (3 for the
+  10-class task, 30 for the 100-class task), and
+* a per-iteration *percentage cap* ("no more than 10%") that keeps the
+  granularity fine.
+
+Table II ablates the two rules individually, so each is a first-class
+strategy here and the paper's combination is their composition.
+
+Strategies see the concatenation of all groups' scores and return, per
+group, the indices to *remove*; every group always retains at least its
+``min_channels`` survivors (highest scores win ties).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.pruning_spec import FilterGroup
+from ..nn import Module
+from .importance import ImportanceReport
+from .surgery import SurgeryRecord, group_sizes, prune_groups
+
+__all__ = ["PruningStrategy", "ThresholdStrategy", "PercentageStrategy",
+           "CombinedStrategy", "PruningDecision", "apply_pruning",
+           "strategy_from_name"]
+
+
+@dataclass
+class PruningDecision:
+    """Filters selected for removal in one iteration."""
+
+    remove: dict[str, np.ndarray]
+
+    @property
+    def num_selected(self) -> int:
+        return sum(len(v) for v in self.remove.values())
+
+    def is_empty(self) -> bool:
+        return self.num_selected == 0
+
+
+class PruningStrategy:
+    """Base class: maps importance scores to a :class:`PruningDecision`."""
+
+    def select(self, scores: dict[str, np.ndarray],
+               min_channels: dict[str, int]) -> PruningDecision:
+        """Choose filters to remove.
+
+        Parameters
+        ----------
+        scores:
+            ``{group name: (num_filters,) total importance scores}``.
+        min_channels:
+            Per-group lower bound on surviving filters.
+        """
+        raise NotImplementedError
+
+    @staticmethod
+    def _protect(scores: dict[str, np.ndarray],
+                 candidates: dict[str, np.ndarray],
+                 min_channels: dict[str, int]) -> dict[str, np.ndarray]:
+        """Drop candidates that would shrink a group below its minimum.
+
+        When a group has more candidates than it can afford to lose, the
+        *lowest-scoring* candidates are removed first.
+        """
+        result = {}
+        for name, idx in candidates.items():
+            limit = len(scores[name]) - min_channels.get(name, 1)
+            if limit <= 0:
+                continue
+            if len(idx) > limit:
+                order = np.argsort(scores[name][idx], kind="stable")
+                idx = idx[order[:limit]]
+            if len(idx):
+                result[name] = np.sort(idx)
+        return result
+
+
+class ThresholdStrategy(PruningStrategy):
+    """Remove every filter whose total score falls below ``threshold``.
+
+    The paper scales the threshold with the class count: 3 for CIFAR-10,
+    30 for CIFAR-100 — i.e. filters important for fewer than ~30% of
+    classes go.
+    """
+
+    def __init__(self, threshold: float):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.threshold = threshold
+
+    def select(self, scores, min_channels):
+        candidates = {name: np.flatnonzero(s < self.threshold)
+                      for name, s in scores.items()}
+        candidates = {n: i for n, i in candidates.items() if len(i)}
+        return PruningDecision(self._protect(scores, candidates, min_channels))
+
+    def __repr__(self) -> str:
+        return f"ThresholdStrategy(threshold={self.threshold})"
+
+
+class PercentageStrategy(PruningStrategy):
+    """Remove the globally lowest-scoring ``fraction`` of all filters."""
+
+    def __init__(self, fraction: float):
+        if not 0 < fraction < 1:
+            raise ValueError("fraction must be in (0, 1)")
+        self.fraction = fraction
+
+    def select(self, scores, min_channels):
+        names, flat_scores, flat_groups, flat_index = _flatten(scores)
+        budget = int(np.floor(len(flat_scores) * self.fraction))
+        if budget == 0:
+            return PruningDecision({})
+        order = np.argsort(flat_scores, kind="stable")[:budget]
+        candidates: dict[str, list[int]] = {}
+        for pos in order:
+            candidates.setdefault(flat_groups[pos], []).append(flat_index[pos])
+        candidates_np = {n: np.asarray(i, dtype=np.intp)
+                         for n, i in candidates.items()}
+        return PruningDecision(self._protect(scores, candidates_np, min_channels))
+
+    def __repr__(self) -> str:
+        return f"PercentageStrategy(fraction={self.fraction})"
+
+
+class CombinedStrategy(PruningStrategy):
+    """The paper's rule: below-threshold filters, capped at a percentage.
+
+    Only filters under the importance threshold are candidates; if they
+    exceed the per-iteration percentage budget, the lowest-scoring ones are
+    taken first.
+    """
+
+    def __init__(self, threshold: float, max_fraction: float = 0.1):
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if not 0 < max_fraction <= 1:
+            raise ValueError("max_fraction must be in (0, 1]")
+        self.threshold = threshold
+        self.max_fraction = max_fraction
+
+    def select(self, scores, min_channels):
+        names, flat_scores, flat_groups, flat_index = _flatten(scores)
+        below = np.flatnonzero(flat_scores < self.threshold)
+        if len(below) == 0:
+            return PruningDecision({})
+        budget = max(int(np.floor(len(flat_scores) * self.max_fraction)), 1)
+        if len(below) > budget:
+            order = np.argsort(flat_scores[below], kind="stable")[:budget]
+            below = below[order]
+        candidates: dict[str, list[int]] = {}
+        for pos in below:
+            candidates.setdefault(flat_groups[pos], []).append(flat_index[pos])
+        candidates_np = {n: np.asarray(i, dtype=np.intp)
+                         for n, i in candidates.items()}
+        return PruningDecision(self._protect(scores, candidates_np, min_channels))
+
+    def __repr__(self) -> str:
+        return (f"CombinedStrategy(threshold={self.threshold}, "
+                f"max_fraction={self.max_fraction})")
+
+
+def _flatten(scores: dict[str, np.ndarray]):
+    """Concatenate group scores, remembering each entry's origin."""
+    names = sorted(scores)
+    flat_scores = []
+    flat_groups: list[str] = []
+    flat_index: list[int] = []
+    for name in names:
+        s = scores[name]
+        flat_scores.append(s)
+        flat_groups.extend([name] * len(s))
+        flat_index.extend(range(len(s)))
+    return (names, np.concatenate(flat_scores) if flat_scores else np.zeros(0),
+            flat_groups, np.asarray(flat_index, dtype=np.intp))
+
+
+def strategy_from_name(name: str, threshold: float,
+                       fraction: float) -> PruningStrategy:
+    """Build one of the Table II strategies: percentage / threshold / both."""
+    if name == "percentage":
+        return PercentageStrategy(fraction)
+    if name == "threshold":
+        return ThresholdStrategy(threshold)
+    if name in ("percentage+threshold", "combined", "both"):
+        return CombinedStrategy(threshold, fraction)
+    raise ValueError(f"unknown strategy {name!r}")
+
+
+def apply_pruning(model: Module, groups: list[FilterGroup],
+                  report: ImportanceReport,
+                  strategy: PruningStrategy) -> SurgeryRecord:
+    """Select victims with ``strategy`` and surgically remove them.
+
+    Returns the surgery record; empty record (``num_removed == 0``) means
+    the strategy found nothing to prune — the framework's termination
+    signal.
+    """
+    sizes = group_sizes(model, groups)
+    min_channels = {g.name: g.min_channels for g in groups}
+    scores = {name: report.total[name] for name in report.total
+              if name in sizes}
+    for name, s in scores.items():
+        if len(s) != sizes[name]:
+            raise ValueError(
+                f"group {name!r}: {len(s)} scores for {sizes[name]} filters "
+                "(stale importance report?)")
+    decision = strategy.select(scores, min_channels)
+    if decision.is_empty():
+        return SurgeryRecord()
+    keep = {}
+    for name, remove in decision.remove.items():
+        keep[name] = np.setdiff1d(np.arange(sizes[name]), remove)
+    return prune_groups(model, groups, keep)

@@ -1,0 +1,143 @@
+"""Per-activation sensitivity scores (Eq. 3 and Eq. 4 of the paper).
+
+Two implementations of the same quantity:
+
+* :class:`TaylorScoreEngine` — the first-order approximation
+  ``Θ'(a, x) = |a · ∂L/∂a|`` computed for *every* activation of every
+  monitored layer with a single forward + backward pass per batch. This is
+  what the framework uses, exactly as the paper prescribes for efficiency.
+* :class:`ExactZeroingEngine` — the literal definition
+  ``Θ(a, x) = |L(x) − L(x; a←0)|``, one extra forward pass per activation.
+  Exponentially slower; kept as ground truth for validating the Taylor
+  approximation (and benchmarked against it in ``bench_kernels.py``).
+
+The loss used is the plain cross entropy of the pre-trained network by
+default — sensitivities are taken on "the cost function of the pre-trained
+neural network" — but any callable mapping logits/targets to a scalar
+tensor can be substituted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..nn import Module, cross_entropy
+from ..tensor import Tensor
+from .hooks import ActivationRecorder, activation_mask
+
+__all__ = ["TaylorScoreEngine", "ExactZeroingEngine"]
+
+LossFn = Callable[[Tensor, np.ndarray], Tensor]
+
+
+def _per_sample_ce(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Summed (not averaged) cross entropy.
+
+    Summing keeps every sample's gradient independent of batch size, so a
+    single backward pass yields each image's own ∂L(x_j)/∂a on its slice of
+    the batched activation tensor.
+    """
+    return cross_entropy(logits, targets, reduction="sum")
+
+
+class TaylorScoreEngine:
+    """Batched first-order Taylor sensitivities (Eq. 4).
+
+    Parameters
+    ----------
+    model:
+        Network under evaluation (left in eval mode during scoring so batch
+        statistics are not perturbed).
+    layer_paths:
+        Dotted paths of the layers whose output activations are scored —
+        the producers of the prunable filter groups.
+    loss_fn:
+        Scalar loss; defaults to summed cross entropy (see module doc).
+    """
+
+    def __init__(self, model: Module, layer_paths: list[str],
+                 loss_fn: LossFn | None = None):
+        self.model = model
+        self.layer_paths = list(layer_paths)
+        self.loss_fn = loss_fn or _per_sample_ce
+
+    def scores(self, images: np.ndarray,
+               targets: np.ndarray) -> dict[str, np.ndarray]:
+        """Taylor score of every activation, for every image in the batch.
+
+        Returns
+        -------
+        Mapping from layer path to an array shaped like the layer's output
+        ``(M, C, H, W)`` (or ``(M, F)`` for linear layers): entry
+        ``[j, ...]`` is ``Θ'(a, x_j)``.
+        """
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            self.model.zero_grad()
+            with ActivationRecorder(self.model, self.layer_paths) as recorder:
+                logits = self.model(Tensor(np.asarray(images, dtype=np.float32)))
+                loss = self.loss_fn(logits, np.asarray(targets, dtype=np.intp))
+                loss.backward()
+                result = {}
+                for path in self.layer_paths:
+                    act = recorder.activations[path]
+                    if act.grad is None:
+                        raise RuntimeError(
+                            f"activation of {path!r} received no gradient; "
+                            "is the layer on the path to the loss?")
+                    result[path] = np.abs(act.data * act.grad)
+            self.model.zero_grad()
+            return result
+        finally:
+            self.model.train(was_training)
+
+
+class ExactZeroingEngine:
+    """Literal ablation sensitivities (Eq. 3); O(#activations) forwards.
+
+    Only practical for tiny layers — the raison d'être of the Taylor
+    approximation. Evaluates one image at a time.
+    """
+
+    def __init__(self, model: Module, layer_paths: list[str],
+                 loss_fn: LossFn | None = None):
+        self.model = model
+        self.layer_paths = list(layer_paths)
+        self.loss_fn = loss_fn or _per_sample_ce
+
+    def _loss_value(self, image: np.ndarray, target: int) -> float:
+        logits = self.model(Tensor(image[None]))
+        return float(self.loss_fn(logits, np.array([target])).data)
+
+    def scores(self, images: np.ndarray,
+               targets: np.ndarray) -> dict[str, np.ndarray]:
+        """Exact Θ for every activation and image (same layout as Taylor)."""
+        from ..tensor import no_grad
+        was_training = self.model.training
+        self.model.eval()
+        try:
+            with no_grad():
+                # Shapes of each monitored activation, via one probe pass.
+                with ActivationRecorder(self.model, self.layer_paths) as rec:
+                    self.model(Tensor(images[:1].astype(np.float32)))
+                    shapes = {p: rec.activations[p].shape[1:]
+                              for p in self.layer_paths}
+                result = {p: np.zeros((len(images),) + s, dtype=np.float32)
+                          for p, s in shapes.items()}
+                for j, (image, target) in enumerate(zip(images, targets)):
+                    base = self._loss_value(image, int(target))
+                    for path in self.layer_paths:
+                        shape = shapes[path]
+                        flat = int(np.prod(shape))
+                        for idx in range(flat):
+                            mask = np.ones((1,) + shape, dtype=np.float32)
+                            mask.reshape(-1)[idx] = 0.0
+                            with activation_mask(self.model, path, mask):
+                                ablated = self._loss_value(image, int(target))
+                            result[path][j].reshape(-1)[idx] = abs(base - ablated)
+            return result
+        finally:
+            self.model.train(was_training)

@@ -1,0 +1,93 @@
+"""Doubly-block-Toeplitz expansion of convolution (paper Fig. 2).
+
+The paper's orthogonality regulariser is defined on the matrix ``K``
+obtained by unrolling a convolutional layer into the sparse matrix that
+multiplies the *flattened input*: each row of ``K`` is the filter placed at
+one sliding position. For a 1×2×2 filter over a 3×3 input with stride 1,
+``K`` is the 4×9 matrix of the paper's Figure 2.
+
+Building ``K`` explicitly is quadratic in the spatial size, so training
+uses the equivalent efficient forms in :mod:`repro.core.regularizers`; the
+exact construction here is the ground truth those forms are tested against,
+and is itself differentiable (the matrix is a gather of weight entries, and
+gathers backpropagate through ``ops.getitem``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, conv_output_size, ops
+
+__all__ = ["toeplitz_indices", "toeplitz_matrix", "toeplitz_matrix_tensor"]
+
+
+def toeplitz_indices(out_channels: int, in_channels: int, kernel: int,
+                     input_size: int, stride: int = 1, padding: int = 0
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Index map for the Toeplitz expansion of a conv weight.
+
+    Returns
+    -------
+    (gather, mask):
+        ``gather`` is an integer array of shape
+        ``(out_channels * P, in_channels * S²)`` holding, for every entry of
+        the expanded matrix, the flat index into ``weight.reshape(-1)`` that
+        supplies it (0 where unused); ``mask`` is 1.0 where an entry is a
+        real weight and 0.0 where it is structurally zero. ``P`` is the
+        number of sliding positions and ``S`` the (padded) input size.
+        ``K = weight.flat[gather] * mask``.
+    """
+    if kernel > input_size + 2 * padding:
+        raise ValueError("kernel larger than padded input")
+    size_p = input_size + 2 * padding
+    out_size = conv_output_size(input_size, kernel, stride, padding)
+    positions = out_size * out_size
+    cols = size_p * size_p
+
+    gather = np.zeros((out_channels * positions, in_channels * cols), dtype=np.intp)
+    mask = np.zeros_like(gather, dtype=np.float32)
+    # flat weight layout: ((o * in_channels + c) * kernel + ki) * kernel + kj
+    for o in range(out_channels):
+        for pi in range(out_size):
+            for pj in range(out_size):
+                row = o * positions + pi * out_size + pj
+                top, left = pi * stride, pj * stride
+                for c in range(in_channels):
+                    for ki in range(kernel):
+                        for kj in range(kernel):
+                            col = c * cols + (top + ki) * size_p + (left + kj)
+                            widx = ((o * in_channels + c) * kernel + ki) * kernel + kj
+                            gather[row, col] = widx
+                            mask[row, col] = 1.0
+    return gather, mask
+
+
+def toeplitz_matrix(weight: np.ndarray, input_size: int, stride: int = 1,
+                    padding: int = 0) -> np.ndarray:
+    """Materialise ``K`` for a numpy weight ``(O, C, k, k)``.
+
+    The product ``K @ x_padded.reshape(-1)`` equals the convolution output
+    (flattened, channel-major) — the property tested in
+    ``tests/core/test_toeplitz.py``.
+    """
+    o, c, k, k2 = weight.shape
+    if k != k2:
+        raise ValueError("only square kernels supported")
+    gather, mask = toeplitz_indices(o, c, k, input_size, stride, padding)
+    return weight.reshape(-1)[gather] * mask
+
+
+def toeplitz_matrix_tensor(weight: Tensor, input_size: int, stride: int = 1,
+                           padding: int = 0) -> Tensor:
+    """Differentiable Toeplitz expansion of a weight tensor.
+
+    Gradients flow back to ``weight`` through the gather; used by the exact
+    variant of the orthogonality regulariser.
+    """
+    o, c, k, _ = weight.shape
+    gather, mask = toeplitz_indices(o, c, k, input_size, stride, padding)
+    flat = ops.reshape(weight, (-1,))
+    gathered = ops.getitem(flat, gather.reshape(-1))
+    matrix = ops.reshape(gathered, gather.shape)
+    return ops.mul(matrix, Tensor(mask))

@@ -1,0 +1,85 @@
+"""Loaders for the real CIFAR-10/100 files (when locally available).
+
+This environment cannot download datasets, so benchmarks run on the
+synthetic substitute — but a user of this library with the standard
+`cifar-10-batches-py` / `cifar-100-python` directories on disk can run the
+full reproduction on the paper's actual data. These loaders read the
+original pickle format (no torchvision needed) into
+:class:`~repro.data.TensorDataset`.
+
+Expected layouts (as distributed by cs.toronto.edu):
+
+* CIFAR-10: ``data_batch_1..5`` + ``test_batch``
+* CIFAR-100: ``train`` + ``test``
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+
+import numpy as np
+
+from .dataset import TensorDataset
+
+__all__ = ["load_cifar10", "load_cifar100", "CIFAR_MEAN", "CIFAR_STD"]
+
+# Channel statistics of CIFAR-10 training data (widely published values).
+CIFAR_MEAN = (0.4914, 0.4822, 0.4465)
+CIFAR_STD = (0.2470, 0.2435, 0.2616)
+
+
+def _read_batch(path: Path, label_key: bytes) -> tuple[np.ndarray, np.ndarray]:
+    if not path.exists():
+        raise FileNotFoundError(
+            f"{path} not found — download the CIFAR python archive and "
+            "extract it first")
+    with open(path, "rb") as fh:
+        entry = pickle.load(fh, encoding="bytes")
+    data = np.asarray(entry[b"data"], dtype=np.uint8)
+    labels = np.asarray(entry[label_key], dtype=np.intp)
+    images = data.reshape(-1, 3, 32, 32).astype(np.float32) / 255.0
+    return images, labels
+
+
+def _normalise(images: np.ndarray) -> np.ndarray:
+    mean = np.asarray(CIFAR_MEAN, dtype=np.float32).reshape(1, 3, 1, 1)
+    std = np.asarray(CIFAR_STD, dtype=np.float32).reshape(1, 3, 1, 1)
+    return (images - mean) / std
+
+
+def load_cifar10(root: str | Path, train: bool = True,
+                 normalise: bool = True) -> TensorDataset:
+    """Load CIFAR-10 from a ``cifar-10-batches-py`` directory.
+
+    Parameters
+    ----------
+    root:
+        Directory containing ``data_batch_*`` / ``test_batch``.
+    train:
+        Training split (five batches) or the test batch.
+    normalise:
+        Standardise with the canonical channel statistics.
+    """
+    root = Path(root)
+    if train:
+        parts = [_read_batch(root / f"data_batch_{i}", b"labels")
+                 for i in range(1, 6)]
+        images = np.concatenate([p[0] for p in parts])
+        labels = np.concatenate([p[1] for p in parts])
+    else:
+        images, labels = _read_batch(root / "test_batch", b"labels")
+    if normalise:
+        images = _normalise(images)
+    return TensorDataset(images, labels)
+
+
+def load_cifar100(root: str | Path, train: bool = True,
+                  normalise: bool = True) -> TensorDataset:
+    """Load CIFAR-100 (fine labels) from a ``cifar-100-python`` directory."""
+    root = Path(root)
+    name = "train" if train else "test"
+    images, labels = _read_batch(root / name, b"fine_labels")
+    if normalise:
+        images = _normalise(images)
+    return TensorDataset(images, labels)

@@ -1,0 +1,91 @@
+"""Batch-level data augmentation transforms.
+
+Each transform is a callable ``(batch, rng) -> batch`` operating on
+``(B, C, H, W)`` arrays, composable with :class:`Compose` and pluggable into
+:class:`repro.data.DataLoader`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["Compose", "RandomHorizontalFlip", "RandomCrop", "Normalize",
+           "GaussianNoise"]
+
+Transform = Callable[[np.ndarray, np.random.Generator], np.ndarray]
+
+
+class Compose:
+    """Apply transforms in sequence."""
+
+    def __init__(self, transforms: Sequence[Transform]):
+        self.transforms = list(transforms)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for t in self.transforms:
+            batch = t(batch, rng)
+        return batch
+
+
+class RandomHorizontalFlip:
+    """Flip each image left-right with probability ``p``."""
+
+    def __init__(self, p: float = 0.5):
+        self.p = p
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        flip = rng.random(len(batch)) < self.p
+        out = batch.copy()
+        out[flip] = out[flip, :, :, ::-1]
+        return out
+
+
+class RandomCrop:
+    """Zero-pad by ``padding`` then crop back to the original size.
+
+    The standard CIFAR augmentation (pad 4, crop 32).
+    """
+
+    def __init__(self, padding: int = 2):
+        if padding < 0:
+            raise ValueError("padding must be non-negative")
+        self.padding = padding
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.padding == 0:
+            return batch
+        b, c, h, w = batch.shape
+        p = self.padding
+        padded = np.pad(batch, ((0, 0), (0, 0), (p, p), (p, p)))
+        out = np.empty_like(batch)
+        offsets = rng.integers(0, 2 * p + 1, size=(b, 2))
+        for i, (dy, dx) in enumerate(offsets):
+            out[i] = padded[i, :, dy:dy + h, dx:dx + w]
+        return out
+
+
+class Normalize:
+    """Channel-wise standardisation with fixed statistics."""
+
+    def __init__(self, mean: Sequence[float], std: Sequence[float]):
+        self.mean = np.asarray(mean, dtype=np.float32).reshape(1, -1, 1, 1)
+        self.std = np.asarray(std, dtype=np.float32).reshape(1, -1, 1, 1)
+        if np.any(self.std == 0):
+            raise ValueError("std must be non-zero")
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return (batch - self.mean) / self.std
+
+
+class GaussianNoise:
+    """Additive pixel noise, occasionally useful as extra regularisation."""
+
+    def __init__(self, sigma: float = 0.05):
+        self.sigma = sigma
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.sigma == 0:
+            return batch
+        return batch + rng.normal(0.0, self.sigma, size=batch.shape).astype(batch.dtype)

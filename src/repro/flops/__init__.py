@@ -1,0 +1,11 @@
+"""FLOPs / MACs / parameter accounting (Table I metrics) + hardware cost."""
+
+from .counter import (LayerProfile, ModelProfile, flops_reduction,
+                      profile_model, pruning_ratio)
+from .hardware import (HardwareReport, LayerCycles, SystolicArrayConfig,
+                       cycle_reduction, estimate_cycles, gemm_cycles)
+
+__all__ = ["LayerProfile", "ModelProfile", "profile_model",
+           "pruning_ratio", "flops_reduction",
+           "SystolicArrayConfig", "LayerCycles", "HardwareReport",
+           "gemm_cycles", "estimate_cycles", "cycle_reduction"]

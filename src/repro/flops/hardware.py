@@ -1,0 +1,196 @@
+"""Systolic-array execution cost model.
+
+The paper's case for *structured* pruning is a hardware argument
+(Sec. II-A): unstructured sparsity leaves a weight matrix that a systolic
+array (e.g. the TPU's) still has to stream in full — "a lot of zero weight
+values still need to be processed on hardware or additional hardware
+overhead is required to skip such zero values" [26]. This module makes the
+argument quantitative with a first-order cost model of a weight-stationary
+systolic array:
+
+* Convolutions and linear layers are lowered to GEMMs (the same im2col
+  mapping the compute engine uses; conv of ``C_out`` filters over
+  ``P`` output positions with ``K = C_in·k²`` becomes ``(P × K) · (K ×
+  C_out)``).
+* A GEMM of shape ``M×K×N`` on an ``R×C`` array is executed in weight
+  tiles of ``R×C``; each tile costs ``M + R + C - 1`` cycles (stream M
+  rows through the pipeline, plus fill and drain).
+* **Structured** pruning shrinks ``K``/``N`` directly, so cycles drop
+  with the channel count — no special hardware needed.
+* **Unstructured** sparsity leaves ``K``/``N`` unchanged: cycles only
+  drop when the array implements zero-skipping, modelled as compressing
+  each tile's effective rows by the layer's weight sparsity at the price
+  of a fixed per-tile overhead factor (index decoding, load imbalance).
+
+The model is deliberately first-order (no memory hierarchy); it captures
+exactly the effect the paper argues from, and the benchmark
+``bench_hardware.py`` reproduces that argument end to end.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..nn import Conv2d, Linear, Module
+from ..tensor import Tensor, no_grad
+
+__all__ = ["SystolicArrayConfig", "LayerCycles", "HardwareReport",
+           "gemm_cycles", "estimate_cycles", "cycle_reduction"]
+
+
+@dataclass(frozen=True)
+class SystolicArrayConfig:
+    """Weight-stationary systolic array parameters.
+
+    Attributes
+    ----------
+    rows / cols:
+        Physical PE grid; weights of a tile are pinned ``rows`` (reduction
+        dimension) by ``cols`` (output dimension).
+    frequency_mhz:
+        Clock, for converting cycles to latency.
+    zero_skipping:
+        Whether the array can compress zero weights out of the reduction
+        dimension (dedicated sparse hardware).
+    skip_overhead:
+        Fractional per-tile cost of zero-skipping (index handling, load
+        imbalance); only applied when ``zero_skipping`` is on.
+    """
+
+    rows: int = 16
+    cols: int = 16
+    frequency_mhz: float = 200.0
+    zero_skipping: bool = False
+    skip_overhead: float = 0.15
+
+    def __post_init__(self):
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError("array dimensions must be positive")
+        if not 0 <= self.skip_overhead < 1:
+            raise ValueError("skip_overhead must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class LayerCycles:
+    """Cost of one layer on the array."""
+
+    path: str
+    layer_type: str
+    m: int
+    k: int
+    n: int
+    sparsity: float
+    cycles: int
+
+
+@dataclass
+class HardwareReport:
+    """Model-level execution estimate."""
+
+    config: SystolicArrayConfig
+    layers: list[LayerCycles] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(l.cycles for l in self.layers)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.total_cycles / (self.config.frequency_mhz * 1e3)
+
+    def summary(self) -> str:
+        lines = [f"{'layer':<26}{'GEMM (MxKxN)':<22}{'sparsity':>9}{'cycles':>12}"]
+        for l in self.layers:
+            lines.append(f"{l.path:<26}{f'{l.m}x{l.k}x{l.n}':<22}"
+                         f"{l.sparsity:>8.1%}{l.cycles:>12,}")
+        lines.append(f"{'TOTAL':<57}{self.total_cycles:>12,}")
+        lines.append(f"latency @ {self.config.frequency_mhz:.0f} MHz: "
+                     f"{self.latency_ms:.3f} ms")
+        return "\n".join(lines)
+
+
+def gemm_cycles(m: int, k: int, n: int, config: SystolicArrayConfig,
+                sparsity: float = 0.0) -> int:
+    """Cycles for an ``M×K @ K×N`` GEMM on the array.
+
+    ``sparsity`` is the fraction of *zero weights* in the ``K×N`` operand.
+    Without zero-skipping it is ignored (the hardware streams zeros like
+    any other weight); with zero-skipping the reduction dimension of each
+    tile compresses by the sparsity, plus the configured overhead.
+    """
+    if m <= 0 or k <= 0 or n <= 0:
+        raise ValueError("GEMM dimensions must be positive")
+    if not 0 <= sparsity <= 1:
+        raise ValueError("sparsity must be in [0, 1]")
+    effective_k = k
+    overhead = 1.0
+    if config.zero_skipping and sparsity > 0:
+        effective_k = max(int(math.ceil(k * (1.0 - sparsity))), 1)
+        overhead = 1.0 + config.skip_overhead
+    k_tiles = math.ceil(effective_k / config.rows)
+    n_tiles = math.ceil(n / config.cols)
+    per_tile = m + config.rows + config.cols - 1
+    return int(math.ceil(k_tiles * n_tiles * per_tile * overhead))
+
+
+def _weight_sparsity(module: Module) -> float:
+    w = module.weight.data
+    return float((w == 0).sum() / w.size)
+
+
+def estimate_cycles(model: Module, input_shape: tuple[int, int, int],
+                    config: SystolicArrayConfig | None = None) -> HardwareReport:
+    """Estimate the systolic-array cost of one forward pass (batch 1).
+
+    Sparsity per layer is read off the weights (exact zeros), so the same
+    function covers dense, structurally pruned (smaller dims) and
+    unstructured-masked (zeros in place) models.
+    """
+    config = config or SystolicArrayConfig()
+    records: list[tuple[str, Module, tuple[int, ...]]] = []
+    handles = []
+    for path, module in model.named_modules():
+        if not isinstance(module, (Conv2d, Linear)):
+            continue
+
+        def hook(mod, args, out, path=path):
+            records.append((path, mod, tuple(out.shape)))
+
+        handles.append(module.register_forward_hook(hook))
+    was_training = model.training
+    model.eval()
+    try:
+        with no_grad():
+            model(Tensor(np.zeros((1,) + tuple(input_shape),
+                                  dtype=np.float32)))
+    finally:
+        for h in handles:
+            h.remove()
+        model.train(was_training)
+
+    report = HardwareReport(config=config)
+    for path, module, out_shape in records:
+        if isinstance(module, Conv2d):
+            _, n, oh, ow = out_shape
+            m = oh * ow
+            k = module.in_channels * module.kernel_size ** 2
+        else:
+            m = 1
+            k = module.in_features
+            n = module.out_features
+        sparsity = _weight_sparsity(module)
+        cycles = gemm_cycles(m, k, n, config, sparsity=sparsity)
+        report.layers.append(LayerCycles(
+            path=path, layer_type=type(module).__name__, m=m, k=k, n=n,
+            sparsity=sparsity, cycles=cycles))
+    return report
+
+
+def cycle_reduction(original: HardwareReport, pruned: HardwareReport) -> float:
+    """Fraction of cycles removed, in ``[0, 1]``."""
+    if original.total_cycles == 0:
+        raise ValueError("original report has no cycles")
+    return 1.0 - pruned.total_cycles / original.total_cycles

@@ -1,0 +1,5 @@
+"""Checkpointing for (possibly pruned) models."""
+
+from .checkpoint import conform_to_state, load_model, save_model
+
+__all__ = ["save_model", "load_model", "conform_to_state"]

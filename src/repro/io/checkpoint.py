@@ -1,0 +1,114 @@
+"""Checkpointing for (possibly pruned) models.
+
+Pruned networks have irregular per-layer channel counts, so a checkpoint
+must carry more than weights: it stores the *architecture recipe* (zoo
+name + constructor kwargs) alongside the state dict. Loading rebuilds the
+full-width model, shrinks every coupled channel group to the checkpoint's
+sizes (reusing the DepGraph trace so the logic is architecture-agnostic),
+and then loads the weights.
+
+Format: a single ``.npz`` file whose ``__arch__`` entry is a JSON string
+and whose remaining entries are the state-dict arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from ..baselines.depgraph import prune_coupled_group, trace_coupled_groups
+from ..models import build_model
+from ..nn import Module
+
+__all__ = ["save_model", "load_model", "conform_to_state"]
+
+_ARCH_KEY = "__arch__"
+
+
+def save_model(model: Module, path: str | Path,
+               arch: dict | None = None) -> None:
+    """Write a model checkpoint.
+
+    Parameters
+    ----------
+    model:
+        Model to save (pruned or not).
+    arch:
+        Architecture recipe ``{"name": <registry name>, **kwargs}``. May be
+        omitted when the model carries an ``arch`` attribute (models built
+        through :func:`repro.models.build_model` do).
+
+    Raises
+    ------
+    ValueError
+        When no architecture recipe is available — weights alone cannot
+        rebuild a pruned network.
+    """
+    arch = arch if arch is not None else getattr(model, "arch", None)
+    if arch is None or "name" not in arch:
+        raise ValueError(
+            "save_model needs an architecture recipe: pass arch={'name': ..., "
+            "**kwargs} or build the model via repro.models.build_model")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {_ARCH_KEY: np.frombuffer(
+        json.dumps(arch).encode("utf-8"), dtype=np.uint8)}
+    payload.update(model.state_dict())
+    np.savez(path, **payload)
+
+
+def conform_to_state(model: Module, state: dict[str, np.ndarray],
+                     input_shape: tuple[int, int, int]) -> Module:
+    """Shrink a freshly built model's channel groups to match a state dict.
+
+    Every coupled group (derived from the autograd trace) whose producer is
+    larger in the model than in the checkpoint keeps its first ``n``
+    channels; the weights are then overwritten by the checkpoint anyway, so
+    which channels survive is irrelevant — only the shapes matter.
+    """
+    for group in trace_coupled_groups(model, input_shape):
+        first = group.producers[0]
+        key = f"{first}.weight"
+        if key not in state:
+            raise KeyError(f"checkpoint is missing weights for {first!r}")
+        target = state[key].shape[0]
+        if target > group.size:
+            raise ValueError(
+                f"checkpoint group {group.name!r} has {target} channels but "
+                f"the rebuilt model only has {group.size}; wrong arch recipe?")
+        if target < group.size:
+            if not group.prunable():
+                raise ValueError(
+                    f"checkpoint shrinks terminal group {group.name!r}; "
+                    "the class count in the arch recipe is inconsistent")
+            prune_coupled_group(model, group, np.arange(target))
+    return model
+
+
+def load_model(path: str | Path,
+               input_shape: tuple[int, int, int] | None = None) -> Module:
+    """Rebuild a model from a checkpoint written by :func:`save_model`.
+
+    Parameters
+    ----------
+    input_shape:
+        ``(C, H, W)`` used for the conforming trace; defaults to
+        ``(3, image_size, image_size)`` from the arch recipe.
+    """
+    data = np.load(Path(path))
+    if _ARCH_KEY not in data:
+        raise ValueError(f"{path} is not a repro checkpoint (missing arch)")
+    arch = json.loads(bytes(data[_ARCH_KEY].tobytes()).decode("utf-8"))
+    state = {k: data[k] for k in data.files if k != _ARCH_KEY}
+    name = arch.pop("name")
+    model = build_model(name, **arch)
+    if input_shape is None:
+        size = arch.get("image_size", 32)
+        channels = arch.get("in_channels", 3)
+        input_shape = (channels, size, size)
+    conform_to_state(model, state, input_shape)
+    model.load_state_dict(state)
+    model.arch = {"name": name, **arch}
+    return model

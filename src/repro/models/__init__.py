@@ -1,0 +1,15 @@
+"""Model zoo: VGG and ResNet (CIFAR-style) plus an MLP, with pruning metadata."""
+
+from .mlp import MLP
+from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
+from .registry import MODEL_REGISTRY, available_models, build_model
+from .resnet import BasicBlock, ResNet, resnet20, resnet32, resnet56
+from .vgg import VGG, VGG_CONFIGS, vgg11, vgg13, vgg16, vgg19
+
+__all__ = [
+    "ConsumerRef", "FilterGroup", "PrunableModel",
+    "VGG", "VGG_CONFIGS", "vgg11", "vgg13", "vgg16", "vgg19",
+    "ResNet", "BasicBlock", "resnet20", "resnet32", "resnet56",
+    "MLP",
+    "MODEL_REGISTRY", "build_model", "available_models",
+]

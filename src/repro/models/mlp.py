@@ -1,0 +1,69 @@
+"""Fully connected classifier.
+
+The paper's motivating example (Fig. 1) shows class-aware pruning on the
+*neurons* of a four-layer fully connected network; the class-aware concept
+"can also be applied to filter-wise pruning". This model makes the neuron
+case a first-class citizen: every hidden layer is a prunable group whose
+units play the role of filters, so the whole framework (importance scores,
+threshold/percentage strategies, fine-tuning) runs unchanged on MLPs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Flatten, Linear, Module, ReLU, Sequential
+from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
+
+__all__ = ["MLP"]
+
+
+class MLP(Module, PrunableModel):
+    """Multi-layer perceptron with prunable hidden layers.
+
+    Parameters
+    ----------
+    in_features:
+        Flattened input dimension (images are flattened internally).
+    hidden:
+        Width of each hidden layer, e.g. ``[128, 64, 32]``.
+    num_classes:
+        Output classes.
+    """
+
+    def __init__(self, in_features: int, hidden: list[int], num_classes: int,
+                 seed: int = 0):
+        super().__init__()
+        if not hidden:
+            raise ValueError("MLP needs at least one hidden layer to be prunable")
+        rng = np.random.default_rng(seed)
+        self.flatten = Flatten()
+        layers: list[Module] = []
+        self._linear_indices: list[int] = []
+        prev = in_features
+        for width in hidden:
+            self._linear_indices.append(len(layers))
+            layers.append(Linear(prev, width, rng=rng))
+            layers.append(ReLU())
+            prev = width
+        self.body = Sequential(*layers)
+        self.classifier = Linear(prev, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        x = self.flatten(x)
+        x = self.body(x)
+        return self.classifier(x)
+
+    def prunable_groups(self) -> list[FilterGroup]:
+        groups = []
+        n = len(self._linear_indices)
+        for k, li in enumerate(self._linear_indices):
+            path = f"body.{li}"
+            if k + 1 < n:
+                consumer = ConsumerRef(f"body.{self._linear_indices[k + 1]}", "linear")
+            else:
+                consumer = ConsumerRef("classifier", "linear")
+            groups.append(FilterGroup(name=path, conv=path, kind="linear",
+                                      consumers=(consumer,)))
+        return groups

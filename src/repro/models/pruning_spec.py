@@ -1,0 +1,81 @@
+"""Channel-dependency metadata used by filter surgery.
+
+Removing output channels of a convolution is only consistent if every
+module that consumes those channels shrinks its input side accordingly
+(following batch-norm, the next convolution, or the classifier). Each model
+publishes this knowledge as a list of :class:`FilterGroup` records; the
+surgery code in :mod:`repro.core.surgery` is then architecture-agnostic.
+
+The DepGraph baseline (:mod:`repro.baselines.depgraph`) derives equivalent
+groups automatically from a traced forward pass; tests assert both sources
+agree on the models in the zoo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ConsumerRef", "FilterGroup", "PrunableModel"]
+
+
+@dataclass(frozen=True)
+class ConsumerRef:
+    """A module whose *input* side depends on a producer's output channels.
+
+    Attributes
+    ----------
+    path:
+        Dotted module path inside the model (``features.3``).
+    kind:
+        ``"conv"`` for :class:`~repro.nn.Conv2d` input channels,
+        ``"linear"`` for :class:`~repro.nn.Linear` input features.
+    group_size:
+        For linear consumers fed by a flattened feature map: number of
+        consecutive input columns per channel (the spatial extent H*W).
+    """
+
+    path: str
+    kind: str
+    group_size: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("conv", "linear"):
+            raise ValueError(f"unknown consumer kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class FilterGroup:
+    """One independently prunable set of output channels.
+
+    Attributes
+    ----------
+    name:
+        Stable identifier used in reports (defaults to the conv path).
+    conv:
+        Dotted path of the producing layer whose output channels (filters
+        for conv layers, units for linear layers) are pruned.
+    kind:
+        ``"conv"`` or ``"linear"`` — type of the producing layer.
+    bn:
+        Dotted path of the batch-norm bound to the producer, if any.
+    consumers:
+        Downstream modules whose input side must shrink with the producer.
+    min_channels:
+        Lower bound on how many channels must survive (surgery never prunes
+        a group below this).
+    """
+
+    name: str
+    conv: str
+    consumers: tuple[ConsumerRef, ...]
+    bn: str | None = None
+    kind: str = "conv"
+    min_channels: int = 1
+
+
+class PrunableModel:
+    """Mixin interface implemented by every model in the zoo."""
+
+    def prunable_groups(self) -> list[FilterGroup]:
+        """Return the model's independently prunable filter groups."""
+        raise NotImplementedError

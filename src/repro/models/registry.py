@@ -1,0 +1,47 @@
+"""Name-based model construction for benchmark configs and examples."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..nn import Module
+from .resnet import resnet20, resnet32, resnet56
+from .vgg import vgg11, vgg13, vgg16, vgg19
+
+__all__ = ["MODEL_REGISTRY", "build_model", "available_models"]
+
+MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
+    "vgg11": vgg11,
+    "vgg13": vgg13,
+    "vgg16": vgg16,
+    "vgg19": vgg19,
+    "resnet20": resnet20,
+    "resnet32": resnet32,
+    "resnet56": resnet56,
+}
+
+
+def available_models() -> list[str]:
+    """Sorted model names accepted by :func:`build_model`."""
+    return sorted(MODEL_REGISTRY)
+
+
+def build_model(name: str, **kwargs) -> Module:
+    """Instantiate a zoo model by name.
+
+    Raises
+    ------
+    KeyError
+        With the list of valid names, when ``name`` is unknown.
+    """
+    try:
+        factory = MODEL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from None
+    model = factory(**kwargs)
+    # Record the construction recipe so checkpoints (repro.io) can rebuild
+    # the architecture before loading possibly-pruned weights.
+    model.arch = {"name": name, **kwargs}
+    return model

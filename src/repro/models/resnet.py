@@ -1,0 +1,153 @@
+"""CIFAR-style ResNets (He et al., 2016).
+
+Depth ``6n + 2``: an initial 3×3 convolution, three stages of ``n`` basic
+blocks with 16/32/64 base channels, global average pooling and a linear
+classifier. ResNet-56 (n=9) is the network the paper evaluates; ResNet-20
+(n=3) is provided for fast tests and examples.
+
+Pruning follows the paper's constraint (Sec. IV): *"for ResNet56, to ensure
+the shortcut connections during pruning, only the first layer of each
+residual block is pruned"* — so every :class:`FilterGroup` covers a block's
+``conv1`` with ``conv2`` as the sole consumer, leaving all residual-sum
+channel counts untouched.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (BatchNorm2d, Conv2d, GlobalAvgPool2d, Linear, Module, ReLU,
+                  Sequential)
+from ..tensor import ops
+from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
+
+__all__ = ["BasicBlock", "ResNet", "resnet20", "resnet32", "resnet56"]
+
+
+class BasicBlock(Module):
+    """Two 3×3 convolutions with a residual connection.
+
+    When the block changes resolution or width, the shortcut is a projection
+    (1×1 convolution + batch norm), otherwise identity.
+    """
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.conv1 = Conv2d(in_channels, out_channels, kernel_size=3,
+                            stride=stride, padding=1, bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = Conv2d(out_channels, out_channels, kernel_size=3,
+                            stride=1, padding=1, bias=False, rng=rng)
+        self.bn2 = BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.shortcut = Sequential(
+                Conv2d(in_channels, out_channels, kernel_size=1, stride=stride,
+                       bias=False, rng=rng),
+                BatchNorm2d(out_channels),
+            )
+        else:
+            self.shortcut = None
+
+    def forward(self, x):
+        residual = self.shortcut(x) if self.shortcut is not None else x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return ops.relu(ops.add(out, residual))
+
+
+class ResNet(Module, PrunableModel):
+    """CIFAR ResNet of depth ``6 * blocks_per_stage + 2``.
+
+    Parameters
+    ----------
+    blocks_per_stage:
+        ``n`` in the 6n+2 formula (9 for ResNet-56).
+    width:
+        Multiplier on the 16/32/64 stage widths.
+    """
+
+    def __init__(self, blocks_per_stage: int, num_classes: int = 10,
+                 in_channels: int = 3, width: float = 1.0, seed: int = 0,
+                 image_size: int | None = None):
+        # ``image_size`` is accepted for zoo-interface uniformity with VGG;
+        # CIFAR ResNets are resolution-agnostic (global average pooling).
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        widths = [max(int(round(w * width)), 1) for w in (16, 32, 64)]
+        self.blocks_per_stage = blocks_per_stage
+        self.depth = 6 * blocks_per_stage + 2
+        self.conv1 = Conv2d(in_channels, widths[0], kernel_size=3, padding=1,
+                            bias=False, rng=rng)
+        self.bn1 = BatchNorm2d(widths[0])
+        self.relu = ReLU()
+
+        def make_stage(in_ch: int, out_ch: int, stride: int) -> Sequential:
+            blocks = [BasicBlock(in_ch, out_ch, stride=stride, rng=rng)]
+            blocks += [BasicBlock(out_ch, out_ch, rng=rng)
+                       for _ in range(blocks_per_stage - 1)]
+            return Sequential(*blocks)
+
+        self.stage1 = make_stage(widths[0], widths[0], 1)
+        self.stage2 = make_stage(widths[0], widths[1], 2)
+        self.stage3 = make_stage(widths[1], widths[2], 2)
+        self.pool = GlobalAvgPool2d()
+        self.classifier = Linear(widths[2], num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def forward(self, x):
+        x = self.relu(self.bn1(self.conv1(x)))
+        x = self.stage1(x)
+        x = self.stage2(x)
+        x = self.stage3(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    # ------------------------------------------------------------------
+    def block_paths(self) -> list[str]:
+        """Dotted paths of every residual block, in forward order."""
+        paths = []
+        for stage in ("stage1", "stage2", "stage3"):
+            for i in range(self.blocks_per_stage):
+                paths.append(f"{stage}.{i}")
+        return paths
+
+    def conv_layer_paths(self) -> list[str]:
+        """All convolution paths (conv1, block convs, projections)."""
+        paths = ["conv1"]
+        for bp in self.block_paths():
+            block = self.get_module(bp)
+            paths.append(f"{bp}.conv1")
+            paths.append(f"{bp}.conv2")
+            if getattr(block, "shortcut", None) is not None:
+                paths.append(f"{bp}.shortcut.0")
+        return paths
+
+    def prunable_groups(self) -> list[FilterGroup]:
+        """First conv of each block only (the paper's shortcut-safe rule)."""
+        groups = []
+        for bp in self.block_paths():
+            groups.append(FilterGroup(
+                name=f"{bp}.conv1",
+                conv=f"{bp}.conv1",
+                bn=f"{bp}.bn1",
+                consumers=(ConsumerRef(f"{bp}.conv2", "conv"),),
+            ))
+        return groups
+
+
+def resnet20(**kwargs) -> ResNet:
+    """ResNet-20 (n=3); small enough for unit tests."""
+    return ResNet(3, **kwargs)
+
+
+def resnet32(**kwargs) -> ResNet:
+    """ResNet-32 (n=5)."""
+    return ResNet(5, **kwargs)
+
+
+def resnet56(**kwargs) -> ResNet:
+    """ResNet-56 (n=9) — the depth evaluated in the paper."""
+    return ResNet(9, **kwargs)

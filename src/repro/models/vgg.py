@@ -1,0 +1,143 @@
+"""VGG networks for CIFAR-scale image classification.
+
+The standard CIFAR adaptation of VGG (as used by the paper and by the
+pruning literature it compares against: conv stacks with batch norm,
+max-pooling between stages, and a single linear classifier head).
+
+Two departures from the 224×224 original, both standard for CIFAR:
+
+* the three 4096-unit FC layers are replaced by one classifier layer;
+* pooling stages are only emitted while the spatial size stays >= 2, so the
+  same configs work at the reduced resolutions the benchmarks use.
+
+A ``width`` multiplier scales every stage, which is how the benchmarks fit
+the paper's experiments into a CPU budget while preserving depth/topology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import (BatchNorm2d, Conv2d, Flatten, GlobalAvgPool2d, Linear,
+                  MaxPool2d, Module, ReLU, Sequential)
+from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
+
+__all__ = ["VGG", "vgg11", "vgg13", "vgg16", "vgg19", "VGG_CONFIGS"]
+
+# Stage configurations from Simonyan & Zisserman; "M" is a 2x2 max-pool.
+VGG_CONFIGS: dict[str, list] = {
+    "vgg11": [64, "M", 128, "M", 256, 256, "M", 512, 512, "M", 512, 512, "M"],
+    "vgg13": [64, 64, "M", 128, 128, "M", 256, 256, "M", 512, 512, "M",
+              512, 512, "M"],
+    "vgg16": [64, 64, "M", 128, 128, "M", 256, 256, 256, "M", 512, 512, 512,
+              "M", 512, 512, 512, "M"],
+    "vgg19": [64, 64, "M", 128, 128, "M", 256, 256, 256, 256, "M", 512, 512,
+              512, 512, "M", 512, 512, 512, 512, "M"],
+}
+
+
+class VGG(Module, PrunableModel):
+    """Configurable VGG with pruning metadata.
+
+    Parameters
+    ----------
+    config:
+        Stage list mixing channel counts and ``"M"`` pool markers.
+    num_classes:
+        Output classes.
+    image_size:
+        Input resolution (square); controls how many pools are emitted and
+        the classifier fan-in when ``head="flatten"``.
+    width:
+        Multiplier on every stage's channel count (minimum 1 channel).
+    head:
+        ``"gap"`` (global average pool then linear — default) or
+        ``"flatten"`` (flatten the final feature map into the classifier,
+        exercising the grouped-column surgery path).
+    """
+
+    def __init__(self, config: list, num_classes: int = 10, image_size: int = 32,
+                 in_channels: int = 3, width: float = 1.0, head: str = "gap",
+                 seed: int = 0):
+        super().__init__()
+        if head not in ("gap", "flatten"):
+            raise ValueError(f"unknown head {head!r}")
+        rng = np.random.default_rng(seed)
+        layers: list[Module] = []
+        self._conv_indices: list[int] = []
+        self._bn_indices: list[int] = []
+        channels = in_channels
+        size = image_size
+        for item in config:
+            if item == "M":
+                if size >= 2:
+                    layers.append(MaxPool2d(2))
+                    size //= 2
+                continue
+            out = max(int(round(item * width)), 1)
+            self._conv_indices.append(len(layers))
+            layers.append(Conv2d(channels, out, kernel_size=3, padding=1,
+                                 bias=False, rng=rng))
+            self._bn_indices.append(len(layers))
+            layers.append(BatchNorm2d(out))
+            layers.append(ReLU())
+            channels = out
+        self.features = Sequential(*layers)
+        self.head = head
+        self.num_classes = num_classes
+        self.final_spatial = size
+        if head == "gap":
+            self.pool = GlobalAvgPool2d()
+            self.classifier = Linear(channels, num_classes, rng=rng)
+        else:
+            self.pool = Flatten()
+            self.classifier = Linear(channels * size * size, num_classes, rng=rng)
+
+    def forward(self, x):
+        x = self.features(x)
+        x = self.pool(x)
+        return self.classifier(x)
+
+    # ------------------------------------------------------------------
+    def conv_layer_paths(self) -> list[str]:
+        """Dotted paths of all convolutional layers, in forward order."""
+        return [f"features.{i}" for i in self._conv_indices]
+
+    def prunable_groups(self) -> list[FilterGroup]:
+        groups: list[FilterGroup] = []
+        n = len(self._conv_indices)
+        for k, (ci, bi) in enumerate(zip(self._conv_indices, self._bn_indices)):
+            conv_path = f"features.{ci}"
+            if k + 1 < n:
+                consumers = (ConsumerRef(f"features.{self._conv_indices[k + 1]}",
+                                         "conv"),)
+            else:
+                group = 1 if self.head == "gap" else self.final_spatial ** 2
+                consumers = (ConsumerRef("classifier", "linear", group_size=group),)
+            groups.append(FilterGroup(name=conv_path, conv=conv_path,
+                                      bn=f"features.{bi}", consumers=consumers))
+        return groups
+
+
+def _build(name: str, **kwargs) -> VGG:
+    return VGG(VGG_CONFIGS[name], **kwargs)
+
+
+def vgg11(**kwargs) -> VGG:
+    """VGG-11 (config A)."""
+    return _build("vgg11", **kwargs)
+
+
+def vgg13(**kwargs) -> VGG:
+    """VGG-13 (config B)."""
+    return _build("vgg13", **kwargs)
+
+
+def vgg16(**kwargs) -> VGG:
+    """VGG-16 (config D) — used by the paper on CIFAR-10."""
+    return _build("vgg16", **kwargs)
+
+
+def vgg19(**kwargs) -> VGG:
+    """VGG-19 (config E) — used by the paper on CIFAR-100."""
+    return _build("vgg19", **kwargs)

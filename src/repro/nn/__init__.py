@@ -1,0 +1,15 @@
+"""Neural-network building blocks on top of :mod:`repro.tensor`."""
+
+from . import init
+from .layers import (AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten,
+                     GlobalAvgPool2d, Identity, Linear, MaxPool2d, ReLU)
+from .losses import CrossEntropyLoss, MSELoss, accuracy, cross_entropy
+from .module import HookHandle, Module, Sequential
+
+__all__ = [
+    "Module", "Sequential", "HookHandle",
+    "Linear", "Conv2d", "BatchNorm2d", "ReLU", "MaxPool2d", "AvgPool2d",
+    "GlobalAvgPool2d", "Flatten", "Dropout", "Identity",
+    "CrossEntropyLoss", "MSELoss", "accuracy", "cross_entropy",
+    "init",
+]

@@ -1,0 +1,71 @@
+"""Loss functions and classification metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Tensor, ops
+from .module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "accuracy", "cross_entropy"]
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  reduction: str = "mean") -> Tensor:
+    """Cross entropy between raw logits ``(N, C)`` and integer labels ``(N,)``.
+
+    Equivalent to ``torch.nn.functional.cross_entropy``; computed through a
+    numerically stable log-softmax.
+    """
+    targets = np.asarray(targets, dtype=np.intp)
+    if logits.ndim != 2:
+        raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+    n = logits.shape[0]
+    if targets.shape != (n,):
+        raise ValueError(f"expected {n} labels, got shape {targets.shape}")
+    log_probs = ops.log_softmax(logits, axis=1)
+    picked = ops.getitem(log_probs, (np.arange(n), targets))
+    nll = ops.neg(picked)
+    if reduction == "mean":
+        return ops.mean(nll)
+    if reduction == "sum":
+        return ops.sum(nll)
+    if reduction == "none":
+        return nll
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+class CrossEntropyLoss(Module):
+    """Module wrapper around :func:`cross_entropy`."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, targets: np.ndarray) -> Tensor:
+        return cross_entropy(logits, targets, reduction=self.reduction)
+
+
+class MSELoss(Module):
+    """Mean squared error between two tensors of identical shape."""
+
+    def __init__(self, reduction: str = "mean"):
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target_t = target if isinstance(target, Tensor) else Tensor(target)
+        diff = ops.sub(prediction, target_t)
+        sq = ops.mul(diff, diff)
+        if self.reduction == "mean":
+            return ops.mean(sq)
+        if self.reduction == "sum":
+            return ops.sum(sq)
+        return sq
+
+
+def accuracy(logits: Tensor | np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 accuracy in ``[0, 1]``."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=1)
+    return float((predictions == np.asarray(targets)).mean())

@@ -1,0 +1,221 @@
+"""Module system: parameter registry, submodule tree, and forward hooks.
+
+Forward hooks are first-class here because the paper's importance engine
+(Sec. III-B) must capture the activation tensor produced by every
+convolutional filter and read back its gradient after a backward pass —
+exactly the ``register_forward_hook`` pattern from PyTorch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["Module", "Sequential", "HookHandle"]
+
+
+class HookHandle:
+    """Removable registration of a forward hook."""
+
+    def __init__(self, hooks: dict[int, Callable], key: int):
+        self._hooks = hooks
+        self._key = key
+
+    def remove(self) -> None:
+        self._hooks.pop(self._key, None)
+
+
+class Module:
+    """Base class for all layers and models.
+
+    Subclasses assign :class:`~repro.tensor.Tensor` parameters and child
+    modules as attributes; registration happens automatically through
+    ``__setattr__``. Plain numpy arrays can be registered as *buffers*
+    (non-trainable state such as batch-norm running statistics) via
+    :meth:`register_buffer`.
+    """
+
+    def __init__(self):
+        object.__setattr__(self, "_parameters", {})
+        object.__setattr__(self, "_modules", {})
+        object.__setattr__(self, "_buffers", {})
+        object.__setattr__(self, "_forward_hooks", {})
+        object.__setattr__(self, "_hook_counter", 0)
+        object.__setattr__(self, "training", True)
+
+    # ------------------------------------------------------------------
+    # Attribute plumbing
+    # ------------------------------------------------------------------
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Tensor) and value.requires_grad:
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        else:
+            # Re-assigning a former parameter/module with something else
+            # must unregister the old entry.
+            self._parameters.pop(name, None)
+            self._modules.pop(name, None)
+        object.__setattr__(self, name, value)
+
+    def register_parameter(self, name: str, value: Tensor) -> None:
+        """Explicitly register a trainable tensor (sets requires_grad)."""
+        value.requires_grad = True
+        setattr(self, name, value)
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register non-trainable state saved in :meth:`state_dict`."""
+        self._buffers[name] = name
+        object.__setattr__(self, name, value)
+
+    # ------------------------------------------------------------------
+    # Tree traversal
+    # ------------------------------------------------------------------
+    def parameters(self) -> Iterator[Tensor]:
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Tensor]]:
+        for name, param in self._parameters.items():
+            yield (f"{prefix}{name}", param)
+        for name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{name}.")
+
+    def modules(self) -> Iterator["Module"]:
+        for _, m in self.named_modules():
+            yield m
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        yield (prefix.rstrip("."), self)
+        for name, module in self._modules.items():
+            yield from module.named_modules(prefix=f"{prefix}{name}.")
+
+    def children(self) -> Iterator["Module"]:
+        yield from self._modules.values()
+
+    def named_children(self) -> Iterator[tuple[str, "Module"]]:
+        yield from self._modules.items()
+
+    def get_module(self, path: str) -> "Module":
+        """Resolve a dotted path like ``features.3`` to a submodule."""
+        if path == "":
+            return self
+        node: Module = self
+        for part in path.split("."):
+            if part not in node._modules:
+                raise KeyError(f"no submodule {part!r} under {type(node).__name__}")
+            node = node._modules[part]
+        return node
+
+    # ------------------------------------------------------------------
+    # Modes and gradient management
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        object.__setattr__(self, "training", mode)
+        for m in self._modules.values():
+            m.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total number of trainable scalar parameters."""
+        return sum(p.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Hooks and calling
+    # ------------------------------------------------------------------
+    def register_forward_hook(self, hook: Callable[["Module", tuple, Tensor], None]) -> HookHandle:
+        key = self._hook_counter
+        object.__setattr__(self, "_hook_counter", key + 1)
+        self._forward_hooks[key] = hook
+        return HookHandle(self._forward_hooks, key)
+
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        out = self.forward(*args, **kwargs)
+        for hook in list(self._forward_hooks.values()):
+            replacement = hook(self, args, out)
+            if replacement is not None:
+                # Hooks may rewrite the output (used by the exact-zeroing
+                # importance evaluator to ablate single activations).
+                out = replacement
+        return out
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def state_dict(self, prefix: str = "") -> dict[str, np.ndarray]:
+        """Flat mapping of parameter and buffer names to array copies."""
+        state: dict[str, np.ndarray] = {}
+        for name, param in self._parameters.items():
+            state[f"{prefix}{name}"] = param.data.copy()
+        for name in self._buffers:
+            state[f"{prefix}{name}"] = np.array(getattr(self, name), copy=True)
+        for name, module in self._modules.items():
+            state.update(module.state_dict(prefix=f"{prefix}{name}."))
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray], prefix: str = "") -> None:
+        """Load arrays saved by :meth:`state_dict` (shapes must match)."""
+        for name, param in self._parameters.items():
+            key = f"{prefix}{name}"
+            if key not in state:
+                raise KeyError(f"missing parameter {key!r} in state dict")
+            value = state[key]
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {key!r}: "
+                    f"checkpoint {value.shape} vs model {param.data.shape}")
+            param.data = value.astype(param.data.dtype).copy()
+        for name in self._buffers:
+            key = f"{prefix}{name}"
+            if key in state:
+                object.__setattr__(self, name, np.array(state[key], copy=True))
+        for name, module in self._modules.items():
+            module.load_state_dict(state, prefix=f"{prefix}{name}.")
+
+    def __repr__(self) -> str:
+        child_lines = [f"  ({name}): {module!r}".replace("\n", "\n  ")
+                       for name, module in self._modules.items()]
+        header = type(self).__name__
+        if not child_lines:
+            return f"{header}()"
+        return header + "(\n" + "\n".join(child_lines) + "\n)"
+
+
+class Sequential(Module):
+    """Chain of modules applied in order; indexable like a list."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for i, layer in enumerate(layers):
+            setattr(self, str(i), layer)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules.values())
+
+    def __len__(self) -> int:
+        return len(self._modules)
+
+    def __getitem__(self, index: int) -> Module:
+        return list(self._modules.values())[index]
+
+    def append(self, layer: Module) -> "Sequential":
+        setattr(self, str(len(self._modules)), layer)
+        return self
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self._modules.values():
+            x = layer(x)
+        return x

@@ -1,0 +1,6 @@
+"""Optimisers and learning-rate schedules."""
+
+from .lr_scheduler import CosineAnnealingLR, MultiStepLR, StepLR
+from .sgd import SGD
+
+__all__ = ["SGD", "StepLR", "MultiStepLR", "CosineAnnealingLR"]

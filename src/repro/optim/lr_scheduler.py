@@ -1,0 +1,67 @@
+"""Learning-rate schedules driving :class:`repro.optim.SGD`."""
+
+from __future__ import annotations
+
+import math
+
+from .sgd import SGD
+
+__all__ = ["StepLR", "MultiStepLR", "CosineAnnealingLR"]
+
+
+class _Scheduler:
+    def __init__(self, optimizer: SGD):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch and update the optimizer's learning rate."""
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(_Scheduler):
+    """Decay by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.1):
+        super().__init__(optimizer)
+        if step_size <= 0:
+            raise ValueError("step_size must be positive")
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class MultiStepLR(_Scheduler):
+    """Decay by ``gamma`` at each listed milestone epoch."""
+
+    def __init__(self, optimizer: SGD, milestones: list[int], gamma: float = 0.1):
+        super().__init__(optimizer)
+        self.milestones = sorted(milestones)
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        passed = sum(1 for m in self.milestones if epoch >= m)
+        return self.base_lr * self.gamma ** passed
+
+
+class CosineAnnealingLR(_Scheduler):
+    """Cosine decay from the base learning rate to ``eta_min``."""
+
+    def __init__(self, optimizer: SGD, t_max: int, eta_min: float = 0.0):
+        super().__init__(optimizer)
+        if t_max <= 0:
+            raise ValueError("t_max must be positive")
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        t = min(epoch, self.t_max)
+        cos = (1 + math.cos(math.pi * t / self.t_max)) / 2
+        return self.eta_min + (self.base_lr - self.eta_min) * cos

@@ -1,0 +1,7 @@
+"""Post-training quantization (composable with pruning)."""
+
+from .quantize import (QuantizationReport, dequantize_array,
+                       model_size_bytes, quantize_array, quantize_model)
+
+__all__ = ["quantize_array", "dequantize_array", "quantize_model",
+           "QuantizationReport", "model_size_bytes"]

@@ -1,0 +1,17 @@
+"""Numpy-backed reverse-mode autograd engine.
+
+This subpackage replaces PyTorch as the substrate for the reproduction.
+See :mod:`repro.tensor.tensor` for the engine design.
+"""
+
+from . import conv, ops
+from .conv import (avg_pool2d, conv2d, conv_output_size, global_avg_pool2d,
+                   max_pool2d)
+from .grad_check import check_gradients, numerical_grad
+from .tensor import Tensor, is_grad_enabled, no_grad, tensor
+
+__all__ = [
+    "Tensor", "tensor", "no_grad", "is_grad_enabled", "ops", "conv",
+    "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "conv_output_size", "check_gradients", "numerical_grad",
+]

@@ -1,0 +1,187 @@
+"""Differentiable 2-D convolution and pooling via im2col.
+
+The im2col transform rewrites convolution as a matrix multiplication, which
+is the only way to get acceptable CNN throughput from numpy. The same
+lowering is what the paper's Figure 2 illustrates (filters reshaped into a
+sparse matrix multiplying the flattened input); :mod:`repro.core.toeplitz`
+builds that sparse matrix explicitly for the orthogonality regulariser.
+
+Shapes follow the NCHW convention used by the rest of the code base:
+inputs are ``(N, C, H, W)``, convolution weights are ``(O, C, KH, KW)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from .tensor import Tensor
+
+__all__ = [
+    "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
+    "im2col", "col2im", "conv_output_size",
+]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
+    """Spatial output size of a convolution/pooling window sweep."""
+    return (size + 2 * padding - kernel) // stride + 1
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Lower image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input array ``(N, C, H, W)``.
+
+    Returns
+    -------
+    ``(N, C*kh*kw, OH*OW)`` array of patches, where each column holds one
+    receptive field.
+    """
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    sn, sc, sh, sw = x.strides
+    patches = as_strided(
+        x,
+        shape=(n, c, kh, kw, oh, ow),
+        strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        writeable=False,
+    )
+    return np.ascontiguousarray(patches).reshape(n, c * kh * kw, oh * ow)
+
+
+def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
+           kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
+    """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
+    n, c, h, w = x_shape
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+    hp, wp = h + 2 * padding, w + 2 * padding
+    x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        i_max = i + stride * oh
+        for j in range(kw):
+            j_max = j + stride * ow
+            x[:, :, i:i_max:stride, j:j_max:stride] += cols6[:, :, i, j]
+    if padding > 0:
+        return x[:, :, padding:hp - padding, padding:wp - padding]
+    return x
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
+           stride: int = 1, padding: int = 0) -> Tensor:
+    """2-D cross-correlation (deep-learning style "convolution").
+
+    Parameters
+    ----------
+    x:
+        Input activations ``(N, C, H, W)``.
+    weight:
+        Filters ``(O, C, KH, KW)``.
+    bias:
+        Optional per-output-channel bias ``(O,)``.
+    """
+    n, c, h, w = x.shape
+    o, c_w, kh, kw = weight.shape
+    if c != c_w:
+        raise ValueError(f"channel mismatch: input has {c}, weight expects {c_w}")
+    oh = conv_output_size(h, kh, stride, padding)
+    ow = conv_output_size(w, kw, stride, padding)
+
+    cols = im2col(x.data, kh, kw, stride, padding)       # (N, C*KH*KW, OH*OW)
+    w2d = weight.data.reshape(o, -1)                     # (O, C*KH*KW)
+    out = np.einsum("ok,nkl->nol", w2d, cols, optimize=True)
+    if bias is not None:
+        out = out + bias.data.reshape(1, o, 1)
+    out = out.reshape(n, o, oh, ow)
+
+    parents = (x, weight) if bias is None else (x, weight, bias)
+
+    def backward(grad):
+        grad2d = grad.reshape(n, o, oh * ow)
+        gx = gw = gb = None
+        if x.requires_grad:
+            dcols = np.einsum("ok,nol->nkl", w2d, grad2d, optimize=True)
+            gx = col2im(dcols, (n, c, h, w), kh, kw, stride, padding)
+        if weight.requires_grad:
+            gw = np.einsum("nol,nkl->ok", grad2d, cols, optimize=True)
+            gw = gw.reshape(weight.shape)
+        if bias is not None and bias.requires_grad:
+            gb = grad2d.sum(axis=(0, 2))
+        if bias is None:
+            return (gx, gw)
+        return (gx, gw, gb)
+
+    return Tensor._make(out, parents, "conv2d", backward)
+
+
+def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Max pooling over non-overlapping (or strided) windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    flat = windows.reshape(n, c, oh, ow, kernel * kernel)
+    argmax = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
+
+    def backward(grad):
+        gx = np.zeros_like(x.data)
+        # Convert flat window argmax back to absolute coordinates.
+        ki, kj = np.unravel_index(argmax, (kernel, kernel))
+        oy, ox_ = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+        rows = oy[None, None] * stride + ki
+        cols_ = ox_[None, None] * stride + kj
+        ni = np.arange(n)[:, None, None, None]
+        ci = np.arange(c)[None, :, None, None]
+        np.add.at(gx, (ni, ci, rows, cols_), grad)
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), "max_pool2d", backward)
+
+
+def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
+    """Average pooling over windows."""
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    oh = conv_output_size(h, kernel, stride, 0)
+    ow = conv_output_size(w, kernel, stride, 0)
+    sn, sc, sh, sw = x.data.strides
+    windows = as_strided(
+        x.data,
+        shape=(n, c, oh, ow, kernel, kernel),
+        strides=(sn, sc, sh * stride, sw * stride, sh, sw),
+        writeable=False,
+    )
+    out = windows.mean(axis=(-2, -1))
+    scale = 1.0 / (kernel * kernel)
+
+    def backward(grad):
+        gx = np.zeros_like(x.data)
+        g = grad * scale
+        for i in range(kernel):
+            for j in range(kernel):
+                gx[:, :, i:i + oh * stride:stride, j:j + ow * stride:stride] += g
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), "avg_pool2d", backward)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the full spatial extent, returning ``(N, C)``."""
+    from . import ops
+    return ops.mean(x, axis=(2, 3))

@@ -1,0 +1,450 @@
+"""Differentiable primitive operations on :class:`repro.tensor.Tensor`.
+
+Every function here builds a graph node whose backward closure returns one
+gradient per parent. Broadcasting in binary ops is undone in the backward
+pass with :func:`repro.tensor.tensor._unbroadcast`.
+
+Convolution and pooling live in :mod:`repro.tensor.conv` because they carry
+substantially more machinery (im2col buffers).
+"""
+
+from __future__ import annotations
+
+import builtins
+from typing import Sequence
+
+import numpy as np
+
+from .tensor import Tensor, _unbroadcast
+
+__all__ = [
+    "add", "sub", "mul", "div", "neg", "pow", "matmul", "exp", "log", "sqrt",
+    "abs", "relu", "sigmoid", "tanh", "sum", "mean", "max", "reshape",
+    "transpose", "flatten", "getitem", "concat", "stack", "pad2d",
+    "log_softmax", "softmax", "logsumexp", "maximum", "minimum", "clip",
+    "where", "dropout_mask",
+]
+
+
+def _wrap(value) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+# ----------------------------------------------------------------------
+# Elementwise binary ops
+# ----------------------------------------------------------------------
+
+def add(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data + b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), "add", backward)
+
+
+def sub(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data - b.data
+
+    def backward(grad):
+        return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
+
+    return Tensor._make(out_data, (a, b), "sub", backward)
+
+
+def mul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data * b.data
+
+    def backward(grad):
+        ga = _unbroadcast(grad * b.data, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(grad * a.data, b.shape) if b.requires_grad else None
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "mul", backward)
+
+
+def div(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data / b.data
+
+    def backward(grad):
+        ga = _unbroadcast(grad / b.data, a.shape) if a.requires_grad else None
+        gb = (_unbroadcast(-grad * a.data / (b.data * b.data), b.shape)
+              if b.requires_grad else None)
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "div", backward)
+
+
+def maximum(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = np.maximum(a.data, b.data)
+
+    def backward(grad):
+        mask = (a.data >= b.data)
+        ga = _unbroadcast(grad * mask, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(grad * (~mask), b.shape) if b.requires_grad else None
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "maximum", backward)
+
+
+def minimum(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = np.minimum(a.data, b.data)
+
+    def backward(grad):
+        mask = (a.data <= b.data)
+        ga = _unbroadcast(grad * mask, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(grad * (~mask), b.shape) if b.requires_grad else None
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "minimum", backward)
+
+
+def where(condition: np.ndarray, a, b) -> Tensor:
+    """Elementwise select; ``condition`` is a plain boolean array."""
+    a, b = _wrap(a), _wrap(b)
+    cond = np.asarray(condition, dtype=bool)
+    out_data = np.where(cond, a.data, b.data)
+
+    def backward(grad):
+        ga = _unbroadcast(grad * cond, a.shape) if a.requires_grad else None
+        gb = _unbroadcast(grad * (~cond), b.shape) if b.requires_grad else None
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "where", backward)
+
+
+# ----------------------------------------------------------------------
+# Elementwise unary ops
+# ----------------------------------------------------------------------
+
+def neg(a) -> Tensor:
+    a = _wrap(a)
+    return Tensor._make(-a.data, (a,), "neg", lambda grad: (-grad,))
+
+
+def pow(a, exponent: float) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data ** exponent
+
+    def backward(grad):
+        return (grad * exponent * a.data ** (exponent - 1),)
+
+    return Tensor._make(out_data, (a,), f"pow{exponent}", backward)
+
+
+def exp(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.exp(a.data)
+
+    def backward(grad):
+        return (grad * out_data,)
+
+    return Tensor._make(out_data, (a,), "exp", backward)
+
+
+def log(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.log(a.data)
+
+    def backward(grad):
+        return (grad / a.data,)
+
+    return Tensor._make(out_data, (a,), "log", backward)
+
+
+def sqrt(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.sqrt(a.data)
+
+    def backward(grad):
+        return (grad * 0.5 / out_data,)
+
+    return Tensor._make(out_data, (a,), "sqrt", backward)
+
+
+def abs(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.abs(a.data)
+
+    def backward(grad):
+        return (grad * np.sign(a.data),)
+
+    return Tensor._make(out_data, (a,), "abs", backward)
+
+
+def relu(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.maximum(a.data, 0.0)
+
+    def backward(grad):
+        return (grad * (a.data > 0),)
+
+    return Tensor._make(out_data, (a,), "relu", backward)
+
+
+def sigmoid(a) -> Tensor:
+    a = _wrap(a)
+    out_data = 1.0 / (1.0 + np.exp(-a.data))
+
+    def backward(grad):
+        return (grad * out_data * (1.0 - out_data),)
+
+    return Tensor._make(out_data, (a,), "sigmoid", backward)
+
+
+def tanh(a) -> Tensor:
+    a = _wrap(a)
+    out_data = np.tanh(a.data)
+
+    def backward(grad):
+        return (grad * (1.0 - out_data * out_data),)
+
+    return Tensor._make(out_data, (a,), "tanh", backward)
+
+
+def clip(a, low: float, high: float) -> Tensor:
+    a = _wrap(a)
+    out_data = np.clip(a.data, low, high)
+
+    def backward(grad):
+        mask = (a.data >= low) & (a.data <= high)
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), "clip", backward)
+
+
+def dropout_mask(a, mask: np.ndarray) -> Tensor:
+    """Multiply by a fixed (non-differentiable) mask; used by Dropout."""
+    a = _wrap(a)
+    out_data = a.data * mask
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), "dropout", backward)
+
+
+# ----------------------------------------------------------------------
+# Linear algebra
+# ----------------------------------------------------------------------
+
+def matmul(a, b) -> Tensor:
+    a, b = _wrap(a), _wrap(b)
+    out_data = a.data @ b.data
+
+    def backward(grad):
+        ga = gb = None
+        if a.requires_grad:
+            if b.data.ndim == 1:
+                ga = np.outer(grad, b.data) if a.data.ndim == 2 else grad[..., None] * b.data
+            else:
+                ga = grad @ np.swapaxes(b.data, -1, -2)
+            ga = _unbroadcast(ga, a.shape) if ga.shape != a.shape else ga
+        if b.requires_grad:
+            if a.data.ndim == 1:
+                gb = np.outer(a.data, grad)
+            else:
+                gb = np.swapaxes(a.data, -1, -2) @ grad
+            gb = _unbroadcast(gb, b.shape) if gb.shape != b.shape else gb
+        return (ga, gb)
+
+    return Tensor._make(out_data, (a, b), "matmul", backward)
+
+
+# ----------------------------------------------------------------------
+# Reductions
+# ----------------------------------------------------------------------
+
+def _normalize_axis(axis, ndim: int):
+    if axis is None:
+        return None
+    if isinstance(axis, int):
+        axis = (axis,)
+    return tuple(ax % ndim for ax in axis)
+
+
+def sum(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    out_data = a.data.sum(axis=axis_n, keepdims=keepdims)
+
+    def backward(grad):
+        g = grad
+        if axis_n is not None and not keepdims:
+            g = np.expand_dims(g, axis_n)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return Tensor._make(out_data, (a,), "sum", backward)
+
+
+def mean(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    out_data = a.data.mean(axis=axis_n, keepdims=keepdims)
+    if axis_n is None:
+        count = a.data.size
+    else:
+        count = int(np.prod([a.shape[ax] for ax in axis_n]))
+
+    def backward(grad):
+        g = grad / count
+        if axis_n is not None and not keepdims:
+            g = np.expand_dims(g, axis_n)
+        return (np.broadcast_to(g, a.shape).copy(),)
+
+    return Tensor._make(out_data, (a,), "mean", backward)
+
+
+def max(a, axis=None, keepdims: bool = False) -> Tensor:
+    a = _wrap(a)
+    axis_n = _normalize_axis(axis, a.ndim)
+    out_data = a.data.max(axis=axis_n, keepdims=keepdims)
+
+    def backward(grad):
+        expanded = out_data
+        g = grad
+        if axis_n is not None and not keepdims:
+            expanded = np.expand_dims(out_data, axis_n)
+            g = np.expand_dims(grad, axis_n)
+        mask = (a.data == expanded)
+        # Split gradient evenly among ties, matching numerical grad checks.
+        counts = mask.sum(axis=axis_n, keepdims=True) if axis_n is not None else mask.sum()
+        return (mask * g / counts,)
+
+    return Tensor._make(out_data, (a,), "max", backward)
+
+
+def logsumexp(a, axis: int = -1, keepdims: bool = False) -> Tensor:
+    """Numerically stable log-sum-exp reduction (building block of CE loss)."""
+    a = _wrap(a)
+    ax = axis % a.ndim
+    m = a.data.max(axis=ax, keepdims=True)
+    shifted = a.data - m
+    sumexp = np.exp(shifted).sum(axis=ax, keepdims=True)
+    out_full = m + np.log(sumexp)
+    out_data = out_full if keepdims else np.squeeze(out_full, axis=ax)
+    softmax_data = np.exp(shifted) / sumexp
+
+    def backward(grad):
+        g = grad if keepdims else np.expand_dims(grad, ax)
+        return (g * softmax_data,)
+
+    return Tensor._make(out_data, (a,), "logsumexp", backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    a = _wrap(a)
+    ax = axis % a.ndim
+    m = a.data.max(axis=ax, keepdims=True)
+    shifted = a.data - m
+    logsum = np.log(np.exp(shifted).sum(axis=ax, keepdims=True))
+    out_data = shifted - logsum
+    softmax_data = np.exp(out_data)
+
+    def backward(grad):
+        return (grad - softmax_data * grad.sum(axis=ax, keepdims=True),)
+
+    return Tensor._make(out_data, (a,), "log_softmax", backward)
+
+
+def softmax(a, axis: int = -1) -> Tensor:
+    return exp(log_softmax(a, axis=axis))
+
+
+# ----------------------------------------------------------------------
+# Shape manipulation
+# ----------------------------------------------------------------------
+
+def reshape(a, shape: Sequence[int]) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.reshape(shape)
+
+    def backward(grad):
+        return (grad.reshape(a.shape),)
+
+    return Tensor._make(out_data, (a,), "reshape", backward)
+
+
+def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data.transpose(axes)
+    if axes is None:
+        inverse = None
+    else:
+        inverse = np.argsort(axes)
+
+    def backward(grad):
+        return (grad.transpose(inverse),)
+
+    return Tensor._make(out_data, (a,), "transpose", backward)
+
+
+def flatten(a, start_dim: int = 0) -> Tensor:
+    a = _wrap(a)
+    lead = a.shape[:start_dim]
+    return reshape(a, lead + (-1,))
+
+
+def getitem(a, index) -> Tensor:
+    a = _wrap(a)
+    out_data = a.data[index]
+
+    def backward(grad):
+        full = np.zeros_like(a.data)
+        np.add.at(full, index, grad)
+        return (full,)
+
+    return Tensor._make(out_data, (a,), "getitem", backward)
+
+
+def concat(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    out_data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad):
+        slicer = [slice(None)] * grad.ndim
+        grads = []
+        for i in range(len(tensors)):
+            slicer[axis] = slice(offsets[i], offsets[i + 1])
+            grads.append(grad[tuple(slicer)])
+        return tuple(grads)
+
+    return Tensor._make(out_data, tuple(tensors), "concat", backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    tensors = [_wrap(t) for t in tensors]
+    out_data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(grad):
+        return tuple(np.take(grad, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(out_data, tuple(tensors), "stack", backward)
+
+
+def pad2d(a, padding: int | tuple[int, int]) -> Tensor:
+    """Zero-pad the two trailing (spatial) axes of an NCHW tensor."""
+    a = _wrap(a)
+    if isinstance(padding, int):
+        ph = pw = padding
+    else:
+        ph, pw = padding
+    if ph == 0 and pw == 0:
+        return a
+    pad_width = [(0, 0)] * (a.ndim - 2) + [(ph, ph), (pw, pw)]
+    out_data = np.pad(a.data, pad_width)
+
+    def backward(grad):
+        slicer = [slice(None)] * (a.ndim - 2)
+        slicer += [slice(ph, grad.shape[-2] - ph), slice(pw, grad.shape[-1] - pw)]
+        return (grad[tuple(slicer)],)
+
+    return Tensor._make(out_data, (a,), "pad2d", backward)

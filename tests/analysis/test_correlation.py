@@ -1,0 +1,50 @@
+"""Report correlation (the Sec. IV M-sensitivity metric)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import report_correlation
+from repro.core.importance import ImportanceReport
+
+
+def make_report(values: dict[str, list[float]]) -> ImportanceReport:
+    report = ImportanceReport(num_classes=10)
+    report.total = {k: np.asarray(v, dtype=np.float64)
+                    for k, v in values.items()}
+    return report
+
+
+class TestReportCorrelation:
+    def test_identical_reports_correlate_perfectly(self):
+        a = make_report({"x": [1.0, 2.0, 3.0]})
+        b = make_report({"x": [1.0, 2.0, 3.0]})
+        assert report_correlation(a, b) == pytest.approx(1.0)
+
+    def test_monotone_transform_preserves_rank(self):
+        a = make_report({"x": [1.0, 2.0, 3.0, 4.0]})
+        b = make_report({"x": [2.0, 4.0, 6.0, 8.0]})
+        assert report_correlation(a, b) == pytest.approx(1.0)
+
+    def test_reversed_order_is_negative(self):
+        a = make_report({"x": [1.0, 2.0, 3.0]})
+        b = make_report({"x": [3.0, 2.0, 1.0]})
+        assert report_correlation(a, b) == pytest.approx(-1.0)
+
+    def test_mismatched_groups_rejected(self):
+        a = make_report({"x": [1.0]})
+        b = make_report({"y": [1.0]})
+        with pytest.raises(ValueError):
+            report_correlation(a, b)
+
+    def test_mismatched_sizes_rejected(self):
+        a = make_report({"x": [1.0, 2.0]})
+        b = make_report({"x": [1.0]})
+        with pytest.raises(ValueError):
+            report_correlation(a, b)
+
+    def test_constant_vectors_handled(self):
+        a = make_report({"x": [2.0, 2.0, 2.0]})
+        b = make_report({"x": [2.0, 2.0, 2.0]})
+        assert report_correlation(a, b) == 1.0
+        c = make_report({"x": [1.0, 2.0, 3.0]})
+        assert report_correlation(a, c) == 0.0

@@ -1,0 +1,105 @@
+"""Score-distribution analysis (Figs. 4, 7, 8 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (DistributionComparison, ascii_bars,
+                            ascii_histogram, layer_average_scores,
+                            polarization_index, score_histogram)
+from repro.core.importance import ImportanceReport
+
+
+class TestScoreHistogram:
+    def test_default_one_bin_per_class(self):
+        counts, edges = score_histogram(np.array([0.0, 5.0, 10.0]), 10)
+        assert len(counts) == 11
+        assert counts.sum() == 3
+
+    def test_full_score_lands_in_last_bin(self):
+        counts, _ = score_histogram(np.array([10.0]), 10)
+        assert counts[-1] == 1
+
+    def test_zero_score_in_first_bin(self):
+        counts, _ = score_histogram(np.array([0.0]), 10)
+        assert counts[0] == 1
+
+    def test_scores_clipped_into_range(self):
+        counts, _ = score_histogram(np.array([-1.0, 99.0]), 10)
+        assert counts.sum() == 2
+
+    def test_custom_bins(self):
+        counts, edges = score_histogram(np.linspace(0, 10, 50), 10, bins=5)
+        assert len(counts) == 5
+
+    def test_invalid_num_classes(self):
+        with pytest.raises(ValueError):
+            score_histogram(np.array([1.0]), 0)
+
+
+class TestPolarizationIndex:
+    def test_fully_polarised_is_one(self):
+        scores = np.array([0.0, 0.0, 10.0, 10.0])
+        assert polarization_index(scores, 10) == 1.0
+
+    def test_centered_is_zero(self):
+        scores = np.full(10, 5.0)
+        assert polarization_index(scores, 10) == 0.0
+
+    def test_empty_scores(self):
+        assert polarization_index(np.array([]), 10) == 0.0
+
+    def test_l1_orth_combination_story(self):
+        # Matches Fig. 8: a bimodal distribution is more polarised than a
+        # unimodal mid-range one.
+        rng = np.random.default_rng(0)
+        bimodal = np.concatenate([rng.uniform(0, 0.5, 50),
+                                  rng.uniform(9.5, 10, 50)])
+        unimodal = rng.uniform(3, 7, 100)
+        assert polarization_index(bimodal, 10) > polarization_index(unimodal, 10)
+
+
+class TestDistributionComparison:
+    def test_series_and_means(self):
+        cmp = DistributionComparison("layer1", num_classes=10)
+        cmp.add("before", np.array([1.0, 3.0]))
+        cmp.add("after", np.array([8.0, 10.0]))
+        means = cmp.means()
+        assert means["after"] > means["before"]
+
+    def test_histograms_per_series(self):
+        cmp = DistributionComparison("l", num_classes=5)
+        cmp.add("a", np.array([0.0, 5.0]))
+        h = cmp.histograms()
+        assert h["a"].sum() == 2
+
+    def test_render_contains_labels(self):
+        cmp = DistributionComparison("conv3", num_classes=5)
+        cmp.add("before pruning", np.array([1.0]))
+        text = cmp.render()
+        assert "conv3" in text
+        assert "before pruning" in text
+
+
+class TestAsciiRendering:
+    def test_histogram_lines(self):
+        counts, edges = score_histogram(np.array([0.0, 1.0, 1.0]), 2)
+        text = ascii_histogram(counts, edges)
+        assert len(text.splitlines()) == len(counts)
+
+    def test_bars_scale_to_peak(self):
+        text = ascii_bars({"a": 1.0, "b": 2.0}, width=10)
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_empty_bars(self):
+        assert ascii_bars({}) == "(empty)"
+
+
+class TestLayerAverages:
+    def test_reads_report(self):
+        report = ImportanceReport(num_classes=3)
+        report.total = {"conv1": np.array([1.0, 2.0]),
+                        "conv2": np.array([3.0])}
+        means = layer_average_scores(report)
+        assert means == {"conv1": 1.5, "conv2": 3.0}

@@ -1,0 +1,42 @@
+"""Markdown export of experiment records."""
+
+import pytest
+
+from repro.analysis import ExperimentRecord
+from repro.analysis.reporting import records_to_markdown
+
+
+class TestRecordsToMarkdown:
+    def test_empty(self):
+        assert records_to_markdown([]) == "(no records)"
+
+    def test_header_covers_union_of_metrics(self):
+        records = [
+            ExperimentRecord("t1", "a", measured={"acc": 1.0}),
+            ExperimentRecord("t1", "b", measured={"ratio": 2.0}),
+        ]
+        md = records_to_markdown(records)
+        header = md.splitlines()[0]
+        assert "acc" in header and "ratio" in header
+
+    def test_row_count(self):
+        records = [ExperimentRecord("t", f"s{i}", measured={"x": float(i)})
+                   for i in range(3)]
+        md = records_to_markdown(records)
+        assert len(md.splitlines()) == 2 + 3  # header + separator + rows
+
+    def test_paper_column(self):
+        record = ExperimentRecord("t", "s", paper={"ratio": 95.6},
+                                  measured={"ratio": 66.5})
+        md = records_to_markdown([record])
+        assert "ratio=95.6" in md
+        assert "66.50" in md
+
+    def test_missing_metric_rendered_empty(self):
+        records = [
+            ExperimentRecord("t", "a", measured={"acc": 1.0}),
+            ExperimentRecord("t", "b", measured={"ratio": 2.0}),
+        ]
+        md = records_to_markdown(records)
+        row_a = md.splitlines()[2]
+        assert row_a.count("|") == md.splitlines()[0].count("|")

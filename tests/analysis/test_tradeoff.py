@@ -1,0 +1,61 @@
+"""Threshold-sweep trade-off analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import TradeoffPoint, pareto_front, threshold_sweep
+from repro.core import (FrameworkConfig, ImportanceConfig, Trainer,
+                        TrainingConfig)
+from repro.models import vgg11
+
+
+class TestParetoFront:
+    def test_keeps_non_dominated(self):
+        points = [
+            TradeoffPoint(1, 0.9, 0.2, 0.1, "x"),
+            TradeoffPoint(2, 0.8, 0.5, 0.3, "x"),
+            TradeoffPoint(3, 0.7, 0.4, 0.2, "x"),  # dominated by p2
+        ]
+        front = pareto_front(points)
+        assert {p.threshold for p in front} == {1, 2}
+
+    def test_sorted_by_ratio(self):
+        points = [
+            TradeoffPoint(1, 0.7, 0.6, 0.1, "x"),
+            TradeoffPoint(2, 0.9, 0.2, 0.1, "x"),
+        ]
+        front = pareto_front(points)
+        assert [p.pruning_ratio for p in front] == [0.2, 0.6]
+
+    def test_identical_points_both_kept(self):
+        points = [TradeoffPoint(1, 0.9, 0.5, 0.1, "x"),
+                  TradeoffPoint(2, 0.9, 0.5, 0.1, "x")]
+        assert len(pareto_front(points)) == 2
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+
+class TestThresholdSweep:
+    def test_sweep_runs_and_is_monotone_in_aggressiveness(
+            self, tiny_dataset, tiny_test_dataset):
+        model = vgg11(num_classes=3, image_size=8, width=0.25, seed=6)
+        training = TrainingConfig(epochs=10, batch_size=32, lr=0.05,
+                                  lambda1=1e-4, lambda2=1e-2,
+                                  weight_decay=0.0)
+        Trainer(model, tiny_dataset, tiny_test_dataset, training).train()
+        points = threshold_sweep(
+            model, tiny_dataset, tiny_test_dataset, num_classes=3,
+            input_shape=(3, 8, 8), thresholds=[0.5, 2.5],
+            base_config=FrameworkConfig(
+                max_fraction_per_iteration=0.2, finetune_epochs=1,
+                accuracy_drop_tolerance=0.5, max_iterations=3,
+                importance=ImportanceConfig(images_per_class=4,
+                                            tau_mode="quantile",
+                                            tau_quantile=0.9)),
+            training=training)
+        assert len(points) == 2
+        # A higher threshold admits more filters as prunable.
+        assert points[1].pruning_ratio >= points[0].pruning_ratio - 1e-9
+        # The swept copies never touch the original model.
+        assert model.num_parameters() > 0

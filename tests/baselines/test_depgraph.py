@@ -1,0 +1,162 @@
+"""DepGraph trace: auto-derived dependencies must match the hand metadata."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (CoupledGroup, DepGraphScorer,
+                             build_operation_graph, prune_coupled_group,
+                             trace_coupled_groups)
+from repro.models import MLP, resnet20, vgg11
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model, size=8):
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, size, size))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x).data
+
+
+class TestOperationGraph:
+    def test_graph_contains_all_producer_weights(self, tiny_vgg):
+        graph, output, param_owner = build_operation_graph(tiny_vgg, (3, 8, 8))
+        conv_paths = {p for p, m in param_owner.values()
+                      if type(m).__name__ == "Conv2d"}
+        assert set(tiny_vgg.conv_layer_paths()) <= conv_paths
+
+    def test_output_node_in_graph(self, tiny_vgg):
+        graph, output, _ = build_operation_graph(tiny_vgg, (3, 8, 8))
+        assert id(output) in graph.nodes
+
+
+class TestVGGTrace:
+    def test_matches_hand_written_metadata(self, tiny_vgg):
+        traced = {g.producers[0]: g for g in trace_coupled_groups(tiny_vgg, (3, 8, 8))
+                  if not g.terminal}
+        for manual in tiny_vgg.prunable_groups():
+            auto = traced[manual.conv]
+            assert auto.producers == [manual.conv]
+            assert auto.bns == [manual.bn]
+            assert len(auto.consumers) == 1
+            assert auto.consumers[0].path == manual.consumers[0].path
+            assert auto.consumers[0].kind == manual.consumers[0].kind
+            assert auto.consumers[0].group_size == manual.consumers[0].group_size
+
+    def test_classifier_group_is_terminal(self, tiny_vgg):
+        groups = trace_coupled_groups(tiny_vgg, (3, 8, 8))
+        terminal = [g for g in groups if g.terminal]
+        assert len(terminal) == 1
+        assert terminal[0].producers == ["classifier"]
+        assert not terminal[0].prunable()
+
+    def test_flatten_head_group_size_traced(self):
+        model = vgg11(num_classes=3, image_size=16, width=0.125,
+                      head="flatten", seed=1)
+        traced = {g.producers[0]: g
+                  for g in trace_coupled_groups(model, (3, 16, 16))}
+        last_conv = model.conv_layer_paths()[-1]
+        consumer = traced[last_conv].consumers[0]
+        assert consumer.kind == "linear"
+        assert consumer.group_size == model.final_spatial ** 2
+
+
+class TestResNetTrace:
+    def test_residual_stages_coupled(self, tiny_resnet):
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        # The stem couples with every stage-1 conv2 through the identity
+        # shortcuts.
+        stem_group = next(g for g in groups if "conv1" in g.producers)
+        assert "stage1.0.conv2" in stem_group.producers
+        assert "stage1.2.conv2" in stem_group.producers
+
+    def test_projection_shortcuts_join_their_stage_group(self, tiny_resnet):
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        stage2 = next(g for g in groups
+                      if "stage2.0.conv2" in g.producers)
+        assert "stage2.0.shortcut.0" in stage2.producers
+        assert "stage2.1.conv2" in stage2.producers
+
+    def test_block_conv1_groups_match_metadata(self, tiny_resnet):
+        traced = {g.producers[0]: g
+                  for g in trace_coupled_groups(tiny_resnet, (3, 8, 8))
+                  if len(g.producers) == 1}
+        for manual in tiny_resnet.prunable_groups():
+            auto = traced[manual.conv]
+            assert auto.bns == [manual.bn]
+            assert auto.consumers[0].path == manual.consumers[0].path
+
+    def test_coupled_group_has_consistent_sizes(self, tiny_resnet):
+        for group in trace_coupled_groups(tiny_resnet, (3, 8, 8)):
+            for path in group.producers:
+                module = tiny_resnet.get_module(path)
+                out = getattr(module, "out_channels",
+                              getattr(module, "out_features", None))
+                assert out == group.size
+
+
+class TestCoupledSurgery:
+    def test_prune_residual_group_keeps_network_runnable(self, tiny_resnet):
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        stage3 = next(g for g in groups if "stage3.0.conv2" in g.producers)
+        keep = np.arange(stage3.size // 2)
+        prune_coupled_group(tiny_resnet, stage3, keep)
+        out = forward(tiny_resnet)
+        assert out.shape == (2, 3)
+
+    def test_functional_equivalence_for_zeroed_channels(self, tiny_resnet):
+        """Zero a channel everywhere it is produced, then prune the whole
+        coupled group: the network function must not change."""
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        group = next(g for g in groups if "stage3.0.conv2" in g.producers)
+        victim = group.size - 1
+        for path in group.producers:
+            module = tiny_resnet.get_module(path)
+            module.weight.data[victim] = 0.0
+            if getattr(module, "bias", None) is not None:
+                module.bias.data[victim] = 0.0
+        for bn_path in group.bns:
+            bn = tiny_resnet.get_module(bn_path)
+            bn.weight.data[victim] = 0.0
+            bn.bias.data[victim] = 0.0
+        before = forward(tiny_resnet)
+        keep = np.setdiff1d(np.arange(group.size), [victim])
+        prune_coupled_group(tiny_resnet, group, keep)
+        after = forward(tiny_resnet)
+        np.testing.assert_allclose(before, after, rtol=1e-4, atol=1e-5)
+
+    def test_terminal_group_refuses_pruning(self, tiny_vgg):
+        groups = trace_coupled_groups(tiny_vgg, (3, 8, 8))
+        terminal = next(g for g in groups if g.terminal)
+        with pytest.raises(ValueError):
+            prune_coupled_group(tiny_vgg, terminal, np.array([0]))
+
+    def test_empty_keep_rejected(self, tiny_resnet):
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        group = next(g for g in groups if g.prunable())
+        with pytest.raises(ValueError):
+            prune_coupled_group(tiny_resnet, group, np.array([], dtype=int))
+
+
+class TestMLPTrace:
+    def test_mlp_groups(self, tiny_mlp):
+        traced = {g.producers[0]: g
+                  for g in trace_coupled_groups(tiny_mlp, (3, 8, 8))}
+        for manual in tiny_mlp.prunable_groups():
+            auto = traced[manual.conv]
+            assert auto.consumers[0].path == manual.consumers[0].path
+            assert auto.consumers[0].kind == "linear"
+
+
+class TestDepGraphScorer:
+    def test_full_grouping_aggregates_more_than_none(self, tiny_resnet):
+        groups = trace_coupled_groups(tiny_resnet, (3, 8, 8))
+        group = next(g for g in groups if len(g.producers) > 1)
+        full = DepGraphScorer("full").group_scores(tiny_resnet, group)
+        none = DepGraphScorer("none").group_scores(tiny_resnet, group)
+        assert (full >= none - 1e-9).all()
+        assert full.shape == none.shape == (group.size,)
+
+    def test_invalid_grouping_rejected(self):
+        with pytest.raises(ValueError):
+            DepGraphScorer("partial")

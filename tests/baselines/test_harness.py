@@ -1,0 +1,129 @@
+"""Baseline pruning harness and end-to-end method runs."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BaselineConfig, DepGraphPruner, METHOD_NAMES,
+                             ScorerPruner, SSSLoss, L1NormScorer,
+                             method_display_name, run_method)
+from repro.core import TrainingConfig, Trainer
+from repro.models import resnet20, vgg11
+from repro.tensor import Tensor
+
+
+def fast_training():
+    return TrainingConfig(epochs=1, batch_size=32, lr=0.05, lambda1=0.0,
+                          lambda2=0.0, weight_decay=0.0)
+
+
+def fast_config(**over):
+    defaults = dict(target_ratio=0.25, fraction_per_iteration=0.15,
+                    finetune_epochs=1, max_iterations=5, num_images=12)
+    defaults.update(over)
+    return BaselineConfig(**defaults)
+
+
+class TestScorerPruner:
+    def test_reaches_target_ratio(self, tiny_vgg, tiny_dataset,
+                                  tiny_test_dataset):
+        pruner = ScorerPruner(tiny_vgg, tiny_dataset, tiny_test_dataset,
+                              (3, 8, 8), L1NormScorer(),
+                              config=fast_config(),
+                              training=fast_training())
+        result = pruner.run()
+        assert result.pruning_ratio >= 0.25
+        assert result.iterations >= 1
+        assert len(result.accuracies) == result.iterations
+
+    def test_model_still_runs_after_pruning(self, tiny_vgg, tiny_dataset,
+                                            tiny_test_dataset):
+        ScorerPruner(tiny_vgg, tiny_dataset, tiny_test_dataset, (3, 8, 8),
+                     L1NormScorer(), config=fast_config(),
+                     training=fast_training()).run()
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        assert tiny_vgg(x).shape == (1, 3)
+
+    def test_result_row_renders(self, tiny_mlp, tiny_dataset,
+                                tiny_test_dataset):
+        result = ScorerPruner(tiny_mlp, tiny_dataset, tiny_test_dataset,
+                              (3, 8, 8), L1NormScorer(),
+                              config=fast_config(max_iterations=2),
+                              training=fast_training()).run()
+        assert "ratio=" in result.row()
+
+    def test_rejects_plain_module(self, tiny_dataset, tiny_test_dataset):
+        from repro.nn import Linear, Sequential
+        with pytest.raises(TypeError):
+            ScorerPruner(Sequential(Linear(2, 2)), tiny_dataset,
+                         tiny_test_dataset, (3, 8, 8), L1NormScorer())
+
+
+class TestDepGraphPruner:
+    def test_full_grouping_prunes_residual_channels(self, tiny_resnet,
+                                                    tiny_dataset,
+                                                    tiny_test_dataset):
+        stem_before = tiny_resnet.get_module("conv1").out_channels
+        pruner = DepGraphPruner(tiny_resnet, tiny_dataset, tiny_test_dataset,
+                                (3, 8, 8), grouping="full",
+                                config=fast_config(target_ratio=0.3),
+                                training=fast_training())
+        result = pruner.run()
+        assert result.pruning_ratio > 0.0
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        assert tiny_resnet(x).shape == (1, 3)
+
+    def test_output_width_never_changes(self, tiny_resnet, tiny_dataset,
+                                        tiny_test_dataset):
+        DepGraphPruner(tiny_resnet, tiny_dataset, tiny_test_dataset,
+                       (3, 8, 8), config=fast_config(max_iterations=2),
+                       training=fast_training()).run()
+        assert tiny_resnet.classifier.out_features == 3
+
+
+class TestRunMethod:
+    @pytest.mark.parametrize("name", ["l1", "sss", "random"])
+    def test_named_methods_run(self, name, tiny_vgg, tiny_dataset,
+                               tiny_test_dataset):
+        result = run_method(name, tiny_vgg, tiny_dataset, tiny_test_dataset,
+                            (3, 8, 8), fast_config(max_iterations=2),
+                            fast_training())
+        assert result.pruning_ratio > 0
+
+    def test_unknown_method_raises(self, tiny_vgg, tiny_dataset,
+                                   tiny_test_dataset):
+        with pytest.raises(KeyError):
+            run_method("alchemy", tiny_vgg, tiny_dataset, tiny_test_dataset,
+                       (3, 8, 8))
+
+    def test_method_names_all_resolvable(self):
+        for name in METHOD_NAMES:
+            assert method_display_name(name) != ""
+
+
+class TestSSSLoss:
+    def test_penalises_bn_scales(self, tiny_vgg, tiny_dataset):
+        loss = SSSLoss(gamma_l1=1.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+                   .astype(np.float32))
+        logits = tiny_vgg(x)
+        terms = loss(tiny_vgg, logits, np.array([0, 1]))
+        from repro.nn import BatchNorm2d
+        gamma_mass = sum(float(np.abs(m.weight.data).sum())
+                         for m in tiny_vgg.modules()
+                         if isinstance(m, BatchNorm2d))
+        assert float(terms.total.data) == pytest.approx(
+            terms.cross_entropy + gamma_mass, rel=1e-4)
+
+    def test_training_with_sss_loss_shrinks_scales(self, tiny_vgg,
+                                                   tiny_dataset):
+        from repro.nn import BatchNorm2d
+
+        def gamma_mass(model):
+            return sum(float(np.abs(m.weight.data).sum())
+                       for m in model.modules()
+                       if isinstance(m, BatchNorm2d))
+
+        before = gamma_mass(tiny_vgg)
+        Trainer(tiny_vgg, tiny_dataset, config=fast_training(),
+                loss_fn=SSSLoss(gamma_l1=0.05)).train(epochs=3)
+        assert gamma_mass(tiny_vgg) < before

@@ -1,0 +1,80 @@
+"""Composition layer of the baseline methods (run_method and friends)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BaselineConfig, METHOD_NAMES,
+                             method_display_name, run_method)
+from repro.core import TrainingConfig
+
+
+def fast_cfg():
+    return BaselineConfig(target_ratio=0.15, fraction_per_iteration=0.15,
+                          finetune_epochs=1, max_iterations=3, num_images=10)
+
+
+def fast_training():
+    return TrainingConfig(epochs=1, batch_size=32, lr=0.05, lambda1=0.0,
+                          lambda2=0.0, weight_decay=0.0)
+
+
+class TestDisplayNames:
+    def test_known_methods_have_citations(self):
+        assert "[23]" in method_display_name("l1")
+        assert "[13]" in method_display_name("depgraph-full")
+        assert "ours" in method_display_name("class-aware")
+
+    def test_unknown_method_passes_through(self):
+        assert method_display_name("future-method") == "future-method"
+
+    def test_all_method_names_displayable(self):
+        for name in METHOD_NAMES:
+            assert method_display_name(name)
+
+
+class TestRunMethodComposition:
+    def test_l2_method_available_beyond_fig6_list(self, tiny_vgg,
+                                                  tiny_dataset,
+                                                  tiny_test_dataset):
+        result = run_method("l2", tiny_vgg, tiny_dataset, tiny_test_dataset,
+                            (3, 8, 8), fast_cfg(), fast_training())
+        assert result.method == "l2"
+
+    def test_tpp_uses_orth_finetuning(self, tiny_vgg, tiny_dataset,
+                                      tiny_test_dataset):
+        # TPP's defining behaviour here: fine-tunes with an orthogonality
+        # penalty even when the training config has lambda2 = 0.
+        result = run_method("tpp", tiny_vgg, tiny_dataset,
+                            tiny_test_dataset, (3, 8, 8), fast_cfg(),
+                            fast_training())
+        assert result.method == "tpp"
+        assert result.pruning_ratio > 0
+
+    def test_depgraph_full_prunes_residual_groups(self, tiny_resnet,
+                                                  tiny_dataset,
+                                                  tiny_test_dataset):
+        stem = tiny_resnet.get_module("conv1")
+        width_before = stem.out_channels
+        run_method("depgraph-full", tiny_resnet, tiny_dataset,
+                   tiny_test_dataset, (3, 8, 8),
+                   BaselineConfig(target_ratio=0.4,
+                                  fraction_per_iteration=0.25,
+                                  finetune_epochs=1, max_iterations=4,
+                                  num_images=10),
+                   fast_training())
+        # Full grouping is allowed to shrink the residual-coupled stem,
+        # which metadata-based methods never touch.
+        assert stem.out_channels <= width_before
+
+    def test_methods_are_independent_runs(self, tiny_dataset,
+                                          tiny_test_dataset):
+        # Two methods on copies of the same model must not interfere.
+        import copy
+        from repro.models import vgg11
+        base = vgg11(num_classes=3, image_size=8, width=0.125, seed=5)
+        m1, m2 = copy.deepcopy(base), copy.deepcopy(base)
+        run_method("l1", m1, tiny_dataset, tiny_test_dataset, (3, 8, 8),
+                   fast_cfg(), fast_training())
+        np.testing.assert_array_equal(
+            m2.get_module("features.0").weight.data,
+            base.get_module("features.0").weight.data)

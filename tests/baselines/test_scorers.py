@@ -1,0 +1,135 @@
+"""Baseline filter-importance criteria."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (APoZScorer, HRankScorer, L1NormScorer,
+                             L2NormScorer, RandomScorer, SCORER_REGISTRY,
+                             SSSScorer, ScoringContext, TaylorScorer,
+                             WeightGradScorer, build_scorer)
+
+
+@pytest.fixture
+def ctx(tiny_dataset):
+    return ScoringContext(dataset=tiny_dataset, num_images=12, seed=0)
+
+
+def scores_for(scorer, model, ctx):
+    groups = model.prunable_groups()
+    return scorer.scores(model, groups, ctx), groups
+
+
+class TestShapesAndBounds:
+    @pytest.mark.parametrize("name", sorted(SCORER_REGISTRY))
+    def test_every_scorer_covers_every_group(self, name, tiny_vgg, ctx):
+        scorer = build_scorer(name)
+        scores, groups = scores_for(scorer, tiny_vgg, ctx)
+        for g in groups:
+            n = tiny_vgg.get_module(g.conv).out_channels
+            assert scores[g.name].shape == (n,)
+            assert np.isfinite(scores[g.name]).all()
+
+    @pytest.mark.parametrize("name", ["l1", "l2", "taylor", "apoz",
+                                      "weightgrad", "random"])
+    def test_scorers_work_on_mlp(self, name, tiny_mlp, ctx):
+        scorer = build_scorer(name)
+        scores, groups = scores_for(scorer, tiny_mlp, ctx)
+        assert scores[groups[0].name].shape == (16,)
+
+    def test_unknown_scorer_raises(self):
+        with pytest.raises(KeyError):
+            build_scorer("psychic")
+
+
+class TestNormScorers:
+    def test_l1_matches_manual(self, tiny_vgg, ctx):
+        scores, groups = scores_for(L1NormScorer(), tiny_vgg, ctx)
+        g = groups[0]
+        w = tiny_vgg.get_module(g.conv).weight.data
+        np.testing.assert_allclose(scores[g.name],
+                                   np.abs(w.reshape(w.shape[0], -1)).sum(1),
+                                   rtol=1e-6)
+
+    def test_zero_filter_scores_zero(self, tiny_vgg, ctx):
+        g = tiny_vgg.prunable_groups()[0]
+        tiny_vgg.get_module(g.conv).weight.data[2] = 0.0
+        for scorer in (L1NormScorer(), L2NormScorer()):
+            scores, _ = scores_for(scorer, tiny_vgg, ctx)
+            assert scores[g.name][2] == 0.0
+
+    def test_l2_is_sqrt_of_squared_sum(self, tiny_vgg, ctx):
+        scores, groups = scores_for(L2NormScorer(), tiny_vgg, ctx)
+        g = groups[0]
+        w = tiny_vgg.get_module(g.conv).weight.data
+        np.testing.assert_allclose(
+            scores[g.name],
+            np.sqrt((w.reshape(w.shape[0], -1) ** 2).sum(1)), rtol=1e-5)
+
+
+class TestSSSScorer:
+    def test_uses_bn_scale(self, tiny_vgg, ctx):
+        g = tiny_vgg.prunable_groups()[0]
+        bn = tiny_vgg.get_module(g.bn)
+        bn.weight.data[:] = np.arange(bn.num_features, dtype=np.float32)
+        scores, _ = scores_for(SSSScorer(), tiny_vgg, ctx)
+        np.testing.assert_allclose(scores[g.name],
+                                   np.arange(bn.num_features))
+
+    def test_falls_back_to_weight_norm_without_bn(self, tiny_mlp, ctx):
+        scores, groups = scores_for(SSSScorer(), tiny_mlp, ctx)
+        assert (scores[groups[0].name] > 0).any()
+
+
+class TestDataDrivenScorers:
+    def test_hrank_bounded_by_spatial_size(self, tiny_vgg, ctx):
+        scores, groups = scores_for(HRankScorer(), tiny_vgg, ctx)
+        # Rank of an 8x8 feature map is at most 8.
+        assert scores[groups[0].name].max() <= 8.0
+
+    def test_apoz_scores_in_unit_interval(self, tiny_vgg, ctx):
+        scores, groups = scores_for(APoZScorer(), tiny_vgg, ctx)
+        for g in groups:
+            assert (scores[g.name] >= 0).all()
+            assert (scores[g.name] <= 1).all()
+
+    def test_taylor_zero_for_zeroed_channel(self, tiny_vgg, ctx):
+        g = tiny_vgg.prunable_groups()[0]
+        conv = tiny_vgg.get_module(g.conv)
+        bn = tiny_vgg.get_module(g.bn)
+        conv.weight.data[1] = 0.0
+        bn.weight.data[1] = 0.0
+        bn.bias.data[1] = 0.0
+        scores, _ = scores_for(TaylorScorer(), tiny_vgg, ctx)
+        assert scores[g.name][1] == pytest.approx(0.0, abs=1e-10)
+
+    def test_weightgrad_zero_when_weights_zero(self, tiny_vgg, ctx):
+        g = tiny_vgg.prunable_groups()[0]
+        tiny_vgg.get_module(g.conv).weight.data[3] = 0.0
+        scores, _ = scores_for(WeightGradScorer(), tiny_vgg, ctx)
+        assert scores[g.name][3] == pytest.approx(0.0, abs=1e-12)
+
+    def test_scorer_restores_model_state(self, tiny_vgg, ctx):
+        tiny_vgg.train()
+        scores_for(TaylorScorer(), tiny_vgg, ctx)
+        assert tiny_vgg.training
+        assert all(p.grad is None for p in tiny_vgg.parameters())
+
+    def test_missing_dataset_raises(self, tiny_vgg):
+        with pytest.raises(ValueError):
+            scores_for(TaylorScorer(), tiny_vgg, ScoringContext())
+
+
+class TestRandomScorer:
+    def test_deterministic_per_seed(self, tiny_vgg, ctx):
+        s1, _ = scores_for(RandomScorer(), tiny_vgg, ctx)
+        s2, _ = scores_for(RandomScorer(), tiny_vgg, ctx)
+        for k in s1:
+            np.testing.assert_array_equal(s1[k], s2[k])
+
+    def test_differs_across_seeds(self, tiny_vgg, tiny_dataset):
+        s1, _ = scores_for(RandomScorer(), tiny_vgg,
+                           ScoringContext(tiny_dataset, seed=0))
+        s2, _ = scores_for(RandomScorer(), tiny_vgg,
+                           ScoringContext(tiny_dataset, seed=1))
+        any_diff = any(not np.array_equal(s1[k], s2[k]) for k in s1)
+        assert any_diff

@@ -1,0 +1,122 @@
+"""Unstructured weight pruning (the Background-section comparator)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (UnstructuredPruner, apply_masks, gradient_masks,
+                             magnitude_masks, sparsity_report)
+from repro.core import TrainingConfig, Trainer
+
+
+class TestMagnitudeMasks:
+    def test_global_sparsity_achieved(self, tiny_vgg):
+        masks = magnitude_masks(tiny_vgg, 0.7, scope="global")
+        kept = sum(m.sum() for m in masks.values())
+        total = sum(m.size for m in masks.values())
+        assert kept / total == pytest.approx(0.3, abs=0.02)
+
+    def test_layer_scope_uniform(self, tiny_vgg):
+        masks = magnitude_masks(tiny_vgg, 0.5, scope="layer")
+        for mask in masks.values():
+            assert mask.mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_global_scope_is_nonuniform(self, tiny_vgg):
+        masks = magnitude_masks(tiny_vgg, 0.5, scope="global")
+        rates = [m.mean() for m in masks.values()]
+        assert max(rates) - min(rates) > 0.01
+
+    def test_zero_sparsity_keeps_everything(self, tiny_vgg):
+        masks = magnitude_masks(tiny_vgg, 0.0)
+        assert all((m == 1).all() for m in masks.values())
+
+    def test_smallest_weights_removed_first(self, tiny_mlp):
+        lin = tiny_mlp.get_module("body.0")
+        lin.weight.data[0, 0] = 100.0   # largest magnitude
+        lin.weight.data[0, 1] = 1e-8    # smallest
+        masks = magnitude_masks(tiny_mlp, 0.5, scope="global")
+        assert masks["body.0"][0, 0] == 1.0
+        assert masks["body.0"][0, 1] == 0.0
+
+    def test_invalid_args(self, tiny_vgg):
+        with pytest.raises(ValueError):
+            magnitude_masks(tiny_vgg, 1.0)
+        with pytest.raises(ValueError):
+            magnitude_masks(tiny_vgg, 0.5, scope="cosmic")
+
+
+class TestGradientMasks:
+    def test_shape_and_sparsity(self, tiny_vgg, tiny_dataset):
+        masks = gradient_masks(tiny_vgg, tiny_dataset, 0.6, num_images=12)
+        kept = sum(m.sum() for m in masks.values())
+        total = sum(m.size for m in masks.values())
+        assert kept / total == pytest.approx(0.4, abs=0.02)
+
+    def test_restores_model_state(self, tiny_vgg, tiny_dataset):
+        tiny_vgg.train()
+        gradient_masks(tiny_vgg, tiny_dataset, 0.5, num_images=6)
+        assert tiny_vgg.training
+        assert all(p.grad is None for p in tiny_vgg.parameters())
+
+
+class TestApplyAndReport:
+    def test_apply_masks_zeroes_weights(self, tiny_mlp):
+        masks = magnitude_masks(tiny_mlp, 0.5)
+        apply_masks(tiny_mlp, masks)
+        report = sparsity_report(tiny_mlp)
+        assert report["total"] == pytest.approx(0.5, abs=0.02)
+
+    def test_shape_mismatch_rejected(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            apply_masks(tiny_mlp, {"body.0": np.ones((2, 2),
+                                                     dtype=np.float32)})
+
+    def test_report_covers_all_layers(self, tiny_vgg):
+        report = sparsity_report(tiny_vgg)
+        assert "total" in report
+        assert len(report) == len(tiny_vgg.conv_layer_paths()) + 2
+
+
+class TestPrunerEndToEnd:
+    @pytest.fixture
+    def trained_mlp(self, tiny_dataset, tiny_test_dataset):
+        from repro.models import MLP
+        model = MLP(3 * 8 * 8, [32, 16], 3, seed=2)
+        cfg = TrainingConfig(epochs=10, batch_size=32, lr=0.05,
+                             lambda1=0.0, lambda2=0.0, weight_decay=0.0)
+        Trainer(model, tiny_dataset, tiny_test_dataset, cfg).train()
+        return model, cfg
+
+    def test_masks_survive_finetuning(self, trained_mlp, tiny_dataset,
+                                      tiny_test_dataset):
+        model, cfg = trained_mlp
+        pruner = UnstructuredPruner(model, tiny_dataset, tiny_test_dataset,
+                                    training=cfg)
+        result = pruner.run(sparsity=0.6, finetune_epochs=3)
+        # The defining property: fine-tuning must not resurrect masked
+        # weights.
+        assert result.achieved_sparsity >= 0.58
+
+    def test_high_sparsity_beats_chance_after_finetune(self, trained_mlp,
+                                                       tiny_dataset,
+                                                       tiny_test_dataset):
+        model, cfg = trained_mlp
+        pruner = UnstructuredPruner(model, tiny_dataset, tiny_test_dataset,
+                                    training=cfg)
+        result = pruner.run(sparsity=0.7, finetune_epochs=4)
+        assert result.final_accuracy > 0.5   # chance = 1/3
+
+    def test_gradient_criterion_runs(self, trained_mlp, tiny_dataset,
+                                     tiny_test_dataset):
+        model, cfg = trained_mlp
+        pruner = UnstructuredPruner(model, tiny_dataset, tiny_test_dataset,
+                                    criterion="gradient", training=cfg)
+        result = pruner.run(sparsity=0.4, finetune_epochs=1)
+        assert result.criterion == "gradient"
+        assert result.achieved_sparsity >= 0.35
+
+    def test_unknown_criterion_rejected(self, trained_mlp, tiny_dataset,
+                                        tiny_test_dataset):
+        model, cfg = trained_mlp
+        with pytest.raises(ValueError):
+            UnstructuredPruner(model, tiny_dataset, tiny_test_dataset,
+                               criterion="tea-leaves")

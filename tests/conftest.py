@@ -1,0 +1,57 @@
+"""Shared fixtures: tiny deterministic datasets and models.
+
+Everything here is sized for CPU speed: 8×8 images, narrow networks. The
+behaviours under test (gradients, surgery consistency, score aggregation)
+are size-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticConfig, SyntheticImageClassification
+from repro.models import MLP, resnet20, vgg11
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """60-image, 3-class, 8×8 synthetic dataset."""
+    cfg = SyntheticConfig(num_classes=3, image_size=8, samples_per_class=20,
+                          seed=7)
+    return SyntheticImageClassification(cfg, train=True)
+
+
+@pytest.fixture
+def tiny_test_dataset():
+    cfg = SyntheticConfig(num_classes=3, image_size=8, samples_per_class=10,
+                          seed=7)
+    return SyntheticImageClassification(cfg, train=False)
+
+
+@pytest.fixture
+def ten_class_dataset():
+    cfg = SyntheticConfig(num_classes=10, image_size=8, samples_per_class=12,
+                          seed=3)
+    return SyntheticImageClassification(cfg, train=True)
+
+
+@pytest.fixture
+def tiny_vgg():
+    """Narrow VGG-11 for 8×8 inputs (about 20 k parameters)."""
+    return vgg11(num_classes=3, image_size=8, width=0.125, seed=0)
+
+
+@pytest.fixture
+def tiny_resnet():
+    return resnet20(num_classes=3, width=0.25, seed=0)
+
+
+@pytest.fixture
+def tiny_mlp():
+    return MLP(3 * 8 * 8, [16, 12], 3, seed=0)

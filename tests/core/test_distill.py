@@ -1,0 +1,100 @@
+"""Knowledge-distillation-assisted recovery."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (DistillationLoss, Trainer, TrainingConfig,
+                        distill_finetune, evaluate_model, kl_divergence,
+                        prune_groups)
+from repro.models import MLP
+from repro.tensor import Tensor
+
+
+class TestKLDivergence:
+    def test_identical_logits_give_zero(self):
+        logits = np.random.default_rng(0).normal(size=(4, 5)).astype(np.float32)
+        kl = kl_divergence(logits, Tensor(logits))
+        assert float(kl.data) == pytest.approx(0.0, abs=1e-6)
+
+    def test_nonnegative(self):
+        rng = np.random.default_rng(1)
+        t = rng.normal(size=(6, 4)).astype(np.float32)
+        s = rng.normal(size=(6, 4)).astype(np.float32)
+        assert float(kl_divergence(t, Tensor(s)).data) >= -1e-7
+
+    def test_gradient_pulls_student_towards_teacher(self):
+        rng = np.random.default_rng(2)
+        teacher = rng.normal(size=(3, 4)).astype(np.float32)
+        student = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        kl_divergence(teacher, student).backward()
+        # One gradient step must decrease the KL.
+        stepped = Tensor(student.data - 0.5 * student.grad)
+        before = float(kl_divergence(teacher, Tensor(student.data)).data)
+        after = float(kl_divergence(teacher, stepped).data)
+        assert after < before
+
+    def test_invalid_temperature(self):
+        with pytest.raises(ValueError):
+            kl_divergence(np.zeros((1, 2)), Tensor(np.zeros((1, 2))),
+                          temperature=0.0)
+
+
+class TestDistillationLoss:
+    def test_requires_bound_inputs(self, tiny_mlp):
+        loss = DistillationLoss(copy.deepcopy(tiny_mlp), lambda1=0,
+                                lambda2=0)
+        logits = Tensor(np.zeros((2, 3), dtype=np.float32))
+        with pytest.raises(RuntimeError, match="bind_inputs"):
+            loss(tiny_mlp, logits, np.array([0, 1]))
+
+    def test_alpha_zero_matches_plain_ce(self, tiny_mlp):
+        from repro.nn import cross_entropy
+        teacher = copy.deepcopy(tiny_mlp)
+        loss = DistillationLoss(teacher, alpha=0.0, lambda1=0, lambda2=0)
+        x = Tensor(np.random.default_rng(3).normal(size=(2, 3, 8, 8))
+                   .astype(np.float32))
+        loss.bind_inputs(x)
+        logits = tiny_mlp(x)
+        targets = np.array([0, 1])
+        terms = loss(tiny_mlp, logits, targets)
+        expected = float(cross_entropy(logits, targets).data)
+        assert float(terms.total.data) == pytest.approx(expected, rel=1e-5)
+
+    def test_invalid_alpha(self, tiny_mlp):
+        with pytest.raises(ValueError):
+            DistillationLoss(tiny_mlp, alpha=1.5)
+
+
+class TestDistillFinetune:
+    def test_recovers_pruned_student(self, tiny_dataset, tiny_test_dataset):
+        cfg = TrainingConfig(epochs=12, batch_size=32, lr=0.05,
+                             lambda1=0.0, lambda2=0.0, weight_decay=0.0)
+        teacher = MLP(3 * 8 * 8, [32, 16], 3, seed=3)
+        Trainer(teacher, tiny_dataset, tiny_test_dataset, cfg).train()
+        _, teacher_acc = evaluate_model(teacher, tiny_test_dataset)
+
+        student = copy.deepcopy(teacher)
+        groups = student.prunable_groups()
+        prune_groups(student, groups,
+                     {groups[0].name: np.arange(16),
+                      groups[1].name: np.arange(8)})
+        _, pruned_acc = evaluate_model(student, tiny_test_dataset)
+
+        distill_finetune(student, teacher, tiny_dataset, tiny_test_dataset,
+                         cfg, epochs=5, alpha=0.5)
+        _, recovered_acc = evaluate_model(student, tiny_test_dataset)
+        assert recovered_acc >= pruned_acc - 0.05
+        assert recovered_acc > 0.5  # chance = 1/3
+
+    def test_student_parameters_are_updated_in_place(self, tiny_dataset):
+        cfg = TrainingConfig(epochs=1, batch_size=32, lr=0.05,
+                             lambda1=0.0, lambda2=0.0, weight_decay=0.0)
+        teacher = MLP(3 * 8 * 8, [16], 3, seed=4)
+        student = copy.deepcopy(teacher)
+        before = student.get_module("body.0").weight.data.copy()
+        distill_finetune(student, teacher, tiny_dataset, None, cfg,
+                         epochs=1)
+        assert not np.allclose(student.get_module("body.0").weight.data,
+                               before)

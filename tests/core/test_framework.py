@@ -1,0 +1,180 @@
+"""The iterative class-aware pruning framework (Fig. 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, TrainingConfig)
+from repro.flops import profile_model
+from repro.models import MLP, vgg11
+
+
+def make_framework(model, train, test, **overrides):
+    fw_kwargs = dict(
+        score_threshold=overrides.pop("score_threshold", 1.0),
+        max_fraction_per_iteration=overrides.pop("max_fraction", 0.2),
+        finetune_epochs=overrides.pop("finetune_epochs", 1),
+        accuracy_drop_tolerance=overrides.pop("tolerance", 0.5),
+        max_iterations=overrides.pop("max_iterations", 2),
+        importance=ImportanceConfig(images_per_class=3),
+    )
+    training = TrainingConfig(epochs=overrides.pop("epochs", 2),
+                              batch_size=32, lr=0.05, lambda1=1e-4,
+                              lambda2=1e-2, weight_decay=0.0)
+    return ClassAwarePruningFramework(model, train, test, num_classes=3,
+                                      input_shape=(3, 8, 8),
+                                      config=FrameworkConfig(**fw_kwargs),
+                                      training=training)
+
+
+class TestFrameworkRun:
+    def test_end_to_end_reduces_parameters(self, tiny_vgg, tiny_dataset,
+                                           tiny_test_dataset):
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=2)
+        result = fw.run()
+        assert result.final_profile.total_params < \
+            result.original_profile.total_params
+        assert 0 < result.pruning_ratio < 1
+        assert 0 < result.flops_reduction < 1
+
+    def test_result_metrics_consistent(self, tiny_vgg, tiny_dataset,
+                                       tiny_test_dataset):
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=2)
+        result = fw.run()
+        expected_ratio = 1 - (result.final_profile.total_params
+                              / result.original_profile.total_params)
+        assert result.pruning_ratio == pytest.approx(expected_ratio)
+        assert result.accuracy_drop == pytest.approx(
+            result.baseline_accuracy - result.final_accuracy)
+
+    def test_reports_before_and_after(self, tiny_vgg, tiny_dataset,
+                                      tiny_test_dataset):
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        assert result.report_before is not None
+        assert result.report_after is not None
+        # After surgery the per-group score arrays match the new sizes.
+        for g in result.model.prunable_groups():
+            n = result.model.get_module(g.conv).out_channels
+            assert len(result.report_after.total[g.conv]) == n
+
+    def test_iteration_records(self, tiny_vgg, tiny_dataset,
+                               tiny_test_dataset):
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        assert len(result.iterations) >= 1
+        first = result.iterations[0]
+        assert first.num_removed == sum(first.removed_per_group.values())
+        assert first.params > 0
+
+    def test_converged_stop_when_no_filter_below_threshold(
+            self, tiny_vgg, tiny_dataset, tiny_test_dataset):
+        # With a threshold below any attainable positive score, only
+        # exactly-dead filters (score 0) are candidates; with frozen
+        # weights (no fine-tuning) that set drains in a few iterations and
+        # the loop must report convergence.
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset,
+                            score_threshold=1e-9, finetune_epochs=0,
+                            max_iterations=30)
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        assert result.stop_reason == "converged"
+
+    def test_accuracy_guard_restores_model(self, tiny_dataset,
+                                           tiny_test_dataset):
+        # Zero tolerance and aggressive pruning with no fine-tuning budget:
+        # the framework must stop on the accuracy rule and hand back a
+        # model no worse than the tolerance (the restored snapshot).
+        model = vgg11(num_classes=3, image_size=8, width=0.25, seed=3)
+        fw = make_framework(model, tiny_dataset, tiny_test_dataset,
+                            score_threshold=3.1, max_fraction=0.5,
+                            tolerance=-1.0,  # any drop is fatal
+                            finetune_epochs=1, max_iterations=3)
+        fw.pretrain(epochs=3)
+        result = fw.run()
+        assert result.stop_reason == "accuracy"
+        # The returned model is the snapshot from before the bad iteration.
+        profile = profile_model(result.model, (3, 8, 8))
+        assert profile.total_params == result.final_profile.total_params
+
+    def test_max_iterations_stop(self, tiny_vgg, tiny_dataset,
+                                 tiny_test_dataset):
+        fw = make_framework(tiny_vgg, tiny_dataset, tiny_test_dataset,
+                            score_threshold=3.1, max_iterations=1)
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        assert result.stop_reason in ("max_iterations", "accuracy",
+                                      "converged")
+        assert len(result.iterations) <= 1
+
+    def test_works_on_mlp(self, tiny_mlp, tiny_dataset, tiny_test_dataset):
+        fw = make_framework(tiny_mlp, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=2)
+        result = fw.run()
+        assert result.final_profile.total_params <= \
+            result.original_profile.total_params
+
+    def test_summary_row_format(self, tiny_mlp, tiny_dataset,
+                                tiny_test_dataset):
+        fw = make_framework(tiny_mlp, tiny_dataset, tiny_test_dataset)
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        row = result.summary_row("mlp-test")
+        assert "mlp-test" in row
+        assert "ratio=" in row
+
+    def test_rejects_non_prunable_model(self, tiny_dataset,
+                                        tiny_test_dataset):
+        from repro.nn import Linear, Sequential
+        model = Sequential(Linear(192, 3))
+        with pytest.raises(TypeError):
+            ClassAwarePruningFramework(model, tiny_dataset, tiny_test_dataset,
+                                       num_classes=3, input_shape=(3, 8, 8))
+
+
+class TestStrategySelection:
+    @pytest.mark.parametrize("name", ["percentage", "threshold",
+                                      "percentage+threshold"])
+    def test_table2_strategies_all_runnable(self, name, tiny_vgg,
+                                            tiny_dataset, tiny_test_dataset):
+        fw = ClassAwarePruningFramework(
+            tiny_vgg, tiny_dataset, tiny_test_dataset, num_classes=3,
+            input_shape=(3, 8, 8),
+            config=FrameworkConfig(score_threshold=1.0,
+                                   max_fraction_per_iteration=0.2,
+                                   strategy=name, finetune_epochs=1,
+                                   accuracy_drop_tolerance=0.5,
+                                   max_iterations=1,
+                                   importance=ImportanceConfig(images_per_class=2)),
+            training=TrainingConfig(epochs=1, batch_size=32, lr=0.05))
+        fw.pretrain(epochs=1)
+        result = fw.run()
+        assert result.stop_reason in ("max_iterations", "converged",
+                                      "accuracy")
+
+
+class TestFinetuneLR:
+    def test_finetune_lr_overrides_training_lr(self, tiny_vgg, tiny_dataset,
+                                               tiny_test_dataset):
+        fw = ClassAwarePruningFramework(
+            tiny_vgg, tiny_dataset, tiny_test_dataset, num_classes=3,
+            input_shape=(3, 8, 8),
+            config=FrameworkConfig(finetune_lr=0.001,
+                                   importance=ImportanceConfig(
+                                       images_per_class=2)),
+            training=TrainingConfig(epochs=1, lr=0.5))
+        assert fw.finetune_training.lr == pytest.approx(0.001)
+        # The pretraining configuration keeps the full rate.
+        assert fw.training.lr == pytest.approx(0.5)
+
+    def test_default_keeps_training_lr(self, tiny_vgg, tiny_dataset,
+                                       tiny_test_dataset):
+        fw = ClassAwarePruningFramework(
+            tiny_vgg, tiny_dataset, tiny_test_dataset, num_classes=3,
+            input_shape=(3, 8, 8),
+            training=TrainingConfig(epochs=1, lr=0.5))
+        assert fw.finetune_training is fw.training

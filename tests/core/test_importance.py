@@ -1,0 +1,176 @@
+"""Class-aware importance aggregation (Eq. 5–7) and the evaluator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import (ImportanceConfig, ImportanceEvaluator,
+                        ImportanceReport, aggregate_scores)
+from repro.models import MLP, vgg11
+
+
+class TestAggregateScores:
+    def test_eq5_binarisation(self):
+        # One image, one filter, two activations around the threshold.
+        taylor = np.array([[[1e-60, 1e-3]]])  # (M=1, C=1, Z=2)
+        out = aggregate_scores(taylor, tau=1e-50)
+        np.testing.assert_allclose(out, [1.0])  # max over activations
+
+    def test_eq6_average_over_images(self):
+        # Activation important for 1 of 2 images -> s_ave = 0.5.
+        taylor = np.array([[[1.0]], [[0.0]]])   # (M=2, C=1, Z=1)
+        out = aggregate_scores(taylor, tau=1e-50)
+        np.testing.assert_allclose(out, [0.5])
+
+    def test_eq7_max_over_activations(self):
+        # Filter with one always-important activation scores 1 even when
+        # the others are dead.
+        taylor = np.zeros((3, 1, 5))
+        taylor[:, 0, 2] = 1.0
+        out = aggregate_scores(taylor, tau=1e-50)
+        np.testing.assert_allclose(out, [1.0])
+
+    def test_mean_aggregation_option(self):
+        taylor = np.zeros((1, 1, 4))
+        taylor[0, 0, 0] = 1.0
+        out = aggregate_scores(taylor, tau=1e-50, aggregation="mean")
+        np.testing.assert_allclose(out, [0.25])
+
+    def test_linear_layer_scores(self):
+        # (M, F) scores: each unit has exactly one activation.
+        taylor = np.array([[1.0, 0.0], [1.0, 0.0]])
+        out = aggregate_scores(taylor, tau=1e-50)
+        np.testing.assert_allclose(out, [1.0, 0.0])
+
+    def test_spatial_scores(self):
+        taylor = np.random.default_rng(0).random((2, 3, 4, 4))
+        out = aggregate_scores(taylor, tau=0.5)
+        assert out.shape == (3,)
+
+    def test_rejects_scalar_input(self):
+        with pytest.raises(ValueError):
+            aggregate_scores(np.array([1.0]), tau=0.1)
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, (4, 3, 5),
+                  elements=st.floats(min_value=0, max_value=1)),
+           st.floats(min_value=1e-6, max_value=0.9))
+    def test_scores_bounded_in_unit_interval(self, taylor, tau):
+        out = aggregate_scores(taylor, tau=tau)
+        assert (out >= 0).all() and (out <= 1).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, (3, 2, 4),
+                  elements=st.floats(min_value=0, max_value=1)))
+    def test_monotone_in_tau(self, taylor):
+        # Raising the threshold can only lower scores.
+        low = aggregate_scores(taylor, tau=0.1)
+        high = aggregate_scores(taylor, tau=0.5)
+        assert (high <= low + 1e-12).all()
+
+    @settings(max_examples=50, deadline=None)
+    @given(arrays(np.float64, (3, 2, 4),
+                  elements=st.floats(min_value=0, max_value=1)))
+    def test_max_dominates_mean(self, taylor):
+        mx = aggregate_scores(taylor, tau=0.3, aggregation="max")
+        mn = aggregate_scores(taylor, tau=0.3, aggregation="mean")
+        assert (mx >= mn - 1e-12).all()
+
+
+class TestImportanceConfig:
+    def test_defaults_follow_paper(self):
+        cfg = ImportanceConfig()
+        assert cfg.images_per_class == 10
+        assert cfg.tau == 1e-50
+        assert cfg.aggregation == "max"
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ImportanceConfig(images_per_class=0)
+        with pytest.raises(ValueError):
+            ImportanceConfig(aggregation="median")
+
+
+class TestEvaluator:
+    def test_report_structure(self, tiny_vgg, tiny_dataset):
+        groups = tiny_vgg.prunable_groups()
+        evaluator = ImportanceEvaluator(
+            tiny_vgg, tiny_dataset, num_classes=3,
+            config=ImportanceConfig(images_per_class=3))
+        report = evaluator.evaluate([g.conv for g in groups])
+        assert report.num_classes == 3
+        for g in groups:
+            n = tiny_vgg.get_module(g.conv).out_channels
+            assert report.total[g.conv].shape == (n,)
+            assert report.per_class[g.conv].shape == (n, 3)
+
+    def test_total_is_sum_of_per_class(self, tiny_vgg, tiny_dataset):
+        path = tiny_vgg.conv_layer_paths()[0]
+        evaluator = ImportanceEvaluator(
+            tiny_vgg, tiny_dataset, num_classes=3,
+            config=ImportanceConfig(images_per_class=3))
+        report = evaluator.evaluate([path])
+        np.testing.assert_allclose(report.total[path],
+                                   report.per_class[path].sum(axis=1))
+
+    def test_scores_bounded_by_num_classes(self, tiny_vgg, tiny_dataset):
+        path = tiny_vgg.conv_layer_paths()[0]
+        evaluator = ImportanceEvaluator(
+            tiny_vgg, tiny_dataset, num_classes=3,
+            config=ImportanceConfig(images_per_class=2))
+        report = evaluator.evaluate([path])
+        assert (report.total[path] >= 0).all()
+        assert (report.total[path] <= 3.0 + 1e-9).all()
+
+    def test_deterministic_given_seed(self, tiny_vgg, tiny_dataset):
+        path = tiny_vgg.conv_layer_paths()[0]
+        cfg = ImportanceConfig(images_per_class=2, seed=9)
+        r1 = ImportanceEvaluator(tiny_vgg, tiny_dataset, 3, cfg).evaluate([path])
+        r2 = ImportanceEvaluator(tiny_vgg, tiny_dataset, 3, cfg).evaluate([path])
+        np.testing.assert_array_equal(r1.total[path], r2.total[path])
+
+    def test_works_on_mlp_units(self, tiny_mlp, tiny_dataset):
+        groups = tiny_mlp.prunable_groups()
+        evaluator = ImportanceEvaluator(
+            tiny_mlp, tiny_dataset, num_classes=3,
+            config=ImportanceConfig(images_per_class=2))
+        report = evaluator.evaluate([g.conv for g in groups])
+        assert report.total[groups[0].conv].shape == (16,)
+
+    def test_zeroed_filter_gets_zero_score(self, tiny_dataset):
+        # A filter whose weights are zero produces constant-zero activations
+        # -> Taylor scores 0 -> importance 0 for every class.
+        model = vgg11(num_classes=3, image_size=8, width=0.125, seed=2)
+        path = model.conv_layer_paths()[0]
+        conv = model.get_module(path)
+        conv.weight.data[1] = 0.0
+        if conv.bias is not None:
+            conv.bias.data[1] = 0.0
+        # Also kill the BN affine response of that channel so downstream
+        # activation is exactly zero.
+        bn = model.get_module(model.prunable_groups()[0].bn)
+        bn.weight.data[1] = 0.0
+        bn.bias.data[1] = 0.0
+        evaluator = ImportanceEvaluator(
+            model, tiny_dataset, num_classes=3,
+            config=ImportanceConfig(images_per_class=2))
+        report = evaluator.evaluate([path])
+        assert report.total[path][1] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestReport:
+    def test_all_scores_concatenates(self):
+        report = ImportanceReport(num_classes=5)
+        report.total = {"a": np.array([1.0, 2.0]), "b": np.array([3.0])}
+        np.testing.assert_array_equal(report.all_scores(), [1.0, 2.0, 3.0])
+
+    def test_layer_means(self):
+        report = ImportanceReport(num_classes=5)
+        report.total = {"a": np.array([1.0, 3.0])}
+        assert report.layer_means() == {"a": 2.0}
+
+    def test_empty_report(self):
+        report = ImportanceReport()
+        assert report.all_scores().size == 0

@@ -1,0 +1,97 @@
+"""Soft pruning (masking) — what-if analysis equivalence."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (FilterMasks, evaluate_model, masked_accuracy,
+                        prune_groups, simulate_decision)
+from repro.core.pruner import PercentageStrategy
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model, size=8, seed=0):
+    x = Tensor(np.random.default_rng(seed).normal(size=(3, 3, size, size))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x).data
+
+
+class TestFilterMasks:
+    def test_masks_zero_the_channels(self, tiny_vgg):
+        path = tiny_vgg.conv_layer_paths()[0]
+        from repro.core import ActivationRecorder
+        with FilterMasks(tiny_vgg, {path: np.array([1, 2])}):
+            # Record the *consumer's view* by re-reading the masked output
+            # through a second forward with a recorder downstream.
+            bn_path = tiny_vgg.prunable_groups()[0].bn
+            with ActivationRecorder(tiny_vgg, [bn_path]) as rec:
+                forward(tiny_vgg)
+                # BN of a zeroed channel in eval mode is an affine constant,
+                # but in the recorded conv output itself channels are 0:
+            with ActivationRecorder(tiny_vgg, [path]) as rec2:
+                forward(tiny_vgg)
+                act = rec2.activations[path].data
+        assert np.abs(act[:, [1, 2]]).max() == 0.0
+        assert np.abs(act[:, 0]).max() > 0.0
+
+    def test_hooks_removed_on_exit(self, tiny_vgg):
+        path = tiny_vgg.conv_layer_paths()[0]
+        before = forward(tiny_vgg)
+        with FilterMasks(tiny_vgg, {path: np.array([0])}):
+            masked = forward(tiny_vgg)
+        after = forward(tiny_vgg)
+        np.testing.assert_allclose(after, before, rtol=1e-6)
+        assert not np.allclose(masked, before)
+
+    def test_mask_on_linear_layer(self, tiny_mlp):
+        group = tiny_mlp.prunable_groups()[0]
+        with FilterMasks(tiny_mlp, {group.conv: np.array([0, 1, 2])}):
+            out = forward(tiny_mlp)
+        assert out.shape == (3, 3)
+
+
+class TestEquivalenceWithSurgery:
+    def test_masking_equals_pruning_for_mlp(self, tiny_mlp):
+        """Masking unit outputs must equal physically removing them.
+
+        Holds exactly for MLP groups (no batch norm in the path); for conv
+        groups BN's affine offset of a zeroed channel differs, which is
+        why the framework measures post-prune accuracy after real surgery.
+        """
+        group = tiny_mlp.prunable_groups()[0]
+        victims = np.array([3, 7])
+        with FilterMasks(tiny_mlp, {group.conv: victims}):
+            masked_out = forward(tiny_mlp)
+        pruned = copy.deepcopy(tiny_mlp)
+        groups = pruned.prunable_groups()
+        lin = pruned.get_module(group.conv)
+        keep = np.setdiff1d(np.arange(lin.out_features), victims)
+        prune_groups(pruned, groups, {group.name: keep})
+        pruned_out = forward(pruned)
+        np.testing.assert_allclose(masked_out, pruned_out, rtol=1e-4,
+                                   atol=1e-5)
+
+
+class TestAccuracyHelpers:
+    def test_masked_accuracy_bounded(self, tiny_mlp, tiny_dataset):
+        group = tiny_mlp.prunable_groups()[0]
+        acc = masked_accuracy(tiny_mlp, tiny_dataset,
+                              {group.conv: np.array([0])})
+        assert 0.0 <= acc <= 1.0
+
+    def test_simulate_decision_runs(self, tiny_mlp, tiny_dataset):
+        groups = tiny_mlp.prunable_groups()
+        scores = {g.name: np.random.default_rng(0).random(
+            tiny_mlp.get_module(g.conv).out_features) for g in groups}
+        decision = PercentageStrategy(0.2).select(
+            scores, {g.name: 1 for g in groups})
+        acc = simulate_decision(tiny_mlp, tiny_dataset, decision)
+        assert 0.0 <= acc <= 1.0
+
+    def test_unmasked_equals_plain_evaluation(self, tiny_mlp, tiny_dataset):
+        _, plain = evaluate_model(tiny_mlp, tiny_dataset)
+        masked = masked_accuracy(tiny_mlp, tiny_dataset, {})
+        assert masked == pytest.approx(plain)

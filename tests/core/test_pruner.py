@@ -1,0 +1,147 @@
+"""Pruning strategies (Sec. III-C, Table II axes)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (CombinedStrategy, PercentageStrategy,
+                        ThresholdStrategy, strategy_from_name)
+
+
+def scores_fixture():
+    return {
+        "layer1": np.array([0.5, 2.0, 5.0, 9.0]),
+        "layer2": np.array([1.0, 1.5, 8.0]),
+    }
+
+
+MIN1 = {"layer1": 1, "layer2": 1}
+
+
+class TestThresholdStrategy:
+    def test_selects_all_below_threshold(self):
+        decision = ThresholdStrategy(3.0).select(scores_fixture(), MIN1)
+        np.testing.assert_array_equal(decision.remove["layer1"], [0, 1])
+        np.testing.assert_array_equal(decision.remove["layer2"], [0, 1])
+
+    def test_no_filter_below_returns_empty(self):
+        decision = ThresholdStrategy(0.1).select(scores_fixture(), MIN1)
+        assert decision.is_empty()
+
+    def test_min_channels_protected(self):
+        scores = {"l": np.array([0.1, 0.2, 0.3])}
+        decision = ThresholdStrategy(10.0).select(scores, {"l": 2})
+        # Only one filter may go; the lowest-scoring one.
+        np.testing.assert_array_equal(decision.remove["l"], [0])
+
+    def test_never_empties_group(self):
+        scores = {"l": np.array([0.1, 0.2])}
+        decision = ThresholdStrategy(10.0).select(scores, {"l": 1})
+        assert len(decision.remove["l"]) == 1
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            ThresholdStrategy(0.0)
+
+
+class TestPercentageStrategy:
+    def test_removes_global_bottom_fraction(self):
+        # 7 filters, 30% -> floor(2.1) = 2 lowest: layer1[0]=0.5, layer2[0]=1.0.
+        decision = PercentageStrategy(0.3).select(scores_fixture(), MIN1)
+        assert decision.num_selected == 2
+        np.testing.assert_array_equal(decision.remove["layer1"], [0])
+        np.testing.assert_array_equal(decision.remove["layer2"], [0])
+
+    def test_tiny_fraction_selects_nothing(self):
+        decision = PercentageStrategy(0.05).select(scores_fixture(), MIN1)
+        assert decision.is_empty()
+
+    def test_respects_min_channels_per_group(self):
+        scores = {"small": np.array([0.0, 0.1]), "big": np.array([5.0] * 8)}
+        decision = PercentageStrategy(0.5).select(scores, {"small": 2, "big": 1})
+        # Both "small" filters are globally lowest but protected.
+        assert "small" not in decision.remove
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            PercentageStrategy(0.0)
+        with pytest.raises(ValueError):
+            PercentageStrategy(1.0)
+
+
+class TestCombinedStrategy:
+    def test_threshold_filters_then_percentage_caps(self):
+        # Below threshold 3: 4 filters; cap 30% of 7 = 2 -> two lowest.
+        decision = CombinedStrategy(3.0, 0.3).select(scores_fixture(), MIN1)
+        assert decision.num_selected == 2
+        np.testing.assert_array_equal(decision.remove["layer1"], [0])
+        np.testing.assert_array_equal(decision.remove["layer2"], [0])
+
+    def test_fewer_candidates_than_budget(self):
+        decision = CombinedStrategy(1.2, 0.9).select(scores_fixture(), MIN1)
+        # Only scores 0.5 and 1.0 fall below 1.2.
+        assert decision.num_selected == 2
+
+    def test_empty_when_nothing_below_threshold(self):
+        decision = CombinedStrategy(0.2, 0.5).select(scores_fixture(), MIN1)
+        assert decision.is_empty()
+
+    def test_budget_at_least_one(self):
+        scores = {"l": np.array([0.1] + [9.0] * 3)}
+        decision = CombinedStrategy(1.0, 0.01).select(scores, {"l": 1})
+        assert decision.num_selected == 1
+
+    def test_prunes_less_or_equal_than_components(self):
+        # The combination is the intersection-with-cap: never more than
+        # the pure threshold strategy selects.
+        scores = scores_fixture()
+        combined = CombinedStrategy(3.0, 0.3).select(scores, MIN1)
+        threshold = ThresholdStrategy(3.0).select(scores, MIN1)
+        assert combined.num_selected <= threshold.num_selected
+
+
+class TestStrategyFromName:
+    @pytest.mark.parametrize("name,cls", [
+        ("percentage", PercentageStrategy),
+        ("threshold", ThresholdStrategy),
+        ("percentage+threshold", CombinedStrategy),
+        ("combined", CombinedStrategy),
+    ])
+    def test_names(self, name, cls):
+        assert isinstance(strategy_from_name(name, 3.0, 0.1), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            strategy_from_name("magic", 3.0, 0.1)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=10), min_size=2,
+                max_size=30),
+       st.floats(min_value=0.01, max_value=0.99),
+       st.floats(min_value=0.1, max_value=9.9))
+def test_combined_invariants(score_list, fraction, threshold):
+    """For any inputs: budget respected, min_channels respected, victims
+    all scored below threshold."""
+    scores = {"g": np.array(score_list)}
+    decision = CombinedStrategy(threshold, fraction).select(scores, {"g": 1})
+    n = len(score_list)
+    budget = max(int(np.floor(n * fraction)), 1)
+    removed = decision.remove.get("g", np.array([], dtype=int))
+    assert len(removed) <= budget
+    assert len(removed) <= n - 1
+    assert all(scores["g"][i] < threshold for i in removed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=10), min_size=3,
+                max_size=30),
+       st.floats(min_value=0.05, max_value=0.95))
+def test_percentage_removes_lowest(score_list, fraction):
+    scores = {"g": np.array(score_list)}
+    decision = PercentageStrategy(fraction).select(scores, {"g": 1})
+    removed = decision.remove.get("g", np.array([], dtype=int))
+    if len(removed):
+        kept = np.setdiff1d(np.arange(len(score_list)), removed)
+        assert scores["g"][removed].max() <= scores["g"][kept].min() + 1e-12

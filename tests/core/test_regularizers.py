@@ -1,0 +1,170 @@
+"""Modified cost function (Eq. 1–2): L1 and orthogonality terms."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ModifiedLoss, l1_regularizer, orthogonality_term)
+from repro.core.regularizers import _orth_conv, _orth_kernel
+from repro.models import MLP, vgg11
+from repro.nn import Conv2d, Linear, Sequential
+from repro.tensor import Tensor
+
+
+class TestL1:
+    def test_value_matches_manual_sum(self):
+        model = Sequential(Linear(3, 2), Conv2d(1, 1, 2))
+        expected = (np.abs(model[0].weight.data).sum()
+                    + np.abs(model[1].weight.data).sum())
+        assert float(l1_regularizer(model).data) == pytest.approx(expected,
+                                                                  rel=1e-5)
+
+    def test_biases_excluded(self):
+        model = Sequential(Linear(3, 2))
+        model[0].weight.data[:] = 0.0
+        model[0].bias.data[:] = 100.0
+        assert float(l1_regularizer(model).data) == 0.0
+
+    def test_gradient_is_sign(self):
+        model = Sequential(Linear(2, 2, bias=False))
+        model[0].weight.data = np.array([[1.0, -2.0], [3.0, -4.0]],
+                                        dtype=np.float32)
+        l1_regularizer(model).backward()
+        np.testing.assert_allclose(model[0].weight.grad,
+                                   np.sign(model[0].weight.data))
+
+    def test_no_layers_raises(self):
+        from repro.nn import ReLU
+        with pytest.raises(ValueError):
+            l1_regularizer(Sequential(ReLU()))
+
+
+class TestOrthKernel:
+    def test_zero_for_orthonormal_filters(self):
+        # 4 filters forming an identity over a 4-dim flattened kernel.
+        w = Tensor(np.eye(4, dtype=np.float32).reshape(4, 1, 2, 2))
+        assert float(_orth_kernel(w).data) == pytest.approx(0.0, abs=1e-5)
+
+    def test_positive_for_duplicate_filters(self):
+        w = np.zeros((2, 1, 2, 2), dtype=np.float32)
+        w[0, 0, 0, 0] = 1.0
+        w[1, 0, 0, 0] = 1.0  # identical to filter 0
+        value = float(_orth_kernel(Tensor(w)).data)
+        # Gram = [[1,1],[1,1]]; ||G - I||_F = sqrt(2).
+        assert value == pytest.approx(np.sqrt(2.0), rel=1e-4)
+
+    def test_gradient_flows(self):
+        w = Tensor(np.random.default_rng(0).normal(size=(3, 2, 2, 2)),
+                   requires_grad=True)
+        _orth_kernel(w).backward()
+        assert w.grad is not None
+        assert np.abs(w.grad).max() > 0
+
+
+class TestOrthConv:
+    def test_zero_for_delta_filter(self):
+        # A single 1x1 identity filter is trivially self-orthogonal.
+        w = Tensor(np.ones((1, 1, 1, 1), dtype=np.float32))
+        assert float(_orth_conv(w).data) == pytest.approx(0.0, abs=1e-5)
+
+    def test_detects_shifted_self_correlation(self):
+        # A constant 2x2 filter overlaps itself at every shift: loss > 0
+        # even though its kernel-Gram diagonal could be normalised.
+        w = Tensor(np.full((1, 1, 2, 2), 0.5, dtype=np.float32))
+        assert float(_orth_conv(w).data) > 0.1
+
+    def test_agrees_with_kernel_gram_for_stride_equal_kernel(self):
+        # With stride = kernel (non-overlapping windows), the Toeplitz rows
+        # are disjoint shifted kernels, so self-convolution at shift 0 is
+        # the kernel Gram and all other taps vanish from the row overlap.
+        rng = np.random.default_rng(1)
+        w = Tensor(rng.normal(size=(3, 2, 2, 2)).astype(np.float32))
+        conv_loss = float(_orth_conv(w, stride=2).data)
+        gram_loss = float(_orth_kernel(w).data)
+        assert conv_loss == pytest.approx(gram_loss, rel=1e-4)
+
+
+class TestOrthogonalityTerm:
+    def test_sums_over_all_layers(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        total = float(orthogonality_term(model).data)
+        manual = sum(float(_orth_kernel(m.weight).data)
+                     for m in model.modules()
+                     if isinstance(m, (Conv2d, Linear)))
+        assert total == pytest.approx(manual, rel=1e-4)
+
+    def test_toeplitz_mode_needs_input_sizes(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        with pytest.raises(ValueError):
+            orthogonality_term(model, mode="toeplitz")
+
+    def test_unknown_mode_rejected(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        with pytest.raises(ValueError):
+            orthogonality_term(model, mode="qr")
+
+    def test_kernel_mode_covers_mlp_rows(self):
+        # Kernel mode treats linear rows as filters (paper Fig. 1 applies
+        # the class-aware story to MLP neurons).
+        value = float(orthogonality_term(MLP(8, [4], 2)).data)
+        assert value > 0
+
+    def test_conv_mode_rejects_pure_mlp(self):
+        with pytest.raises(ValueError):
+            orthogonality_term(MLP(8, [4], 2), mode="conv")
+
+
+class TestModifiedLoss:
+    def test_reduces_to_ce_with_zero_coefficients(self, tiny_vgg):
+        from repro.nn import cross_entropy
+        loss = ModifiedLoss(lambda1=0.0, lambda2=0.0)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+                   .astype(np.float32))
+        logits = tiny_vgg(x)
+        targets = np.array([0, 1, 2, 0])
+        terms = loss(tiny_vgg, logits, targets)
+        assert float(terms.total.data) == pytest.approx(
+            float(cross_entropy(logits, targets).data), rel=1e-6)
+        assert terms.l1 == 0.0
+        assert terms.orth == 0.0
+
+    def test_total_includes_weighted_terms(self, tiny_vgg):
+        loss = ModifiedLoss(lambda1=0.1, lambda2=0.2)
+        x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+                   .astype(np.float32))
+        logits = tiny_vgg(x)
+        terms = loss(tiny_vgg, logits, np.array([0, 1]))
+        assert float(terms.total.data) == pytest.approx(
+            terms.cross_entropy + 0.1 * terms.l1 + 0.2 * terms.orth, rel=1e-4)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            ModifiedLoss(lambda1=-1.0)
+
+    def test_l1_training_shrinks_weights(self, tiny_dataset):
+        # The mechanism Fig. 8 relies on: heavier L1 -> smaller weights.
+        from repro.core import Trainer, TrainingConfig
+        from repro.models import vgg11
+
+        def final_weight_mass(lambda1):
+            model = vgg11(num_classes=3, image_size=8, width=0.125, seed=4)
+            cfg = TrainingConfig(epochs=3, batch_size=32, lr=0.05,
+                                 lambda1=lambda1, lambda2=0.0,
+                                 weight_decay=0.0)
+            Trainer(model, tiny_dataset, config=cfg).train()
+            return float(l1_regularizer(model).data)
+
+        assert final_weight_mass(0.01) < final_weight_mass(0.0)
+
+    def test_orth_training_reduces_orth_penalty(self, tiny_dataset):
+        from repro.core import Trainer, TrainingConfig
+        from repro.models import vgg11
+
+        def final_orth(lambda2):
+            model = vgg11(num_classes=3, image_size=8, width=0.125, seed=5)
+            cfg = TrainingConfig(epochs=3, batch_size=32, lr=0.05,
+                                 lambda1=0.0, lambda2=lambda2,
+                                 weight_decay=0.0)
+            Trainer(model, tiny_dataset, config=cfg).train()
+            return float(orthogonality_term(model).data)
+
+        assert final_orth(0.05) < final_orth(0.0)

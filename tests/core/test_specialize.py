@@ -1,0 +1,97 @@
+"""Class-subset specialisation (extension of the class-aware scores)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ImportanceConfig, SpecializationConfig, Trainer,
+                        TrainingConfig, class_subset, specialize)
+from repro.models import MLP, vgg11
+from repro.tensor import Tensor, no_grad
+
+
+class TestClassSubset:
+    def test_filters_and_remaps_labels(self, tiny_dataset):
+        subset = class_subset(tiny_dataset, [2, 0])
+        assert set(subset.labels) <= {0, 1}
+        # Class 2 maps to 0, class 0 maps to 1.
+        full_labels = tiny_dataset.labels[subset.indices]
+        expected = np.where(full_labels == 2, 0, 1)
+        np.testing.assert_array_equal(subset.labels, expected)
+
+    def test_item_labels_match_labels_property(self, tiny_dataset):
+        subset = class_subset(tiny_dataset, [1, 2])
+        for i in range(len(subset)):
+            assert subset[i][1] == subset.labels[i]
+
+    def test_size(self, tiny_dataset):
+        subset = class_subset(tiny_dataset, [0])
+        assert len(subset) == int((tiny_dataset.labels == 0).sum())
+
+
+@pytest.fixture
+def trained_vgg(tiny_dataset, tiny_test_dataset):
+    model = vgg11(num_classes=3, image_size=8, width=0.25, seed=9)
+    cfg = TrainingConfig(epochs=20, batch_size=32, lr=0.05, lambda1=1e-4,
+                         lambda2=1e-2, weight_decay=0.0)
+    Trainer(model, tiny_dataset, tiny_test_dataset, cfg).train()
+    return model, cfg
+
+
+class TestSpecialize:
+    def test_end_to_end(self, trained_vgg, tiny_dataset, tiny_test_dataset):
+        model, cfg = trained_vgg
+        result = specialize(
+            model, tiny_dataset, tiny_test_dataset, num_classes=3,
+            classes=[0, 2], input_shape=(3, 8, 8),
+            config=SpecializationConfig(
+                min_class_score=0.3, finetune_epochs=5,
+                importance=ImportanceConfig(images_per_class=5,
+                                            tau_mode="quantile",
+                                            tau_quantile=0.9)),
+            training=cfg)
+        # Classifier now has two logits, in subset order.
+        assert model.classifier.out_features == 2
+        x = Tensor(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        model.eval()
+        with no_grad():
+            assert model(x).shape == (1, 2)
+        # Specialisation sheds a large share of the parameters while the
+        # subset task stays well above chance (0.5 for two classes).
+        assert result.pruning_ratio > 0.3
+        assert result.accuracy > 0.7
+
+    def test_validation(self, trained_vgg, tiny_dataset, tiny_test_dataset):
+        model, cfg = trained_vgg
+        with pytest.raises(ValueError):
+            specialize(model, tiny_dataset, tiny_test_dataset, 3, [],
+                       (3, 8, 8))
+        with pytest.raises(ValueError):
+            specialize(model, tiny_dataset, tiny_test_dataset, 3, [0, 0],
+                       (3, 8, 8))
+        with pytest.raises(ValueError):
+            specialize(model, tiny_dataset, tiny_test_dataset, 3, [5],
+                       (3, 8, 8))
+
+    def test_rejects_plain_module(self, tiny_dataset, tiny_test_dataset):
+        from repro.nn import Linear, Sequential
+        with pytest.raises(TypeError):
+            specialize(Sequential(Linear(2, 2)), tiny_dataset,
+                       tiny_test_dataset, 3, [0], (3, 8, 8))
+
+    def test_works_on_mlp(self, tiny_dataset, tiny_test_dataset):
+        model = MLP(3 * 8 * 8, [32, 16], 3, seed=1)
+        cfg = TrainingConfig(epochs=10, batch_size=32, lr=0.05,
+                             lambda1=1e-4, lambda2=0.0, weight_decay=0.0)
+        Trainer(model, tiny_dataset, tiny_test_dataset, cfg).train()
+        result = specialize(
+            model, tiny_dataset, tiny_test_dataset, num_classes=3,
+            classes=[1, 2], input_shape=(3, 8, 8),
+            config=SpecializationConfig(
+                min_class_score=0.4, finetune_epochs=2,
+                importance=ImportanceConfig(images_per_class=5,
+                                            tau_mode="quantile",
+                                            tau_quantile=0.9)),
+            training=cfg)
+        assert model.classifier.out_features == 2
+        assert result.final_profile.total_params < \
+            result.original_profile.total_params or result.accuracy >= 0.5

@@ -1,0 +1,194 @@
+"""Filter surgery: structural consistency and functional equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.core import apply_pruning, group_sizes, prune_groups
+from repro.core.importance import ImportanceReport
+from repro.core.pruner import PercentageStrategy
+from repro.models import MLP, resnet20, vgg11
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model, size=8, n=3, seed=0):
+    x = Tensor(np.random.default_rng(seed).normal(size=(n, 3, size, size))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x).data
+
+
+class TestVGGSurgery:
+    def test_structure_consistent_after_pruning(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        keep = {groups[0].name: np.array([0, 2, 4])}
+        prune_groups(tiny_vgg, groups, keep)
+        conv = tiny_vgg.get_module(groups[0].conv)
+        bn = tiny_vgg.get_module(groups[0].bn)
+        nxt = tiny_vgg.get_module(groups[0].consumers[0].path)
+        assert conv.out_channels == 3
+        assert bn.num_features == 3
+        assert nxt.in_channels == 3
+        forward(tiny_vgg)  # must still run
+
+    def test_prune_last_conv_updates_classifier(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        last = groups[-1]
+        total = tiny_vgg.get_module(last.conv).out_channels
+        keep = {last.name: np.arange(total // 2)}
+        prune_groups(tiny_vgg, groups, keep)
+        assert tiny_vgg.classifier.in_features == total // 2
+        forward(tiny_vgg)
+
+    def test_flatten_head_grouped_columns(self):
+        model = vgg11(num_classes=3, image_size=16, width=0.125,
+                      head="flatten", seed=1)
+        groups = model.prunable_groups()
+        last = groups[-1]
+        total = model.get_module(last.conv).out_channels
+        spatial = model.final_spatial ** 2
+        keep = {last.name: np.arange(total - 2)}
+        prune_groups(model, groups, keep)
+        assert model.classifier.in_features == (total - 2) * spatial
+        forward(model, size=16)
+
+    def test_zeroed_filters_prune_without_output_change(self, tiny_vgg):
+        """Pruning filters whose entire influence is zero must leave the
+        network function exactly unchanged — the core correctness property
+        of structured pruning surgery."""
+        groups = tiny_vgg.prunable_groups()
+        g = groups[1]
+        conv = tiny_vgg.get_module(g.conv)
+        bn = tiny_vgg.get_module(g.bn)
+        victims = [1, 3]
+        # Zero the filter and its BN affine response so the channel
+        # contributes nothing downstream.
+        for v in victims:
+            conv.weight.data[v] = 0.0
+            bn.weight.data[v] = 0.0
+            bn.bias.data[v] = 0.0
+        before = forward(tiny_vgg)
+        keep = {g.name: np.setdiff1d(np.arange(conv.out_channels), victims)}
+        prune_groups(tiny_vgg, groups, keep)
+        after = forward(tiny_vgg)
+        np.testing.assert_allclose(before, after, rtol=1e-4, atol=1e-5)
+
+    def test_keep_order_preserved(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        g = groups[0]
+        conv = tiny_vgg.get_module(g.conv)
+        original = conv.weight.data.copy()
+        prune_groups(tiny_vgg, groups, {g.name: np.array([4, 0, 2])})
+        # Keep indices are normalised to sorted order.
+        np.testing.assert_allclose(conv.weight.data, original[[0, 2, 4]])
+
+
+class TestResNetSurgery:
+    def test_block_internal_pruning(self, tiny_resnet):
+        groups = tiny_resnet.prunable_groups()
+        g = groups[0]
+        conv1 = tiny_resnet.get_module(g.conv)
+        conv2 = tiny_resnet.get_module(g.consumers[0].path)
+        out_before = conv2.out_channels
+        keep = {g.name: np.arange(conv1.out_channels - 1)}
+        prune_groups(tiny_resnet, groups, keep)
+        assert conv2.in_channels == conv1.out_channels
+        assert conv2.out_channels == out_before  # block output unchanged
+        forward(tiny_resnet)
+
+    def test_all_blocks_prunable_simultaneously(self, tiny_resnet):
+        groups = tiny_resnet.prunable_groups()
+        sizes = group_sizes(tiny_resnet, groups)
+        keep = {g.name: np.arange(max(sizes[g.name] // 2, 1)) for g in groups}
+        prune_groups(tiny_resnet, groups, keep)
+        forward(tiny_resnet)
+
+    def test_zeroed_filter_equivalence_resnet(self, tiny_resnet):
+        groups = tiny_resnet.prunable_groups()
+        g = groups[4]
+        conv1 = tiny_resnet.get_module(g.conv)
+        bn1 = tiny_resnet.get_module(g.bn)
+        conv1.weight.data[0] = 0.0
+        bn1.weight.data[0] = 0.0
+        bn1.bias.data[0] = 0.0
+        before = forward(tiny_resnet)
+        keep = {g.name: np.arange(1, conv1.out_channels)}
+        prune_groups(tiny_resnet, groups, keep)
+        after = forward(tiny_resnet)
+        np.testing.assert_allclose(before, after, rtol=1e-4, atol=1e-5)
+
+
+class TestMLPSurgery:
+    def test_unit_pruning(self, tiny_mlp):
+        groups = tiny_mlp.prunable_groups()
+        first = tiny_mlp.get_module(groups[0].conv)
+        second = tiny_mlp.get_module(groups[0].consumers[0].path)
+        keep = {groups[0].name: np.arange(8)}
+        prune_groups(tiny_mlp, groups, keep)
+        assert first.out_features == 8
+        assert second.in_features == 8
+        forward(tiny_mlp)
+
+    def test_zeroed_unit_equivalence(self, tiny_mlp):
+        groups = tiny_mlp.prunable_groups()
+        g = groups[0]
+        lin = tiny_mlp.get_module(g.conv)
+        lin.weight.data[5] = 0.0
+        lin.bias.data[5] = 0.0
+        before = forward(tiny_mlp)
+        keep = {g.name: np.setdiff1d(np.arange(lin.out_features), [5])}
+        prune_groups(tiny_mlp, groups, keep)
+        np.testing.assert_allclose(forward(tiny_mlp), before, rtol=1e-4,
+                                   atol=1e-5)
+
+
+class TestValidation:
+    def test_cannot_remove_every_filter(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        with pytest.raises(ValueError, match="cannot remove every filter"):
+            prune_groups(tiny_vgg, groups, {groups[0].name: np.array([], dtype=int)})
+
+    def test_out_of_range_indices(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        with pytest.raises(ValueError, match="out of range"):
+            prune_groups(tiny_vgg, groups, {groups[0].name: np.array([999])})
+
+    def test_unknown_group_name(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        with pytest.raises(KeyError):
+            prune_groups(tiny_vgg, groups, {"nope": np.array([0])})
+
+    def test_duplicate_keep_indices_deduplicated(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        g = groups[0]
+        prune_groups(tiny_vgg, groups, {g.name: np.array([0, 0, 1, 1])})
+        assert tiny_vgg.get_module(g.conv).out_channels == 2
+
+    def test_record_contents(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        g = groups[0]
+        total = tiny_vgg.get_module(g.conv).out_channels
+        record = prune_groups(tiny_vgg, groups, {g.name: np.array([0, 1])})
+        assert record.num_removed == total - 2
+        np.testing.assert_array_equal(record.kept[g.name], [0, 1])
+        np.testing.assert_array_equal(record.removed[g.name],
+                                      np.arange(2, total))
+
+
+class TestApplyPruning:
+    def test_stale_report_rejected(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        report = ImportanceReport(num_classes=3)
+        report.total = {g.name: np.zeros(99) for g in groups}
+        with pytest.raises(ValueError, match="stale"):
+            apply_pruning(tiny_vgg, groups, report, PercentageStrategy(0.2))
+
+    def test_empty_decision_returns_empty_record(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        sizes = group_sizes(tiny_vgg, groups)
+        report = ImportanceReport(num_classes=3)
+        # All filters maximally important, tiny percentage -> nothing goes.
+        report.total = {g.name: np.full(sizes[g.name], 3.0) for g in groups}
+        record = apply_pruning(tiny_vgg, groups, report,
+                               PercentageStrategy(0.001))
+        assert record.num_removed == 0

@@ -1,0 +1,84 @@
+"""Property tests on filter surgery: any valid keep-set leaves a working net."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import group_sizes, prune_groups
+from repro.models import MLP, vgg11
+from repro.tensor import Tensor, no_grad
+
+
+def forward_ok(model, num_classes):
+    x = Tensor(np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        out = model(x)
+    assert out.shape == (2, num_classes)
+    assert np.isfinite(out.data).all()
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.data())
+def test_any_valid_keepset_keeps_vgg_runnable(data):
+    model = vgg11(num_classes=3, image_size=8, width=0.125, seed=1)
+    groups = model.prunable_groups()
+    sizes = group_sizes(model, groups)
+    keep = {}
+    for g in groups:
+        n = sizes[g.name]
+        count = data.draw(st.integers(min_value=1, max_value=n),
+                          label=f"keep count {g.name}")
+        idx = data.draw(
+            st.sets(st.integers(0, n - 1), min_size=count, max_size=count),
+            label=f"keep idx {g.name}")
+        keep[g.name] = np.asarray(sorted(idx))
+    prune_groups(model, groups, keep)
+    for g in groups:
+        assert model.get_module(g.conv).out_channels == len(keep[g.name])
+    forward_ok(model, 3)
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(1, 15), st.integers(1, 11))
+def test_any_valid_keepset_keeps_mlp_runnable(k1, k2):
+    model = MLP(3 * 8 * 8, [16, 12], 3, seed=2)
+    groups = model.prunable_groups()
+    keep = {groups[0].name: np.arange(k1), groups[1].name: np.arange(k2)}
+    prune_groups(model, groups, keep)
+    assert model.get_module(groups[0].conv).out_features == k1
+    assert model.get_module(groups[1].conv).out_features == k2
+    forward_ok(model, 3)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(2, 8))
+def test_pruning_is_idempotent_on_full_keep(n_keep):
+    model = vgg11(num_classes=3, image_size=8, width=0.125, seed=3)
+    groups = model.prunable_groups()
+    g = groups[0]
+    prune_groups(model, groups, {g.name: np.arange(n_keep)})
+    weights_once = model.get_module(g.conv).weight.data.copy()
+    # Keeping everything that's left must be a no-op.
+    groups2 = model.prunable_groups()
+    prune_groups(model, groups2, {g.name: np.arange(n_keep)})
+    np.testing.assert_array_equal(model.get_module(g.conv).weight.data,
+                                  weights_once)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 1000))
+def test_param_count_matches_profile_after_random_surgery(seed):
+    from repro.flops import profile_model
+    rng = np.random.default_rng(seed)
+    model = vgg11(num_classes=3, image_size=8, width=0.125, seed=4)
+    groups = model.prunable_groups()
+    sizes = group_sizes(model, groups)
+    keep = {g.name: np.sort(rng.choice(
+        sizes[g.name], size=rng.integers(1, sizes[g.name] + 1),
+        replace=False)) for g in groups}
+    prune_groups(model, groups, keep)
+    profile = profile_model(model, (3, 8, 8))
+    assert profile.total_params == model.num_parameters()

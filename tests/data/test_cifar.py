@@ -1,0 +1,78 @@
+"""Real-CIFAR file loaders, exercised against synthesised pickle batches."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.cifar import (CIFAR_MEAN, CIFAR_STD, load_cifar10,
+                              load_cifar100)
+
+
+def write_batch(path, n, num_classes, label_key, seed=0):
+    rng = np.random.default_rng(seed)
+    entry = {
+        b"data": rng.integers(0, 256, size=(n, 3072), dtype=np.uint8),
+        label_key: rng.integers(0, num_classes, size=n).tolist(),
+    }
+    with open(path, "wb") as fh:
+        pickle.dump(entry, fh)
+
+
+@pytest.fixture
+def cifar10_dir(tmp_path):
+    root = tmp_path / "cifar-10-batches-py"
+    root.mkdir()
+    for i in range(1, 6):
+        write_batch(root / f"data_batch_{i}", 20, 10, b"labels", seed=i)
+    write_batch(root / "test_batch", 10, 10, b"labels", seed=99)
+    return root
+
+
+@pytest.fixture
+def cifar100_dir(tmp_path):
+    root = tmp_path / "cifar-100-python"
+    root.mkdir()
+    write_batch(root / "train", 30, 100, b"fine_labels", seed=1)
+    write_batch(root / "test", 10, 100, b"fine_labels", seed=2)
+    return root
+
+
+class TestCifar10:
+    def test_train_concatenates_five_batches(self, cifar10_dir):
+        ds = load_cifar10(cifar10_dir, train=True)
+        assert len(ds) == 100
+        assert ds.images.shape == (100, 3, 32, 32)
+
+    def test_test_split(self, cifar10_dir):
+        ds = load_cifar10(cifar10_dir, train=False)
+        assert len(ds) == 10
+
+    def test_normalisation_applied(self, cifar10_dir):
+        raw = load_cifar10(cifar10_dir, normalise=False)
+        normed = load_cifar10(cifar10_dir, normalise=True)
+        assert raw.images.min() >= 0.0 and raw.images.max() <= 1.0
+        mean = np.asarray(CIFAR_MEAN).reshape(1, 3, 1, 1)
+        std = np.asarray(CIFAR_STD).reshape(1, 3, 1, 1)
+        np.testing.assert_allclose(
+            normed.images,
+            ((raw.images - mean) / std).astype(np.float32),
+            rtol=1e-4, atol=1e-5)
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="download"):
+            load_cifar10(tmp_path / "nope")
+
+    def test_labels_in_range(self, cifar10_dir):
+        ds = load_cifar10(cifar10_dir)
+        assert ds.labels.min() >= 0 and ds.labels.max() < 10
+
+
+class TestCifar100:
+    def test_fine_labels(self, cifar100_dir):
+        ds = load_cifar100(cifar100_dir, train=True)
+        assert len(ds) == 30
+        assert ds.labels.max() < 100
+
+    def test_test_split(self, cifar100_dir):
+        assert len(load_cifar100(cifar100_dir, train=False)) == 10

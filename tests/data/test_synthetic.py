@@ -1,0 +1,86 @@
+"""Synthetic CIFAR substitute: determinism, structure, learnability proxy."""
+
+import numpy as np
+import pytest
+
+from repro.data import (SyntheticConfig, SyntheticImageClassification,
+                        make_cifar_like)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        cfg = SyntheticConfig(num_classes=4, image_size=8, samples_per_class=5)
+        a = SyntheticImageClassification(cfg)
+        b = SyntheticImageClassification(cfg)
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_different_seed_different_data(self):
+        a = SyntheticImageClassification(SyntheticConfig(seed=0, image_size=8,
+                                                         samples_per_class=5))
+        b = SyntheticImageClassification(SyntheticConfig(seed=1, image_size=8,
+                                                         samples_per_class=5))
+        assert not np.array_equal(a.images, b.images)
+
+    def test_train_test_splits_differ_but_share_templates(self):
+        cfg = SyntheticConfig(num_classes=3, image_size=8, samples_per_class=5)
+        train = SyntheticImageClassification(cfg, train=True)
+        test = SyntheticImageClassification(cfg, train=False)
+        assert not np.array_equal(train.images, test.images)
+        np.testing.assert_array_equal(train.templates, test.templates)
+
+
+class TestStructure:
+    def test_shapes_and_labels(self):
+        cfg = SyntheticConfig(num_classes=5, image_size=8, samples_per_class=4)
+        ds = SyntheticImageClassification(cfg)
+        assert ds.images.shape == (20, 3, 8, 8)
+        assert set(ds.labels) == set(range(5))
+        assert (np.bincount(ds.labels) == 4).all()
+
+    def test_templates_are_normalised(self):
+        cfg = SyntheticConfig(num_classes=4, image_size=8, samples_per_class=2)
+        ds = SyntheticImageClassification(cfg)
+        for template in ds.templates:
+            np.testing.assert_allclose(template.mean(axis=(1, 2)),
+                                       np.zeros(3), atol=1e-5)
+            np.testing.assert_allclose(template.std(axis=(1, 2)),
+                                       np.ones(3), atol=1e-4)
+
+    def test_templates_pairwise_distinct(self):
+        cfg = SyntheticConfig(num_classes=10, image_size=8, samples_per_class=1)
+        ds = SyntheticImageClassification(cfg)
+        t = ds.templates.reshape(10, -1)
+        # Normalised correlations between different classes stay well below 1.
+        corr = (t @ t.T) / (np.linalg.norm(t, axis=1, keepdims=True)
+                            * np.linalg.norm(t, axis=1))
+        off_diag = corr[~np.eye(10, dtype=bool)]
+        assert np.abs(off_diag).max() < 0.9
+
+    def test_nearest_template_classifies_samples(self):
+        # The task must be learnable: a nearest-template classifier (aware
+        # of the random horizontal flip augmentation) should be near
+        # perfect at default noise, so a CNN can reach high accuracy too.
+        cfg = SyntheticConfig(num_classes=5, image_size=8,
+                              samples_per_class=20, max_shift=0)
+        ds = SyntheticImageClassification(cfg)
+        t = ds.templates.reshape(5, -1)
+        t_flipped = ds.templates[:, :, :, ::-1].reshape(5, -1)
+        x = ds.images.reshape(len(ds), -1)
+        scores = np.maximum(x @ t.T, x @ t_flipped.T)
+        predictions = np.argmax(scores, axis=1)
+        assert (predictions == ds.labels).mean() > 0.9
+
+
+class TestMakeCifarLike:
+    def test_returns_train_and_test(self):
+        train, test = make_cifar_like(num_classes=3, image_size=8,
+                                      samples_per_class=100)
+        assert len(train) == 300
+        # The test split holds one fifth of the train size (min 10/class).
+        assert len(test) == 3 * max(100 // 5, 10)
+
+    def test_hundred_class_variant(self):
+        train, _ = make_cifar_like(num_classes=100, image_size=8,
+                                   samples_per_class=2)
+        assert len(train) == 200
+        assert train.cfg.num_classes == 100

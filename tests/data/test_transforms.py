@@ -1,0 +1,82 @@
+"""Batch transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data import (Compose, GaussianNoise, Normalize, RandomCrop,
+                        RandomHorizontalFlip)
+
+
+def batch(seed=0, n=8):
+    return np.random.default_rng(seed).normal(size=(n, 3, 8, 8)).astype(np.float32)
+
+
+class TestFlip:
+    def test_p_one_flips_everything(self):
+        b = batch()
+        out = RandomHorizontalFlip(p=1.0)(b, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, b[:, :, :, ::-1])
+
+    def test_p_zero_is_identity(self):
+        b = batch()
+        out = RandomHorizontalFlip(p=0.0)(b, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, b)
+
+    def test_does_not_mutate_input(self):
+        b = batch()
+        original = b.copy()
+        RandomHorizontalFlip(p=1.0)(b, np.random.default_rng(0))
+        np.testing.assert_array_equal(b, original)
+
+
+class TestCrop:
+    def test_output_shape_unchanged(self):
+        out = RandomCrop(padding=2)(batch(), np.random.default_rng(0))
+        assert out.shape == (8, 3, 8, 8)
+
+    def test_zero_padding_is_identity(self):
+        b = batch()
+        np.testing.assert_array_equal(RandomCrop(0)(b, np.random.default_rng(0)), b)
+
+    def test_content_is_a_shifted_window(self):
+        b = np.arange(64, dtype=np.float32).reshape(1, 1, 8, 8)
+        out = RandomCrop(padding=1)(b, np.random.default_rng(3))
+        # Interior pixels of the crop come from the original image.
+        overlap = np.intersect1d(out, b)
+        assert len(overlap) >= 49  # at least a 7x7 region survives
+
+    def test_negative_padding_raises(self):
+        with pytest.raises(ValueError):
+            RandomCrop(-1)
+
+
+class TestNormalize:
+    def test_standardises(self):
+        b = batch() * 3 + 5
+        mean = b.mean(axis=(0, 2, 3))
+        std = b.std(axis=(0, 2, 3))
+        out = Normalize(mean, std)(b, np.random.default_rng(0))
+        np.testing.assert_allclose(out.mean(axis=(0, 2, 3)), np.zeros(3),
+                                   atol=1e-4)
+
+    def test_zero_std_rejected(self):
+        with pytest.raises(ValueError):
+            Normalize([0.0, 0.0, 0.0], [1.0, 0.0, 1.0])
+
+
+class TestNoiseAndCompose:
+    def test_noise_changes_values(self):
+        b = batch()
+        out = GaussianNoise(0.5)(b, np.random.default_rng(0))
+        assert not np.array_equal(out, b)
+
+    def test_zero_sigma_identity(self):
+        b = batch()
+        np.testing.assert_array_equal(GaussianNoise(0.0)(b, np.random.default_rng(0)), b)
+
+    def test_compose_applies_in_order(self):
+        double = lambda b, rng: b * 2
+        add_one = lambda b, rng: b + 1
+        out = Compose([double, add_one])(np.ones((1, 1, 2, 2), np.float32),
+                                         np.random.default_rng(0))
+        np.testing.assert_array_equal(out, np.full((1, 1, 2, 2), 3.0))

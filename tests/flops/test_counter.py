@@ -1,0 +1,109 @@
+"""FLOPs/params accounting (Table I metric machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.flops import (flops_reduction, profile_model, pruning_ratio)
+from repro.models import MLP, resnet20, vgg11
+from repro.nn import BatchNorm2d, Conv2d, Linear, ReLU, Sequential
+from repro.core import prune_groups
+
+
+class TestLayerCosts:
+    def test_single_conv_macs_by_hand(self):
+        # 4 filters of 3x3x3 over an 8x8 input with padding 1:
+        # MACs = 8*8*4 * 3*3*3 = 6912.
+        model = Sequential(Conv2d(3, 4, 3, padding=1))
+        profile = profile_model(model, (3, 8, 8))
+        conv = profile.by_type("Conv2d")[0]
+        assert conv.macs == 8 * 8 * 4 * 27
+        assert conv.flops == 2 * conv.macs
+        assert conv.params == 4 * 27 + 4
+
+    def test_strided_conv_counts_output_positions(self):
+        model = Sequential(Conv2d(1, 1, 3, stride=2, padding=1, bias=False))
+        profile = profile_model(model, (1, 8, 8))
+        assert profile.by_type("Conv2d")[0].macs == 4 * 4 * 9
+
+    def test_linear_macs(self):
+        model = Sequential(Linear(10, 5))
+        # Shape inference needs a 2-D input; wrap in a flatten-style call.
+        from repro.nn import Flatten
+        model = Sequential(Flatten(), Linear(12, 5))
+        profile = profile_model(model, (3, 2, 2))
+        lin = profile.by_type("Linear")[0]
+        assert lin.macs == 12 * 5
+        assert lin.params == 12 * 5 + 5
+
+    def test_batchnorm_counted(self):
+        model = Sequential(Conv2d(1, 2, 3, padding=1), BatchNorm2d(2))
+        profile = profile_model(model, (1, 4, 4))
+        bn = profile.by_type("BatchNorm2d")[0]
+        assert bn.params == 4
+        assert bn.macs == 2 * 4 * 4
+
+    def test_total_params_matches_module_count(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        profile = profile_model(model, (3, 8, 8))
+        assert profile.total_params == model.num_parameters()
+
+    def test_layers_in_execution_order(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        profile = profile_model(model, (3, 8, 8))
+        conv_paths = [l.path for l in profile.layers
+                      if l.layer_type == "Conv2d"]
+        assert conv_paths == model.conv_layer_paths()
+
+    def test_profile_does_not_disturb_bn_stats(self):
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        bn = model.get_module(model.prunable_groups()[0].bn)
+        before = bn.running_mean.copy()
+        profile_model(model, (3, 8, 8))
+        np.testing.assert_array_equal(bn.running_mean, before)
+
+    def test_summary_renders(self):
+        model = MLP(12, [8], 3)
+        text = profile_model(model, (3, 2, 2)).summary()
+        assert "TOTAL" in text
+
+
+class TestRatios:
+    def test_pruning_ratio_after_surgery(self, tiny_vgg):
+        original = profile_model(tiny_vgg, (3, 8, 8))
+        groups = tiny_vgg.prunable_groups()
+        g = groups[0]
+        n = tiny_vgg.get_module(g.conv).out_channels
+        prune_groups(tiny_vgg, groups, {g.name: np.arange(n // 2)})
+        pruned = profile_model(tiny_vgg, (3, 8, 8))
+        ratio = pruning_ratio(original, pruned)
+        red = flops_reduction(original, pruned)
+        assert 0 < ratio < 1
+        assert 0 < red < 1
+
+    def test_identity_is_zero(self, tiny_vgg):
+        p = profile_model(tiny_vgg, (3, 8, 8))
+        assert pruning_ratio(p, p) == 0.0
+        assert flops_reduction(p, p) == 0.0
+
+    def test_resnet_conv1_only_rule_preserves_fixed_costs(self, tiny_resnet):
+        # Pruning only first convs of blocks never touches the stem,
+        # shortcut projections or classifier: their costs must survive
+        # even under the most extreme pruning, bounding the reduction
+        # away from 100%.
+        original = profile_model(tiny_resnet, (3, 8, 8))
+        groups = tiny_resnet.prunable_groups()
+        keep = {g.name: np.arange(1) for g in groups}  # extreme prune
+        prune_groups(tiny_resnet, groups, keep)
+        pruned = profile_model(tiny_resnet, (3, 8, 8))
+        assert flops_reduction(original, pruned) < 1.0
+        fixed = ["conv1", "stage2.0.shortcut.0", "stage3.0.shortcut.0",
+                 "classifier"]
+        orig_by_path = {l.path: l for l in original.layers}
+        pruned_by_path = {l.path: l for l in pruned.layers}
+        for path in fixed:
+            assert pruned_by_path[path].macs == orig_by_path[path].macs
+
+    def test_empty_profile_raises(self):
+        from repro.flops import ModelProfile
+        with pytest.raises(ValueError):
+            pruning_ratio(ModelProfile(), ModelProfile())

@@ -1,0 +1,121 @@
+"""Systolic-array cost model."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import prune_groups
+from repro.flops import (HardwareReport, SystolicArrayConfig, cycle_reduction,
+                         estimate_cycles, gemm_cycles)
+from repro.models import vgg11
+
+
+class TestGemmCycles:
+    def test_single_tile_cost(self):
+        cfg = SystolicArrayConfig(rows=4, cols=4)
+        # One 4x4 weight tile, M=10 rows: 10 + 4 + 4 - 1 = 17 cycles.
+        assert gemm_cycles(10, 4, 4, cfg) == 17
+
+    def test_tiling_scales_linearly(self):
+        cfg = SystolicArrayConfig(rows=4, cols=4)
+        one = gemm_cycles(10, 4, 4, cfg)
+        assert gemm_cycles(10, 8, 4, cfg) == 2 * one
+        assert gemm_cycles(10, 8, 8, cfg) == 4 * one
+
+    def test_partial_tiles_round_up(self):
+        cfg = SystolicArrayConfig(rows=4, cols=4)
+        assert gemm_cycles(10, 5, 4, cfg) == 2 * gemm_cycles(10, 4, 4, cfg)
+
+    def test_sparsity_ignored_without_zero_skipping(self):
+        cfg = SystolicArrayConfig(rows=4, cols=4, zero_skipping=False)
+        assert gemm_cycles(10, 16, 16, cfg, sparsity=0.9) == \
+            gemm_cycles(10, 16, 16, cfg, sparsity=0.0)
+
+    def test_zero_skipping_compresses_reduction_dim(self):
+        cfg = SystolicArrayConfig(rows=4, cols=4, zero_skipping=True,
+                                  skip_overhead=0.0)
+        dense = gemm_cycles(10, 16, 16, cfg, sparsity=0.0)
+        sparse = gemm_cycles(10, 16, 16, cfg, sparsity=0.75)
+        assert sparse == dense // 4
+
+    def test_zero_skipping_pays_overhead(self):
+        with_oh = SystolicArrayConfig(rows=4, cols=4, zero_skipping=True,
+                                      skip_overhead=0.5)
+        no_oh = SystolicArrayConfig(rows=4, cols=4, zero_skipping=True,
+                                    skip_overhead=0.0)
+        assert gemm_cycles(10, 16, 16, with_oh, sparsity=0.5) > \
+            gemm_cycles(10, 16, 16, no_oh, sparsity=0.5)
+
+    def test_invalid_inputs(self):
+        cfg = SystolicArrayConfig()
+        with pytest.raises(ValueError):
+            gemm_cycles(0, 1, 1, cfg)
+        with pytest.raises(ValueError):
+            gemm_cycles(1, 1, 1, cfg, sparsity=1.5)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(rows=0)
+        with pytest.raises(ValueError):
+            SystolicArrayConfig(skip_overhead=1.0)
+
+
+class TestModelEstimate:
+    def test_covers_all_conv_and_linear_layers(self, tiny_vgg):
+        report = estimate_cycles(tiny_vgg, (3, 8, 8))
+        conv_count = len(tiny_vgg.conv_layer_paths())
+        assert len(report.layers) == conv_count + 1  # + classifier
+        assert report.total_cycles > 0
+        assert report.latency_ms > 0
+
+    def test_conv_gemm_dims(self, tiny_vgg):
+        report = estimate_cycles(tiny_vgg, (3, 8, 8))
+        first = report.layers[0]
+        conv = tiny_vgg.get_module(first.path)
+        assert first.k == conv.in_channels * conv.kernel_size ** 2
+        assert first.n == conv.out_channels
+        assert first.m == 8 * 8  # padding-1 3x3 conv keeps resolution
+
+    def test_structured_pruning_reduces_cycles(self, tiny_vgg):
+        original = estimate_cycles(tiny_vgg, (3, 8, 8))
+        groups = tiny_vgg.prunable_groups()
+        keep = {g.name: np.arange(max(
+            tiny_vgg.get_module(g.conv).out_channels // 2, 1))
+            for g in groups}
+        prune_groups(tiny_vgg, groups, keep)
+        pruned = estimate_cycles(tiny_vgg, (3, 8, 8))
+        assert cycle_reduction(original, pruned) > 0.2
+
+    def test_unstructured_zeros_do_not_reduce_cycles_without_skipping(
+            self, tiny_vgg):
+        original = estimate_cycles(tiny_vgg, (3, 8, 8))
+        # Zero 90% of every conv weight in place.
+        rng = np.random.default_rng(0)
+        for path in tiny_vgg.conv_layer_paths():
+            w = tiny_vgg.get_module(path).weight.data
+            mask = rng.random(w.shape) < 0.9
+            w[mask] = 0.0
+        masked = estimate_cycles(tiny_vgg, (3, 8, 8))
+        assert masked.total_cycles == original.total_cycles
+
+    def test_zero_skipping_hardware_recovers_unstructured_gains(
+            self, tiny_vgg):
+        rng = np.random.default_rng(0)
+        for path in tiny_vgg.conv_layer_paths():
+            w = tiny_vgg.get_module(path).weight.data
+            mask = rng.random(w.shape) < 0.9
+            w[mask] = 0.0
+        plain = estimate_cycles(tiny_vgg, (3, 8, 8),
+                                SystolicArrayConfig(zero_skipping=False))
+        skipping = estimate_cycles(tiny_vgg, (3, 8, 8),
+                                   SystolicArrayConfig(zero_skipping=True))
+        assert skipping.total_cycles < plain.total_cycles
+
+    def test_summary_renders(self, tiny_vgg):
+        text = estimate_cycles(tiny_vgg, (3, 8, 8)).summary()
+        assert "TOTAL" in text
+        assert "latency" in text
+
+    def test_cycle_reduction_requires_cycles(self):
+        with pytest.raises(ValueError):
+            cycle_reduction(HardwareReport(config=SystolicArrayConfig()),
+                            HardwareReport(config=SystolicArrayConfig()))

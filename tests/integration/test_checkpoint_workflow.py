@@ -1,0 +1,72 @@
+"""Full-circle workflow: train → prune → checkpoint → reload → evaluate."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, TrainingConfig, evaluate_model)
+from repro.data import SyntheticConfig, SyntheticImageClassification
+from repro.io import load_model, save_model
+from repro.models import build_model
+
+
+@pytest.fixture(scope="module")
+def workflow(tmp_path_factory):
+    train = SyntheticImageClassification(
+        SyntheticConfig(num_classes=3, image_size=8, samples_per_class=25,
+                        seed=31))
+    test = SyntheticImageClassification(
+        SyntheticConfig(num_classes=3, image_size=8, samples_per_class=10,
+                        seed=31), train=False)
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.25,
+                        seed=31)
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=3, input_shape=(3, 8, 8),
+        config=FrameworkConfig(
+            score_threshold=1.5, max_fraction_per_iteration=0.15,
+            finetune_epochs=3, finetune_lr=0.01,
+            accuracy_drop_tolerance=0.15, max_iterations=3,
+            importance=ImportanceConfig(images_per_class=5,
+                                        tau_mode="quantile",
+                                        tau_quantile=0.9)),
+        training=TrainingConfig(epochs=15, batch_size=32, lr=0.05,
+                                lambda1=1e-4, lambda2=1e-2,
+                                weight_decay=0.0))
+    framework.pretrain()
+    result = framework.run()
+    path = tmp_path_factory.mktemp("ckpt") / "pruned.npz"
+    save_model(result.model, path)
+    return result, path, test
+
+
+class TestCheckpointWorkflow:
+    def test_pruning_actually_happened(self, workflow):
+        result, _, _ = workflow
+        assert result.pruning_ratio > 0.05
+
+    def test_reloaded_model_matches_accuracy(self, workflow):
+        result, path, test = workflow
+        reloaded = load_model(path)
+        _, acc = evaluate_model(reloaded, test)
+        assert acc == pytest.approx(result.final_accuracy, abs=1e-6)
+
+    def test_reloaded_model_has_pruned_shapes(self, workflow):
+        result, path, _ = workflow
+        reloaded = load_model(path)
+        for group in result.model.prunable_groups():
+            original = result.model.get_module(group.conv).out_channels
+            assert reloaded.get_module(group.conv).out_channels == original
+
+    def test_reloaded_model_can_keep_training(self, workflow):
+        result, path, test = workflow
+        reloaded = load_model(path)
+        train = SyntheticImageClassification(
+            SyntheticConfig(num_classes=3, image_size=8,
+                            samples_per_class=25, seed=31))
+        from repro.core import Trainer
+        Trainer(reloaded, train, test,
+                TrainingConfig(epochs=1, batch_size=32, lr=0.01,
+                               lambda1=0, lambda2=0,
+                               weight_decay=0.0)).train()
+        _, acc = evaluate_model(reloaded, test)
+        assert acc > 0.4

@@ -1,0 +1,95 @@
+"""End-to-end integration: the paper's qualitative claims at test scale.
+
+These tests run the real pipeline (train → score → prune → fine-tune) on a
+small but genuinely learnable task and assert the *shape* of the paper's
+results: substantial compression with bounded accuracy loss, and importance
+scores that rise after pruning (Fig. 7).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, TrainingConfig, evaluate_model)
+from repro.data import SyntheticConfig, SyntheticImageClassification
+from repro.models import MLP, vgg11
+
+
+@pytest.fixture(scope="module")
+def task():
+    train = SyntheticImageClassification(
+        SyntheticConfig(num_classes=4, image_size=8, samples_per_class=30,
+                        seed=11))
+    test = SyntheticImageClassification(
+        SyntheticConfig(num_classes=4, image_size=8, samples_per_class=15,
+                        seed=11), train=False)
+    return train, test
+
+
+@pytest.fixture(scope="module")
+def pruned_run(task):
+    train, test = task
+    model = vgg11(num_classes=4, image_size=8, width=0.25, seed=21)
+    training = TrainingConfig(epochs=20, batch_size=32, lr=0.05,
+                              lambda1=1e-4, lambda2=1e-2, weight_decay=0.0)
+    fw = ClassAwarePruningFramework(
+        model, train, test, num_classes=4, input_shape=(3, 8, 8),
+        config=FrameworkConfig(
+            score_threshold=1.5, max_fraction_per_iteration=0.15,
+            finetune_epochs=4, accuracy_drop_tolerance=0.15,
+            max_iterations=4,
+            importance=ImportanceConfig(images_per_class=5)),
+        training=training)
+    fw.pretrain()
+    return fw.run()
+
+
+class TestHeadlineClaims:
+    def test_baseline_model_learned_the_task(self, pruned_run):
+        assert pruned_run.baseline_accuracy > 0.6  # chance = 0.25
+
+    def test_substantial_compression(self, pruned_run):
+        assert pruned_run.pruning_ratio > 0.15
+        assert pruned_run.flops_reduction > 0.05
+
+    def test_accuracy_within_tolerance(self, pruned_run):
+        assert pruned_run.accuracy_drop <= 0.15 + 1e-9
+
+    def test_fig7_scores_rise_after_pruning(self, pruned_run):
+        """Fig. 7: survivors are important for more classes on average."""
+        before = pruned_run.report_before.all_scores().mean()
+        after = pruned_run.report_after.all_scores().mean()
+        assert after > before
+
+    def test_low_score_filters_were_removed(self, pruned_run):
+        # Every iteration removed filters; the union of removals is
+        # consistent with the final parameter count.
+        removed = sum(it.num_removed for it in pruned_run.iterations)
+        assert removed > 0
+
+    def test_final_model_consistent_with_profile(self, pruned_run):
+        assert (pruned_run.final_profile.total_params
+                == pruned_run.model.num_parameters())
+
+
+class TestMLPNeuronPruning:
+    """The paper's Fig. 1 story on an actual MLP."""
+
+    def test_neuron_pruning_end_to_end(self, task):
+        train, test = task
+        model = MLP(3 * 8 * 8, [48, 24], 4, seed=5)
+        training = TrainingConfig(epochs=15, batch_size=32, lr=0.05,
+                                  lambda1=1e-4, lambda2=0.0,
+                                  weight_decay=0.0)
+        fw = ClassAwarePruningFramework(
+            model, train, test, num_classes=4, input_shape=(3, 8, 8),
+            config=FrameworkConfig(
+                score_threshold=1.5, max_fraction_per_iteration=0.2,
+                finetune_epochs=3, accuracy_drop_tolerance=0.2,
+                max_iterations=3,
+                importance=ImportanceConfig(images_per_class=5)),
+            training=training)
+        fw.pretrain()
+        result = fw.run()
+        assert result.pruning_ratio > 0.1
+        assert result.final_accuracy > 0.5

@@ -1,0 +1,110 @@
+"""Checkpointing of pruned and unpruned models."""
+
+import numpy as np
+import pytest
+
+from repro.core import prune_groups
+from repro.io import conform_to_state, load_model, save_model
+from repro.models import build_model
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model, size=8):
+    x = Tensor(np.random.default_rng(3).normal(size=(2, 3, size, size))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x).data
+
+
+class TestRoundTrip:
+    def test_unpruned_roundtrip(self, tmp_path):
+        model = build_model("vgg11", num_classes=3, image_size=8, width=0.125)
+        before = forward(model)
+        save_model(model, tmp_path / "model.npz")
+        loaded = load_model(tmp_path / "model.npz")
+        np.testing.assert_allclose(forward(loaded), before, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_pruned_vgg_roundtrip(self, tmp_path):
+        model = build_model("vgg11", num_classes=3, image_size=8, width=0.125)
+        groups = model.prunable_groups()
+        keep = {groups[1].name: np.array([0, 2]),
+                groups[3].name: np.arange(5)}
+        prune_groups(model, groups, keep)
+        before = forward(model)
+        save_model(model, tmp_path / "pruned.npz")
+        loaded = load_model(tmp_path / "pruned.npz")
+        np.testing.assert_allclose(forward(loaded), before, rtol=1e-5,
+                                   atol=1e-6)
+        assert loaded.get_module(groups[1].conv).out_channels == 2
+
+    def test_pruned_resnet_roundtrip(self, tmp_path):
+        model = build_model("resnet20", num_classes=3, width=0.25,
+                            image_size=8)
+        groups = model.prunable_groups()
+        keep = {g.name: np.arange(1) for g in groups[:4]}
+        prune_groups(model, groups, keep)
+        before = forward(model)
+        save_model(model, tmp_path / "resnet.npz")
+        loaded = load_model(tmp_path / "resnet.npz")
+        np.testing.assert_allclose(forward(loaded), before, rtol=1e-5,
+                                   atol=1e-6)
+
+    def test_mlp_roundtrip(self, tmp_path):
+        # MLP is not in the registry; pass the recipe explicitly.
+        from repro.models import MLP
+        model = MLP(3 * 8 * 8, [16, 8], 3, seed=0)
+        with pytest.raises(ValueError):
+            save_model(model, tmp_path / "mlp.npz")
+
+
+class TestValidation:
+    def test_missing_arch_rejected_on_save(self, tmp_path):
+        from repro.models import vgg11
+        model = vgg11(num_classes=3, image_size=8, width=0.125)  # no recipe
+        with pytest.raises(ValueError, match="architecture recipe"):
+            save_model(model, tmp_path / "x.npz")
+
+    def test_explicit_arch_accepted(self, tmp_path):
+        from repro.models import vgg11
+        model = vgg11(num_classes=3, image_size=8, width=0.125)
+        save_model(model, tmp_path / "x.npz",
+                   arch=dict(name="vgg11", num_classes=3, image_size=8,
+                             width=0.125))
+        loaded = load_model(tmp_path / "x.npz")
+        np.testing.assert_allclose(forward(loaded), forward(model),
+                                   rtol=1e-5, atol=1e-6)
+
+    def test_non_checkpoint_file_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.zeros(3))
+        with pytest.raises(ValueError, match="not a repro checkpoint"):
+            load_model(path)
+
+    def test_oversized_checkpoint_rejected(self, tmp_path):
+        # Save a wide model, try to load it into a narrow recipe.
+        wide = build_model("vgg11", num_classes=3, image_size=8, width=0.25)
+        save_model(wide, tmp_path / "wide.npz",
+                   arch=dict(name="vgg11", num_classes=3, image_size=8,
+                             width=0.125))
+        with pytest.raises(ValueError, match="wrong arch recipe"):
+            load_model(tmp_path / "wide.npz")
+
+    def test_conform_reports_missing_weights(self):
+        model = build_model("vgg11", num_classes=3, image_size=8,
+                            width=0.125)
+        with pytest.raises(KeyError):
+            conform_to_state(model, {}, (3, 8, 8))
+
+    def test_arch_preserved_on_loaded_model(self, tmp_path):
+        model = build_model("vgg11", num_classes=3, image_size=8,
+                            width=0.125)
+        save_model(model, tmp_path / "m.npz")
+        loaded = load_model(tmp_path / "m.npz")
+        assert loaded.arch["name"] == "vgg11"
+        # Round-trip again (the acid test for recipe preservation).
+        save_model(loaded, tmp_path / "m2.npz")
+        again = load_model(tmp_path / "m2.npz")
+        np.testing.assert_allclose(forward(again), forward(model),
+                                   rtol=1e-5, atol=1e-6)

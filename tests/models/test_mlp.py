@@ -1,0 +1,55 @@
+"""MLP model and registry."""
+
+import numpy as np
+import pytest
+
+from repro.models import MLP, available_models, build_model
+from repro.tensor import Tensor
+
+
+class TestMLP:
+    def test_forward_flattens_images(self):
+        model = MLP(3 * 8 * 8, [16], 5)
+        x = Tensor(np.zeros((2, 3, 8, 8), dtype=np.float32))
+        assert model(x).shape == (2, 5)
+
+    def test_forward_accepts_flat_input(self):
+        model = MLP(12, [8], 3)
+        x = Tensor(np.zeros((4, 12), dtype=np.float32))
+        assert model(x).shape == (4, 3)
+
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ValueError):
+            MLP(10, [], 2)
+
+    def test_groups_are_linear_kind(self):
+        model = MLP(12, [8, 6], 3)
+        groups = model.prunable_groups()
+        assert len(groups) == 2
+        assert all(g.kind == "linear" for g in groups)
+
+    def test_groups_chain_to_classifier(self):
+        model = MLP(12, [8, 6], 3)
+        groups = model.prunable_groups()
+        assert groups[0].consumers[0].path == groups[1].conv
+        assert groups[1].consumers[0].path == "classifier"
+
+    def test_hidden_widths(self):
+        model = MLP(12, [8, 6], 3)
+        assert model.get_module("body.0").out_features == 8
+        assert model.get_module("body.2").out_features == 6
+
+
+class TestRegistry:
+    def test_available_models(self):
+        names = available_models()
+        assert "vgg16" in names
+        assert "resnet56" in names
+
+    def test_build_model(self):
+        model = build_model("resnet20", num_classes=4, width=0.25)
+        assert model.num_classes == 4
+
+    def test_unknown_name_raises_with_listing(self):
+        with pytest.raises(KeyError, match="available"):
+            build_model("alexnet")

@@ -1,0 +1,102 @@
+"""ResNet zoo: depth arithmetic, shortcut handling, pruning constraint."""
+
+import numpy as np
+import pytest
+
+from repro.models import BasicBlock, ResNet, resnet20, resnet32, resnet56
+from repro.nn import Conv2d, Sequential
+from repro.tensor import Tensor
+
+
+def fwd(model, size=8, n=2):
+    x = Tensor(np.random.default_rng(0).normal(size=(n, 3, size, size))
+               .astype(np.float32))
+    return model(x)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("factory,depth,blocks", [
+        (resnet20, 20, 3), (resnet32, 32, 5), (resnet56, 56, 9)])
+    def test_depth_formula(self, factory, depth, blocks):
+        model = factory(width=0.25)
+        assert model.depth == depth
+        assert model.blocks_per_stage == blocks
+        assert len(model.block_paths()) == 3 * blocks
+
+    def test_forward_shape(self):
+        model = resnet20(num_classes=6, width=0.25)
+        assert fwd(model).shape == (2, 6)
+
+    def test_stage_widths_scale(self):
+        model = resnet20(width=0.5)
+        assert model.get_module("stage1.0.conv1").out_channels == 8
+        assert model.get_module("stage3.0.conv1").out_channels == 32
+
+    def test_downsampling_blocks_have_projection(self):
+        model = resnet20(width=0.25)
+        assert model.get_module("stage1.0").shortcut is None
+        assert isinstance(model.get_module("stage2.0").shortcut, Sequential)
+        assert isinstance(model.get_module("stage3.0").shortcut, Sequential)
+        assert model.get_module("stage2.1").shortcut is None
+
+    def test_spatial_resolution_halves_per_stage(self):
+        model = resnet20(width=0.25)
+        from repro.core import ActivationRecorder
+        with ActivationRecorder(model, ["stage1.2.conv2", "stage2.2.conv2",
+                                        "stage3.2.conv2"]) as rec:
+            fwd(model, size=16)
+            s1 = rec.activations["stage1.2.conv2"].shape
+            s2 = rec.activations["stage2.2.conv2"].shape
+            s3 = rec.activations["stage3.2.conv2"].shape
+        assert s1[2] == 16 and s2[2] == 8 and s3[2] == 4
+
+
+class TestBasicBlock:
+    def test_identity_shortcut_preserves_shape(self):
+        block = BasicBlock(4, 4)
+        x = Tensor(np.random.default_rng(1).normal(size=(2, 4, 6, 6))
+                   .astype(np.float32))
+        assert block(x).shape == (2, 4, 6, 6)
+
+    def test_strided_block_downsamples(self):
+        block = BasicBlock(4, 8, stride=2)
+        x = Tensor(np.random.default_rng(2).normal(size=(2, 4, 6, 6))
+                   .astype(np.float32))
+        assert block(x).shape == (2, 8, 3, 3)
+
+    def test_residual_path_contributes(self):
+        # Zero both convs: the block must still pass the shortcut through.
+        block = BasicBlock(4, 4)
+        block.conv1.weight.data[:] = 0
+        block.conv2.weight.data[:] = 0
+        block.eval()
+        x = Tensor(np.abs(np.random.default_rng(3).normal(size=(1, 4, 4, 4)))
+                   .astype(np.float32))
+        out = block(x)
+        # relu(0 + x) == x for non-negative input (bn of zeros is bias=0).
+        np.testing.assert_allclose(out.data, x.data, atol=1e-5)
+
+
+class TestPruningMetadata:
+    def test_only_first_conv_of_each_block_is_prunable(self):
+        # The paper's rule: shortcut-safe pruning touches conv1 only.
+        model = resnet56(width=0.25)
+        groups = model.prunable_groups()
+        assert len(groups) == 27  # 3 stages x 9 blocks
+        for g in groups:
+            assert g.conv.endswith(".conv1")
+            assert len(g.consumers) == 1
+            assert g.consumers[0].path == g.conv.replace("conv1", "conv2")
+
+    def test_shortcut_convs_not_in_groups(self):
+        model = resnet20(width=0.25)
+        prunable = {g.conv for g in model.prunable_groups()}
+        assert "stage2.0.shortcut.0" not in prunable
+        assert "conv1" not in prunable
+
+    def test_groups_resolve(self):
+        model = resnet20(width=0.25)
+        for g in model.prunable_groups():
+            assert isinstance(model.get_module(g.conv), Conv2d)
+            assert model.get_module(g.bn).num_features == \
+                model.get_module(g.conv).out_channels

@@ -1,0 +1,97 @@
+"""VGG zoo: shapes, configs, pruning metadata."""
+
+import numpy as np
+import pytest
+
+from repro.models import VGG, VGG_CONFIGS, vgg11, vgg13, vgg16, vgg19
+from repro.nn import Conv2d
+from repro.tensor import Tensor
+
+
+def fwd(model, size=8, n=2):
+    x = Tensor(np.random.default_rng(0).normal(size=(n, 3, size, size))
+               .astype(np.float32))
+    return model(x)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("factory,conv_count", [
+        (vgg11, 8), (vgg13, 10), (vgg16, 13), (vgg19, 16)])
+    def test_depth(self, factory, conv_count):
+        model = factory(num_classes=10, image_size=32, width=0.125)
+        assert len(model.conv_layer_paths()) == conv_count
+
+    def test_forward_shape(self):
+        model = vgg16(num_classes=7, image_size=8, width=0.125)
+        assert fwd(model).shape == (2, 7)
+
+    def test_width_multiplier_scales_channels(self):
+        narrow = vgg11(image_size=8, width=0.125)
+        wide = vgg11(image_size=8, width=0.25)
+        assert wide.num_parameters() > narrow.num_parameters()
+        first = narrow.get_module(narrow.conv_layer_paths()[0])
+        assert first.out_channels == 8  # 64 * 0.125
+
+    def test_small_image_skips_late_pools(self):
+        # At 8x8 only three pools fit before the spatial size reaches 1.
+        model = vgg16(num_classes=10, image_size=8, width=0.125)
+        assert model.final_spatial >= 1
+        assert fwd(model, size=8).shape == (2, 10)
+
+    def test_flatten_head(self):
+        model = vgg11(num_classes=5, image_size=16, width=0.125,
+                      head="flatten")
+        assert fwd(model, size=16).shape == (2, 5)
+        assert model.classifier.in_features == (
+            model.get_module(model.conv_layer_paths()[-1]).out_channels
+            * model.final_spatial ** 2)
+
+    def test_invalid_head_rejected(self):
+        with pytest.raises(ValueError):
+            VGG(VGG_CONFIGS["vgg11"], head="bogus")
+
+    def test_seed_determinism(self):
+        a = vgg11(image_size=8, width=0.125, seed=5)
+        b = vgg11(image_size=8, width=0.125, seed=5)
+        np.testing.assert_array_equal(
+            a.get_module("features.0").weight.data,
+            b.get_module("features.0").weight.data)
+
+
+class TestPruningMetadata:
+    def test_one_group_per_conv(self):
+        model = vgg16(image_size=8, width=0.125)
+        groups = model.prunable_groups()
+        assert len(groups) == 13
+        assert [g.conv for g in groups] == model.conv_layer_paths()
+
+    def test_groups_chain_consumers(self):
+        model = vgg11(image_size=8, width=0.125)
+        groups = model.prunable_groups()
+        for g, nxt in zip(groups, groups[1:]):
+            assert g.consumers[0].path == nxt.conv
+            assert g.consumers[0].kind == "conv"
+
+    def test_last_group_feeds_classifier(self):
+        model = vgg11(image_size=8, width=0.125)
+        last = model.prunable_groups()[-1]
+        assert last.consumers[0].path == "classifier"
+        assert last.consumers[0].kind == "linear"
+        assert last.consumers[0].group_size == 1  # GAP head
+
+    def test_flatten_head_group_size(self):
+        model = vgg11(image_size=16, width=0.125, head="flatten")
+        last = model.prunable_groups()[-1]
+        assert last.consumers[0].group_size == model.final_spatial ** 2
+
+    def test_every_group_has_bn(self):
+        model = vgg13(image_size=8, width=0.125)
+        from repro.nn import BatchNorm2d
+        for g in model.prunable_groups():
+            assert g.bn is not None
+            assert isinstance(model.get_module(g.bn), BatchNorm2d)
+
+    def test_group_paths_resolve_to_convs(self):
+        model = vgg16(image_size=8, width=0.125)
+        for g in model.prunable_groups():
+            assert isinstance(model.get_module(g.conv), Conv2d)

@@ -1,0 +1,49 @@
+"""Weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import init
+
+
+class TestFanComputation:
+    def test_linear_shape(self):
+        # (out, in) = (20, 10): fan_in 10.
+        w = init.kaiming_normal((20, 10), np.random.default_rng(0))
+        assert w.shape == (20, 10)
+        assert w.std() == pytest.approx(np.sqrt(2 / 10), rel=0.2)
+
+    def test_conv_shape(self):
+        # fan_in = in_channels * k * k = 3*9 = 27.
+        w = init.kaiming_normal((64, 3, 3, 3), np.random.default_rng(0))
+        assert w.std() == pytest.approx(np.sqrt(2 / 27), rel=0.15)
+
+    def test_unsupported_shape(self):
+        with pytest.raises(ValueError):
+            init.kaiming_normal((3, 3, 3), np.random.default_rng(0))
+
+
+class TestBounds:
+    def test_kaiming_uniform_within_bound(self):
+        w = init.kaiming_uniform((32, 16), np.random.default_rng(1))
+        bound = np.sqrt(6 / 16)
+        assert np.abs(w).max() <= bound
+
+    def test_xavier_uniform_within_bound(self):
+        w = init.xavier_uniform((32, 16), np.random.default_rng(2))
+        bound = np.sqrt(6 / (16 + 32))
+        assert np.abs(w).max() <= bound
+
+    def test_dtype_is_float32(self):
+        for fn in (init.kaiming_normal, init.kaiming_uniform,
+                   init.xavier_uniform):
+            assert fn((4, 4), np.random.default_rng(0)).dtype == np.float32
+
+    def test_zeros_and_ones(self):
+        assert (init.zeros((3, 3)) == 0).all()
+        assert (init.ones((3,)) == 1).all()
+
+    def test_determinism_per_rng(self):
+        a = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        b = init.kaiming_normal((8, 8), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,107 @@
+"""Loss functions and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn import CrossEntropyLoss, MSELoss, accuracy, cross_entropy
+from repro.tensor import Tensor, check_gradients
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self):
+        logits = np.array([[2.0, 1.0, 0.1], [0.5, 2.5, 0.0]], dtype=np.float32)
+        targets = np.array([0, 1])
+        out = cross_entropy(Tensor(logits), targets)
+        probs = np.exp(logits) / np.exp(logits).sum(axis=1, keepdims=True)
+        expected = -np.log(probs[np.arange(2), targets]).mean()
+        assert float(out.data) == pytest.approx(expected, rel=1e-5)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]], dtype=np.float32)
+        out = cross_entropy(Tensor(logits), np.array([0, 1]))
+        assert float(out.data) < 1e-4
+
+    def test_uniform_prediction_log_c(self):
+        logits = np.zeros((4, 10), dtype=np.float32)
+        out = cross_entropy(Tensor(logits), np.zeros(4, dtype=np.intp))
+        assert float(out.data) == pytest.approx(np.log(10), rel=1e-5)
+
+    @pytest.mark.parametrize("reduction", ["mean", "sum", "none"])
+    def test_reductions(self, reduction):
+        logits = Tensor(np.random.default_rng(0).normal(size=(5, 3)))
+        out = cross_entropy(logits, np.array([0, 1, 2, 0, 1]),
+                            reduction=reduction)
+        if reduction == "none":
+            assert out.shape == (5,)
+        else:
+            assert out.size == 1
+
+    def test_sum_reduction_gives_per_sample_gradients(self):
+        # The importance engine relies on summed CE making each sample's
+        # activation gradient independent of the batch.
+        rng = np.random.default_rng(1)
+        logits_data = rng.normal(size=(3, 4)).astype(np.float32)
+        targets = np.array([0, 1, 2])
+
+        joint = Tensor(logits_data, requires_grad=True)
+        cross_entropy(joint, targets, reduction="sum").backward()
+
+        for j in range(3):
+            single = Tensor(logits_data[j:j + 1], requires_grad=True)
+            cross_entropy(single, targets[j:j + 1], reduction="sum").backward()
+            np.testing.assert_allclose(joint.grad[j], single.grad[0],
+                                       rtol=1e-5, atol=1e-6)
+
+    def test_gradient_check(self):
+        logits = Tensor(np.random.default_rng(2).normal(size=(4, 5)),
+                        requires_grad=True)
+        check_gradients(lambda l: cross_entropy(l, np.array([0, 1, 2, 3])),
+                        [logits])
+
+    def test_rejects_wrong_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3, 4))), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((2, 3))), np.array([0, 1, 2]))
+
+    def test_invalid_reduction(self):
+        with pytest.raises(ValueError):
+            cross_entropy(Tensor(np.zeros((1, 2))), np.array([0]),
+                          reduction="median")
+
+    def test_module_wrapper(self):
+        loss = CrossEntropyLoss()
+        out = loss(Tensor(np.zeros((2, 3), dtype=np.float32)), np.array([0, 1]))
+        assert out.size == 1
+
+
+class TestMSE:
+    def test_value(self):
+        loss = MSELoss()
+        out = loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0], dtype=np.float32))
+        assert float(out.data) == pytest.approx(2.5)
+
+    def test_sum_reduction(self):
+        loss = MSELoss(reduction="sum")
+        out = loss(Tensor([1.0, 2.0]), np.array([0.0, 0.0], dtype=np.float32))
+        assert float(out.data) == pytest.approx(5.0)
+
+    def test_gradient(self):
+        target = np.array([1.0, -1.0], dtype=np.float32)
+        x = Tensor([0.0, 0.0], requires_grad=True)
+        MSELoss()(x, target).backward()
+        np.testing.assert_allclose(x.grad, [-1.0, 1.0])
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0]])
+        assert accuracy(logits, np.array([0, 1])) == 1.0
+
+    def test_half(self):
+        logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1])) == 0.5
+
+    def test_accepts_tensor(self):
+        logits = Tensor(np.array([[1.0, 0.0]]))
+        assert accuracy(logits, np.array([0])) == 1.0

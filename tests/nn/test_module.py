@@ -1,0 +1,175 @@
+"""Module system: registration, traversal, hooks, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Conv2d, Linear, Module, ReLU, Sequential
+from repro.tensor import Tensor
+
+
+class Net(Module):
+    def __init__(self):
+        super().__init__()
+        self.fc1 = Linear(4, 3)
+        self.act = ReLU()
+        self.fc2 = Linear(3, 2)
+
+    def forward(self, x):
+        return self.fc2(self.act(self.fc1(x)))
+
+
+class TestRegistration:
+    def test_parameters_are_discovered(self):
+        net = Net()
+        names = dict(net.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias", "fc2.weight", "fc2.bias"}
+
+    def test_num_parameters(self):
+        net = Net()
+        assert net.num_parameters() == 4 * 3 + 3 + 3 * 2 + 2
+
+    def test_reassigning_attribute_unregisters(self):
+        net = Net()
+        net.fc1 = "not a module"
+        assert "fc1" not in dict(net.named_children())
+
+    def test_named_modules_includes_self(self):
+        net = Net()
+        paths = [p for p, _ in net.named_modules()]
+        assert "" in paths
+        assert "fc1" in paths
+
+    def test_get_module_resolves_nested_path(self):
+        seq = Sequential(Sequential(Linear(2, 2)))
+        inner = seq.get_module("0.0")
+        assert isinstance(inner, Linear)
+
+    def test_get_module_bad_path_raises(self):
+        net = Net()
+        with pytest.raises(KeyError):
+            net.get_module("does.not.exist")
+
+    def test_get_module_empty_path_returns_self(self):
+        net = Net()
+        assert net.get_module("") is net
+
+    def test_register_buffer_in_state_dict(self):
+        net = Net()
+        net.register_buffer("stats", np.array([1.0, 2.0]))
+        assert "stats" in net.state_dict()
+
+
+class TestModes:
+    def test_train_eval_propagates(self):
+        net = Net()
+        net.eval()
+        assert not net.fc1.training
+        net.train()
+        assert net.fc1.training
+
+    def test_zero_grad_clears_all(self):
+        net = Net()
+        x = Tensor(np.ones((2, 4), dtype=np.float32))
+        net(x).sum().backward()
+        assert net.fc1.weight.grad is not None
+        net.zero_grad()
+        assert net.fc1.weight.grad is None
+
+
+class TestHooks:
+    def test_forward_hook_sees_output(self):
+        net = Net()
+        captured = []
+        handle = net.fc1.register_forward_hook(
+            lambda mod, args, out: captured.append(out.shape))
+        net(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert captured == [(2, 3)]
+        handle.remove()
+
+    def test_hook_removal(self):
+        net = Net()
+        captured = []
+        handle = net.fc1.register_forward_hook(
+            lambda mod, args, out: captured.append(1))
+        handle.remove()
+        net(Tensor(np.ones((2, 4), dtype=np.float32)))
+        assert captured == []
+
+    def test_hook_can_replace_output(self):
+        net = Net()
+
+        def zeroing_hook(mod, args, out):
+            return out * 0.0
+
+        handle = net.fc1.register_forward_hook(zeroing_hook)
+        out = net(Tensor(np.ones((2, 4), dtype=np.float32)))
+        # fc1 output zeroed -> fc2 sees zeros -> output is fc2 bias.
+        np.testing.assert_allclose(out.data,
+                                   np.tile(net.fc2.bias.data, (2, 1)),
+                                   rtol=1e-5)
+        handle.remove()
+
+    def test_multiple_hooks_run_in_order(self):
+        net = Net()
+        order = []
+        net.fc1.register_forward_hook(lambda m, a, o: order.append("first"))
+        net.fc1.register_forward_hook(lambda m, a, o: order.append("second"))
+        net(Tensor(np.ones((1, 4), dtype=np.float32)))
+        assert order == ["first", "second"]
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        net1, net2 = Net(), Net()
+        net1.fc1.weight.data += 1.0
+        net2.load_state_dict(net1.state_dict())
+        np.testing.assert_allclose(net2.fc1.weight.data, net1.fc1.weight.data)
+
+    def test_state_dict_is_a_copy(self):
+        net = Net()
+        state = net.state_dict()
+        state["fc1.weight"] += 100.0
+        assert not np.allclose(net.fc1.weight.data, state["fc1.weight"])
+
+    def test_missing_key_raises(self):
+        net = Net()
+        state = net.state_dict()
+        del state["fc1.weight"]
+        with pytest.raises(KeyError):
+            net.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        net = Net()
+        state = net.state_dict()
+        state["fc1.weight"] = np.zeros((9, 9), dtype=np.float32)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            net.load_state_dict(state)
+
+    def test_batchnorm_running_stats_serialised(self):
+        from repro.nn import BatchNorm2d
+        bn = BatchNorm2d(4)
+        bn(Tensor(np.random.default_rng(0).normal(size=(2, 4, 3, 3))))
+        state = bn.state_dict()
+        assert "running_mean" in state
+        bn2 = BatchNorm2d(4)
+        bn2.load_state_dict(state)
+        np.testing.assert_allclose(bn2.running_mean, bn.running_mean)
+
+
+class TestSequential:
+    def test_iteration_and_indexing(self):
+        seq = Sequential(Linear(2, 3), ReLU(), Linear(3, 1))
+        assert len(seq) == 3
+        assert isinstance(seq[0], Linear)
+        assert isinstance(seq[1], ReLU)
+
+    def test_append(self):
+        seq = Sequential(Linear(2, 2))
+        seq.append(ReLU())
+        assert len(seq) == 2
+
+    def test_forward_chains(self):
+        seq = Sequential(Linear(2, 2), ReLU())
+        out = seq(Tensor(np.ones((1, 2), dtype=np.float32)))
+        assert out.shape == (1, 2)
+        assert (out.data >= 0).all()

@@ -1,0 +1,68 @@
+"""Learning-rate schedules."""
+
+import math
+
+import pytest
+
+from repro.optim import SGD, CosineAnnealingLR, MultiStepLR, StepLR
+from repro.tensor import Tensor
+
+
+def make_opt(lr=1.0):
+    return SGD([Tensor([0.0], requires_grad=True)], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_every_step_size(self):
+        opt = make_opt()
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            lrs.append(opt.lr)
+            sched.step()
+        assert lrs == pytest.approx([1.0, 1.0, 0.1, 0.1, 0.01, 0.01])
+
+    def test_invalid_step_size(self):
+        with pytest.raises(ValueError):
+            StepLR(make_opt(), step_size=0)
+
+
+class TestMultiStepLR:
+    def test_decays_at_milestones(self):
+        opt = make_opt()
+        sched = MultiStepLR(opt, milestones=[2, 4], gamma=0.5)
+        lrs = []
+        for _ in range(5):
+            lrs.append(opt.lr)
+            sched.step()
+        assert lrs == pytest.approx([1.0, 1.0, 0.5, 0.5, 0.25])
+
+    def test_unsorted_milestones_accepted(self):
+        opt = make_opt()
+        sched = MultiStepLR(opt, milestones=[4, 2], gamma=0.5)
+        assert sched.get_lr(3) == pytest.approx(0.5)
+
+
+class TestCosineAnnealing:
+    def test_starts_at_base_and_ends_at_eta_min(self):
+        opt = make_opt()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.01)
+        assert sched.get_lr(0) == pytest.approx(1.0)
+        assert sched.get_lr(10) == pytest.approx(0.01)
+
+    def test_halfway_is_midpoint(self):
+        sched = CosineAnnealingLR(make_opt(), t_max=10)
+        assert sched.get_lr(5) == pytest.approx(0.5)
+
+    def test_monotone_decreasing(self):
+        sched = CosineAnnealingLR(make_opt(), t_max=20)
+        lrs = [sched.get_lr(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_clamps_past_t_max(self):
+        sched = CosineAnnealingLR(make_opt(), t_max=5, eta_min=0.1)
+        assert sched.get_lr(100) == pytest.approx(0.1)
+
+    def test_invalid_t_max(self):
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(make_opt(), t_max=0)

@@ -1,0 +1,117 @@
+"""SGD optimiser: updates, momentum, weight decay, surgery rebinding."""
+
+import numpy as np
+import pytest
+
+from repro.optim import SGD
+from repro.tensor import Tensor
+
+
+def quadratic_loss(w):
+    return (w * w).sum()
+
+
+class TestVanillaSGD:
+    def test_single_step(self):
+        w = Tensor([1.0], requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        quadratic_loss(w).backward()
+        opt.step()
+        np.testing.assert_allclose(w.data, [0.8])
+
+    def test_converges_on_quadratic(self):
+        w = Tensor([5.0, -3.0], requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        for _ in range(100):
+            opt.zero_grad()
+            quadratic_loss(w).backward()
+            opt.step()
+        np.testing.assert_allclose(w.data, [0.0, 0.0], atol=1e-6)
+
+    def test_skips_parameters_without_grad(self):
+        w = Tensor([1.0], requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        opt.step()  # no backward ran
+        np.testing.assert_allclose(w.data, [1.0])
+
+    def test_zero_grad(self):
+        w = Tensor([1.0], requires_grad=True)
+        opt = SGD([w], lr=0.1)
+        quadratic_loss(w).backward()
+        opt.zero_grad()
+        assert w.grad is None
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError):
+            SGD([Tensor([1.0], requires_grad=True)], lr=0.0)
+
+
+class TestMomentum:
+    def test_momentum_accumulates_velocity(self):
+        w = Tensor([1.0], requires_grad=True)
+        opt = SGD([w], lr=0.1, momentum=0.9)
+        # Constant gradient of 1: velocity = 1, then 1.9, ...
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(w.data, [0.9])
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(w.data, [0.9 - 0.1 * 1.9], rtol=1e-6)
+
+    def test_momentum_faster_than_vanilla_on_ravine(self):
+        def run(momentum):
+            w = Tensor([10.0], requires_grad=True)
+            opt = SGD([w], lr=0.02, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(w).backward()
+                opt.step()
+            return abs(float(w.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+
+class TestWeightDecay:
+    def test_weight_decay_shrinks_weights_without_loss_gradient(self):
+        w = Tensor([1.0], requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=0.5)
+        w.grad = np.array([0.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(w.data, [1.0 - 0.1 * 0.5])
+
+    def test_weight_decay_adds_to_gradient(self):
+        w = Tensor([2.0], requires_grad=True)
+        opt = SGD([w], lr=0.1, weight_decay=0.1)
+        w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        np.testing.assert_allclose(w.data, [2.0 - 0.1 * (1.0 + 0.2)], rtol=1e-6)
+
+
+class TestSurgeryInteraction:
+    def test_velocity_reset_when_shape_changes(self):
+        # After surgery, the parameter array is smaller; the stale velocity
+        # buffer must not be applied.
+        w = Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        opt = SGD([w], lr=0.1, momentum=0.9)
+        w.grad = np.ones(4, dtype=np.float32)
+        opt.step()
+        w.data = w.data[:2].copy()   # simulate surgery
+        w.grad = np.ones(2, dtype=np.float32)
+        opt.step()                    # must not crash
+        assert w.data.shape == (2,)
+
+    def test_rebind_drops_dead_buffers(self):
+        w1 = Tensor([1.0], requires_grad=True)
+        w2 = Tensor([1.0], requires_grad=True)
+        opt = SGD([w1, w2], lr=0.1, momentum=0.9)
+        for w in (w1, w2):
+            w.grad = np.array([1.0], dtype=np.float32)
+        opt.step()
+        assert len(opt._velocity) == 2
+        opt.rebind([w1])
+        assert len(opt._velocity) == 1
+        assert id(w1) in opt._velocity

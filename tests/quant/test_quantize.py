@@ -1,0 +1,103 @@
+"""Post-training quantization."""
+
+import numpy as np
+import pytest
+
+from repro.core import evaluate_model
+from repro.models import MLP, vgg11
+from repro.quant import (dequantize_array, model_size_bytes, quantize_array,
+                         quantize_model)
+
+
+class TestQuantizeArray:
+    def test_roundtrip_error_bounded_by_half_step(self):
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=(8, 16)).astype(np.float32)
+        q, scale = quantize_array(w, bits=8)
+        back = dequantize_array(q, scale)
+        assert np.abs(back - w).max() <= float(scale) / 2 + 1e-7
+
+    def test_grid_is_symmetric(self):
+        w = np.array([-1.0, 1.0], dtype=np.float32)
+        q, scale = quantize_array(w, bits=8)
+        assert q[0] == -q[1]
+
+    def test_codes_within_range(self):
+        rng = np.random.default_rng(1)
+        w = rng.normal(size=(100,)).astype(np.float32)
+        for bits in (2, 4, 8):
+            q, _ = quantize_array(w, bits=bits)
+            qmax = 2 ** (bits - 1) - 1
+            assert q.max() <= qmax and q.min() >= -qmax
+
+    def test_per_channel_scales_adapt(self):
+        w = np.stack([np.full((4,), 0.01), np.full((4,), 10.0)]).astype(np.float32)
+        q, scale = quantize_array(w, bits=8, per_channel=True)
+        assert scale.reshape(-1)[1] > scale.reshape(-1)[0]
+        back = dequantize_array(q, scale)
+        np.testing.assert_allclose(back, w, rtol=0.02)
+
+    def test_zero_tensor_safe(self):
+        q, scale = quantize_array(np.zeros(5, dtype=np.float32), bits=8)
+        np.testing.assert_array_equal(dequantize_array(q, scale), np.zeros(5))
+
+    def test_high_bits_nearly_lossless(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(size=(32,)).astype(np.float32)
+        q, scale = quantize_array(w, bits=16)
+        np.testing.assert_allclose(dequantize_array(q, scale), w, atol=1e-4)
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), bits=1)
+        with pytest.raises(ValueError):
+            quantize_array(np.ones(3), bits=17)
+
+
+class TestQuantizeModel:
+    def test_compression_ratio_approaches_32_over_bits(self, tiny_vgg):
+        report = quantize_model(tiny_vgg, bits=8)
+        assert report.compression == pytest.approx(4.0, rel=0.1)
+
+    def test_weights_on_grid(self, tiny_mlp):
+        quantize_model(tiny_mlp, bits=4, per_channel=False)
+        w = tiny_mlp.get_module("body.0").weight.data
+        # All values must be integer multiples of a common scale.
+        nonzero = np.abs(w[np.abs(w) > 0])
+        step = nonzero.min()
+        ratios = nonzero / step
+        np.testing.assert_allclose(ratios, np.round(ratios), atol=1e-3)
+
+    def test_8bit_accuracy_preserved(self, tiny_dataset, tiny_test_dataset):
+        from repro.core import Trainer, TrainingConfig
+        model = MLP(3 * 8 * 8, [32, 16], 3, seed=8)
+        cfg = TrainingConfig(epochs=10, batch_size=32, lr=0.05,
+                             lambda1=0, lambda2=0, weight_decay=0.0)
+        Trainer(model, tiny_dataset, tiny_test_dataset, cfg).train()
+        _, before = evaluate_model(model, tiny_test_dataset)
+        quantize_model(model, bits=8)
+        _, after = evaluate_model(model, tiny_test_dataset)
+        assert after >= before - 0.05
+
+    def test_rejects_model_without_layers(self):
+        from repro.nn import ReLU, Sequential
+        with pytest.raises(ValueError):
+            quantize_model(Sequential(ReLU()))
+
+
+class TestModelSize:
+    def test_size_shrinks_with_bits(self, tiny_vgg):
+        full = model_size_bytes(tiny_vgg, bits=32)
+        eight = model_size_bytes(tiny_vgg, bits=8)
+        assert eight < full
+        # BN affines stay 32-bit, so the ratio is slightly under 4x.
+        assert full / eight == pytest.approx(4.0, rel=0.15)
+
+    def test_composes_with_pruning(self, tiny_vgg):
+        from repro.core import prune_groups
+        before = model_size_bytes(tiny_vgg, bits=8)
+        groups = tiny_vgg.prunable_groups()
+        keep = {groups[0].name: np.array([0, 1])}
+        prune_groups(tiny_vgg, groups, keep)
+        after = model_size_bytes(tiny_vgg, bits=8)
+        assert after < before

@@ -1,0 +1,78 @@
+"""Hypothesis property tests on convolution and pooling."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import Tensor, avg_pool2d, conv2d, conv_output_size, max_pool2d
+
+
+def data(shape, seed):
+    return np.random.default_rng(seed).normal(size=shape).astype(np.float32)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(4, 9), st.integers(1, 3), st.integers(1, 2),
+       st.integers(0, 2))
+def test_output_shape_formula(size, kernel, stride, padding):
+    if kernel > size + 2 * padding:
+        return
+    x = Tensor(data((1, 2, size, size), 0))
+    w = Tensor(data((3, 2, kernel, kernel), 1))
+    out = conv2d(x, w, stride=stride, padding=padding)
+    expected = conv_output_size(size, kernel, stride, padding)
+    assert out.shape == (1, 3, expected, expected)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.floats(min_value=-3, max_value=3), st.integers(0, 1000))
+def test_conv_is_linear_in_input(scale, seed):
+    x = data((1, 2, 5, 5), seed)
+    w = Tensor(data((2, 2, 3, 3), seed + 1))
+    base = conv2d(Tensor(x), w, padding=1).data
+    scaled = conv2d(Tensor(x * np.float32(scale)), w, padding=1).data
+    np.testing.assert_allclose(scaled, scale * base, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_conv_is_additive_in_weights(seed):
+    x = Tensor(data((1, 2, 5, 5), seed))
+    w1 = data((2, 2, 3, 3), seed + 1)
+    w2 = data((2, 2, 3, 3), seed + 2)
+    combined = conv2d(x, Tensor(w1 + w2), padding=1).data
+    separate = (conv2d(x, Tensor(w1), padding=1).data
+                + conv2d(x, Tensor(w2), padding=1).data)
+    np.testing.assert_allclose(combined, separate, rtol=1e-3, atol=1e-4)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_max_pool_dominates_avg_pool(seed):
+    x = Tensor(data((2, 3, 6, 6), seed))
+    mx = max_pool2d(x, 2).data
+    avg = avg_pool2d(x, 2).data
+    assert (mx >= avg - 1e-6).all()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_pooling_commutes_with_positive_scaling(seed):
+    x = data((1, 2, 6, 6), seed)
+    np.testing.assert_allclose(
+        max_pool2d(Tensor(2.0 * x), 2).data,
+        2.0 * max_pool2d(Tensor(x), 2).data, rtol=1e-5)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_conv_translation_covariance(seed):
+    # Shifting the input by the stride shifts the output by one (valid
+    # region): conv with no padding, stride 1.
+    x = data((1, 1, 6, 6), seed)
+    w = Tensor(data((1, 1, 3, 3), seed + 1))
+    out = conv2d(Tensor(x), w).data            # (1,1,4,4)
+    shifted = np.roll(x, 1, axis=3)
+    out_shifted = conv2d(Tensor(shifted), w).data
+    np.testing.assert_allclose(out_shifted[..., 1:], out[..., :-1],
+                               rtol=1e-4, atol=1e-5)

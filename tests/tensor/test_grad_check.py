@@ -1,0 +1,72 @@
+"""The gradient checker must itself be trustworthy: it has to *fail* on
+deliberately wrong gradients, not just pass on right ones."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, numerical_grad, ops
+from repro.tensor.tensor import _unbroadcast
+
+
+class TestNumericalGrad:
+    def test_matches_analytic_for_square(self):
+        x = Tensor(np.array([1.0, 2.0, 3.0], dtype=np.float32),
+                   requires_grad=True)
+        num = numerical_grad(lambda a: ops.mul(a, a), [x], wrt=0)
+        np.testing.assert_allclose(num, 2 * x.data, rtol=1e-3, atol=1e-3)
+
+    def test_restores_input_data(self):
+        x = Tensor(np.array([1.0, 2.0], dtype=np.float32),
+                   requires_grad=True)
+        original = x.data.copy()
+        numerical_grad(lambda a: ops.mul(a, a), [x], wrt=0)
+        np.testing.assert_allclose(x.data, original, atol=1e-6)
+
+
+class TestCheckGradients:
+    def test_detects_wrong_gradient(self):
+        def buggy_double(a):
+            # Forward computes 2a but the registered backward claims 3.
+            out = Tensor._make(2 * a.data, (a,), "buggy",
+                               lambda grad: (3 * grad,))
+            return out
+
+        x = Tensor(np.array([1.0, -2.0], dtype=np.float32),
+                   requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(buggy_double, [x])
+
+    def test_detects_missing_gradient(self):
+        def dropping(a):
+            return Tensor._make(a.data * 2, (a,), "dropping",
+                                lambda grad: (None,))
+
+        x = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        with pytest.raises(AssertionError):
+            check_gradients(dropping, [x])
+
+    def test_skips_inputs_without_grad(self):
+        a = Tensor(np.array([1.0], dtype=np.float32), requires_grad=True)
+        b = Tensor(np.array([2.0], dtype=np.float32))  # constant
+        check_gradients(lambda a, b: ops.mul(a, b), [a, b])
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert _unbroadcast(g, (2, 3)) is g
+
+    def test_sums_leading_axes(self):
+        g = np.ones((4, 2, 3))
+        out = _unbroadcast(g, (2, 3))
+        np.testing.assert_array_equal(out, np.full((2, 3), 4.0))
+
+    def test_sums_stretched_axes(self):
+        g = np.ones((2, 5))
+        out = _unbroadcast(g, (2, 1))
+        np.testing.assert_array_equal(out, np.full((2, 1), 5.0))
+
+    def test_combined(self):
+        g = np.ones((4, 2, 5))
+        out = _unbroadcast(g, (1, 5))
+        np.testing.assert_array_equal(out, np.full((1, 5), 8.0))

@@ -1,0 +1,238 @@
+"""Gradient checks and semantics for every primitive op."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, check_gradients, ops
+
+
+def t(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(scale * rng.normal(size=shape), requires_grad=True)
+
+
+class TestBinaryOps:
+    def test_add_values(self):
+        out = ops.add(Tensor([1.0, 2.0]), Tensor([3.0, 4.0]))
+        np.testing.assert_allclose(out.data, [4.0, 6.0])
+
+    @pytest.mark.parametrize("fn", [ops.add, ops.sub, ops.mul, ops.div,
+                                    ops.maximum, ops.minimum])
+    def test_binary_gradients(self, fn):
+        a = t((3, 4), seed=1)
+        b = t((3, 4), seed=2, scale=1.5)
+        b.data += 3.0  # keep div well-conditioned and avoid min/max ties
+        check_gradients(fn, [a, b])
+
+    @pytest.mark.parametrize("fn", [ops.add, ops.sub, ops.mul, ops.div])
+    def test_broadcast_gradients(self, fn):
+        a = t((2, 3, 4), seed=3)
+        b = t((4,), seed=4)
+        b.data += 3.0
+        check_gradients(fn, [a, b])
+
+    def test_broadcast_leading_axis(self):
+        a = t((5, 3), seed=5)
+        b = t((1, 3), seed=6)
+        check_gradients(ops.mul, [a, b])
+
+    def test_scalar_operand_promotion(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = (x + 1.0) * 2.0 - 3.0
+        np.testing.assert_allclose(y.data, [1.0, 3.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 2.0])
+
+    def test_reflected_operators(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = 1.0 - x
+        z = 6.0 / x
+        np.testing.assert_allclose(y.data, [-1.0])
+        np.testing.assert_allclose(z.data, [3.0])
+
+    def test_where_selects_and_routes_gradient(self):
+        cond = np.array([True, False, True])
+        a = Tensor([1.0, 2.0, 3.0], requires_grad=True)
+        b = Tensor([10.0, 20.0, 30.0], requires_grad=True)
+        out = ops.where(cond, a, b)
+        np.testing.assert_allclose(out.data, [1.0, 20.0, 3.0])
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_allclose(b.grad, [0.0, 1.0, 0.0])
+
+
+class TestUnaryOps:
+    @pytest.mark.parametrize("fn", [ops.neg, ops.exp, ops.tanh, ops.sigmoid])
+    def test_smooth_unary_gradients(self, fn):
+        check_gradients(fn, [t((4, 5), seed=7, scale=0.5)])
+
+    def test_log_gradient(self):
+        x = t((3, 3), seed=8)
+        x.data = np.abs(x.data) + 1.0
+        check_gradients(ops.log, [x])
+
+    def test_sqrt_gradient(self):
+        x = t((3, 3), seed=9)
+        x.data = np.abs(x.data) + 1.0
+        check_gradients(ops.sqrt, [x])
+
+    def test_abs_gradient_away_from_zero(self):
+        x = t((3, 3), seed=10)
+        x.data += np.sign(x.data) * 0.5  # keep away from the kink
+        check_gradients(ops.abs, [x])
+
+    def test_pow_gradient(self):
+        x = t((3,), seed=11)
+        x.data = np.abs(x.data) + 0.5
+        check_gradients(lambda a: ops.pow(a, 3.0), [x])
+
+    def test_relu_values_and_grad(self):
+        x = Tensor([-1.0, 0.5, 2.0], requires_grad=True)
+        y = ops.relu(x)
+        np.testing.assert_allclose(y.data, [0.0, 0.5, 2.0])
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 1.0])
+
+    def test_clip_gradient_mask(self):
+        x = Tensor([-2.0, 0.0, 2.0], requires_grad=True)
+        y = ops.clip(x, -1.0, 1.0)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+    def test_dropout_mask_scales_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        mask = np.array([0.0, 2.0], dtype=np.float32)
+        y = ops.dropout_mask(x, mask)
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, mask)
+
+
+class TestMatmul:
+    def test_matmul_2d_gradients(self):
+        check_gradients(ops.matmul, [t((3, 4), seed=12), t((4, 5), seed=13)])
+
+    def test_matmul_matrix_vector(self):
+        check_gradients(ops.matmul, [t((3, 4), seed=14), t((4,), seed=15)])
+
+    def test_matmul_batched(self):
+        check_gradients(ops.matmul, [t((2, 3, 4), seed=16), t((2, 4, 5), seed=17)])
+
+    def test_matmul_broadcast_weights(self):
+        # (B, M, K) @ (K, N): weight shared across batch.
+        check_gradients(ops.matmul, [t((2, 3, 4), seed=18), t((4, 5), seed=19)])
+
+
+class TestReductions:
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
+                                               (1, True), ((0, 2), False)])
+    def test_sum_gradients(self, axis, keepdims):
+        check_gradients(lambda a: ops.sum(a, axis=axis, keepdims=keepdims),
+                        [t((2, 3, 4), seed=20)])
+
+    @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
+                                               (1, True), ((1, 2), True)])
+    def test_mean_gradients(self, axis, keepdims):
+        check_gradients(lambda a: ops.mean(a, axis=axis, keepdims=keepdims),
+                        [t((2, 3, 4), seed=21)])
+
+    def test_max_gradient_no_ties(self):
+        x = Tensor(np.arange(12, dtype=np.float32).reshape(3, 4),
+                   requires_grad=True)
+        y = ops.max(x, axis=1)
+        y.sum().backward()
+        expected = np.zeros((3, 4))
+        expected[:, 3] = 1.0
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_max_splits_gradient_among_ties(self):
+        x = Tensor([[2.0, 2.0, 1.0]], requires_grad=True)
+        ops.max(x, axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.5, 0.5, 0.0]])
+
+    def test_negative_axis(self):
+        x = t((2, 3), seed=22)
+        out = ops.sum(x, axis=-1)
+        assert out.shape == (2,)
+
+    def test_logsumexp_matches_naive(self):
+        x = t((4, 6), seed=23)
+        out = ops.logsumexp(x, axis=1)
+        naive = np.log(np.exp(x.data).sum(axis=1))
+        np.testing.assert_allclose(out.data, naive, rtol=1e-5)
+
+    def test_logsumexp_stable_for_large_inputs(self):
+        x = Tensor([[1000.0, 1000.0]])
+        out = ops.logsumexp(x, axis=1)
+        assert np.isfinite(out.data).all()
+
+    def test_logsumexp_gradient(self):
+        check_gradients(lambda a: ops.logsumexp(a, axis=1), [t((3, 5), seed=24)])
+
+
+class TestSoftmax:
+    def test_softmax_sums_to_one(self):
+        x = t((4, 7), seed=25)
+        s = ops.softmax(x, axis=1)
+        np.testing.assert_allclose(s.data.sum(axis=1), np.ones(4), rtol=1e-5)
+
+    def test_log_softmax_gradient(self):
+        check_gradients(lambda a: ops.log_softmax(a, axis=1), [t((3, 5), seed=26)])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = t((2, 5), seed=27)
+        np.testing.assert_allclose(ops.log_softmax(x).data,
+                                   np.log(ops.softmax(x).data), atol=1e-5)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        check_gradients(lambda a: ops.reshape(a, (6, 2)), [t((3, 4), seed=28)])
+
+    def test_transpose_gradient(self):
+        check_gradients(lambda a: ops.transpose(a, (2, 0, 1)),
+                        [t((2, 3, 4), seed=29)])
+
+    def test_transpose_default_reverses(self):
+        x = t((2, 3, 4), seed=30)
+        assert ops.transpose(x).shape == (4, 3, 2)
+
+    def test_flatten_keeps_batch(self):
+        x = t((2, 3, 4, 5), seed=31)
+        assert ops.flatten(x, start_dim=1).shape == (2, 60)
+
+    def test_getitem_gradient_scatter(self):
+        x = Tensor(np.arange(6, dtype=np.float32), requires_grad=True)
+        y = x[np.array([0, 0, 3])]
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [2.0, 0, 0, 1.0, 0, 0])
+
+    def test_getitem_slice(self):
+        x = t((4, 5), seed=32)
+        y = x[1:3]
+        assert y.shape == (2, 5)
+        check_gradients(lambda a: a[1:3], [x])
+
+    def test_concat_values_and_gradients(self):
+        a, b = t((2, 3), seed=33), t((2, 2), seed=34)
+        out = ops.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 3)))
+        np.testing.assert_allclose(b.grad, np.ones((2, 2)))
+
+    def test_stack_gradients(self):
+        a, b = t((2, 3), seed=35), t((2, 3), seed=36)
+        out = ops.stack([a, b], axis=0)
+        assert out.shape == (2, 2, 3)
+        (out * 2).sum().backward()
+        np.testing.assert_allclose(a.grad, 2 * np.ones((2, 3)))
+
+    def test_pad2d_shape_and_gradient(self):
+        x = t((1, 2, 3, 3), seed=37)
+        y = ops.pad2d(x, 2)
+        assert y.shape == (1, 2, 7, 7)
+        check_gradients(lambda a: ops.pad2d(a, 2), [x])
+
+    def test_pad2d_zero_padding_is_identity(self):
+        x = t((1, 1, 2, 2), seed=38)
+        assert ops.pad2d(x, 0) is x

@@ -1,0 +1,128 @@
+"""Hypothesis property tests on the autograd engine.
+
+These check structural invariants that must hold for *any* input, rather
+than hand-picked examples: linearity of the gradient, adjoint consistency,
+probability-simplex outputs, shape algebra.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import array_shapes, arrays
+
+from repro.tensor import Tensor, ops
+
+FLOAT = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False,
+                  width=32)
+
+
+def small_arrays(max_dims=3, max_side=5):
+    return arrays(np.float32,
+                  array_shapes(min_dims=1, max_dims=max_dims,
+                               min_side=1, max_side=max_side),
+                  elements=FLOAT)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_sum_grad_is_ones(data):
+    x = Tensor(data, requires_grad=True)
+    x.sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(), st.floats(min_value=-5, max_value=5, width=32))
+def test_scalar_mul_grad_is_scalar(data, c):
+    x = Tensor(data, requires_grad=True)
+    (x * float(c)).sum().backward()
+    np.testing.assert_allclose(x.grad, np.full_like(data, c), rtol=1e-5,
+                               atol=1e-6)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_add_commutes_in_value(data):
+    a = Tensor(data)
+    b = Tensor(data[::-1].copy() if data.ndim == 1 else data * 0.5)
+    np.testing.assert_allclose(ops.add(a, b).data, ops.add(b, a).data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_mean_equals_sum_over_size(data):
+    x = Tensor(data)
+    np.testing.assert_allclose(ops.mean(x).data,
+                               ops.sum(x).data / data.size, rtol=1e-4,
+                               atol=1e-5)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float32, array_shapes(min_dims=2, max_dims=2,
+                                       min_side=1, max_side=6),
+              elements=FLOAT))
+def test_softmax_is_probability_simplex(data):
+    s = ops.softmax(Tensor(data), axis=1).data
+    assert (s >= 0).all()
+    np.testing.assert_allclose(s.sum(axis=1), np.ones(len(data)), rtol=1e-4)
+
+
+@settings(max_examples=40, deadline=None)
+@given(arrays(np.float32, array_shapes(min_dims=2, max_dims=2,
+                                       min_side=1, max_side=6),
+              elements=FLOAT))
+def test_logsumexp_bounds_max(data):
+    # max(x) <= logsumexp(x) <= max(x) + log(n)
+    lse = ops.logsumexp(Tensor(data), axis=1).data
+    mx = data.max(axis=1)
+    n = data.shape[1]
+    assert (lse >= mx - 1e-4).all()
+    assert (lse <= mx + np.log(n) + 1e-4).all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_relu_output_nonnegative_and_idempotent(data):
+    x = Tensor(data)
+    y = ops.relu(x)
+    assert (y.data >= 0).all()
+    np.testing.assert_allclose(ops.relu(y).data, y.data)
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_reshape_preserves_sum_gradient(data):
+    x = Tensor(data, requires_grad=True)
+    ops.reshape(x, (-1,)).sum().backward()
+    np.testing.assert_allclose(x.grad, np.ones_like(data))
+
+
+@settings(max_examples=40, deadline=None)
+@given(small_arrays())
+def test_abs_is_nonnegative_and_even(data):
+    x = Tensor(data)
+    np.testing.assert_allclose(ops.abs(x).data, ops.abs(ops.neg(x)).data)
+    assert (ops.abs(x).data >= 0).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4),
+       st.integers(min_value=1, max_value=4))
+def test_matmul_shape_algebra(m, k, n):
+    a = Tensor(np.zeros((m, k), dtype=np.float32))
+    b = Tensor(np.zeros((k, n), dtype=np.float32))
+    assert ops.matmul(a, b).shape == (m, n)
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_arrays(max_dims=2))
+def test_backward_is_linear_in_upstream_gradient(data):
+    # grad(2·L) == 2·grad(L): run backward with doubled seed gradient.
+    x1 = Tensor(data, requires_grad=True)
+    y1 = (x1 * x1)
+    y1.sum().backward()
+    x2 = Tensor(data, requires_grad=True)
+    y2 = (x2 * x2)
+    (y2.sum() * 2.0).backward()
+    np.testing.assert_allclose(x2.grad, 2 * x1.grad, rtol=1e-4, atol=1e-5)

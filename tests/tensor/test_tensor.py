@@ -1,0 +1,145 @@
+"""Tensor engine basics: construction, graph bookkeeping, backward rules."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, is_grad_enabled, no_grad, ops, tensor
+
+
+class TestConstruction:
+    def test_default_dtype_is_float32(self):
+        t = Tensor([1.0, 2.0, 3.0])
+        assert t.dtype == np.float32
+
+    def test_shape_size_ndim(self):
+        t = Tensor(np.zeros((2, 3, 4)))
+        assert t.shape == (2, 3, 4)
+        assert t.size == 24
+        assert t.ndim == 3
+
+    def test_factory_function(self):
+        t = tensor([1.0], requires_grad=True, name="w")
+        assert t.requires_grad
+        assert t.name == "w"
+
+    def test_leaf_has_no_parents(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert t.is_leaf
+
+    def test_repr_mentions_requires_grad(self):
+        t = Tensor([1.0], requires_grad=True)
+        assert "requires_grad=True" in repr(t)
+
+    def test_item_on_scalar(self):
+        assert Tensor(3.5).item() == pytest.approx(3.5)
+
+    def test_len(self):
+        assert len(Tensor(np.zeros((5, 2)))) == 5
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor([2.0, 3.0], requires_grad=True)
+        y = (x * x).sum()
+        y.backward()
+        np.testing.assert_allclose(x.grad, [4.0, 6.0])
+
+    def test_backward_requires_grad_error(self):
+        x = Tensor([1.0])
+        with pytest.raises(RuntimeError):
+            x.backward()
+
+    def test_non_scalar_backward_needs_grad(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        y = x * 2
+        with pytest.raises(RuntimeError):
+            y.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        (x * 2).sum().backward()
+        np.testing.assert_allclose(x.grad, [4.0])
+
+    def test_zero_grad(self):
+        x = Tensor([1.0], requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x uses x through two paths.
+        x = Tensor([3.0], requires_grad=True)
+        a = x * x
+        b = x * x
+        (a + b).sum().backward()
+        np.testing.assert_allclose(x.grad, [12.0])
+
+    def test_same_tensor_used_twice_in_one_op(self):
+        x = Tensor([3.0], requires_grad=True)
+        (x * x).sum().backward()
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_deep_chain_does_not_recurse(self):
+        # The topo sort is iterative; 5000 ops would blow Python's stack
+        # with a recursive implementation.
+        x = Tensor([1.0], requires_grad=True)
+        y = x
+        for _ in range(5000):
+            y = y + 1.0
+        y.sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0])
+
+    def test_retain_grad_on_interior_node(self):
+        x = Tensor([2.0], requires_grad=True)
+        mid = x * 3
+        mid.retain_grad()
+        (mid * 2).sum().backward()
+        np.testing.assert_allclose(mid.grad, [2.0])
+        np.testing.assert_allclose(x.grad, [6.0])
+
+    def test_interior_node_grad_not_kept_by_default(self):
+        x = Tensor([2.0], requires_grad=True)
+        mid = x * 3
+        (mid * 2).sum().backward()
+        assert mid.grad is None
+
+
+class TestNoGrad:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y.is_leaf
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_restores_on_exception(self):
+        with pytest.raises(ValueError):
+            with no_grad():
+                raise ValueError("boom")
+        assert is_grad_enabled()
+
+    def test_tensor_created_under_no_grad_never_requires(self):
+        with no_grad():
+            t = Tensor([1.0], requires_grad=True)
+        assert not t.requires_grad
+
+
+class TestDetach:
+    def test_detach_shares_data(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        d = x.detach()
+        assert d.data is x.data
+        assert not d.requires_grad
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        y = x * 2
+        z = y.detach() * 3
+        assert not z.requires_grad

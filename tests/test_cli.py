@@ -1,0 +1,96 @@
+"""CLI workflow: train -> prune -> profile -> compare -> specialize."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def base_checkpoint(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "base.npz"
+    code = main([
+        "train", "--model", "vgg11", "--width", "0.125",
+        "--num-classes", "3", "--image-size", "8",
+        "--samples-per-class", "20", "--epochs", "8", "--quiet",
+        "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transmogrify"])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train", "--out", "x.npz"])
+        assert args.model == "vgg16"
+        assert args.lambda1 == pytest.approx(1e-4)
+        assert args.lambda2 == pytest.approx(1e-2)
+
+    def test_prune_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prune", "--checkpoint", "a",
+                                       "--out", "b", "--strategy", "magic"])
+
+
+class TestWorkflow:
+    def test_train_writes_checkpoint(self, base_checkpoint):
+        assert base_checkpoint.exists()
+        from repro.io import load_model
+        model = load_model(base_checkpoint)
+        assert model.arch["name"] == "vgg11"
+
+    def test_prune(self, base_checkpoint, tmp_path, capsys):
+        out = tmp_path / "pruned.npz"
+        code = main([
+            "prune", "--checkpoint", str(base_checkpoint),
+            "--out", str(out), "--samples-per-class", "20",
+            "--finetune-epochs", "1", "--max-iterations", "2",
+            "--images-per-class", "4", "--tolerance", "0.5",
+            "--epochs", "1", "--quiet",
+        ])
+        assert code == 0
+        captured = capsys.readouterr().out
+        assert "ratio=" in captured
+        from repro.io import load_model
+        pruned = load_model(out)
+        assert pruned.num_parameters() > 0
+
+    def test_profile(self, base_checkpoint, capsys):
+        code = main(["profile", "--checkpoint", str(base_checkpoint)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out
+        assert "total FLOPs" in out
+
+    def test_compare(self, base_checkpoint, capsys):
+        code = main([
+            "compare", "--checkpoint", str(base_checkpoint),
+            "--methods", "l1,random", "--samples-per-class", "20",
+            "--target-ratio", "0.15", "--finetune-epochs", "1",
+            "--max-iterations", "3", "--epochs", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "L1 [23]" in out
+        assert "Random" in out
+
+    def test_specialize(self, base_checkpoint, tmp_path, capsys):
+        out = tmp_path / "spec.npz"
+        code = main([
+            "specialize", "--checkpoint", str(base_checkpoint),
+            "--classes", "0,2", "--out", str(out),
+            "--samples-per-class", "20", "--finetune-epochs", "2",
+            "--images-per-class", "4", "--epochs", "2",
+        ])
+        assert code == 0
+        from repro.io import load_model
+        model = load_model(out)
+        assert model.classifier.out_features == 2

@@ -1,0 +1,43 @@
+"""Example scripts must at least be importable and syntactically sound.
+
+Full example runs take minutes each (they are demonstration workloads, not
+tests); the end-to-end behaviour they exercise is covered by
+``tests/integration`` at a smaller scale. Here we guarantee the shipped
+scripts compile and expose a ``main`` entry point.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(script):
+    py_compile.compile(str(script), doraise=True)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(script):
+    tree = ast.parse(script.read_text())
+    has_main = any(isinstance(node, ast.FunctionDef) and node.name == "main"
+                   for node in tree.body)
+    assert has_main, f"{script.name} should define main()"
+    assert 'if __name__ == "__main__":' in script.read_text()
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_docstring_mentions_usage(script):
+    tree = ast.parse(script.read_text())
+    doc = ast.get_docstring(tree) or ""
+    assert "Usage" in doc, f"{script.name} should document its usage"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {"quickstart.py", "resnet_pruning.py", "baseline_comparison.py",
+            "regularizer_ablation.py", "mlp_neuron_pruning.py",
+            "hardware_cost.py"} <= names
