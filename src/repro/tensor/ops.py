@@ -239,18 +239,28 @@ def matmul(a, b) -> Tensor:
     out_data = a.data @ b.data
 
     def backward(grad):
+        # Mirror numpy's matmul semantics exactly: a 1-D left operand is a
+        # row vector (axis prepended at -2), a 1-D right operand a column
+        # vector (axis appended at -1); both axes are squeezed from the
+        # output. Promoting grad the same way makes the adjoint uniform
+        # across every vector/matrix/batched combination.
+        a2 = a.data[None, :] if a.data.ndim == 1 else a.data
+        b2 = b.data[:, None] if b.data.ndim == 1 else b.data
+        g2 = grad
+        if b.data.ndim == 1:
+            g2 = np.expand_dims(g2, -1)
+        if a.data.ndim == 1:
+            g2 = np.expand_dims(g2, -2)
         ga = gb = None
         if a.requires_grad:
-            if b.data.ndim == 1:
-                ga = np.outer(grad, b.data) if a.data.ndim == 2 else grad[..., None] * b.data
-            else:
-                ga = grad @ np.swapaxes(b.data, -1, -2)
+            ga = g2 @ np.swapaxes(b2, -1, -2)
+            if a.data.ndim == 1:
+                ga = np.squeeze(ga, axis=-2)
             ga = _unbroadcast(ga, a.shape) if ga.shape != a.shape else ga
         if b.requires_grad:
-            if a.data.ndim == 1:
-                gb = np.outer(a.data, grad)
-            else:
-                gb = np.swapaxes(a.data, -1, -2) @ grad
+            gb = np.swapaxes(a2, -1, -2) @ g2
+            if b.data.ndim == 1:
+                gb = np.squeeze(gb, axis=-1)
             gb = _unbroadcast(gb, b.shape) if gb.shape != b.shape else gb
         return (ga, gb)
 

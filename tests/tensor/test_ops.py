@@ -121,6 +121,19 @@ class TestMatmul:
         # (B, M, K) @ (K, N): weight shared across batch.
         check_gradients(ops.matmul, [t((2, 3, 4), seed=18), t((4, 5), seed=19)])
 
+    @pytest.mark.parametrize("shape_a,shape_b", [
+        ((3,), (3,)),            # inner product
+        ((4,), (4, 5)),          # row vector times matrix
+        ((2, 3, 4), (4,)),       # batched matrix times vector
+        ((4,), (2, 4, 5)),       # vector broadcast against a batch
+        ((3, 4), (2, 4, 5)),     # matrix broadcast against a batch
+        ((1, 3, 4), (2, 4, 5)),  # broadcast along the batch axis
+    ])
+    def test_matmul_vector_and_broadcast_gradients(self, shape_a, shape_b):
+        # Regression: the 1-D promote/squeeze cases used to crash or mix
+        # batch entries in backward (e.g. vec @ vec raised a reshape error).
+        check_gradients(ops.matmul, [t(shape_a, seed=30), t(shape_b, seed=31)])
+
 
 class TestReductions:
     @pytest.mark.parametrize("axis,keepdims", [(None, False), (0, False),
