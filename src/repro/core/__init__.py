@@ -13,7 +13,8 @@ from .framework import (ClassAwarePruningFramework, FrameworkConfig,
                         IterationRecord, PruningResult)
 from .hooks import ActivationRecorder, activation_mask
 from .distill import DistillationLoss, distill_finetune, kl_divergence
-from .masking import FilterMasks, masked_accuracy, simulate_decision
+from .masking import (FilterMasks, group_mask_paths, masked_accuracy,
+                      simulate_decision)
 from .specialize import (SpecializationConfig, SpecializationResult,
                          class_subset, specialize)
 from .importance import (ImportanceConfig, ImportanceEvaluator,
@@ -44,7 +45,7 @@ __all__ = [
     "evaluate_model",
     "ClassAwarePruningFramework", "FrameworkConfig", "IterationRecord",
     "PruningResult",
-    "FilterMasks", "masked_accuracy", "simulate_decision",
+    "FilterMasks", "group_mask_paths", "masked_accuracy", "simulate_decision",
     "SpecializationConfig", "SpecializationResult", "specialize",
     "class_subset",
     "DistillationLoss", "distill_finetune", "kl_divergence",

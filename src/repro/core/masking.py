@@ -9,9 +9,17 @@ with hooks, measure accuracy, then either commit (surgery) or revert
         _, acc = evaluate_model(model, test)     # accuracy if pruned
     # hooks removed, model untouched
 
-The masked forward is numerically identical to pruning the same filters
-*followed by no fine-tuning* (verified in tests), which is exactly the
-"accuracy after prune" column the framework records each iteration.
+For the masked forward to be numerically identical to pruning the same
+filters *followed by no fine-tuning*, the mask must be applied at the last
+point of the filter group that surgery removes: the batch norm bound to the
+producer when there is one, otherwise the producer itself. Zeroing the
+convolution's output is **not** equivalent once batch-norm statistics are
+non-trivial — BN maps a zeroed channel to the affine constant
+``beta - gamma * mean / sqrt(var + eps)``, which then leaks into every
+consumer, while surgery removes the channel entirely. Use
+:func:`group_mask_paths` / :meth:`FilterMasks.for_groups` to mask at the
+surgery-equivalent point; the equivalence is enforced by
+:mod:`repro.verify.invariants`.
 """
 
 from __future__ import annotations
@@ -20,10 +28,24 @@ import contextlib
 
 import numpy as np
 
+from ..models.pruning_spec import FilterGroup
 from ..nn import Module
 from ..tensor import Tensor, ops
 
-__all__ = ["FilterMasks", "masked_accuracy", "simulate_decision"]
+__all__ = ["FilterMasks", "group_mask_paths", "masked_accuracy",
+           "simulate_decision"]
+
+
+def group_mask_paths(groups: list[FilterGroup]) -> dict[str, str]:
+    """Per group, the module path where masking is equivalent to surgery.
+
+    Surgery removes the producer's output channels *and* the bound batch
+    norm's parameters/statistics, so the masked forward must zero the
+    channels after the batch norm (when present) to match the pruned
+    network exactly. Everything between that point and the consumers
+    (ReLU, pooling, flatten) maps zero channels to zero channels.
+    """
+    return {g.name: (g.bn if g.bn is not None else g.conv) for g in groups}
 
 
 class FilterMasks(contextlib.AbstractContextManager):
@@ -61,6 +83,24 @@ class FilterMasks(contextlib.AbstractContextManager):
             handle.remove()
         self._handles.clear()
 
+    @classmethod
+    def for_groups(cls, model: Module, groups: list[FilterGroup],
+                   masked_channels: dict[str, np.ndarray]) -> "FilterMasks":
+        """Build masks keyed by *group name*, hooked at the surgery point.
+
+        Parameters
+        ----------
+        masked_channels:
+            ``{group name: channel indices to zero}`` — the same keying as a
+            :class:`~repro.core.pruner.PruningDecision`.
+        """
+        paths = group_mask_paths(groups)
+        unknown = set(masked_channels) - set(paths)
+        if unknown:
+            raise KeyError(f"unknown group names: {sorted(unknown)}")
+        return cls(model, {paths[name]: idx
+                           for name, idx in masked_channels.items()})
+
 
 def masked_accuracy(model: Module, dataset,
                     masked_channels: dict[str, np.ndarray],
@@ -76,7 +116,15 @@ def simulate_decision(model: Module, dataset, decision,
                       batch_size: int = 256) -> float:
     """Accuracy if a :class:`~repro.core.pruner.PruningDecision` were applied.
 
-    Group names are assumed to be producer paths (true for all zoo
-    metadata), so the decision's removal map doubles as a mask map.
+    Decisions are keyed by group name; when the model publishes pruning
+    metadata the mask is applied at each group's surgery-equivalent point
+    (after the batch norm when present) so the simulated accuracy matches
+    what real surgery would measure. Models without metadata fall back to
+    masking the named paths directly.
     """
-    return masked_accuracy(model, dataset, decision.remove, batch_size)
+    from ..models.pruning_spec import PrunableModel
+    masked = decision.remove
+    if isinstance(model, PrunableModel):
+        paths = group_mask_paths(model.prunable_groups())
+        masked = {paths.get(name, name): idx for name, idx in masked.items()}
+    return masked_accuracy(model, dataset, masked, batch_size)

@@ -5,10 +5,24 @@ import copy
 import numpy as np
 import pytest
 
-from repro.core import (FilterMasks, evaluate_model, masked_accuracy,
-                        prune_groups, simulate_decision)
+from repro.core import (FilterMasks, evaluate_model, group_mask_paths,
+                        masked_accuracy, prune_groups, simulate_decision)
 from repro.core.pruner import PercentageStrategy
+from repro.nn import BatchNorm2d
 from repro.tensor import Tensor, no_grad
+
+
+def perturb_batchnorm(model, seed=0):
+    """Give every BN non-trivial statistics, as after real training."""
+    rng = np.random.default_rng(seed)
+    for _, mod in model.named_modules():
+        if isinstance(mod, BatchNorm2d):
+            mod.running_mean += rng.normal(
+                size=mod.running_mean.shape).astype(np.float32)
+            mod.running_var *= np.exp(rng.normal(
+                scale=0.3, size=mod.running_var.shape)).astype(np.float32)
+            mod.bias.data += rng.normal(
+                size=mod.bias.data.shape).astype(np.float32)
 
 
 def forward(model, size=8, seed=0):
@@ -55,12 +69,7 @@ class TestFilterMasks:
 
 class TestEquivalenceWithSurgery:
     def test_masking_equals_pruning_for_mlp(self, tiny_mlp):
-        """Masking unit outputs must equal physically removing them.
-
-        Holds exactly for MLP groups (no batch norm in the path); for conv
-        groups BN's affine offset of a zeroed channel differs, which is
-        why the framework measures post-prune accuracy after real surgery.
-        """
+        """Masking unit outputs must equal physically removing them."""
         group = tiny_mlp.prunable_groups()[0]
         victims = np.array([3, 7])
         with FilterMasks(tiny_mlp, {group.conv: victims}):
@@ -73,6 +82,49 @@ class TestEquivalenceWithSurgery:
         pruned_out = forward(pruned)
         np.testing.assert_allclose(masked_out, pruned_out, rtol=1e-4,
                                    atol=1e-5)
+
+    def test_group_masking_equals_pruning_for_conv_groups(self, tiny_vgg):
+        """Group-aware masks (after BN) match surgery on conv groups.
+
+        Regression: masking the conv output itself is NOT equivalent once
+        BN statistics are non-trivial — BN maps zeroed channels to an
+        affine constant that leaks into the consumers.
+        """
+        perturb_batchnorm(tiny_vgg)
+        group = tiny_vgg.prunable_groups()[0]
+        victims = np.array([1, 3])
+        with FilterMasks.for_groups(tiny_vgg, tiny_vgg.prunable_groups(),
+                                    {group.name: victims}):
+            masked_out = forward(tiny_vgg)
+        pruned = copy.deepcopy(tiny_vgg)
+        conv = pruned.get_module(group.conv)
+        keep = np.setdiff1d(np.arange(conv.out_channels), victims)
+        prune_groups(pruned, pruned.prunable_groups(), {group.name: keep})
+        pruned_out = forward(pruned)
+        np.testing.assert_allclose(masked_out, pruned_out, rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_conv_output_masking_is_not_equivalent(self, tiny_vgg):
+        """Documents the bug the group-aware path fixes."""
+        perturb_batchnorm(tiny_vgg)
+        group = tiny_vgg.prunable_groups()[0]
+        victims = np.array([1, 3])
+        with FilterMasks(tiny_vgg, {group.conv: victims}):
+            masked_out = forward(tiny_vgg)
+        pruned = copy.deepcopy(tiny_vgg)
+        conv = pruned.get_module(group.conv)
+        keep = np.setdiff1d(np.arange(conv.out_channels), victims)
+        prune_groups(pruned, pruned.prunable_groups(), {group.name: keep})
+        pruned_out = forward(pruned)
+        assert np.abs(masked_out - pruned_out).max() > 1e-6
+
+    def test_group_mask_paths_prefers_bn(self, tiny_vgg, tiny_mlp):
+        vgg_paths = group_mask_paths(tiny_vgg.prunable_groups())
+        for g in tiny_vgg.prunable_groups():
+            assert vgg_paths[g.name] == g.bn
+        mlp_paths = group_mask_paths(tiny_mlp.prunable_groups())
+        for g in tiny_mlp.prunable_groups():
+            assert mlp_paths[g.name] == g.conv
 
 
 class TestAccuracyHelpers:
