@@ -8,6 +8,7 @@ task::
     python -m repro profile    --checkpoint pruned.npz
     python -m repro compare    --checkpoint base.npz --methods l1,sss,random
     python -m repro specialize --checkpoint base.npz --classes 0,1 --out s.npz
+    python -m repro verify     --quick
 
 Every subcommand prints a short report; ``train``/``prune``/``specialize``
 write checkpoints loadable by :mod:`repro.io`.
@@ -177,6 +178,14 @@ def cmd_specialize(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from .verify.runner import main as verify_main
+    forwarded = args.verify_args
+    if forwarded and forwarded[0] == "--":
+        forwarded = forwarded[1:]
+    return verify_main(forwarded)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -245,11 +254,27 @@ def build_parser() -> argparse.ArgumentParser:
     _training_args(p_spec, epochs=5)
     p_spec.set_defaults(func=cmd_specialize)
 
+    p_verify = sub.add_parser(
+        "verify", help="gradient fuzzing + pruning invariant checks")
+    p_verify.add_argument("verify_args", nargs=argparse.REMAINDER,
+                          help="arguments forwarded to python -m repro.verify")
+    p_verify.set_defaults(func=cmd_verify)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    # argparse.REMAINDER cannot capture option-like tokens right after a
+    # subcommand (`repro verify --quick`), so forward verify's arguments
+    # before the main parse ever sees them.
+    if argv[:1] == ["verify"]:
+        from .verify.runner import main as verify_main
+        forwarded = argv[1:]
+        if forwarded and forwarded[0] == "--":
+            forwarded = forwarded[1:]
+        return verify_main(forwarded)
     args = build_parser().parse_args(argv)
     return args.func(args)
 

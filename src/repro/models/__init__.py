@@ -1,6 +1,6 @@
 """Model zoo: VGG and ResNet (CIFAR-style) plus an MLP, with pruning metadata."""
 
-from .mlp import MLP
+from .mlp import MLP, mlp
 from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
 from .registry import MODEL_REGISTRY, available_models, build_model
 from .resnet import BasicBlock, ResNet, resnet20, resnet32, resnet56
@@ -10,6 +10,6 @@ __all__ = [
     "ConsumerRef", "FilterGroup", "PrunableModel",
     "VGG", "VGG_CONFIGS", "vgg11", "vgg13", "vgg16", "vgg19",
     "ResNet", "BasicBlock", "resnet20", "resnet32", "resnet56",
-    "MLP",
+    "MLP", "mlp",
     "MODEL_REGISTRY", "build_model", "available_models",
 ]

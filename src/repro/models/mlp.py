@@ -15,7 +15,7 @@ import numpy as np
 from ..nn import Flatten, Linear, Module, ReLU, Sequential
 from .pruning_spec import ConsumerRef, FilterGroup, PrunableModel
 
-__all__ = ["MLP"]
+__all__ = ["MLP", "mlp"]
 
 
 class MLP(Module, PrunableModel):
@@ -67,3 +67,19 @@ class MLP(Module, PrunableModel):
             groups.append(FilterGroup(name=path, conv=path, kind="linear",
                                       consumers=(consumer,)))
         return groups
+
+
+def mlp(num_classes: int = 10, image_size: int = 16, in_channels: int = 3,
+        hidden: list[int] | None = None, width: float = 1.0,
+        seed: int = 0) -> MLP:
+    """Zoo-interface MLP factory (registry name ``"mlp"``).
+
+    Accepts the same image-shaped kwargs as the conv models so benchmark
+    configs and checkpoints can treat all architectures uniformly; the
+    input is flattened to ``in_channels * image_size**2`` features.
+    ``width`` scales the default ``[128, 64]`` hidden stack.
+    """
+    hidden = [128, 64] if hidden is None else list(hidden)
+    hidden = [max(int(round(h * width)), 1) for h in hidden]
+    return MLP(in_channels * image_size * image_size, hidden, num_classes,
+               seed=seed)

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..nn import Module
+from .mlp import mlp
 from .resnet import resnet20, resnet32, resnet56
 from .vgg import vgg11, vgg13, vgg16, vgg19
 
@@ -18,6 +19,7 @@ MODEL_REGISTRY: dict[str, Callable[..., Module]] = {
     "resnet20": resnet20,
     "resnet32": resnet32,
     "resnet56": resnet56,
+    "mlp": mlp,
 }
 
 

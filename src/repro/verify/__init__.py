@@ -1,0 +1,41 @@
+"""Correctness subsystem: gradient fuzzing, invariants, golden fixtures.
+
+Three independent layers, runnable together via ``python -m repro.verify``:
+
+* :mod:`repro.verify.gradcheck` — finite-difference gradient checking
+  primitives (also re-exported from :mod:`repro.tensor` for backwards
+  compatibility);
+* :mod:`repro.verify.fuzz` — a seeded property-based fuzzer sweeping every
+  public differentiable op with random shapes, strides and paddings, with
+  an asserted-complete coverage registry;
+* :mod:`repro.verify.invariants` — semantic invariants of the pruning
+  pipeline (prune/mask equivalence, Eq. 7 score ranges, determinism);
+* :mod:`repro.verify.golden` — frozen end-to-end regression fixtures.
+
+The heavy submodules import most of the package, while ``gradcheck`` is
+imported *by* :mod:`repro.tensor`; lazy attribute access keeps that edge
+acyclic.
+"""
+
+from importlib import import_module
+
+from .gradcheck import check_gradients, grad_error, numerical_grad
+
+__all__ = [
+    "check_gradients", "grad_error", "numerical_grad",
+    "fuzz", "gradcheck", "golden", "invariants", "runner",
+]
+
+_LAZY_SUBMODULES = ("fuzz", "golden", "invariants", "runner")
+
+
+def __getattr__(name):
+    if name in _LAZY_SUBMODULES:
+        module = import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY_SUBMODULES))

@@ -1,0 +1,7 @@
+"""``python -m repro.verify`` entry point."""
+
+import sys
+
+from .runner import main
+
+sys.exit(main())

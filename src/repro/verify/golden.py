@@ -1,0 +1,149 @@
+"""Golden regression fixtures.
+
+Seed-deterministic end-to-end snapshots: for each fixture we build a tiny
+registry model, run a fixed batch through it, and score its filters with
+:class:`~repro.core.importance.ImportanceEvaluator`. The resulting logits
+and importance scores are frozen into ``.npz`` files next to this module
+(``src/repro/verify/_golden/``), so any refactor that silently changes
+numerics — an op backward, BN statistics handling, the Eq. 5–7
+aggregation — fails the comparison even when every local unit test still
+passes.
+
+Fixtures are compared with a small relative tolerance (not bit-exactly):
+they must survive benign reassociation such as a vectorised rewrite of the
+same arithmetic. Bit-level determinism of a *single build* is covered by
+:func:`repro.verify.invariants.check_importance_determinism`.
+
+Regenerate after an intentional numeric change with::
+
+    python -m repro.verify --write-golden
+
+and justify the refresh in the commit message.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..core.importance import ImportanceConfig, ImportanceEvaluator
+from ..data import SyntheticConfig, SyntheticImageClassification
+from ..models import build_model
+from ..tensor import Tensor, no_grad
+
+__all__ = ["GOLDEN_DIR", "GOLDEN_CASES", "GoldenResult", "build_snapshot",
+           "write_golden", "check_golden", "run_golden"]
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "_golden"
+
+# Architecture → tiny registry kwargs. Seeds are fixed; everything that
+# feeds the snapshot (weights, data, importance sampling) derives from them.
+GOLDEN_CASES: dict[str, dict] = {
+    "vgg11": dict(num_classes=3, image_size=8, width=0.125, seed=0),
+    "resnet20": dict(num_classes=3, image_size=8, width=0.25, seed=0),
+    "mlp": dict(num_classes=3, image_size=8, width=0.125, seed=0),
+}
+
+_RTOL, _ATOL = 1e-4, 1e-6
+
+
+@dataclass
+class GoldenResult:
+    """Outcome of comparing one fixture."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+    seconds: float = 0.0
+    failures: list[str] = field(default_factory=list)
+
+
+def build_snapshot(name: str) -> dict[str, np.ndarray]:
+    """Recompute the arrays a fixture freezes, from seeds alone."""
+    kwargs = GOLDEN_CASES[name]
+    model = build_model(name, **kwargs)
+    num_classes = kwargs["num_classes"]
+    image_size = kwargs["image_size"]
+
+    batch = np.random.default_rng(99).normal(
+        size=(4, 3, image_size, image_size)).astype(np.float32)
+    model.eval()
+    with no_grad():
+        logits = model(Tensor(batch)).data
+
+    data_cfg = SyntheticConfig(num_classes=num_classes, image_size=image_size,
+                               samples_per_class=6, seed=31)
+    dataset = SyntheticImageClassification(data_cfg, train=True)
+    evaluator = ImportanceEvaluator(
+        model, dataset, num_classes,
+        ImportanceConfig(images_per_class=4, seed=5))
+    report = evaluator.evaluate([g.conv for g in model.prunable_groups()])
+
+    arrays: dict[str, np.ndarray] = {"logits": logits}
+    for group, total in report.total.items():
+        arrays[f"total::{group}"] = total
+        arrays[f"per_class::{group}"] = report.per_class[group]
+    return arrays
+
+
+def _fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name}.npz"
+
+
+def write_golden(names: list[str] | None = None) -> list[Path]:
+    """(Re)generate fixtures; returns the written paths."""
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name in names or sorted(GOLDEN_CASES):
+        arrays = build_snapshot(name)
+        path = _fixture_path(name)
+        np.savez(path, **arrays)
+        written.append(path)
+    return written
+
+
+def check_golden(name: str) -> GoldenResult:
+    """Compare the live pipeline against one frozen fixture."""
+    start = time.perf_counter()
+    result = GoldenResult(name=f"golden_{name}", passed=True)
+    path = _fixture_path(name)
+    if not path.exists():
+        result.passed = False
+        result.failures.append(
+            f"fixture {path.name} missing — run `python -m repro.verify "
+            "--write-golden`")
+        result.seconds = time.perf_counter() - start
+        return result
+    with np.load(path) as archive:
+        expected = {key: archive[key] for key in archive.files}
+    actual = build_snapshot(name)
+    missing = set(expected) - set(actual)
+    extra = set(actual) - set(expected)
+    for key in sorted(missing):
+        result.failures.append(f"{key}: in fixture but not recomputed "
+                               "(group renamed?)")
+    for key in sorted(extra):
+        result.failures.append(f"{key}: recomputed but absent from fixture "
+                               "(stale fixture — regenerate)")
+    for key in sorted(set(expected) & set(actual)):
+        exp, act = expected[key], actual[key]
+        if exp.shape != act.shape:
+            result.failures.append(
+                f"{key}: shape {act.shape} != fixture {exp.shape}")
+            continue
+        if not np.allclose(act, exp, rtol=_RTOL, atol=_ATOL):
+            worst = float(np.abs(act - exp).max())
+            result.failures.append(f"{key}: max |Δ|={worst:.3e} beyond "
+                                   f"rtol={_RTOL}")
+    result.passed = not result.failures
+    result.detail = f"{len(expected)} arrays compared"
+    result.seconds = time.perf_counter() - start
+    return result
+
+
+def run_golden(names: list[str] | None = None) -> list[GoldenResult]:
+    """Compare every (or the named) fixtures."""
+    return [check_golden(n) for n in (names or sorted(GOLDEN_CASES))]

@@ -1,0 +1,75 @@
+"""End-to-end prune-vs-mask equivalence through the real pruning path.
+
+The invariant suite (:mod:`repro.verify.invariants`) checks equivalence
+with synthetic victim sets; here the victims come from the actual
+importance pipeline — :class:`ImportanceEvaluator` scores feed a
+:class:`PercentageStrategy`, and the resulting decision is both simulated
+with group-aware masks and committed with :func:`apply_pruning`. The two
+must agree to float32 tolerance on the logits of a held-out batch.
+"""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.core import (FilterMasks, ImportanceConfig, ImportanceEvaluator,
+                        apply_pruning, group_sizes)
+from repro.core.pruner import PercentageStrategy
+from repro.tensor import Tensor, no_grad
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _logits(model, batch):
+    model.eval()
+    with no_grad():
+        return model(Tensor(batch)).data
+
+
+def _decision(model, dataset, fraction=0.25, seed=0):
+    groups = model.prunable_groups()
+    evaluator = ImportanceEvaluator(
+        model, dataset, num_classes=3,
+        config=ImportanceConfig(images_per_class=4, seed=seed))
+    report = evaluator.evaluate([g.conv for g in groups])
+    sizes = group_sizes(model, groups)
+    scores = {g.name: report.total[g.conv] for g in groups
+              if g.conv in report.total and
+              len(report.total[g.conv]) == sizes[g.name]}
+    strategy = PercentageStrategy(fraction)
+    decision = strategy.select(scores,
+                               {g.name: g.min_channels for g in groups})
+    return report, strategy, decision
+
+
+@pytest.mark.parametrize("model_fixture", ["tiny_vgg", "tiny_resnet"])
+def test_importance_driven_prune_equals_mask(model_fixture, tiny_dataset,
+                                             request):
+    model = request.getfixturevalue(model_fixture)
+    perturb_batchnorm_stats(model, seed=1)
+    batch = np.random.default_rng(5).normal(size=(6, 3, 8, 8)).astype(
+        np.float32)
+
+    report, strategy, decision = _decision(model, tiny_dataset)
+    assert not decision.is_empty(), "strategy selected nothing to prune"
+
+    with FilterMasks.for_groups(model, model.prunable_groups(),
+                                decision.remove):
+        masked_out = _logits(model, batch)
+
+    pruned = copy.deepcopy(model)
+    record = apply_pruning(pruned, pruned.prunable_groups(), report, strategy)
+    assert record.num_removed == decision.num_selected
+    pruned_out = _logits(pruned, batch)
+
+    np.testing.assert_allclose(masked_out, pruned_out, rtol=1e-4, atol=1e-5)
+
+
+def test_pruned_model_is_actually_smaller(tiny_vgg, tiny_dataset):
+    perturb_batchnorm_stats(tiny_vgg, seed=1)
+    report, strategy, _ = _decision(tiny_vgg, tiny_dataset)
+    before = tiny_vgg.num_parameters()
+    record = apply_pruning(tiny_vgg, tiny_vgg.prunable_groups(), report,
+                           strategy)
+    assert record.num_removed > 0
+    assert tiny_vgg.num_parameters() < before

@@ -1,0 +1,67 @@
+"""The fuzzer's coverage contract: every public differentiable op has a spec.
+
+This is the test the acceptance criteria hang on — adding a new op to
+``repro.tensor.ops.__all__`` (or a new layer to ``repro.nn.__all__``)
+without a fuzz spec must fail here, not silently reduce coverage.
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.tensor import conv, ops
+from repro.verify import fuzz
+
+
+class TestCoverageContract:
+    def test_no_coverage_gaps(self):
+        assert fuzz.coverage_gaps() == set(), (
+            "public differentiable ops without a fuzz spec: "
+            f"{sorted(fuzz.coverage_gaps())} — add an OpSpec in "
+            "repro/verify/fuzz.py")
+
+    def test_required_coverage_tracks_public_api(self):
+        required = fuzz.required_coverage()
+        for name in ops.__all__:
+            assert f"ops.{name}" in required
+        for name in conv.__all__:
+            if name not in fuzz.NON_DIFFERENTIABLE["conv"]:
+                assert f"conv.{name}" in required
+        for name in nn.__all__:
+            if name not in fuzz.NON_DIFFERENTIABLE["nn"]:
+                assert f"nn.{name}" in required
+        assert "core.toeplitz_matrix_tensor" in required
+        assert "core.orthogonality_term" in required
+
+    def test_exclusions_are_really_non_differentiable(self):
+        # The exclusion lists must only name things that exist; a renamed
+        # helper would otherwise hide a coverage gap forever.
+        for name in fuzz.NON_DIFFERENTIABLE["conv"]:
+            assert name in conv.__all__
+        for name in fuzz.NON_DIFFERENTIABLE["nn"]:
+            assert name in nn.__all__
+
+    def test_every_covered_name_is_required(self):
+        # No spec may claim coverage of a name that is not (or no longer)
+        # part of the public surface — stale claims mask real gaps.
+        assert fuzz.covered_names() <= fuzz.required_coverage()
+
+    def test_quick_subset_is_registered(self):
+        for name in fuzz.QUICK_SPECS:
+            assert name in fuzz.OP_SPECS
+
+
+class TestSpecRegistry:
+    def test_specs_build_valid_cases(self):
+        rng = np.random.default_rng(0)
+        spec = fuzz.OP_SPECS["ops.add"]
+        case = spec.build(rng)
+        assert isinstance(case, fuzz.FuzzCase)
+        assert case.fn is not None and len(case.inputs) == 2
+
+    def test_duplicate_registration_rejected(self):
+        try:
+            fuzz.register_spec("ops.add", ["ops.add"])(lambda rng: None)
+        except ValueError:
+            pass
+        else:
+            raise AssertionError("duplicate spec name was accepted")

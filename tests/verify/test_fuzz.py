@@ -1,0 +1,101 @@
+"""Fast seeded slice of the gradient fuzzer (the full sweep is
+``python -m repro.verify``). The subset here must stay under ~5 seconds."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, ops
+from repro.verify import fuzz
+from repro.verify.fuzz import FuzzCase, OpSpec
+
+
+class TestQuickSubset:
+    def test_quick_specs_all_pass(self):
+        results = fuzz.run_fuzzer(seed=1234, quick=True)
+        failed = [r for r in results if not r.passed]
+        assert not failed, "\n".join(
+            f"{r.spec}: {r.failures}" for r in failed)
+        assert {r.spec for r in results} == set(fuzz.QUICK_SPECS)
+
+    def test_select_filters_by_substring(self):
+        results = fuzz.run_fuzzer(seed=0, quick=True, select="conv.")
+        assert {r.spec for r in results} == {"conv.conv2d", "conv.max_pool2d"}
+
+
+class TestDeterminism:
+    def test_same_seed_draws_same_cases(self):
+        spec = fuzz.OP_SPECS["ops.matmul"]
+        a = spec.build(np.random.default_rng(fuzz._spec_seed(7, spec.name)))
+        b = spec.build(np.random.default_rng(fuzz._spec_seed(7, spec.name)))
+        assert a.note == b.note
+        for ta, tb in zip(a.inputs, b.inputs):
+            np.testing.assert_array_equal(ta.data, tb.data)
+
+    def test_different_seeds_differ(self):
+        spec = fuzz.OP_SPECS["ops.matmul"]
+        notes = {spec.build(np.random.default_rng(
+            fuzz._spec_seed(s, spec.name))).note for s in range(8)}
+        assert len(notes) > 1
+
+
+class TestFailureDetection:
+    """The fuzzer must catch planted bugs, or it proves nothing."""
+
+    def test_wrong_gradient_is_reported(self):
+        def bad_mul(a, b):
+            out = ops.mul(a, b)
+
+            # Overwrite with a corrupted backward: swaps nothing, but
+            # doubles the gradient to one parent.
+            def backward(grad):
+                return (2 * grad * b.data, grad * a.data)
+
+            return Tensor._make(out.data, (a, b), "bad_mul", backward)
+
+        spec = OpSpec(
+            name="planted.bad_mul", covers=("planted.bad_mul",),
+            build=lambda rng: FuzzCase(bad_mul, [
+                Tensor(rng.uniform(0.5, 1.5, (3,)).astype(np.float32),
+                       requires_grad=True),
+                Tensor(rng.uniform(0.5, 1.5, (3,)).astype(np.float32),
+                       requires_grad=True)]))
+        result = fuzz.run_spec(spec, seed=0, rounds=2)
+        assert not result.passed
+        assert len(result.failures) == 2
+
+    def test_crashing_forward_is_reported_not_raised(self):
+        def boom(a):
+            raise RuntimeError("broken op")
+
+        spec = OpSpec(
+            name="planted.boom", covers=("planted.boom",),
+            build=lambda rng: FuzzCase(boom, [
+                Tensor(np.ones(2, dtype=np.float32), requires_grad=True)]))
+        result = fuzz.run_spec(spec, seed=0, rounds=1)
+        assert not result.passed
+        assert "RuntimeError" in result.failures[0]
+
+
+class TestBuilderHygiene:
+    @pytest.mark.parametrize("name", ["ops.abs", "ops.relu", "ops.clip"])
+    def test_kinked_ops_keep_margin_from_kinks(self, name):
+        # eps=1e-3 finite differences must never straddle a kink.
+        spec = fuzz.OP_SPECS[name]
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            case = spec.build(rng)
+            (x,) = case.inputs
+            if name == "ops.clip":
+                dist = np.minimum(np.abs(x.data - (-1.0)),
+                                  np.abs(x.data - 1.0))
+            else:
+                dist = np.abs(x.data)
+            assert dist.min() > 2 * spec.eps
+
+    def test_max_inputs_are_pairwise_distinct(self):
+        spec = fuzz.OP_SPECS["ops.max"]
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            case = spec.build(rng)
+            flat = case.inputs[0].data.reshape(-1)
+            assert len(np.unique(flat)) == flat.size

@@ -1,0 +1,67 @@
+"""Golden regression fixtures: committed snapshots must match the live
+pipeline, and the comparator must notice tampering."""
+
+import numpy as np
+import pytest
+
+from repro.verify import golden
+
+
+class TestCommittedFixtures:
+    def test_fixture_files_exist_for_every_case(self):
+        for name in golden.GOLDEN_CASES:
+            assert (golden.GOLDEN_DIR / f"{name}.npz").exists(), (
+                f"missing fixture for {name}; run "
+                "`python -m repro.verify --write-golden`")
+
+    @pytest.mark.parametrize("name", sorted(golden.GOLDEN_CASES))
+    def test_live_pipeline_matches_fixture(self, name):
+        result = golden.check_golden(name)
+        assert result.passed, result.failures
+
+
+class TestSnapshotProperties:
+    def test_snapshot_is_deterministic(self):
+        a = golden.build_snapshot("mlp")
+        b = golden.build_snapshot("mlp")
+        assert set(a) == set(b)
+        for key in a:
+            np.testing.assert_array_equal(a[key], b[key])
+
+    def test_snapshot_contains_logits_and_scores(self):
+        arrays = golden.build_snapshot("mlp")
+        assert "logits" in arrays
+        assert any(k.startswith("total::") for k in arrays)
+        assert any(k.startswith("per_class::") for k in arrays)
+
+
+class TestTamperDetection:
+    def test_corrupted_fixture_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(golden, "GOLDEN_DIR", tmp_path)
+        golden.write_golden(["mlp"])
+        path = tmp_path / "mlp.npz"
+        with np.load(path) as archive:
+            arrays = {key: archive[key].copy() for key in archive.files}
+        arrays["logits"][0, 0] += 0.1
+        np.savez(path, **arrays)
+        result = golden.check_golden("mlp")
+        assert not result.passed
+        assert any("logits" in f for f in result.failures)
+
+    def test_missing_fixture_fails_with_hint(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(golden, "GOLDEN_DIR", tmp_path)
+        result = golden.check_golden("mlp")
+        assert not result.passed
+        assert "--write-golden" in result.failures[0]
+
+    def test_stale_fixture_key_fails(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(golden, "GOLDEN_DIR", tmp_path)
+        golden.write_golden(["mlp"])
+        path = tmp_path / "mlp.npz"
+        with np.load(path) as archive:
+            arrays = {key: archive[key].copy() for key in archive.files}
+        arrays["total::renamed_group"] = np.zeros(3)
+        np.savez(path, **arrays)
+        result = golden.check_golden("mlp")
+        assert not result.passed
+        assert any("renamed_group" in f for f in result.failures)

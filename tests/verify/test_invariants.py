@@ -1,0 +1,82 @@
+"""Pruning-pipeline invariants: equivalence, score ranges, determinism."""
+
+import numpy as np
+
+from repro.core import ImportanceConfig, ImportanceEvaluator
+from repro.models import build_model
+from repro.verify import invariants
+
+
+class TestPruneMaskEquivalence:
+    def test_all_registry_families_pass(self):
+        result = invariants.check_prune_mask_equivalence(seed=0, trials=1)
+        assert result.passed, result.failures
+        # One case per registry family at minimum.
+        assert "3 model/victim cases" in result.detail
+
+    def test_registry_cases_cover_all_architecture_families(self):
+        # Acceptance bar: VGG, ResNet and MLP registry specs.
+        assert {"vgg11", "resnet20", "mlp"} <= set(invariants.REGISTRY_CASES)
+
+    def test_perturbed_bn_is_load_bearing(self):
+        # The helper must actually change BN statistics, otherwise the
+        # equivalence check degenerates to the trivially-passing case.
+        model = build_model("vgg11", **invariants.REGISTRY_CASES["vgg11"])
+        before = [g.bn for g in model.prunable_groups()]
+        means = [model.get_module(p).running_mean.copy() for p in before]
+        invariants.perturb_batchnorm_stats(model, seed=0)
+        after = [model.get_module(p).running_mean for p in before]
+        assert any(not np.array_equal(a, b) for a, b in zip(means, after))
+
+
+class TestBaselineScorers:
+    def test_quick_scorer_subset_passes(self):
+        result = invariants.check_baseline_scorer_equivalence(
+            seed=0, scorers=["l1", "taylor", "random"])
+        assert result.passed, result.failures
+
+    def test_unknown_scorer_reported_not_raised(self):
+        result = invariants.check_baseline_scorer_equivalence(
+            seed=0, scorers=["no-such-scorer"])
+        assert not result.passed
+        assert "no-such-scorer" in result.failures[0]
+
+
+class TestTaylorScoreRanges:
+    def test_ranges_hold(self):
+        result = invariants.check_taylor_score_ranges(seed=0)
+        assert result.passed, result.failures
+
+
+class TestImportanceDeterminism:
+    def test_invariant_check_passes(self):
+        result = invariants.check_importance_determinism(seed=0)
+        assert result.passed, result.failures
+
+    def test_two_runs_bit_identical(self, tiny_vgg, tiny_dataset):
+        """Same seed ⇒ bit-identical ImportanceReport, not just close."""
+        paths = [g.conv for g in tiny_vgg.prunable_groups()]
+        config = ImportanceConfig(images_per_class=4, seed=42)
+        reports = []
+        for _ in range(2):
+            evaluator = ImportanceEvaluator(tiny_vgg, tiny_dataset, 3, config)
+            reports.append(evaluator.evaluate(paths))
+        first, second = reports
+        assert set(first.total) == set(second.total) == set(paths)
+        for path in paths:
+            assert np.array_equal(first.total[path], second.total[path])
+            assert np.array_equal(first.per_class[path],
+                                  second.per_class[path])
+
+
+class TestRunInvariants:
+    def test_quick_battery_passes(self):
+        results = invariants.run_invariants(seed=0, quick=True)
+        names = {r.name for r in results}
+        assert names == {"prune_mask_equivalence",
+                         "baseline_scorer_equivalence",
+                         "taylor_score_ranges",
+                         "importance_determinism"}
+        failed = [r for r in results if not r.passed]
+        assert not failed, "\n".join(f"{r.name}: {r.failures}"
+                                     for r in failed)

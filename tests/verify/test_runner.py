@@ -1,0 +1,57 @@
+"""CLI behaviour of ``python -m repro.verify`` and the ``repro verify``
+subcommand: exit codes and argument forwarding."""
+
+import repro.cli as cli
+from repro.verify import fuzz, runner
+
+
+class TestExitCodes:
+    def test_list_exits_zero(self, capsys):
+        assert runner.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fuzz specs" in out
+
+    def test_coverage_only_run_exits_zero(self, capsys):
+        code = runner.main(["--skip-fuzz", "--skip-invariants",
+                            "--skip-golden"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_coverage_gap_fails(self, capsys, monkeypatch):
+        monkeypatch.setattr(fuzz, "coverage_gaps",
+                            lambda: {"ops.imaginary"})
+        code = runner.main(["--skip-fuzz", "--skip-invariants",
+                            "--skip-golden"])
+        assert code == 1
+        assert "ops.imaginary" in capsys.readouterr().out
+
+    def test_select_matching_nothing_fails(self, capsys):
+        # A typo'd --select must not masquerade as a clean pass.
+        code = runner.main(["--select", "no.such.spec", "--skip-invariants",
+                            "--skip-golden"])
+        assert code == 1
+        assert "matched no fuzz specs" in capsys.readouterr().out
+
+    def test_select_narrows_fuzz_run(self, capsys):
+        code = runner.main(["--select", "ops.neg", "--skip-invariants",
+                            "--skip-golden"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ops.neg" in out
+        assert "ops.matmul" not in out
+
+
+class TestCliForwarding:
+    def test_repro_verify_subcommand(self, capsys):
+        assert cli.main(["verify", "--list"]) == 0
+        assert "fuzz specs" in capsys.readouterr().out
+
+    def test_double_dash_separator_accepted(self, capsys):
+        assert cli.main(["verify", "--", "--list"]) == 0
+
+    def test_help_mentions_verify(self, capsys):
+        try:
+            cli.main(["--help"])
+        except SystemExit as exc:
+            assert exc.code == 0
+        assert "verify" in capsys.readouterr().out
