@@ -5,6 +5,8 @@ task::
 
     python -m repro train      --model vgg16 --num-classes 10 --out base.npz
     python -m repro prune      --checkpoint base.npz --out pruned.npz
+    python -m repro run        --checkpoint base.npz --run-dir runs/a
+    python -m repro run        --run-dir runs/a --resume
     python -m repro profile    --checkpoint pruned.npz
     python -m repro compare    --checkpoint base.npz --methods l1,sss,random
     python -m repro specialize --checkpoint base.npz --classes 0,1 --out s.npz
@@ -81,37 +83,119 @@ def cmd_train(args) -> int:
     return 0
 
 
+def _framework_config(args):
+    from .core import FrameworkConfig, ImportanceConfig
+    return FrameworkConfig(
+        score_threshold=(args.threshold if args.threshold is not None
+                         else 0.3 * args.num_classes),
+        max_fraction_per_iteration=args.max_fraction,
+        strategy=args.strategy,
+        finetune_epochs=args.finetune_epochs,
+        accuracy_drop_tolerance=args.tolerance,
+        max_iterations=args.max_iterations,
+        importance=ImportanceConfig(
+            images_per_class=args.images_per_class,
+            tau=args.tau, tau_mode=args.tau_mode,
+            tau_quantile=args.tau_quantile))
+
+
+def _build_framework(args, model):
+    from .core import ClassAwarePruningFramework
+    train, test = _datasets(args)
+    return ClassAwarePruningFramework(
+        model, train, test, num_classes=args.num_classes,
+        input_shape=(3, args.image_size, args.image_size),
+        config=_framework_config(args), training=_training(args))
+
+
+def _print_result(result, label: str) -> None:
+    print(result.summary_row(label))
+    print(f"stopped because: {result.termination or result.stop_reason}")
+
+
 def cmd_prune(args) -> int:
-    from .core import (ClassAwarePruningFramework, FrameworkConfig,
-                       ImportanceConfig)
     from .io import save_model
     model, arch = _load_checkpoint(args.checkpoint)
     args.num_classes = arch.get("num_classes", args.num_classes)
     args.image_size = arch.get("image_size", args.image_size)
-    train, test = _datasets(args)
-    importance = ImportanceConfig(
-        images_per_class=args.images_per_class,
-        tau=args.tau, tau_mode=args.tau_mode,
-        tau_quantile=args.tau_quantile)
-    framework = ClassAwarePruningFramework(
-        model, train, test, num_classes=args.num_classes,
-        input_shape=(3, args.image_size, args.image_size),
-        config=FrameworkConfig(
-            score_threshold=(args.threshold if args.threshold is not None
-                             else 0.3 * args.num_classes),
-            max_fraction_per_iteration=args.max_fraction,
-            strategy=args.strategy,
-            finetune_epochs=args.finetune_epochs,
-            accuracy_drop_tolerance=args.tolerance,
-            max_iterations=args.max_iterations,
-            importance=importance),
-        training=_training(args))
+    framework = _build_framework(args, model)
     result = framework.run(log=not args.quiet)
-    print(result.summary_row(arch.get("name", "model")))
-    print(f"stopped because: {result.stop_reason}")
+    _print_result(result, arch.get("name", "model"))
     save_model(result.model, args.out, arch=arch)
     print(f"pruned checkpoint written to {args.out}")
     return 0
+
+
+def cmd_run(args) -> int:
+    """Journaled (crash-resumable) variant of ``prune``."""
+    from .io import save_model
+    if args.resume:
+        result, arch = _resume_run(args)
+    else:
+        if args.checkpoint is None:
+            raise SystemExit("repro run: --checkpoint is required unless "
+                             "--resume is given")
+        model, arch = _load_checkpoint(args.checkpoint)
+        args.num_classes = arch.get("num_classes", args.num_classes)
+        args.image_size = arch.get("image_size", args.image_size)
+        framework = _build_framework(args, model)
+        result = framework.run(
+            log=not args.quiet, run_dir=args.run_dir,
+            meta={"image_size": args.image_size,
+                  "samples_per_class": args.samples_per_class,
+                  "data_seed": args.data_seed})
+    _print_result(result, arch.get("name", "model"))
+    if args.out:
+        save_model(result.model, args.out, arch=arch)
+        print(f"pruned checkpoint written to {args.out}")
+    print(f"run journal at {args.run_dir}")
+    return 0
+
+
+def _resume_run(args):
+    """Rebuild framework + datasets from the run journal, then resume."""
+    from pathlib import Path
+
+    from .core import (ClassAwarePruningFramework, FrameworkConfig,
+                       ImportanceConfig, TrainingConfig)
+    from .data import make_cifar_like
+    from .io import load_model
+    from .resilience import RunJournal, SentinelConfig
+    from .resilience.journal import decode_payload
+
+    run_dir = Path(args.run_dir)
+    records = RunJournal.read(run_dir / "journal.jsonl")
+    start = next((r for r in records if r.get("event") == "run_start"), None)
+    if start is None:
+        raise SystemExit(f"repro run: {run_dir} has no run_start record — "
+                         "nothing to resume")
+    payload = decode_payload(start)
+    meta = payload.get("meta") or {}
+    num_classes = int(payload["num_classes"])
+    input_shape = tuple(payload["input_shape"])
+
+    cfg_dict = dict(payload["config"])
+    cfg_dict["importance"] = ImportanceConfig(**cfg_dict["importance"])
+    cfg_dict["sentinel"] = (SentinelConfig(**cfg_dict["sentinel"])
+                            if cfg_dict.get("sentinel") else None)
+    config = FrameworkConfig(**cfg_dict)
+    tr_dict = dict(payload["training"])
+    tr_dict["lr_milestones"] = tuple(tr_dict.get("lr_milestones", ()))
+    training = TrainingConfig(**tr_dict)
+
+    train, test = make_cifar_like(
+        num_classes=num_classes,
+        image_size=meta.get("image_size", args.image_size),
+        samples_per_class=meta.get("samples_per_class",
+                                   args.samples_per_class),
+        seed=meta.get("data_seed", args.data_seed))
+    model = load_model(run_dir / "checkpoints" / "baseline.npz",
+                       input_shape=input_shape)
+    framework = ClassAwarePruningFramework(
+        model, train, test, num_classes=num_classes,
+        input_shape=input_shape, config=config, training=training)
+    result = framework.run(log=not args.quiet, resume_from=run_dir)
+    return result, payload["arch"]
 
 
 def cmd_profile(args) -> int:
@@ -202,27 +286,43 @@ def build_parser() -> argparse.ArgumentParser:
     _training_args(p_train, epochs=30)
     p_train.set_defaults(func=cmd_train)
 
+    def _prune_args(p):
+        p.add_argument("--threshold", type=float, default=None,
+                       help="score threshold (default: 0.3 x classes)")
+        p.add_argument("--max-fraction", type=float, default=0.1)
+        p.add_argument("--strategy", default="percentage+threshold",
+                       choices=["percentage", "threshold",
+                                "percentage+threshold"])
+        p.add_argument("--finetune-epochs", type=int, default=5)
+        p.add_argument("--tolerance", type=float, default=0.05)
+        p.add_argument("--max-iterations", type=int, default=8)
+        p.add_argument("--images-per-class", type=int, default=10)
+        p.add_argument("--tau", type=float, default=1e-50)
+        p.add_argument("--tau-mode", default="quantile",
+                       choices=["absolute", "quantile"])
+        p.add_argument("--tau-quantile", type=float, default=0.9)
+        p.add_argument("--quiet", action="store_true")
+        _dataset_args(p)
+        _training_args(p, epochs=5)
+
     p_prune = sub.add_parser("prune", help="run the class-aware framework")
     p_prune.add_argument("--checkpoint", required=True)
     p_prune.add_argument("--out", required=True)
-    p_prune.add_argument("--threshold", type=float, default=None,
-                         help="score threshold (default: 0.3 x classes)")
-    p_prune.add_argument("--max-fraction", type=float, default=0.1)
-    p_prune.add_argument("--strategy", default="percentage+threshold",
-                         choices=["percentage", "threshold",
-                                  "percentage+threshold"])
-    p_prune.add_argument("--finetune-epochs", type=int, default=5)
-    p_prune.add_argument("--tolerance", type=float, default=0.05)
-    p_prune.add_argument("--max-iterations", type=int, default=8)
-    p_prune.add_argument("--images-per-class", type=int, default=10)
-    p_prune.add_argument("--tau", type=float, default=1e-50)
-    p_prune.add_argument("--tau-mode", default="quantile",
-                         choices=["absolute", "quantile"])
-    p_prune.add_argument("--tau-quantile", type=float, default=0.9)
-    p_prune.add_argument("--quiet", action="store_true")
-    _dataset_args(p_prune)
-    _training_args(p_prune, epochs=5)
+    _prune_args(p_prune)
     p_prune.set_defaults(func=cmd_prune)
+
+    p_run = sub.add_parser(
+        "run", help="journaled, crash-resumable variant of prune")
+    p_run.add_argument("--run-dir", required=True,
+                       help="directory for the journal + checkpoints")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue an interrupted run from its journal")
+    p_run.add_argument("--checkpoint", default=None,
+                       help="trained model to prune (fresh runs only)")
+    p_run.add_argument("--out", default=None,
+                       help="optionally export the final pruned checkpoint")
+    _prune_args(p_run)
+    p_run.set_defaults(func=cmd_run)
 
     p_profile = sub.add_parser("profile", help="print params/MACs per layer")
     p_profile.add_argument("--checkpoint", required=True)

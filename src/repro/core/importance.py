@@ -22,7 +22,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..data import Dataset, per_class_images
+from ..data import Dataset, EmptyDatasetError, per_class_images
 from ..nn import Module
 from .taylor import ExactZeroingEngine, TaylorScoreEngine
 
@@ -130,6 +130,10 @@ def aggregate_scores(taylor_scores: np.ndarray, tau: float,
     """
     if taylor_scores.ndim < 2:
         raise ValueError("expected at least (M, C) scores")
+    if taylor_scores.shape[0] == 0:
+        raise ValueError(
+            "aggregate_scores received scores for zero images (M=0); the "
+            "Eq. 6 average would silently be NaN")
     indicator = (taylor_scores > tau).astype(np.float64)   # Eq. 5
     s_ave = indicator.mean(axis=0)                          # Eq. 6, (C, ...)
     if s_ave.ndim == 1:                                     # linear layer
@@ -180,8 +184,14 @@ class ImportanceEvaluator:
 
         per_class: dict[str, np.ndarray] = {}
         for class_index in range(self.num_classes):
-            images = per_class_images(self.dataset, class_index,
-                                      cfg.images_per_class, rng)
+            try:
+                images = per_class_images(self.dataset, class_index,
+                                          cfg.images_per_class, rng)
+            except EmptyDatasetError as exc:
+                raise EmptyDatasetError(
+                    f"importance evaluation needs samples of every class "
+                    f"(Eq. 6 averages over M images per class): {exc}"
+                ) from exc
             targets = np.full(len(images), class_index, dtype=np.intp)
             taylor = engine.scores(images, targets)
             if cfg.tau_mode == "quantile":

@@ -23,6 +23,7 @@ import numpy as np
 
 from ..nn import BatchNorm2d, Conv2d, Linear, Module
 from ..models.pruning_spec import FilterGroup
+from ..resilience.transaction import transactional
 
 __all__ = ["group_sizes", "prune_groups", "SurgeryRecord"]
 
@@ -101,6 +102,14 @@ def prune_groups(model: Module, groups: list[FilterGroup],
         If any group would be emptied, shrunk below its ``min_channels``,
         or given out-of-range indices. The model is not modified when
         validation fails.
+
+    Notes
+    -----
+    The mutation phase is **transactional**: if anything raises after the
+    first array was rewritten (a mis-typed consumer, an I/O error, an
+    injected chaos fault), the model is rolled back to its exact
+    pre-surgery state — weights, buffers and channel counts — before the
+    exception propagates. Surgery is therefore all-or-nothing.
     """
     by_name = {g.name: g for g in groups}
     unknown = set(keep_indices) - set(by_name)
@@ -113,29 +122,30 @@ def prune_groups(model: Module, groups: list[FilterGroup],
         validated[name] = _validate_keep(keep, sizes[name], by_name[name])
 
     record = SurgeryRecord()
-    for name, keep in validated.items():
-        group = by_name[name]
-        total = sizes[name]
-        producer = model.get_module(group.conv)
-        producer.select_output_channels(keep)
-        if group.bn is not None:
-            bn = model.get_module(group.bn)
-            if not isinstance(bn, BatchNorm2d):
-                raise TypeError(f"group {name!r}: {group.bn!r} is not BatchNorm2d")
-            bn.select_channels(keep)
-        for consumer in group.consumers:
-            target = model.get_module(consumer.path)
-            if consumer.kind == "conv":
-                if not isinstance(target, Conv2d):
-                    raise TypeError(
-                        f"group {name!r}: consumer {consumer.path!r} is not Conv2d")
-                target.select_input_channels(keep)
-            else:
-                if not isinstance(target, Linear):
-                    raise TypeError(
-                        f"group {name!r}: consumer {consumer.path!r} is not Linear")
-                target.select_input_channels(keep, group_size=consumer.group_size)
-        removed = np.setdiff1d(np.arange(total), keep)
-        record.removed[name] = removed
-        record.kept[name] = keep
+    with transactional(model):
+        for name, keep in validated.items():
+            group = by_name[name]
+            total = sizes[name]
+            producer = model.get_module(group.conv)
+            producer.select_output_channels(keep)
+            if group.bn is not None:
+                bn = model.get_module(group.bn)
+                if not isinstance(bn, BatchNorm2d):
+                    raise TypeError(f"group {name!r}: {group.bn!r} is not BatchNorm2d")
+                bn.select_channels(keep)
+            for consumer in group.consumers:
+                target = model.get_module(consumer.path)
+                if consumer.kind == "conv":
+                    if not isinstance(target, Conv2d):
+                        raise TypeError(
+                            f"group {name!r}: consumer {consumer.path!r} is not Conv2d")
+                    target.select_input_channels(keep)
+                else:
+                    if not isinstance(target, Linear):
+                        raise TypeError(
+                            f"group {name!r}: consumer {consumer.path!r} is not Linear")
+                    target.select_input_channels(keep, group_size=consumer.group_size)
+            removed = np.setdiff1d(np.arange(total), keep)
+            record.removed[name] = removed
+            record.kept[name] = keep
     return record

@@ -13,9 +13,11 @@ from typing import Callable
 
 import numpy as np
 
-from ..data import DataLoader, Dataset
+from ..data import DataLoader, Dataset, EmptyDatasetError
 from ..nn import Module, accuracy, cross_entropy
 from ..optim import SGD, MultiStepLR
+from ..resilience.sentinels import (HealthMonitor, NumericalHealthError,
+                                    SentinelConfig, SentinelEvent)
 from ..tensor import Tensor, no_grad
 from .regularizers import ModifiedLoss
 
@@ -66,9 +68,17 @@ class EpochStats:
 
 @dataclass
 class TrainingHistory:
-    """Sequence of epoch statistics for one training run."""
+    """Sequence of epoch statistics for one training run.
+
+    ``sentinel_events`` records every numerical-health trip (NaN/Inf loss,
+    NaN gradient, loss explosion) together with the action taken —
+    ``"rewind"`` when the trainer restored the last healthy weights and
+    backed off the learning rate, ``"abort"`` when the retry budget ran
+    out and :class:`~repro.resilience.NumericalHealthError` was raised.
+    """
 
     epochs: list[EpochStats] = field(default_factory=list)
+    sentinel_events: list[SentinelEvent] = field(default_factory=list)
 
     @property
     def final_test_accuracy(self) -> float | None:
@@ -87,6 +97,10 @@ class TrainingHistory:
 def evaluate_model(model: Module, dataset: Dataset,
                    batch_size: int = 256) -> tuple[float, float]:
     """Return ``(mean CE loss, top-1 accuracy)`` on a dataset (eval mode)."""
+    if len(dataset) == 0:
+        raise EmptyDatasetError(
+            "evaluate_model received an empty dataset — accuracy over zero "
+            "samples is undefined")
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
     was_training = model.training
     model.eval()
@@ -104,7 +118,7 @@ def evaluate_model(model: Module, dataset: Dataset,
     finally:
         model.train(was_training)
     if total == 0:
-        raise ValueError("empty evaluation dataset")
+        raise EmptyDatasetError("empty evaluation dataset")
     return total_loss / total, total_correct / total
 
 
@@ -120,17 +134,28 @@ class Trainer:
     config:
         Hyperparameters; ``config.loss()`` supplies the objective so the
         regularisation ablations of Table III are a config change.
+    sentinel:
+        Optional :class:`~repro.resilience.SentinelConfig` enabling the
+        numerical-health watchdog: NaN/Inf losses, NaN gradients and loss
+        explosions are caught *before* the optimiser step, the last
+        healthy weights are restored, the learning rate backs off, and the
+        epoch is retried. When the retry budget is exhausted the trainer
+        restores the last healthy weights and raises
+        :class:`~repro.resilience.NumericalHealthError` — so the caller
+        always gets back the best recoverable model.
     """
 
     def __init__(self, model: Module, train_dataset: Dataset,
                  test_dataset: Dataset | None = None,
                  config: TrainingConfig | None = None,
                  loss_fn: ModifiedLoss | None = None,
-                 post_step: Callable[[], None] | None = None):
+                 post_step: Callable[[], None] | None = None,
+                 sentinel: SentinelConfig | None = None):
         self.model = model
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self.config = config or TrainingConfig()
+        self.sentinel = sentinel
         # Baselines (SSS, TPP, OrthConv) substitute their own regularised
         # objectives here; anything with the ModifiedLoss call signature works.
         self.loss_fn = loss_fn if loss_fn is not None else self.config.loss()
@@ -153,31 +178,92 @@ class Trainer:
         """
         self.optimizer.rebind(self.model.parameters())
 
+    def _run_epoch(self, loader: DataLoader, epoch: int,
+                   monitor: HealthMonitor | None):
+        """One optimisation epoch.
+
+        Returns ``(sums, batches)`` on success, or the
+        :class:`SentinelEvent` that aborted the epoch. Sentinel checks run
+        between ``backward`` and the optimiser step, so a poisoned update
+        is never applied to the weights.
+        """
+        sums = {"loss": 0.0, "ce": 0.0, "l1": 0.0, "orth": 0.0, "acc": 0.0}
+        batches = 0
+        for step, (images, labels) in enumerate(loader):
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(images))
+            terms = self.loss_fn(self.model, logits, labels)
+            if monitor is not None:
+                event = monitor.observe_loss(float(terms.total.data),
+                                             epoch, step)
+                if event is not None:
+                    return event
+            terms.total.backward()
+            if monitor is not None:
+                event = monitor.observe_gradients(
+                    self.model.named_parameters(), epoch, step)
+                if event is not None:
+                    return event
+            self.optimizer.step()
+            if self.post_step is not None:
+                self.post_step()
+            sums["loss"] += float(terms.total.data)
+            sums["ce"] += terms.cross_entropy
+            sums["l1"] += terms.l1
+            sums["orth"] += terms.orth
+            sums["acc"] += accuracy(logits, labels)
+            batches += 1
+        return sums, batches
+
+    def _rewind(self, healthy_state, monitor: HealthMonitor) -> None:
+        """Restore the last healthy weights and back off the learning rate."""
+        self.model.load_state_dict(healthy_state)
+        self.optimizer.lr *= self.sentinel.lr_backoff
+        if self.scheduler is not None:
+            # Schedulers recompute from base_lr; shrink it too or the next
+            # scheduler step would undo the backoff.
+            self.scheduler.base_lr *= self.sentinel.lr_backoff
+        self.optimizer.reset_state()
+        monitor.reset()
+
     def train(self, epochs: int | None = None,
               log: bool = False) -> TrainingHistory:
         """Run the loop for ``epochs`` (default: config.epochs)."""
         epochs = epochs if epochs is not None else self.config.epochs
         history = TrainingHistory()
+        if epochs > 0 and len(self.train_dataset) == 0:
+            raise EmptyDatasetError(
+                "Trainer received an empty training dataset")
         loader = DataLoader(self.train_dataset, batch_size=self.config.batch_size,
                             shuffle=True, seed=self.config.seed)
-        for epoch in range(epochs):
+        monitor = (HealthMonitor(self.sentinel)
+                   if self.sentinel is not None else None)
+        healthy = self.model.state_dict() if monitor is not None else None
+        retries = 0
+        epoch = 0
+        while epoch < epochs:
             self.model.train()
-            sums = {"loss": 0.0, "ce": 0.0, "l1": 0.0, "orth": 0.0, "acc": 0.0}
-            batches = 0
-            for images, labels in loader:
-                self.optimizer.zero_grad()
-                logits = self.model(Tensor(images))
-                terms = self.loss_fn(self.model, logits, labels)
-                terms.total.backward()
-                self.optimizer.step()
-                if self.post_step is not None:
-                    self.post_step()
-                sums["loss"] += float(terms.total.data)
-                sums["ce"] += terms.cross_entropy
-                sums["l1"] += terms.l1
-                sums["orth"] += terms.orth
-                sums["acc"] += accuracy(logits, labels)
-                batches += 1
+            outcome = self._run_epoch(loader, epoch, monitor)
+            if isinstance(outcome, SentinelEvent):
+                retries += 1
+                if retries > self.sentinel.max_retries:
+                    outcome.action = "abort"
+                    history.sentinel_events.append(outcome)
+                    self.model.load_state_dict(healthy)
+                    raise NumericalHealthError(
+                        f"retry budget ({self.sentinel.max_retries}) "
+                        f"exhausted; last fault: {outcome.describe()} — "
+                        "weights restored to the last healthy epoch",
+                        events=history.sentinel_events)
+                outcome.action = "rewind"
+                history.sentinel_events.append(outcome)
+                self._rewind(healthy, monitor)
+                if log:
+                    print(f"sentinel: {outcome.describe()} "
+                          f"(retry {retries}/{self.sentinel.max_retries}, "
+                          f"lr -> {self.optimizer.lr:.2e})")
+                continue  # retry the same epoch index
+            sums, batches = outcome
             test_acc = None
             if self.test_dataset is not None:
                 _, test_acc = evaluate_model(self.model, self.test_dataset,
@@ -200,4 +286,7 @@ class Trainer:
                 print(f"epoch {epoch:3d} loss={stats.train_loss:.4f} "
                       f"ce={stats.cross_entropy:.4f} acc={stats.train_accuracy:.3f}"
                       f"{acc_str}")
+            if monitor is not None:
+                healthy = self.model.state_dict()
+            epoch += 1
         return history

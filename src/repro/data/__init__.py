@@ -1,7 +1,8 @@
 """Datasets, loaders, the synthetic CIFAR substitute, and real-CIFAR files."""
 
 from .cifar import CIFAR_MEAN, CIFAR_STD, load_cifar10, load_cifar100
-from .dataset import DataLoader, Dataset, Subset, TensorDataset, per_class_images
+from .dataset import (DataLoader, Dataset, EmptyDatasetError, Subset,
+                      TensorDataset, per_class_images)
 from .synthetic import (SyntheticConfig, SyntheticImageClassification,
                         make_cifar_like)
 from .transforms import (Compose, GaussianNoise, Normalize, RandomCrop,
@@ -9,6 +10,7 @@ from .transforms import (Compose, GaussianNoise, Normalize, RandomCrop,
 
 __all__ = [
     "Dataset", "TensorDataset", "Subset", "DataLoader", "per_class_images",
+    "EmptyDatasetError",
     "SyntheticConfig", "SyntheticImageClassification", "make_cifar_like",
     "Compose", "RandomHorizontalFlip", "RandomCrop", "Normalize",
     "GaussianNoise",

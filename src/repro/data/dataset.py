@@ -11,7 +11,17 @@ from typing import Callable, Iterator
 
 import numpy as np
 
-__all__ = ["Dataset", "TensorDataset", "Subset", "DataLoader", "per_class_images"]
+__all__ = ["Dataset", "TensorDataset", "Subset", "DataLoader",
+           "per_class_images", "EmptyDatasetError"]
+
+
+class EmptyDatasetError(ValueError):
+    """A computation received a dataset (or class slice) with no samples.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    keep working; the dedicated type lets evaluation and importance code
+    fail with an explicit message instead of a silent divide-by-zero.
+    """
 
 
 class Dataset:
@@ -126,8 +136,14 @@ def per_class_images(dataset: Dataset, class_index: int, count: int,
     (Sec. III-B / IV: "10 images for each class were randomly selected in
     the training datasets").
     """
+    if len(dataset) == 0:
+        raise EmptyDatasetError(
+            "per_class_images received an empty dataset — cannot sample "
+            f"images of class {class_index}")
     candidates = np.flatnonzero(dataset.labels == class_index)
     if len(candidates) == 0:
-        raise ValueError(f"dataset holds no samples of class {class_index}")
+        raise EmptyDatasetError(
+            f"dataset holds no samples of class {class_index}; every class "
+            "needs at least one training image for per-class sampling")
     chosen = rng.choice(candidates, size=min(count, len(candidates)), replace=False)
     return np.stack([dataset[int(i)][0] for i in chosen])

@@ -1,5 +1,7 @@
 """Checkpointing for (possibly pruned) models."""
 
-from .checkpoint import conform_to_state, load_model, save_model
+from .checkpoint import (CheckpointCorruptError, conform_to_state, load_model,
+                         save_model)
 
-__all__ = ["save_model", "load_model", "conform_to_state"]
+__all__ = ["save_model", "load_model", "conform_to_state",
+           "CheckpointCorruptError"]

@@ -7,29 +7,76 @@ full-width model, shrinks every coupled channel group to the checkpoint's
 sizes (reusing the DepGraph trace so the logic is architecture-agnostic),
 and then loads the weights.
 
-Format: a single ``.npz`` file whose ``__arch__`` entry is a JSON string
-and whose remaining entries are the state-dict arrays.
+Format: a single ``.npz`` file whose ``__arch__`` entry is a JSON string,
+whose ``__checksum__`` entry is a SHA-256 digest of every other entry, and
+whose remaining entries are the state-dict arrays.
+
+Durability guarantees (the checkpoints are the recovery points of the
+resumable pruning pipeline, see ``docs/resilience.md``):
+
+* writes are **atomic** — the payload goes to a temporary file in the same
+  directory, is fsynced, and is moved into place with ``os.replace``; a
+  crash mid-save can never leave a half-written checkpoint under the
+  target name;
+* loads are **verified** — truncation, bit-flips, or a stale digest raise
+  :class:`CheckpointCorruptError` instead of a numpy decoding backtrace.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from ..baselines.depgraph import prune_coupled_group, trace_coupled_groups
 from ..models import build_model
 from ..nn import Module
 
-__all__ = ["save_model", "load_model", "conform_to_state"]
+__all__ = ["save_model", "load_model", "conform_to_state",
+           "CheckpointCorruptError"]
 
 _ARCH_KEY = "__arch__"
+_CHECKSUM_KEY = "__checksum__"
+
+
+class CheckpointCorruptError(ValueError):
+    """The checkpoint bytes are damaged (truncated, flipped, or tampered).
+
+    Subclasses ``ValueError`` so pre-existing broad handlers still catch
+    it; resumable runs catch it specifically to fall back to an earlier
+    recovery point.
+    """
+
+
+def _npz_path(path: str | Path) -> Path:
+    """Mirror ``np.savez``'s name handling: append ``.npz`` if missing."""
+    path = Path(path)
+    if not path.name.endswith(".npz"):
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
+def _payload_digest(payload: dict[str, np.ndarray]) -> str:
+    """Order-independent content digest of every non-checksum entry."""
+    digest = hashlib.sha256()
+    for key in sorted(payload):
+        if key == _CHECKSUM_KEY:
+            continue
+        array = np.ascontiguousarray(payload[key])
+        digest.update(key.encode("utf-8"))
+        digest.update(str(array.dtype).encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def save_model(model: Module, path: str | Path,
                arch: dict | None = None) -> None:
-    """Write a model checkpoint.
+    """Atomically write a checksummed model checkpoint.
 
     Parameters
     ----------
@@ -51,12 +98,36 @@ def save_model(model: Module, path: str | Path,
         raise ValueError(
             "save_model needs an architecture recipe: pass arch={'name': ..., "
             "**kwargs} or build the model via repro.models.build_model")
-    path = Path(path)
+    path = _npz_path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     payload = {_ARCH_KEY: np.frombuffer(
         json.dumps(arch).encode("utf-8"), dtype=np.uint8)}
     payload.update(model.state_dict())
-    np.savez(path, **payload)
+    payload[_CHECKSUM_KEY] = np.frombuffer(
+        _payload_digest(payload).encode("ascii"), dtype=np.uint8)
+    tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _read_payload(path: Path) -> dict[str, np.ndarray]:
+    """Materialise every npz entry, translating damage into one error."""
+    try:
+        with np.load(path) as data:
+            return {key: np.array(data[key]) for key in data.files}
+    except (zipfile.BadZipFile, zlib.error, EOFError, OSError, KeyError,
+            ValueError) as exc:
+        if isinstance(exc, FileNotFoundError):
+            raise
+        raise CheckpointCorruptError(
+            f"{path} is unreadable (truncated or corrupted checkpoint): "
+            f"{exc}") from exc
 
 
 def conform_to_state(model: Module, state: dict[str, np.ndarray],
@@ -68,6 +139,10 @@ def conform_to_state(model: Module, state: dict[str, np.ndarray],
     channels; the weights are then overwritten by the checkpoint anyway, so
     which channels survive is irrelevant — only the shapes matter.
     """
+    # Imported here, not at module scope: depgraph sits on top of repro.core,
+    # which itself checkpoints through this module (framework journaling).
+    from ..baselines.depgraph import (prune_coupled_group,
+                                      trace_coupled_groups)
     for group in trace_coupled_groups(model, input_shape):
         first = group.producers[0]
         key = f"{first}.weight"
@@ -96,12 +171,27 @@ def load_model(path: str | Path,
     input_shape:
         ``(C, H, W)`` used for the conforming trace; defaults to
         ``(3, image_size, image_size)`` from the arch recipe.
+
+    Raises
+    ------
+    CheckpointCorruptError
+        When the file is truncated, bit-flipped, or its content checksum
+        does not match the stored digest.
     """
-    data = np.load(Path(path))
-    if _ARCH_KEY not in data:
+    path = Path(path)
+    payload = _read_payload(path)
+    if _CHECKSUM_KEY in payload:
+        expected = bytes(payload.pop(_CHECKSUM_KEY).tobytes()).decode("ascii")
+        actual = _payload_digest(payload)
+        if actual != expected:
+            raise CheckpointCorruptError(
+                f"{path} failed its content checksum "
+                f"(stored {expected[:12]}..., computed {actual[:12]}...); "
+                "the checkpoint was tampered with or partially written")
+    if _ARCH_KEY not in payload:
         raise ValueError(f"{path} is not a repro checkpoint (missing arch)")
-    arch = json.loads(bytes(data[_ARCH_KEY].tobytes()).decode("utf-8"))
-    state = {k: data[k] for k in data.files if k != _ARCH_KEY}
+    arch = json.loads(bytes(payload[_ARCH_KEY].tobytes()).decode("utf-8"))
+    state = {k: v for k, v in payload.items() if k != _ARCH_KEY}
     name = arch.pop("name")
     model = build_model(name, **arch)
     if input_shape is None:

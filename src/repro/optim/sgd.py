@@ -71,6 +71,15 @@ class SGD:
                 update = grad
             p.data = p.data - self.lr * update
 
+    def reset_state(self) -> None:
+        """Drop all velocity buffers.
+
+        Used by the numerical-health rewind: after restoring the last
+        healthy weights, momentum accumulated on the poisoned trajectory
+        must not steer the retry.
+        """
+        self._velocity.clear()
+
     def rebind(self, params: Iterable[Tensor]) -> None:
         """Point the optimizer at a new parameter list (after surgery).
 

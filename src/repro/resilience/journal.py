@@ -1,0 +1,187 @@
+"""Append-only, checksummed run journal and the run-directory layout.
+
+A journaled framework run writes one JSON line per state-machine event
+(``run_start``, ``iteration``, ``rollback``, ``sentinel_abort``,
+``resume``, ``run_end``). Each line carries a CRC of its canonical JSON
+encoding, so a crash mid-write (a truncated or garbled tail) is detected
+and the journal is readable up to the last complete record — exactly the
+property resuming needs.
+
+Numpy arrays inside payloads are encoded losslessly (base64 of the raw
+bytes plus dtype/shape), so an :class:`~repro.core.ImportanceReport`
+reconstructed from the journal is *bit-identical* to the in-memory one.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import zlib
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["JournalCorruptError", "RunJournal", "RunDirectory",
+           "encode_payload", "decode_payload"]
+
+_ARRAY_TAG = "__ndarray__"
+
+
+class JournalCorruptError(RuntimeError):
+    """A journal line failed its CRC or could not be parsed."""
+
+
+# ----------------------------------------------------------------------
+# Lossless JSON encoding of numpy-bearing payloads
+# ----------------------------------------------------------------------
+def encode_payload(value):
+    """Recursively convert a payload into JSON-serialisable form.
+
+    Arrays become ``{"__ndarray__": <base64>, "dtype": ..., "shape": ...}``
+    (raw little-endian bytes, so the round trip is bit-exact); numpy
+    scalars collapse to Python numbers; dicts/lists/tuples recurse.
+    """
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return {_ARRAY_TAG: base64.b64encode(contiguous.tobytes()).decode("ascii"),
+                "dtype": contiguous.dtype.str,
+                "shape": list(contiguous.shape)}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    if isinstance(value, dict):
+        return {str(k): encode_payload(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [encode_payload(v) for v in value]
+    return value
+
+
+def decode_payload(value):
+    """Inverse of :func:`encode_payload`."""
+    if isinstance(value, dict):
+        if _ARRAY_TAG in value:
+            raw = base64.b64decode(value[_ARRAY_TAG])
+            array = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        return {k: decode_payload(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_payload(v) for v in value]
+    return value
+
+
+# ----------------------------------------------------------------------
+# The journal proper
+# ----------------------------------------------------------------------
+def _canonical(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class RunJournal:
+    """Append-only JSONL journal with per-record CRC framing.
+
+    Every line has the shape ``{"crc": <crc32>, "record": {...}}`` where
+    the CRC covers the canonical encoding of ``record``. Reading tolerates
+    a corrupt or truncated *tail* (the expected crash artefact): records
+    up to the first bad line are returned and the rest are dropped.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.records: list[dict] = []
+        self.truncated = False
+        if self.path.exists():
+            self.records, self.truncated = self._read(self.path)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read(path: Path) -> tuple[list[dict], bool]:
+        records: list[dict] = []
+        truncated = False
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    framed = json.loads(line)
+                    record = framed["record"]
+                    if zlib.crc32(_canonical(record).encode("utf-8")) != framed["crc"]:
+                        raise JournalCorruptError("CRC mismatch")
+                except (json.JSONDecodeError, KeyError, TypeError,
+                        JournalCorruptError):
+                    # A bad line invalidates everything after it: later
+                    # records may describe state built on the lost one.
+                    truncated = True
+                    break
+                records.append(record)
+        return records, truncated
+
+    @classmethod
+    def read(cls, path: str | Path, strict: bool = False) -> list[dict]:
+        """Read all valid records; ``strict`` raises on any bad line."""
+        records, truncated = cls._read(Path(path))
+        if strict and truncated:
+            raise JournalCorruptError(
+                f"{path}: corrupt or truncated journal line "
+                f"after record {len(records) - 1}")
+        return records
+
+    # ------------------------------------------------------------------
+    def append(self, event: str, **payload) -> dict:
+        """Durably append one event record and return it."""
+        record = {"seq": len(self.records), "event": event}
+        record.update(encode_payload(payload))
+        body = _canonical(record)
+        line = json.dumps(
+            {"crc": zlib.crc32(body.encode("utf-8")), "record": record},
+            sort_keys=True, separators=(",", ":"))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self.records.append(record)
+        return record
+
+    def events(self, name: str) -> list[dict]:
+        """All records of one event type, in append order."""
+        return [r for r in self.records if r.get("event") == name]
+
+    def last_event(self, name: str) -> dict | None:
+        found = self.events(name)
+        return found[-1] if found else None
+
+
+class RunDirectory:
+    """Filesystem layout of one journaled framework run.
+
+    ::
+
+        <run_dir>/
+            journal.jsonl
+            checkpoints/baseline.npz
+            checkpoints/iter_0000.npz
+            ...
+            checkpoints/final.npz
+    """
+
+    JOURNAL_NAME = "journal.jsonl"
+
+    def __init__(self, path: str | Path, create: bool = True):
+        self.path = Path(path)
+        if create:
+            (self.path / "checkpoints").mkdir(parents=True, exist_ok=True)
+        elif not self.path.is_dir():
+            raise FileNotFoundError(f"run directory {self.path} does not exist")
+        self.journal = RunJournal(self.path / self.JOURNAL_NAME)
+
+    def checkpoint_path(self, tag: str) -> Path:
+        return self.path / "checkpoints" / f"{tag}.npz"
+
+    @staticmethod
+    def iteration_tag(iteration: int) -> str:
+        return f"iter_{iteration:04d}"

@@ -1,0 +1,72 @@
+"""Bounded-retry wrapper for flaky datasets.
+
+Real training feeds from storage that fails transiently — a network
+filesystem hiccup, an evicted cache shard, a racing writer. A single
+failed ``__getitem__`` should not kill an hours-long prune/fine-tune run,
+but an *unbounded* retry loop would hang it forever on a persistent
+failure; this wrapper retries a bounded number of times and then raises a
+:class:`DataUnavailableError` that names the item and the attempt count.
+
+The framework enables it via ``FrameworkConfig.loader_retries``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..data import Dataset
+
+__all__ = ["DataUnavailableError", "RetryingDataset"]
+
+
+class DataUnavailableError(RuntimeError):
+    """An item stayed unreadable after exhausting the retry budget."""
+
+
+class RetryingDataset(Dataset):
+    """Dataset view that retries transient ``__getitem__`` failures.
+
+    Parameters
+    ----------
+    dataset:
+        The possibly-flaky source.
+    max_retries:
+        Additional attempts after the first failure; ``max_retries=3``
+        means up to 4 reads per item.
+    on_retry:
+        Optional callback ``(index, attempt, exception)`` invoked on every
+        failed attempt (logging/metrics hook).
+    """
+
+    def __init__(self, dataset: Dataset, max_retries: int = 3,
+                 on_retry: Callable[[int, int, Exception], None] | None = None):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.dataset = dataset
+        self.max_retries = max_retries
+        self.on_retry = on_retry
+        self.retried = 0  # total failed attempts that were retried
+
+    def __len__(self) -> int:
+        return len(self.dataset)
+
+    def __getitem__(self, index: int) -> tuple[np.ndarray, int]:
+        last: Exception | None = None
+        for attempt in range(self.max_retries + 1):
+            try:
+                return self.dataset[index]
+            except Exception as exc:  # noqa: BLE001 - retry any read fault
+                last = exc
+                if self.on_retry is not None:
+                    self.on_retry(index, attempt, exc)
+                if attempt < self.max_retries:
+                    self.retried += 1
+        raise DataUnavailableError(
+            f"item {index} unreadable after {self.max_retries + 1} attempts: "
+            f"{last}") from last
+
+    @property
+    def labels(self) -> np.ndarray:
+        return self.dataset.labels

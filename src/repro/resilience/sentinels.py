@@ -1,0 +1,155 @@
+"""Numerical-health sentinels for the training loop.
+
+Hours-long fine-tuning can fail numerically long before it fails loudly:
+a single NaN in the loss or a gradient contaminates every weight at the
+next optimiser step, and from then on every importance score and pruning
+decision is garbage. The sentinels catch the contamination **between the
+backward pass and the optimiser step**, so the poisoned update is never
+applied, and the :class:`~repro.core.Trainer` rewinds to the last healthy
+weights with a learning-rate backoff and a bounded retry budget.
+
+This module is deliberately free of ``repro.core`` imports; the trainer
+pulls the monitor in, not the other way around.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+from ..tensor import Tensor
+
+__all__ = ["SentinelConfig", "SentinelEvent", "HealthMonitor",
+           "NumericalHealthError"]
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Policy knobs of the numerical-health watchdog.
+
+    Attributes
+    ----------
+    check_loss:
+        Flag NaN/Inf losses per training step.
+    check_gradients:
+        Flag NaN/Inf parameter gradients per training step (checked after
+        ``backward`` and before the optimiser step, so a poisoned update
+        is never applied).
+    explosion_factor:
+        A finite loss larger than ``explosion_factor`` times the median of
+        the recent healthy losses counts as a loss explosion. ``0``
+        disables explosion detection.
+    explosion_window:
+        Number of recent healthy losses forming the explosion baseline;
+        explosions are only flagged once the window holds at least
+        ``explosion_window // 2`` samples, so early noisy steps don't trip
+        the alarm.
+    max_retries:
+        How many rewind-and-retry attempts one training run may consume
+        before it degrades: the trainer restores the last healthy weights
+        and raises :class:`NumericalHealthError`.
+    lr_backoff:
+        Multiplier applied to the learning rate at every rewind.
+    """
+
+    check_loss: bool = True
+    check_gradients: bool = True
+    explosion_factor: float = 1e3
+    explosion_window: int = 16
+    max_retries: int = 2
+    lr_backoff: float = 0.5
+
+    def __post_init__(self):
+        if self.explosion_factor < 0:
+            raise ValueError("explosion_factor must be >= 0")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not 0 < self.lr_backoff <= 1:
+            raise ValueError("lr_backoff must be in (0, 1]")
+
+
+@dataclass
+class SentinelEvent:
+    """One tripped sentinel: what, where, and what the trainer did."""
+
+    kind: str            # "nan-loss" | "inf-loss" | "nan-grad" | "loss-explosion"
+    epoch: int
+    step: int
+    detail: str
+    action: str = ""     # filled by the trainer: "rewind" | "abort"
+
+    def describe(self) -> str:
+        action = f" -> {self.action}" if self.action else ""
+        return (f"{self.kind} at epoch {self.epoch} step {self.step} "
+                f"({self.detail}){action}")
+
+
+class NumericalHealthError(RuntimeError):
+    """Raised when the retry budget is exhausted.
+
+    The trainer restores the last healthy weights *before* raising, so
+    catching this error always leaves the model in the best recoverable
+    state (the paper's termination rule: keep the last recoverable model).
+    """
+
+    def __init__(self, message: str, events: list[SentinelEvent] | None = None):
+        super().__init__(message)
+        self.events: list[SentinelEvent] = list(events or [])
+
+
+@dataclass
+class HealthMonitor:
+    """Stateful per-run watchdog evaluating the :class:`SentinelConfig`.
+
+    The monitor only *detects* and reports; rewinding and backoff are the
+    trainer's job, so the detection logic stays trivially testable.
+    """
+
+    config: SentinelConfig
+    _recent: deque = field(init=False)
+
+    def __post_init__(self):
+        self._recent = deque(maxlen=max(int(self.config.explosion_window), 1))
+
+    def reset(self) -> None:
+        """Forget the healthy-loss history (after a rewind)."""
+        self._recent.clear()
+
+    # ------------------------------------------------------------------
+    def observe_loss(self, value: float, epoch: int,
+                     step: int) -> SentinelEvent | None:
+        """Inspect one step's loss; returns an event when unhealthy."""
+        if not self.config.check_loss:
+            return None
+        if math.isnan(value):
+            return SentinelEvent("nan-loss", epoch, step, "loss is NaN")
+        if math.isinf(value):
+            return SentinelEvent("inf-loss", epoch, step, "loss is Inf")
+        if self.config.explosion_factor > 0 and \
+                len(self._recent) >= max(self._recent.maxlen // 2, 2):
+            baseline = float(np.median(self._recent))
+            if baseline > 0 and value > self.config.explosion_factor * baseline:
+                return SentinelEvent(
+                    "loss-explosion", epoch, step,
+                    f"loss {value:.4g} > {self.config.explosion_factor:g} x "
+                    f"median recent loss {baseline:.4g}")
+        self._recent.append(value)
+        return None
+
+    def observe_gradients(self, named_params: Iterable[tuple[str, Tensor]],
+                          epoch: int, step: int) -> SentinelEvent | None:
+        """Inspect parameter gradients after a backward pass."""
+        if not self.config.check_gradients:
+            return None
+        for name, param in named_params:
+            grad = param.grad
+            if grad is not None and not np.all(np.isfinite(grad)):
+                bad = int(np.size(grad) - np.count_nonzero(np.isfinite(grad)))
+                return SentinelEvent(
+                    "nan-grad", epoch, step,
+                    f"{bad} non-finite gradient entries in {name!r}")
+        return None

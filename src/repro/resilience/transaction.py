@@ -1,0 +1,113 @@
+"""Transactional model mutation: snapshot, rollback, and the guard.
+
+Filter surgery (:func:`repro.core.prune_groups`) rewrites the parameter
+arrays, batch-norm buffers and channel-count attributes of many modules
+in sequence. An exception thrown halfway — a consumer of the wrong layer
+type, an I/O error inside a hook, an injected chaos fault — would leave
+the network half-pruned: producer shrunk, consumers still full width,
+forward passes broken. :func:`transactional` makes the whole mutation
+all-or-nothing.
+
+The snapshot is *structural*, not a ``deepcopy``: it captures, per module,
+copies of every parameter array, every registered buffer, and every
+scalar/tuple attribute (channel counts, strides, …). Restoring writes the
+saved arrays back into the **same** :class:`~repro.tensor.Tensor` objects,
+so optimisers that hold references to the parameters keep working after a
+rollback.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..nn import Module
+
+__all__ = ["ModelSnapshot", "transactional"]
+
+_SCALAR_TYPES = (bool, int, float, str, tuple)
+
+
+@dataclass
+class _ModuleState:
+    params: dict[str, np.ndarray]
+    buffers: dict[str, np.ndarray]
+    attrs: dict[str, object]
+
+
+class ModelSnapshot:
+    """Point-in-time capture of a model's arrays, buffers and shape attrs.
+
+    Unlike :meth:`Module.state_dict`, restoring works even after the
+    parameter *shapes* changed (that is its purpose): each saved array is
+    assigned back to the live tensor's ``data``, and channel-count
+    attributes (``out_channels``, ``num_features``, …) revert with it.
+    """
+
+    def __init__(self, model: Module):
+        self._modules: dict[str, _ModuleState] = {}
+        for name, module in model.named_modules():
+            self._modules[name] = _ModuleState(
+                params={n: p.data.copy()
+                        for n, p in module._parameters.items()},
+                buffers={n: np.array(getattr(module, n), copy=True)
+                         for n in module._buffers},
+                attrs={k: v for k, v in vars(module).items()
+                       if isinstance(v, _SCALAR_TYPES)},
+            )
+
+    def restore(self, model: Module) -> None:
+        """Write the captured state back into ``model`` (same tree shape)."""
+        for name, module in model.named_modules():
+            saved = self._modules.get(name)
+            if saved is None:
+                continue
+            for pname, param in module._parameters.items():
+                if pname in saved.params:
+                    param.data = saved.params[pname].copy()
+                    param.zero_grad()
+            for bname in module._buffers:
+                if bname in saved.buffers:
+                    object.__setattr__(module, bname,
+                                       saved.buffers[bname].copy())
+            for aname, value in saved.attrs.items():
+                object.__setattr__(module, aname, value)
+
+    def matches(self, model: Module) -> bool:
+        """True when the model's arrays equal the snapshot bit-for-bit."""
+        for name, module in model.named_modules():
+            saved = self._modules.get(name)
+            if saved is None:
+                return False
+            for pname, param in module._parameters.items():
+                ref = saved.params.get(pname)
+                if ref is None or ref.shape != param.data.shape \
+                        or not np.array_equal(ref, param.data):
+                    return False
+            for bname in module._buffers:
+                ref = saved.buffers.get(bname)
+                live = np.asarray(getattr(module, bname))
+                if ref is None or ref.shape != live.shape \
+                        or not np.array_equal(ref, live):
+                    return False
+        return True
+
+
+@contextlib.contextmanager
+def transactional(model: Module):
+    """Roll the model back to its entry state if the body raises.
+
+    >>> with transactional(model):
+    ...     mutate_many_modules(model)   # any exception -> full rollback
+
+    The original exception propagates unchanged after the rollback, so
+    callers still see *why* the mutation failed.
+    """
+    snapshot = ModelSnapshot(model)
+    try:
+        yield snapshot
+    except BaseException:
+        snapshot.restore(model)
+        raise

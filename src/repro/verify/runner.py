@@ -6,6 +6,8 @@ Runs the three verification layers in order —
 2. property-based gradient fuzzing (:mod:`repro.verify.fuzz`),
 3. semantic invariants (:mod:`repro.verify.invariants`),
 4. golden regression fixtures (:mod:`repro.verify.golden`),
+5. resilience drills (:mod:`repro.resilience.drills` — fault injection
+   against every recovery path),
 
 prints a per-check report, and exits non-zero on any failure. ``--quick``
 is the CI tier: single fuzz round over the representative spec subset,
@@ -50,6 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the fuzzer and golden checks")
     parser.add_argument("--skip-golden", action="store_true",
                         help="run only the fuzzer and invariants")
+    parser.add_argument("--skip-resilience", action="store_true",
+                        help="skip the fault-injection recovery drills")
     parser.add_argument("--write-golden", action="store_true",
                         help="regenerate the golden fixtures and exit")
     parser.add_argument("--list", action="store_true", dest="list_specs",
@@ -137,6 +141,13 @@ def main(argv=None) -> int:
 
     if not args.skip_golden:
         ok &= _report("golden fixtures", golden.run_golden())
+
+    if not args.skip_resilience:
+        # Imported lazily: drills needs repro.core, which the resilience
+        # package itself must not import.
+        from ..resilience import drills
+        ok &= _report("resilience drills",
+                      drills.run_drills(seed=args.seed, quick=args.quick))
 
     elapsed = time.perf_counter() - start
     print(f"\n{'PASS' if ok else 'FAIL'} in {elapsed:.1f}s")

@@ -4,8 +4,10 @@ import numpy as np
 import pytest
 
 from repro.core import prune_groups
-from repro.io import conform_to_state, load_model, save_model
+from repro.io import (CheckpointCorruptError, conform_to_state, load_model,
+                      save_model)
 from repro.models import build_model
+from repro.resilience import corrupt_checkpoint
 from repro.tensor import Tensor, no_grad
 
 
@@ -97,6 +99,10 @@ class TestValidation:
         with pytest.raises(KeyError):
             conform_to_state(model, {}, (3, 8, 8))
 
+    def test_missing_file_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_model(tmp_path / "nope.npz")
+
     def test_arch_preserved_on_loaded_model(self, tmp_path):
         model = build_model("vgg11", num_classes=3, image_size=8,
                             width=0.125)
@@ -108,3 +114,44 @@ class TestValidation:
         again = load_model(tmp_path / "m2.npz")
         np.testing.assert_allclose(forward(again), forward(model),
                                    rtol=1e-5, atol=1e-6)
+
+
+class TestTamperDetection:
+    def _saved(self, tmp_path):
+        model = build_model("vgg11", num_classes=3, image_size=8, width=0.125)
+        path = tmp_path / "model.npz"
+        save_model(model, path)
+        load_model(path)  # sanity: valid before tampering
+        return path
+
+    @pytest.mark.parametrize("mode", ["flip", "truncate"])
+    def test_corruption_detected(self, tmp_path, mode):
+        path = self._saved(tmp_path)
+        corrupt_checkpoint(path, mode=mode)
+        with pytest.raises(CheckpointCorruptError):
+            load_model(path)
+
+    def test_corrupt_error_is_value_error(self, tmp_path):
+        # Callers that predate CheckpointCorruptError catch ValueError.
+        path = self._saved(tmp_path)
+        corrupt_checkpoint(path, mode="truncate")
+        with pytest.raises(ValueError):
+            load_model(path)
+
+    def test_checksum_catches_payload_swap(self, tmp_path):
+        # Rewrite one array through numpy itself: the container stays a
+        # valid npz, so only the content digest can notice.
+        path = self._saved(tmp_path)
+        payload = dict(np.load(path, allow_pickle=True))
+        key = next(k for k in payload
+                   if k.endswith(".weight") and payload[k].ndim > 1)
+        payload[key] = np.zeros_like(payload[key])
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointCorruptError, match="checksum"):
+            load_model(path)
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        self._saved(tmp_path)
+        leftovers = [p for p in tmp_path.iterdir()
+                     if p.suffix != ".npz"]
+        assert leftovers == []

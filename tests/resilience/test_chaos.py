@@ -1,0 +1,119 @@
+"""The fault-injection harness itself must be deterministic and precise."""
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader
+from repro.nn import cross_entropy
+from repro.resilience import (ChaosError, DataUnavailableError, FlakyDataset,
+                              RetryingDataset, plant_numerical_fault,
+                              sabotage_method)
+from repro.tensor import Tensor
+
+
+class TestNumericalFaults:
+    def _conv(self, tiny_vgg):
+        return tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].conv)
+
+    def _forward(self, model):
+        x = Tensor(np.random.default_rng(5).normal(size=(2, 3, 8, 8))
+                   .astype(np.float32))
+        # Eval mode: train-mode batch norm renormalises by batch statistics,
+        # which would cancel a pure scale fault on the previous layer.
+        model.eval()
+        return model(x)
+
+    def test_activation_fault_fires_once(self, tiny_vgg):
+        handle = plant_numerical_fault(self._conv(tiny_vgg), at_call=1,
+                                       mode="activation")
+        try:
+            first = self._forward(tiny_vgg)
+            assert np.all(np.isfinite(first.data))       # call 0: clean
+            second = self._forward(tiny_vgg)
+            assert np.any(np.isnan(second.data))         # call 1: poisoned
+            third = self._forward(tiny_vgg)
+            assert np.all(np.isfinite(third.data))       # call 2: clean again
+        finally:
+            handle.remove()
+
+    def test_gradient_fault_leaves_forward_clean(self, tiny_vgg):
+        handle = plant_numerical_fault(self._conv(tiny_vgg), at_call=0,
+                                       mode="gradient")
+        try:
+            out = self._forward(tiny_vgg)
+            assert np.all(np.isfinite(out.data))
+            loss = cross_entropy(out, np.array([0, 1]))
+            assert np.isfinite(float(loss.data))
+            loss.backward()
+        finally:
+            handle.remove()
+        grads = [p.grad for _, p in tiny_vgg.named_parameters()
+                 if p.grad is not None]
+        assert any(not np.all(np.isfinite(g)) for g in grads)
+
+    def test_scale_fault_amplifies(self, tiny_vgg):
+        clean = self._forward(tiny_vgg).data
+        handle = plant_numerical_fault(self._conv(tiny_vgg), at_call=0,
+                                       mode="scale", value=1e6)
+        try:
+            scaled = self._forward(tiny_vgg).data
+        finally:
+            handle.remove()
+        assert np.max(np.abs(scaled)) > np.max(np.abs(clean))
+
+    def test_unknown_mode_rejected(self, tiny_vgg):
+        with pytest.raises(ValueError):
+            plant_numerical_fault(self._conv(tiny_vgg), mode="gremlins")
+
+
+class TestSabotage:
+    def test_counts_successes_before_failing(self, tiny_vgg):
+        conv = tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].conv)
+        calls = []
+        with sabotage_method(conv, "select_output_channels", after_calls=1):
+            conv.select_output_channels(np.arange(conv.out_channels))
+            calls.append("ok")
+            with pytest.raises(ChaosError):
+                conv.select_output_channels(np.arange(conv.out_channels))
+        assert calls == ["ok"]
+
+    def test_original_method_restored_on_exit(self, tiny_vgg):
+        conv = tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].conv)
+        with sabotage_method(conv, "select_output_channels"):
+            pass
+        # Outside the context the real method works again.
+        conv.select_output_channels(np.arange(conv.out_channels))
+
+
+class TestFlakyDataset:
+    def test_each_item_fails_then_succeeds(self, tiny_dataset):
+        flaky = FlakyDataset(tiny_dataset, failures=2)
+        with pytest.raises(ChaosError):
+            flaky[0]
+        with pytest.raises(ChaosError):
+            flaky[0]
+        image, label = flaky[0]
+        assert image.shape == tiny_dataset[0][0].shape
+        assert label == tiny_dataset[0][1]
+
+    def test_retry_wrapper_absorbs_faults(self, tiny_dataset):
+        wrapped = RetryingDataset(FlakyDataset(tiny_dataset, failures=2),
+                                  max_retries=2)
+        loader = DataLoader(wrapped, batch_size=16, shuffle=False)
+        total = sum(len(labels) for _, labels in loader)
+        assert total == len(tiny_dataset)
+        assert wrapped.retried == 2 * len(tiny_dataset)
+
+    def test_retry_budget_exhaustion_raises(self, tiny_dataset):
+        wrapped = RetryingDataset(FlakyDataset(tiny_dataset, failures=5),
+                                  max_retries=2)
+        with pytest.raises(DataUnavailableError, match="item 0"):
+            wrapped[0]
+
+    def test_on_retry_callback_sees_attempts(self, tiny_dataset):
+        seen = []
+        wrapped = RetryingDataset(
+            FlakyDataset(tiny_dataset, failures=1), max_retries=1,
+            on_retry=lambda idx, attempt, exc: seen.append((idx, attempt)))
+        wrapped[3]
+        assert seen == [(3, 0)]

@@ -1,0 +1,105 @@
+"""Journal framing, lossless payload codec, and crash-truncation tolerance."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resilience import (JournalCorruptError, RunDirectory, RunJournal,
+                              decode_payload, encode_payload)
+
+
+class TestPayloadCodec:
+    @pytest.mark.parametrize("dtype", ["float32", "float64", "int64", "bool"])
+    def test_array_roundtrip_bit_exact(self, dtype):
+        rng = np.random.default_rng(0)
+        array = (rng.normal(size=(3, 4, 5)) * 1e-30).astype(dtype)
+        out = decode_payload(json.loads(json.dumps(encode_payload(array))))
+        assert out.dtype == array.dtype
+        assert out.shape == array.shape
+        assert np.array_equal(out.view(np.uint8), array.view(np.uint8))
+
+    def test_nan_and_inf_survive(self):
+        array = np.array([np.nan, np.inf, -np.inf, 0.0], dtype=np.float64)
+        out = decode_payload(json.loads(json.dumps(encode_payload(array))))
+        assert np.array_equal(out, array, equal_nan=True)
+
+    def test_nested_structures(self):
+        payload = {"a": {"b": [np.float32(1.5), np.int64(3)],
+                         "c": np.arange(4)},
+                   "d": "text", "e": None}
+        out = decode_payload(json.loads(json.dumps(encode_payload(payload))))
+        assert out["a"]["b"] == [1.5, 3]
+        assert np.array_equal(out["a"]["c"], np.arange(4))
+        assert out["d"] == "text" and out["e"] is None
+
+    def test_numpy_scalars_become_python(self):
+        out = encode_payload({"x": np.float64(2.0), "y": np.bool_(True)})
+        assert type(out["x"]) is float and type(out["y"]) is bool
+
+
+class TestRunJournal:
+    def test_append_and_reload(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("run_start", value=1)
+        journal.append("iteration", iteration=0)
+        reloaded = RunJournal(tmp_path / "j.jsonl")
+        assert [r["event"] for r in reloaded.records] == \
+            ["run_start", "iteration"]
+        assert reloaded.records[0]["seq"] == 0
+        assert not reloaded.truncated
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.append("run_start")
+        journal.append("iteration", iteration=0)
+        # Simulate a crash mid-append: cut the last line in half.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:len(raw) - len(raw.splitlines()[-1]) // 2 - 1])
+        reloaded = RunJournal(path)
+        assert [r["event"] for r in reloaded.records] == ["run_start"]
+        assert reloaded.truncated
+
+    def test_bit_flip_detected_by_crc(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        journal.append("run_start", accuracy=0.75)
+        line = path.read_text()
+        path.write_text(line.replace("0.75", "0.85"))
+        assert RunJournal(path).records == []
+        with pytest.raises(JournalCorruptError):
+            RunJournal.read(path, strict=True)
+
+    def test_corrupt_line_invalidates_rest(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path)
+        for i in range(3):
+            journal.append("iteration", iteration=i)
+        lines = path.read_text().splitlines()
+        lines[1] = "garbage"
+        path.write_text("\n".join(lines) + "\n")
+        reloaded = RunJournal(path)
+        # Record 2 may describe state built on the lost record 1.
+        assert len(reloaded.records) == 1
+
+    def test_events_filter(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl")
+        journal.append("run_start")
+        journal.append("iteration", iteration=0)
+        journal.append("iteration", iteration=1)
+        assert len(journal.events("iteration")) == 2
+        assert journal.last_event("iteration")["iteration"] == 1
+        assert journal.last_event("run_end") is None
+
+
+class TestRunDirectory:
+    def test_layout(self, tmp_path):
+        rundir = RunDirectory(tmp_path / "run")
+        assert (tmp_path / "run" / "checkpoints").is_dir()
+        assert rundir.checkpoint_path("baseline").name == "baseline.npz"
+        assert RunDirectory.iteration_tag(7) == "iter_0007"
+
+    def test_missing_dir_rejected_without_create(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            RunDirectory(tmp_path / "absent", create=False)

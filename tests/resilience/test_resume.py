@@ -1,0 +1,188 @@
+"""Crash–resume integration: a killed run must resume bit-identically."""
+
+import numpy as np
+import pytest
+
+from repro.core import (ClassAwarePruningFramework, FrameworkConfig,
+                        ImportanceConfig, TrainingConfig)
+from repro.core.framework import ResumeError
+from repro.models import build_model
+from repro.resilience import RunJournal, SimulatedCrash, corrupt_checkpoint
+
+
+def make_framework(tolerance=0.5, max_iterations=2):
+    from repro.data import make_cifar_like
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.25,
+                        seed=0)
+    train, test = make_cifar_like(num_classes=3, image_size=8,
+                                  samples_per_class=12, seed=0)
+    return ClassAwarePruningFramework(
+        model, train, test, num_classes=3, input_shape=(3, 8, 8),
+        config=FrameworkConfig(
+            score_threshold=1.0, max_fraction_per_iteration=0.2,
+            finetune_epochs=1, accuracy_drop_tolerance=tolerance,
+            max_iterations=max_iterations,
+            importance=ImportanceConfig(images_per_class=3)),
+        training=TrainingConfig(epochs=1, batch_size=32, lr=0.05, seed=0))
+
+
+def assert_results_identical(reference, resumed):
+    assert resumed.stop_reason == reference.stop_reason
+    assert resumed.termination == reference.termination
+    assert resumed.final_accuracy == reference.final_accuracy
+    assert resumed.baseline_accuracy == reference.baseline_accuracy
+    assert len(resumed.iterations) == len(reference.iterations)
+    for ref, res in zip(reference.iterations, resumed.iterations):
+        assert res.iteration == ref.iteration
+        assert res.num_removed == ref.num_removed
+        assert res.accuracy_after_finetune == ref.accuracy_after_finetune
+        assert res.params == ref.params
+    ref_state = reference.model.state_dict()
+    res_state = resumed.model.state_dict()
+    assert sorted(ref_state) == sorted(res_state)
+    for key in ref_state:
+        np.testing.assert_array_equal(ref_state[key], res_state[key],
+                                      err_msg=key)
+
+
+@pytest.fixture(scope="module")
+def reference_result(tmp_path_factory):
+    """One uninterrupted journaled run shared by the comparisons below."""
+    run_dir = tmp_path_factory.mktemp("reference") / "run"
+    return make_framework().run(run_dir=run_dir), run_dir
+
+
+class TestJournaledRun:
+    def test_journal_records_full_run(self, reference_result):
+        result, run_dir = reference_result
+        events = [r["event"] for r in RunJournal.read(run_dir / "journal.jsonl")]
+        assert events[0] == "run_start"
+        assert events[-1] == "run_end"
+        assert events.count("iteration") == len(result.iterations)
+        for i in range(len(result.iterations)):
+            assert (run_dir / "checkpoints" / f"iter_{i:04d}.npz").exists()
+        assert (run_dir / "checkpoints" / "baseline.npz").exists()
+        assert (run_dir / "checkpoints" / "final.npz").exists()
+
+    def test_journaling_does_not_change_outcome(self, reference_result,
+                                                tmp_path):
+        result, _ = reference_result
+        plain = make_framework().run()
+        assert plain.stop_reason == result.stop_reason
+        plain_state = plain.model.state_dict()
+        for key, value in result.model.state_dict().items():
+            np.testing.assert_array_equal(value, plain_state[key])
+
+    def test_run_dir_requires_arch(self, tmp_path, tiny_dataset,
+                                   tiny_test_dataset):
+        from repro.models import vgg11
+        model = vgg11(num_classes=3, image_size=8, width=0.25, seed=0)
+        fw = ClassAwarePruningFramework(
+            model, tiny_dataset, tiny_test_dataset, num_classes=3,
+            input_shape=(3, 8, 8),
+            config=FrameworkConfig(
+                max_iterations=1,
+                importance=ImportanceConfig(images_per_class=2)),
+            training=TrainingConfig(epochs=1, batch_size=32))
+        with pytest.raises(ValueError, match="architecture recipe"):
+            fw.run(run_dir=tmp_path / "run")
+
+
+class TestCrashResume:
+    def _crashed_run_dir(self, tmp_path, crash_after=0):
+        run_dir = tmp_path / "crashed"
+
+        def crash(iteration):
+            if iteration >= crash_after:
+                raise SimulatedCrash(f"killed after iteration {iteration}")
+
+        with pytest.raises(SimulatedCrash):
+            make_framework().run(run_dir=run_dir, post_iteration=crash)
+        return run_dir
+
+    def test_resume_after_kill_is_bit_identical(self, reference_result,
+                                                tmp_path):
+        reference, _ = reference_result
+        run_dir = self._crashed_run_dir(tmp_path, crash_after=0)
+        resumed = make_framework().run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)
+
+    def test_resume_writes_resume_and_end_records(self, tmp_path):
+        run_dir = self._crashed_run_dir(tmp_path)
+        make_framework().run(resume_from=run_dir)
+        events = [r["event"] for r in RunJournal.read(run_dir / "journal.jsonl")]
+        assert "resume" in events
+        assert events[-1] == "run_end"
+
+    def test_resume_with_corrupt_last_checkpoint_falls_back(
+            self, reference_result, tmp_path):
+        # The crash also mangled the newest checkpoint: resume must drop it,
+        # fall back to the baseline recovery point, and still converge to
+        # the same result (iteration 0 is simply recomputed).
+        reference, _ = reference_result
+        run_dir = self._crashed_run_dir(tmp_path, crash_after=0)
+        corrupt_checkpoint(run_dir / "checkpoints" / "iter_0000.npz",
+                           mode="truncate")
+        resumed = make_framework().run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)
+
+    def test_resume_of_finished_run_reconstructs(self, reference_result):
+        reference, run_dir = reference_result
+        resumed = make_framework().run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)
+
+    def test_resume_without_journal_rejected(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises((ResumeError, FileNotFoundError)):
+            make_framework().run(resume_from=tmp_path / "empty")
+
+    def test_resume_with_dead_baseline_rejected(self, tmp_path):
+        run_dir = self._crashed_run_dir(tmp_path)
+        corrupt_checkpoint(run_dir / "checkpoints" / "baseline.npz",
+                           mode="truncate")
+        corrupt_checkpoint(run_dir / "checkpoints" / "iter_0000.npz",
+                           mode="truncate")
+        with pytest.raises(ResumeError, match="baseline"):
+            make_framework().run(resume_from=run_dir)
+
+
+class TestRollbackResume:
+    def _truncate_journal_after(self, run_dir, last_event):
+        """Drop journal lines after the first ``last_event`` record —
+        simulating a crash at exactly that commit point."""
+        path = run_dir / "journal.jsonl"
+        lines = path.read_text().splitlines()
+        kept = []
+        for line in lines:
+            kept.append(line)
+            if f'"event":"{last_event}"' in line:
+                break
+        path.write_text("\n".join(kept) + "\n")
+
+    def test_crash_before_rollback_record_reapplies_verdict(self, tmp_path):
+        # tolerance=-1: iteration 0 always fails the accuracy rule.
+        run_dir = tmp_path / "run"
+        reference = make_framework(tolerance=-1.0).run(run_dir=run_dir)
+        assert reference.stop_reason == "accuracy"
+        # Crash window: the iteration committed, the rollback verdict lost.
+        self._truncate_journal_after(run_dir, "iteration")
+        (run_dir / "checkpoints" / "final.npz").unlink()
+        resumed = make_framework(tolerance=-1.0).run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)
+
+    def test_crash_after_rollback_record_redoes_epilogue(self, tmp_path):
+        run_dir = tmp_path / "run"
+        reference = make_framework(tolerance=-1.0).run(run_dir=run_dir)
+        self._truncate_journal_after(run_dir, "rollback")
+        (run_dir / "checkpoints" / "final.npz").unlink()
+        resumed = make_framework(tolerance=-1.0).run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)
+
+    def test_finished_run_with_dead_final_checkpoint_recomputes(
+            self, tmp_path):
+        run_dir = tmp_path / "run"
+        reference = make_framework().run(run_dir=run_dir)
+        corrupt_checkpoint(run_dir / "checkpoints" / "final.npz",
+                           mode="flip")
+        resumed = make_framework().run(resume_from=run_dir)
+        assert_results_identical(reference, resumed)

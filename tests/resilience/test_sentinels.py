@@ -1,0 +1,176 @@
+"""Numerical-health sentinels: every fault kind, rewind, and degradation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Trainer, TrainingConfig
+from repro.data import EmptyDatasetError, Subset
+from repro.resilience import (HealthMonitor, NumericalHealthError,
+                              SentinelConfig, plant_numerical_fault)
+from repro.tensor import Tensor
+
+
+class TestHealthMonitor:
+    def test_nan_loss_flagged(self):
+        monitor = HealthMonitor(SentinelConfig())
+        event = monitor.observe_loss(float("nan"), epoch=0, step=3)
+        assert event is not None and event.kind == "nan-loss"
+
+    def test_inf_loss_flagged(self):
+        monitor = HealthMonitor(SentinelConfig())
+        event = monitor.observe_loss(float("inf"), epoch=1, step=0)
+        assert event is not None and event.kind == "inf-loss"
+
+    def test_healthy_losses_pass(self):
+        monitor = HealthMonitor(SentinelConfig())
+        for step in range(20):
+            assert monitor.observe_loss(1.0 + 0.01 * step, 0, step) is None
+
+    def test_explosion_needs_baseline(self):
+        monitor = HealthMonitor(SentinelConfig(explosion_factor=10))
+        # First observation has no baseline — a big loss is not an event.
+        assert monitor.observe_loss(1e9, 0, 0) is None
+
+    def test_explosion_flagged_against_median(self):
+        monitor = HealthMonitor(SentinelConfig(explosion_factor=10,
+                                               explosion_window=8))
+        for step in range(8):
+            monitor.observe_loss(1.0, 0, step)
+        event = monitor.observe_loss(100.0, 0, 8)
+        assert event is not None and event.kind == "loss-explosion"
+
+    def test_explosion_detection_can_be_disabled(self):
+        monitor = HealthMonitor(SentinelConfig(explosion_factor=0))
+        for step in range(8):
+            monitor.observe_loss(1.0, 0, step)
+        assert monitor.observe_loss(1e12, 0, 8) is None
+
+    def test_reset_clears_baseline(self):
+        monitor = HealthMonitor(SentinelConfig(explosion_factor=10,
+                                               explosion_window=8))
+        for step in range(8):
+            monitor.observe_loss(1.0, 0, step)
+        monitor.reset()
+        assert monitor.observe_loss(100.0, 1, 0) is None
+
+    def test_nan_gradient_flagged(self):
+        monitor = HealthMonitor(SentinelConfig())
+        param = Tensor(np.ones(3, dtype=np.float32), requires_grad=True)
+        param.grad = np.array([1.0, np.nan, 2.0])
+        event = monitor.observe_gradients([("w", param)], 0, 0)
+        assert event is not None and event.kind == "nan-grad"
+        assert "w" in event.detail
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SentinelConfig(lr_backoff=0.0)
+        with pytest.raises(ValueError):
+            SentinelConfig(max_retries=-1)
+        with pytest.raises(ValueError):
+            SentinelConfig(explosion_factor=-1.0)
+
+
+class TestTrainerSentinels:
+    def _trainer(self, model, train, retries=2, epochs=2):
+        return Trainer(model, train, None,
+                       TrainingConfig(epochs=epochs, batch_size=16, lr=0.05,
+                                      seed=0),
+                       sentinel=SentinelConfig(max_retries=retries))
+
+    def _fault_target(self, model):
+        return model.get_module(model.prunable_groups()[0].conv)
+
+    def test_transient_nan_activation_recovers(self, tiny_vgg, tiny_dataset):
+        trainer = self._trainer(tiny_vgg, tiny_dataset)
+        handle = plant_numerical_fault(self._fault_target(tiny_vgg),
+                                       at_call=1, mode="activation")
+        try:
+            history = trainer.train(epochs=2)
+        finally:
+            handle.remove()
+        assert len(history.epochs) == 2
+        assert len(history.sentinel_events) == 1
+        assert history.sentinel_events[0].kind == "nan-loss"
+        assert history.sentinel_events[0].action == "rewind"
+        for _, param in tiny_vgg.named_parameters():
+            assert np.all(np.isfinite(param.data))
+
+    def test_transient_nan_gradient_recovers(self, tiny_vgg, tiny_dataset):
+        trainer = self._trainer(tiny_vgg, tiny_dataset)
+        handle = plant_numerical_fault(self._fault_target(tiny_vgg),
+                                       at_call=1, mode="gradient")
+        try:
+            history = trainer.train(epochs=2)
+        finally:
+            handle.remove()
+        assert len(history.epochs) == 2
+        assert history.sentinel_events[0].kind == "nan-grad"
+        for _, param in tiny_vgg.named_parameters():
+            assert np.all(np.isfinite(param.data))
+
+    def test_rewind_backs_off_learning_rate(self, tiny_vgg, tiny_dataset):
+        trainer = self._trainer(tiny_vgg, tiny_dataset)
+        lr_before = trainer.optimizer.lr
+        handle = plant_numerical_fault(self._fault_target(tiny_vgg),
+                                       at_call=0, mode="activation")
+        try:
+            trainer.train(epochs=1)
+        finally:
+            handle.remove()
+        assert trainer.optimizer.lr == pytest.approx(lr_before * 0.5)
+
+    def test_persistent_fault_degrades_gracefully(self, tiny_vgg,
+                                                  tiny_dataset):
+        trainer = self._trainer(tiny_vgg, tiny_dataset, retries=1)
+        healthy = {k: v.copy()
+                   for k, v in tiny_vgg.state_dict().items()}
+        # Fires on every forward call: no retry can ever succeed.
+        def hook(_m, _a, out):
+            out.data.flat[0] = np.nan
+            return None
+        handle = self._fault_target(tiny_vgg).register_forward_hook(hook)
+        try:
+            with pytest.raises(NumericalHealthError) as info:
+                trainer.train(epochs=1)
+        finally:
+            handle.remove()
+        # The weights were restored to the last healthy snapshot.
+        for key, value in tiny_vgg.state_dict().items():
+            np.testing.assert_array_equal(value, healthy[key])
+        events = info.value.events
+        assert events and events[-1].action == "abort"
+
+    def test_no_sentinel_keeps_legacy_behaviour(self, tiny_vgg, tiny_dataset):
+        trainer = Trainer(tiny_vgg, tiny_dataset, None,
+                          TrainingConfig(epochs=1, batch_size=16, lr=0.05))
+        history = trainer.train(epochs=1)
+        assert history.sentinel_events == []
+
+
+class TestEmptyDatasetGuards:
+    def test_trainer_rejects_empty_dataset(self, tiny_vgg, tiny_dataset):
+        empty = Subset(tiny_dataset, [])
+        trainer = Trainer(tiny_vgg, empty, None,
+                          TrainingConfig(epochs=1, batch_size=16))
+        with pytest.raises(EmptyDatasetError):
+            trainer.train(epochs=1)
+
+    def test_evaluate_rejects_empty_dataset(self, tiny_vgg, tiny_dataset):
+        from repro.core import evaluate_model
+        with pytest.raises(EmptyDatasetError):
+            evaluate_model(tiny_vgg, Subset(tiny_dataset, []))
+
+    def test_importance_reports_zero_sample_class(self, tiny_vgg,
+                                                  tiny_dataset):
+        from repro.core import ImportanceConfig, ImportanceEvaluator
+        indices = np.flatnonzero(tiny_dataset.labels != 1)
+        missing_class = Subset(tiny_dataset, indices.tolist())
+        evaluator = ImportanceEvaluator(
+            tiny_vgg, missing_class, num_classes=3,
+            config=ImportanceConfig(images_per_class=2))
+        groups = tiny_vgg.prunable_groups()
+        with pytest.raises(EmptyDatasetError, match="class 1"):
+            evaluator.evaluate([groups[0].conv])
+
+    def test_empty_dataset_error_is_value_error(self):
+        assert issubclass(EmptyDatasetError, ValueError)

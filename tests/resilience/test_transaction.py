@@ -1,0 +1,110 @@
+"""Transactional surgery: mid-mutation faults roll back completely."""
+
+import numpy as np
+import pytest
+
+from repro.core import prune_groups
+from repro.resilience import (ChaosError, ModelSnapshot, sabotage_method,
+                              transactional)
+from repro.tensor import Tensor, no_grad
+
+
+def forward(model):
+    x = Tensor(np.random.default_rng(11).normal(size=(2, 3, 8, 8))
+               .astype(np.float32))
+    model.eval()
+    with no_grad():
+        return model(x).data
+
+
+class TestModelSnapshot:
+    def test_matches_after_capture(self, tiny_vgg):
+        assert ModelSnapshot(tiny_vgg).matches(tiny_vgg)
+
+    def test_restore_after_weight_change(self, tiny_vgg):
+        snap = ModelSnapshot(tiny_vgg)
+        conv = tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].conv)
+        conv.weight.data = conv.weight.data + 1.0
+        assert not snap.matches(tiny_vgg)
+        snap.restore(tiny_vgg)
+        assert snap.matches(tiny_vgg)
+
+    def test_restore_after_shape_change(self, tiny_vgg):
+        # load_state_dict cannot undo surgery (shape-strict); the snapshot
+        # must — that is its whole reason to exist.
+        snap = ModelSnapshot(tiny_vgg)
+        before = forward(tiny_vgg)
+        groups = tiny_vgg.prunable_groups()
+        prune_groups(tiny_vgg, groups, {groups[0].name: np.array([0, 1])})
+        assert not snap.matches(tiny_vgg)
+        snap.restore(tiny_vgg)
+        assert snap.matches(tiny_vgg)
+        np.testing.assert_array_equal(forward(tiny_vgg), before)
+
+    def test_restore_keeps_tensor_identity(self, tiny_vgg):
+        # Optimizers hold references to the parameter tensors; restore must
+        # write into those same objects, not swap in new ones.
+        conv = tiny_vgg.get_module(tiny_vgg.prunable_groups()[0].conv)
+        ref = conv.weight
+        snap = ModelSnapshot(tiny_vgg)
+        conv.weight.data = conv.weight.data * 2.0
+        snap.restore(tiny_vgg)
+        assert tiny_vgg.get_module(
+            tiny_vgg.prunable_groups()[0].conv).weight is ref
+
+
+class TestTransactionalSurgery:
+    def test_clean_surgery_commits(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        record = prune_groups(tiny_vgg, groups,
+                              {groups[0].name: np.array([0, 1])})
+        assert record.num_removed > 0
+        assert tiny_vgg.get_module(groups[0].conv).out_channels == 2
+
+    def test_mid_surgery_fault_rolls_back(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        snap = ModelSnapshot(tiny_vgg)
+        before = forward(tiny_vgg)
+        group = groups[0]
+        victim = tiny_vgg.get_module(group.consumers[0].path)
+        # after_calls=0: the producer is already shrunk when this fires.
+        with sabotage_method(victim, "select_input_channels"):
+            with pytest.raises(ChaosError):
+                prune_groups(tiny_vgg, groups,
+                             {group.name: np.array([0, 1])})
+        assert snap.matches(tiny_vgg)
+        np.testing.assert_array_equal(forward(tiny_vgg), before)
+
+    def test_multi_group_fault_rolls_back_earlier_groups(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        snap = ModelSnapshot(tiny_vgg)
+        keep = {groups[0].name: np.array([0, 1]),
+                groups[1].name: np.array([0, 1, 2])}
+        victim = tiny_vgg.get_module(groups[1].conv)
+        with sabotage_method(victim, "select_output_channels"):
+            with pytest.raises(ChaosError):
+                prune_groups(tiny_vgg, groups, keep)
+        # Group 0 was fully pruned before the fault — it must revert too.
+        assert snap.matches(tiny_vgg)
+
+    def test_validation_failure_mutates_nothing(self, tiny_vgg):
+        groups = tiny_vgg.prunable_groups()
+        snap = ModelSnapshot(tiny_vgg)
+        with pytest.raises(ValueError):
+            prune_groups(tiny_vgg, groups,
+                         {groups[0].name: np.array([], dtype=int)})
+        assert snap.matches(tiny_vgg)
+
+    def test_transactional_reraises_original_error(self, tiny_vgg):
+        class Boom(RuntimeError):
+            pass
+
+        with pytest.raises(Boom):
+            with transactional(tiny_vgg):
+                conv = tiny_vgg.get_module(
+                    tiny_vgg.prunable_groups()[0].conv)
+                conv.weight.data = conv.weight.data * 0.0
+                raise Boom("mid-mutation")
+        snap_val = tiny_vgg.get_module(
+            tiny_vgg.prunable_groups()[0].conv).weight.data
+        assert not np.all(snap_val == 0.0)

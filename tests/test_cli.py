@@ -94,3 +94,37 @@ class TestWorkflow:
         from repro.io import load_model
         model = load_model(out)
         assert model.classifier.out_features == 2
+
+
+class TestRun:
+    RUN_ARGS = ["--samples-per-class", "20", "--finetune-epochs", "1",
+                "--max-iterations", "1", "--images-per-class", "4",
+                "--tolerance", "0.5", "--epochs", "1", "--quiet"]
+
+    def test_journaled_run_and_resume(self, base_checkpoint, tmp_path,
+                                      capsys):
+        run_dir = tmp_path / "run"
+        code = main(["run", "--checkpoint", str(base_checkpoint),
+                     "--run-dir", str(run_dir)] + self.RUN_ARGS)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "stopped because:" in out
+        assert (run_dir / "journal.jsonl").exists()
+        assert (run_dir / "checkpoints" / "baseline.npz").exists()
+        # Resuming a finished run reconstructs without CLI-side state.
+        export = tmp_path / "resumed.npz"
+        code = main(["run", "--run-dir", str(run_dir), "--resume",
+                     "--out", str(export), "--quiet"])
+        assert code == 0
+        from repro.io import load_model
+        assert load_model(export).num_parameters() > 0
+
+    def test_fresh_run_requires_checkpoint(self, tmp_path):
+        with pytest.raises(SystemExit, match="checkpoint"):
+            main(["run", "--run-dir", str(tmp_path / "r"), "--quiet"])
+
+    def test_resume_without_journal_fails(self, tmp_path):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        with pytest.raises((SystemExit, FileNotFoundError)):
+            main(["run", "--run-dir", str(empty), "--resume", "--quiet"])
