@@ -1,0 +1,52 @@
+"""Eager-vs-compiled inference latency/throughput benchmark.
+
+Runs every model of the compiled-inference bench suite (dense and pruned,
+across a batch-size sweep) and records the results to ``BENCH_infer.json``
+at the repo root. Unlike the pytest-benchmark files next to it, this is a
+standalone script so CI and developers get one reproducible entry point:
+
+    python benchmarks/bench_infer.py              # full suite
+    python benchmarks/bench_infer.py --smoke      # tiny CI variant
+"""
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.infer.bench import format_table, run_bench, write_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--batch-sizes", default="1,8,32",
+                        help="comma-separated batch sizes")
+    parser.add_argument("--repeats", type=int, default=10,
+                        help="timing repeats per point (median is kept)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny models and few repeats, for CI")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_infer.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    results = run_bench(batch_sizes=batch_sizes, repeats=args.repeats,
+                        smoke=args.smoke, seed=args.seed)
+    print(format_table(results))
+    write_bench(results, args.out)
+    print(f"\nresults written to {args.out}")
+
+    conv_32 = [e for e in results["entries"]
+               if e["batch"] == max(batch_sizes) and e["model"] != "mlp"]
+    if conv_32:
+        best = max(e["speedup"] for e in conv_32)
+        print(f"best conv-model speedup at batch {max(batch_sizes)}: "
+              f"{best:.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

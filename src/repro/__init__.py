@@ -27,14 +27,15 @@ Subpackages
 ``repro.models``     VGG / ResNet / MLP zoo with pruning metadata
 ``repro.flops``      parameter & FLOP accounting
 ``repro.core``       the class-aware pruning method (the paper)
+``repro.infer``      compiled inference engine (capture / fold / fuse)
 ``repro.baselines``  L1 / SSS / HRank / TPP / OrthConv / DepGraph / ...
 ``repro.analysis``   histograms, comparisons, experiment records
 """
 
 __version__ = "1.0.0"
 
-from . import (analysis, baselines, core, data, flops, io, models, nn, optim,
-               quant, tensor)
+from . import (analysis, baselines, core, data, flops, infer, io, models, nn,
+               optim, quant, tensor)
 
 __all__ = ["tensor", "nn", "optim", "data", "models", "flops", "core",
-           "baselines", "analysis", "io", "quant", "__version__"]
+           "infer", "baselines", "analysis", "io", "quant", "__version__"]

@@ -262,6 +262,31 @@ def cmd_specialize(args) -> int:
     return 0
 
 
+def cmd_infer_bench(args) -> int:
+    from .infer.bench import (BENCH_MODELS, SMOKE_MODELS, format_table,
+                              run_bench, write_bench)
+
+    available = SMOKE_MODELS if args.smoke else BENCH_MODELS
+    models = None
+    if args.models:
+        names = [m.strip() for m in args.models.split(",") if m.strip()]
+        unknown = [m for m in names if m not in available]
+        if unknown:
+            print(f"unknown bench model(s): {', '.join(unknown)} "
+                  f"(available: {', '.join(sorted(available))})")
+            return 1
+        models = {m: available[m] for m in names}
+    batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
+    results = run_bench(models=models, batch_sizes=batch_sizes,
+                        repeats=args.repeats, smoke=args.smoke,
+                        seed=args.seed)
+    print(format_table(results))
+    if args.out:
+        write_bench(results, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verify.runner import main as verify_main
     forwarded = args.verify_args
@@ -353,6 +378,19 @@ def build_parser() -> argparse.ArgumentParser:
     _dataset_args(p_spec)
     _training_args(p_spec, epochs=5)
     p_spec.set_defaults(func=cmd_specialize)
+
+    p_bench = sub.add_parser(
+        "infer-bench", help="benchmark eager vs compiled inference")
+    p_bench.add_argument("--models", default=None,
+                         help="comma-separated subset of bench models")
+    p_bench.add_argument("--batch-sizes", default="1,8,32")
+    p_bench.add_argument("--repeats", type=int, default=10)
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--smoke", action="store_true",
+                         help="tiny models / few repeats (CI)")
+    p_bench.add_argument("--out", default=None,
+                         help="write results JSON to this path")
+    p_bench.set_defaults(func=cmd_infer_bench)
 
     p_verify = sub.add_parser(
         "verify", help="gradient fuzzing + pruning invariant checks")

@@ -115,11 +115,11 @@ class ExactZeroingEngine:
     def scores(self, images: np.ndarray,
                targets: np.ndarray) -> dict[str, np.ndarray]:
         """Exact Θ for every activation and image (same layout as Taylor)."""
-        from ..tensor import no_grad
+        from ..tensor import inference_mode
         was_training = self.model.training
         self.model.eval()
         try:
-            with no_grad():
+            with inference_mode():
                 # Shapes of each monitored activation, via one probe pass.
                 with ActivationRecorder(self.model, self.layer_paths) as rec:
                     self.model(Tensor(images[:1].astype(np.float32)))

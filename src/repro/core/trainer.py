@@ -18,7 +18,7 @@ from ..nn import Module, accuracy, cross_entropy
 from ..optim import SGD, MultiStepLR
 from ..resilience.sentinels import (HealthMonitor, NumericalHealthError,
                                     SentinelConfig, SentinelEvent)
-from ..tensor import Tensor, no_grad
+from ..tensor import Tensor, inference_mode
 from .regularizers import ModifiedLoss
 
 __all__ = ["TrainingConfig", "EpochStats", "TrainingHistory", "Trainer",
@@ -94,9 +94,20 @@ class TrainingHistory:
         return max(values) if values else None
 
 
-def evaluate_model(model: Module, dataset: Dataset,
-                   batch_size: int = 256) -> tuple[float, float]:
-    """Return ``(mean CE loss, top-1 accuracy)`` on a dataset (eval mode)."""
+def evaluate_model(model: Module, dataset: Dataset, batch_size: int = 256,
+                   *, engine: str = "eager") -> tuple[float, float]:
+    """Return ``(mean CE loss, top-1 accuracy)`` on a dataset (eval mode).
+
+    ``engine="eager"`` runs the define-by-run forward under
+    :func:`~repro.tensor.inference_mode` (no backward closures are built).
+    ``engine="infer"`` compiles the model with
+    :func:`repro.infer.compile_model` on the first batch and evaluates the
+    remaining batches through the compiled plan — same numbers, lower
+    latency on fixed shapes.
+    """
+    if engine not in ("eager", "infer"):
+        raise ValueError(f"unknown engine {engine!r}; expected 'eager' "
+                         "or 'infer'")
     if len(dataset) == 0:
         raise EmptyDatasetError(
             "evaluate_model received an empty dataset — accuracy over zero "
@@ -104,13 +115,21 @@ def evaluate_model(model: Module, dataset: Dataset,
     loader = DataLoader(dataset, batch_size=batch_size, shuffle=False)
     was_training = model.training
     model.eval()
+    compiled = None
     total_loss = 0.0
     total_correct = 0.0
     total = 0
     try:
-        with no_grad():
+        with inference_mode():
             for images, labels in loader:
-                logits = model(Tensor(images))
+                if engine == "infer":
+                    if compiled is None:
+                        from ..infer import compile_model
+                        compiled = compile_model(model, images,
+                                                 max_batch=batch_size)
+                    logits = Tensor(compiled.run(images))
+                else:
+                    logits = model(Tensor(images))
                 loss = cross_entropy(logits, labels, reduction="sum")
                 total_loss += float(loss.data)
                 total_correct += accuracy(logits, labels) * len(labels)

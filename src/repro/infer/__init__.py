@@ -1,0 +1,33 @@
+"""Compiled inference engine: capture → optimize → preallocated runtime.
+
+The eager autograd stack re-discovers network topology and allocates fresh
+intermediates on every forward pass. For inference the topology is static,
+so this package captures one forward pass into a :class:`~.plan.Plan`,
+folds eval-mode BatchNorm into the preceding conv/linear weights, fuses
+ReLU into its producers, and executes the result over a preallocated
+buffer arena. :class:`~.batcher.BatchRunner` adds micro-batching for
+single-sample request streams, and :mod:`~.bench` is the eager-vs-compiled
+benchmark lane behind ``repro infer-bench``.
+
+Typical use::
+
+    from repro.infer import compile_model
+
+    model.eval()
+    engine = compile_model(model, example_batch)
+    logits = engine.run(images)
+"""
+
+from .batcher import BatchRunner, InferenceTicket
+from .optimize import OptimizationReport, fold_batchnorm, fuse_relu, optimize_plan
+from .plan import Plan, PlanError, Step, capture_plan
+from .runtime import (BufferArena, CompileValidationError, InferenceEngine,
+                      compile_model)
+
+__all__ = [
+    "BatchRunner", "InferenceTicket",
+    "OptimizationReport", "fold_batchnorm", "fuse_relu", "optimize_plan",
+    "Plan", "PlanError", "Step", "capture_plan",
+    "BufferArena", "CompileValidationError", "InferenceEngine",
+    "compile_model",
+]

@@ -1,0 +1,142 @@
+"""Micro-batching: coalesce single-sample requests into engine batches.
+
+Single-sample inference wastes most of a numpy matmul's throughput. The
+:class:`BatchRunner` owns a worker thread that drains a queue of pending
+requests, groups up to ``max_batch`` samples (waiting at most ``max_wait``
+seconds for stragglers once the first request arrives), runs them through
+the compiled engine as one batch, and scatters the per-sample results back
+to their tickets.
+
+Typical use::
+
+    with BatchRunner(engine, max_batch=32, max_wait=0.002) as runner:
+        ticket = runner.submit(sample)        # from any thread
+        probs = ticket.result()               # blocks until ready
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+
+import numpy as np
+
+__all__ = ["InferenceTicket", "BatchRunner"]
+
+_STOP = object()
+
+
+class InferenceTicket:
+    """Handle to one submitted sample; resolves to its output row."""
+
+    __slots__ = ("_event", "_value", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._value = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        if not self._event.wait(timeout):
+            raise TimeoutError("inference result not ready")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def _complete(self, value: np.ndarray) -> None:
+        self._value = value
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+
+class BatchRunner:
+    """Daemon worker that micro-batches submissions into ``engine.run``."""
+
+    def __init__(self, engine, max_batch: int | None = None,
+                 max_wait: float = 0.002):
+        if max_wait < 0:
+            raise ValueError("max_wait must be non-negative")
+        self.engine = engine
+        self.max_batch = int(engine.max_batch if max_batch is None
+                             else max_batch)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.max_wait = float(max_wait)
+        self.stats = {"samples": 0, "batches": 0, "largest_batch": 0}
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._closed = False
+        self._worker = threading.Thread(target=self._loop, daemon=True,
+                                        name="repro-infer-batcher")
+        self._worker.start()
+
+    def submit(self, sample) -> InferenceTicket:
+        """Queue one sample (no batch axis); returns its ticket."""
+        if self._closed:
+            raise RuntimeError("BatchRunner is closed")
+        sample = np.asarray(sample, dtype=np.float32)
+        ticket = InferenceTicket()
+        self._queue.put((sample, ticket))
+        return ticket
+
+    def _collect(self) -> list:
+        """Block for the first request, then coalesce until full or deadline."""
+        first = self._queue.get()
+        if first is _STOP:
+            return []
+        pending = [first]
+        deadline = time.monotonic() + self.max_wait
+        while len(pending) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if item is _STOP:
+                self._queue.put(_STOP)   # re-arm for the outer loop
+                break
+            pending.append(item)
+        return pending
+
+    def _loop(self) -> None:
+        while True:
+            pending = self._collect()
+            if not pending:
+                return
+            samples = [s for s, _ in pending]
+            tickets = [t for _, t in pending]
+            try:
+                batch = np.stack(samples)
+                outputs = self.engine.run(batch)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
+                for ticket in tickets:
+                    ticket._fail(exc)
+                continue
+            self.stats["samples"] += len(tickets)
+            self.stats["batches"] += 1
+            self.stats["largest_batch"] = max(self.stats["largest_batch"],
+                                              len(tickets))
+            for ticket, row in zip(tickets, outputs):
+                ticket._complete(np.array(row, copy=True))
+
+    def close(self, timeout: float | None = 5.0) -> None:
+        """Stop accepting work and join the worker thread."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join(timeout)
+
+    def __enter__(self) -> "BatchRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

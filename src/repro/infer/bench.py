@@ -1,0 +1,165 @@
+"""Latency/throughput benchmark lane: eager vs compiled inference.
+
+Benchmarks every configured model in dense form and after class-aware
+channel pruning (random victims at a fixed fraction — the benchmark
+measures execution speed, not accuracy), across a sweep of batch sizes.
+Timing is median-of-repeats with a warmup pass, so one-off page faults and
+lazy numpy initialisation do not pollute the numbers.
+
+Entry point: :func:`run_bench`, used by both the ``repro infer-bench`` CLI
+command and the standalone ``benchmarks/bench_infer.py`` script that
+refreshes ``BENCH_infer.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from ..core.surgery import group_sizes, prune_groups
+from ..models import build_model
+from ..tensor import Tensor, no_grad
+from .runtime import compile_model
+
+__all__ = ["BENCH_MODELS", "SMOKE_MODELS", "run_bench", "write_bench",
+           "format_table"]
+
+
+# Sized so the full sweep stays under a couple of minutes on a laptop
+# while batch-32 conv workloads are large enough to show the compiled
+# engine's advantage.
+BENCH_MODELS: dict[str, dict] = {
+    "vgg11": dict(num_classes=10, image_size=16, width=0.25, seed=0),
+    "resnet20": dict(num_classes=10, image_size=16, width=0.5, seed=0),
+    "mlp": dict(num_classes=10, image_size=16, width=1.0, seed=0),
+}
+
+# CI smoke variant: tiny models, few repeats, still exercises every path.
+SMOKE_MODELS: dict[str, dict] = {
+    "vgg11": dict(num_classes=3, image_size=8, width=0.125, seed=0),
+    "resnet20": dict(num_classes=3, image_size=8, width=0.25, seed=0),
+    "mlp": dict(num_classes=3, image_size=8, width=0.125, seed=0),
+}
+
+_PRUNE_FRACTION = 0.5
+
+
+def _median_ms(fn, repeats: int) -> float:
+    fn()                                    # warmup
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - start) * 1e3)
+    return float(np.median(samples))
+
+
+def _prune_model(model, seed: int) -> None:
+    """Remove ~half of every prunable group's channels in place."""
+    rng = np.random.default_rng(seed + 7)
+    groups = model.prunable_groups()
+    sizes = group_sizes(model, groups)
+    keep = {}
+    for group in groups:
+        n = sizes[group.name]
+        k = max(n - max(int(round(n * _PRUNE_FRACTION)), 1), 1)
+        keep[group.name] = np.sort(rng.choice(n, size=k, replace=False))
+    prune_groups(model, groups, keep)
+
+
+def _bench_variant(name: str, kwargs: dict, variant: str, batch_sizes,
+                   repeats: int, rng) -> list[dict]:
+    from ..verify.invariants import perturb_batchnorm_stats
+
+    model = build_model(name, **kwargs)
+    perturb_batchnorm_stats(model, seed=kwargs.get("seed", 0))
+    if variant == "pruned":
+        _prune_model(model, kwargs.get("seed", 0))
+    model.eval()
+
+    in_channels = kwargs.get("in_channels", 3)
+    image_size = kwargs.get("image_size", 16)
+    max_n = max(batch_sizes)
+    example = rng.normal(size=(max_n, in_channels, image_size,
+                               image_size)).astype(np.float32)
+    # Bench models are wider/deeper than the verify cases, so BN-folding
+    # float32 reordering noise can exceed the strict default atol; every
+    # entry records its max_abs_diff, so validation here only needs to
+    # catch real miscompiles.
+    engine = compile_model(model, example, max_batch=max_n, atol=1e-3)
+
+    entries = []
+    for batch in batch_sizes:
+        x = example[:batch]
+        xt = Tensor(x)
+
+        def eager():
+            with no_grad():
+                return model(xt).data
+
+        eager_out = eager()
+        compiled_out = engine.run(x)
+        max_diff = float(np.max(np.abs(eager_out - compiled_out)))
+
+        eager_ms = _median_ms(eager, repeats)
+        compiled_ms = _median_ms(lambda: engine.run(x), repeats)
+        entries.append(dict(
+            model=name, variant=variant, batch=int(batch),
+            eager_ms=round(eager_ms, 4),
+            compiled_ms=round(compiled_ms, 4),
+            speedup=round(eager_ms / compiled_ms, 3) if compiled_ms else None,
+            eager_throughput=round(batch / (eager_ms / 1e3), 1),
+            compiled_throughput=round(batch / (compiled_ms / 1e3), 1),
+            max_abs_diff=max_diff,
+            plan_steps=len(engine.plan),
+            optimization=engine.optimization.summary()
+            if engine.optimization else None,
+        ))
+    return entries
+
+
+def run_bench(models: dict[str, dict] | None = None,
+              batch_sizes=(1, 8, 32), repeats: int = 10,
+              smoke: bool = False, seed: int = 0) -> dict:
+    """Benchmark eager vs compiled inference; returns the results payload."""
+    if models is None:
+        models = SMOKE_MODELS if smoke else BENCH_MODELS
+    if smoke:
+        batch_sizes = tuple(b for b in batch_sizes if b <= 8) or (1, 8)
+        repeats = min(repeats, 3)
+    rng = np.random.default_rng(seed)
+    entries = []
+    for name, kwargs in models.items():
+        for variant in ("dense", "pruned"):
+            entries.extend(_bench_variant(name, kwargs, variant,
+                                          tuple(batch_sizes), repeats, rng))
+    return {
+        "benchmark": "repro.infer eager-vs-compiled",
+        "smoke": bool(smoke),
+        "repeats": int(repeats),
+        "batch_sizes": [int(b) for b in batch_sizes],
+        "prune_fraction": _PRUNE_FRACTION,
+        "numpy": np.__version__,
+        "entries": entries,
+    }
+
+
+def write_bench(results: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+
+def format_table(results: dict) -> str:
+    header = (f"{'model':<10} {'variant':<7} {'batch':>5} "
+              f"{'eager ms':>9} {'compiled ms':>12} {'speedup':>8} "
+              f"{'max|Δ|':>9}")
+    lines = [header, "-" * len(header)]
+    for e in results["entries"]:
+        lines.append(
+            f"{e['model']:<10} {e['variant']:<7} {e['batch']:>5} "
+            f"{e['eager_ms']:>9.3f} {e['compiled_ms']:>12.3f} "
+            f"{e['speedup']:>7.2f}x {e['max_abs_diff']:>9.2e}")
+    return "\n".join(lines)

@@ -1,0 +1,504 @@
+"""Graph capture: trace one eval-mode forward pass into a static plan.
+
+The eager stack is define-by-run — every forward pass rediscovers the
+network topology by executing Python. For inference the topology is fixed,
+so we run the model *once* on an example input with two layers of
+instrumentation active:
+
+* ``Module.__call__`` is patched so every **leaf layer** (Conv2d, Linear,
+  BatchNorm2d, ReLU, pooling, Flatten, Dropout, Identity) records a single
+  :class:`Step` with a parameter snapshot, while the ops it runs internally
+  are suppressed;
+* the functional entry points of :mod:`repro.tensor.ops` and
+  :mod:`repro.tensor.conv` are patched so **top-level functional calls**
+  (e.g. the ``ops.relu(ops.add(out, residual))`` residual join in ResNet
+  blocks) are recorded as their own steps.
+
+Tensors are identified by object identity during the trace (every recorded
+tensor is kept alive until capture finishes, so ids cannot be recycled).
+A consumed tensor that is neither the model input nor the output of a
+recorded step must be a constant leaf — anything else means an op we do not
+trace produced it, and capture fails loudly with :class:`PlanError` rather
+than silently miscompiling.
+
+Training-only behaviour is rejected up front: the model must be in eval
+mode, so BatchNorm uses running statistics and Dropout is the identity.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from ..nn import layers as layers_mod
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from ..tensor import conv as conv_mod
+from ..tensor import ops as ops_mod
+
+__all__ = ["PlanError", "Step", "Plan", "capture_plan"]
+
+
+class PlanError(RuntimeError):
+    """Raised when a model cannot be captured into a static plan."""
+
+
+@dataclass
+class Step:
+    """One operation of a compiled plan.
+
+    ``inputs`` and ``output`` are value ids — indices into the plan's value
+    space (the model input, constants, and every step output). ``params``
+    holds op-specific compile-time data: parameter array snapshots, strides,
+    axes. ``source`` is the dotted module path (or ``ops.<name>``) the step
+    was captured from, for debugging and reports.
+    """
+
+    op: str
+    inputs: tuple[int, ...]
+    output: int
+    params: dict[str, Any] = field(default_factory=dict)
+    source: str = ""
+
+    def describe(self) -> str:
+        args = ", ".join(f"%{i}" for i in self.inputs)
+        src = f"  [{self.source}]" if self.source else ""
+        return f"%{self.output} = {self.op}({args}){src}"
+
+
+@dataclass
+class Plan:
+    """Topologically ordered op list plus value metadata.
+
+    Steps appear in execution order (capture order is execution order by
+    construction). ``shapes`` records the shape of every value as seen with
+    the example batch; the runtime rescales the leading (batch) axis to its
+    buffer capacity. ``constants`` maps value ids of baked inputs (arrays
+    consumed by functional ops) to their data.
+    """
+
+    steps: list[Step]
+    input_id: int
+    output_id: int
+    shapes: dict[int, tuple[int, ...]]
+    constants: dict[int, np.ndarray]
+    example_batch: int
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def op_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for step in self.steps:
+            counts[step.op] = counts.get(step.op, 0) + 1
+        return counts
+
+    def use_counts(self) -> dict[int, int]:
+        """How many times each value id is consumed (output counts once)."""
+        counts: dict[int, int] = {}
+        for step in self.steps:
+            for vid in step.inputs:
+                counts[vid] = counts.get(vid, 0) + 1
+        counts[self.output_id] = counts.get(self.output_id, 0) + 1
+        return counts
+
+    def replace(self, **changes) -> "Plan":
+        return replace(self, **changes)
+
+    def summary(self) -> str:
+        lines = [f"Plan: {len(self.steps)} steps, input %{self.input_id} "
+                 f"{self.shapes[self.input_id]}, output %{self.output_id} "
+                 f"{self.shapes[self.output_id]}"]
+        lines += [f"  {step.describe()}" for step in self.steps]
+        return "\n".join(lines)
+
+
+class _Tracer:
+    def __init__(self):
+        self.steps: list[Step] = []
+        self.shapes: dict[int, tuple[int, ...]] = {}
+        self.constants: dict[int, np.ndarray] = {}
+        self._ids: dict[int, int] = {}
+        self._keepalive: list[Tensor] = []
+        self._next = 0
+        self.suppress = 0
+
+    def _new_id(self, shape: tuple[int, ...]) -> int:
+        vid = self._next
+        self._next += 1
+        self.shapes[vid] = shape
+        return vid
+
+    def register(self, t: Tensor) -> int:
+        vid = self._new_id(tuple(t.shape))
+        self._ids[id(t)] = vid
+        self._keepalive.append(t)
+        return vid
+
+    def alias(self, t: Tensor, vid: int) -> None:
+        self._ids[id(t)] = vid
+        self._keepalive.append(t)
+
+    def lookup(self, t: Tensor) -> int | None:
+        return self._ids.get(id(t))
+
+    def constant(self, value) -> int:
+        arr = np.asarray(value.data if isinstance(value, Tensor) else value,
+                         dtype=np.float32)
+        vid = self._new_id(tuple(arr.shape))
+        self.constants[vid] = arr.copy()
+        if isinstance(value, Tensor):
+            self._ids[id(value)] = vid
+            self._keepalive.append(value)
+        return vid
+
+    def value_id(self, value, context: str) -> int:
+        """Resolve an op input to a value id; constants are baked in."""
+        if not isinstance(value, Tensor):
+            return self.constant(value)
+        vid = self.lookup(value)
+        if vid is not None:
+            return vid
+        if value._op not in ("leaf", "detach"):
+            raise PlanError(
+                f"{context} consumed a tensor produced by untraced op "
+                f"{value._op!r}; only registered layers and the functional "
+                f"ops in repro.tensor.ops/conv can be compiled")
+        return self.constant(value)
+
+    def emit(self, op: str, inputs: tuple[int, ...], out: Tensor,
+             params: dict | None = None, source: str = "") -> int:
+        vid = self.register(out)
+        self.steps.append(Step(op, inputs, vid, params or {}, source))
+        return vid
+
+
+# ----------------------------------------------------------------------
+# Leaf-module capture
+# ----------------------------------------------------------------------
+
+def _snap(t: Tensor | None) -> np.ndarray | None:
+    return None if t is None else np.array(t.data, dtype=np.float32, copy=True)
+
+
+def _record_leaf(tracer: _Tracer, module: Module, args: tuple, out: Tensor,
+                 source: str) -> None:
+    if not args or not isinstance(args[0], Tensor):
+        raise PlanError(f"{source}: leaf layer called without a tensor input")
+    x = args[0]
+    if isinstance(module, (layers_mod.Dropout, layers_mod.Identity)):
+        if module.training:
+            raise PlanError(f"{source}: Dropout must be in eval mode "
+                            "(training-time stochastic ops cannot be compiled)")
+        tracer.alias(out, tracer.value_id(x, source))
+        return
+    xin = tracer.value_id(x, source)
+    if isinstance(module, layers_mod.Conv2d):
+        tracer.emit("conv2d", (xin,), out, dict(
+            weight=_snap(module.weight), bias=_snap(module.bias),
+            stride=module.stride, padding=module.padding), source)
+    elif isinstance(module, layers_mod.Linear):
+        tracer.emit("linear", (xin,), out, dict(
+            weight=_snap(module.weight), bias=_snap(module.bias)), source)
+    elif isinstance(module, layers_mod.BatchNorm2d):
+        if module.training:
+            raise PlanError(
+                f"{source}: BatchNorm2d is in training mode; compiled "
+                "inference requires eval-mode running statistics")
+        tracer.emit("batchnorm", (xin,), out, dict(
+            gamma=_snap(module.weight), beta=_snap(module.bias),
+            mean=module.running_mean.astype(np.float32).copy(),
+            var=module.running_var.astype(np.float32).copy(),
+            eps=float(module.eps)), source)
+    elif isinstance(module, layers_mod.ReLU):
+        tracer.emit("relu", (xin,), out, None, source)
+    elif isinstance(module, layers_mod.MaxPool2d):
+        tracer.emit("max_pool2d", (xin,), out, dict(
+            kernel=module.kernel_size, stride=module.stride), source)
+    elif isinstance(module, layers_mod.AvgPool2d):
+        tracer.emit("avg_pool2d", (xin,), out, dict(
+            kernel=module.kernel_size, stride=module.stride), source)
+    elif isinstance(module, layers_mod.GlobalAvgPool2d):
+        tracer.emit("global_avg_pool", (xin,), out, None, source)
+    elif isinstance(module, layers_mod.Flatten):
+        tracer.emit("flatten", (xin,), out, dict(start_dim=1), source)
+    else:  # pragma: no cover - guarded by _LEAF_TYPES
+        raise PlanError(f"{source}: unsupported leaf layer "
+                        f"{type(module).__name__}")
+
+
+_LEAF_TYPES = (layers_mod.Conv2d, layers_mod.Linear, layers_mod.BatchNorm2d,
+               layers_mod.ReLU, layers_mod.MaxPool2d, layers_mod.AvgPool2d,
+               layers_mod.GlobalAvgPool2d, layers_mod.Flatten,
+               layers_mod.Dropout, layers_mod.Identity)
+
+
+# ----------------------------------------------------------------------
+# Functional-op capture
+# ----------------------------------------------------------------------
+
+def _bind(args, kwargs, names, defaults):
+    """Positional/keyword binding of a simple functional signature."""
+    bound = dict(defaults)
+    for name, value in zip(names, args):
+        bound[name] = value
+    bound.update(kwargs)
+    return bound
+
+
+def _rec_binary(name):
+    def rec(tracer, args, kwargs, out, src):
+        a, b = args[0], args[1]
+        tracer.emit(name, (tracer.value_id(a, src), tracer.value_id(b, src)),
+                    out, None, src)
+    return rec
+
+
+def _rec_unary(name):
+    def rec(tracer, args, kwargs, out, src):
+        tracer.emit(name, (tracer.value_id(args[0], src),), out, None, src)
+    return rec
+
+
+def _rec_reduction(name):
+    def rec(tracer, args, kwargs, out, src):
+        b = _bind(args[1:], kwargs, ("axis", "keepdims"),
+                  {"axis": None, "keepdims": False})
+        tracer.emit(name, (tracer.value_id(args[0], src),), out,
+                    dict(axis=b["axis"], keepdims=bool(b["keepdims"])), src)
+    return rec
+
+
+def _rec_axis(name, default_axis=-1):
+    def rec(tracer, args, kwargs, out, src):
+        b = _bind(args[1:], kwargs, ("axis",), {"axis": default_axis})
+        tracer.emit(name, (tracer.value_id(args[0], src),), out,
+                    dict(axis=int(b["axis"])), src)
+    return rec
+
+
+def _rec_reshape(tracer, args, kwargs, out, src):
+    a = args[0]
+    shape = tuple(args[1] if len(args) > 1 else kwargs["shape"])
+    batch = a.shape[0] if isinstance(a, Tensor) and a.ndim else None
+    if not shape or shape[0] not in (-1, batch):
+        raise PlanError(f"{src}: reshape must preserve the leading batch "
+                        f"axis (got target shape {shape})")
+    tracer.emit("reshape", (tracer.value_id(a, src),), out,
+                dict(tail=tuple(int(s) for s in shape[1:])), src)
+
+
+def _rec_flatten(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("start_dim",), {"start_dim": 0})
+    start = int(b["start_dim"])
+    if start < 1:
+        raise PlanError(f"{src}: flatten(start_dim=0) folds the batch axis "
+                        "and cannot be compiled")
+    tracer.emit("flatten", (tracer.value_id(args[0], src),), out,
+                dict(start_dim=start), src)
+
+
+def _rec_transpose(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("axes",), {"axes": None})
+    axes = b["axes"]
+    if axes is None or tuple(axes)[0] != 0:
+        raise PlanError(f"{src}: transpose that moves the batch axis is not "
+                        "supported in compiled inference")
+    tracer.emit("transpose", (tracer.value_id(args[0], src),), out,
+                dict(axes=tuple(int(a) for a in axes)), src)
+
+
+def _rec_clip(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("low", "high"), {})
+    tracer.emit("clip", (tracer.value_id(args[0], src),), out,
+                dict(low=float(b["low"]), high=float(b["high"])), src)
+
+
+def _rec_concat(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("axis",), {"axis": 0})
+    axis = int(b["axis"])
+    if axis == 0:
+        raise PlanError(f"{src}: concat along the batch axis is not "
+                        "supported in compiled inference")
+    inputs = tuple(tracer.value_id(t, src) for t in args[0])
+    tracer.emit("concat", inputs, out, dict(axis=axis), src)
+
+
+def _rec_pad2d(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("padding",), {})
+    pad = b["padding"]
+    ph, pw = (pad, pad) if isinstance(pad, int) else pad
+    tracer.emit("pad2d", (tracer.value_id(args[0], src),), out,
+                dict(ph=int(ph), pw=int(pw)), src)
+
+
+def _rec_conv2d(tracer, args, kwargs, out, src):
+    b = _bind(args[1:], kwargs, ("weight", "bias", "stride", "padding"),
+              {"bias": None, "stride": 1, "padding": 0})
+    weight, bias = b["weight"], b["bias"]
+    tracer.emit("conv2d", (tracer.value_id(args[0], src),), out, dict(
+        weight=np.asarray(weight.data if isinstance(weight, Tensor) else weight,
+                          dtype=np.float32).copy(),
+        bias=None if bias is None else np.asarray(
+            bias.data if isinstance(bias, Tensor) else bias,
+            dtype=np.float32).copy(),
+        stride=int(b["stride"]), padding=int(b["padding"])), src)
+
+
+def _rec_pool(name):
+    def rec(tracer, args, kwargs, out, src):
+        b = _bind(args[1:], kwargs, ("kernel", "stride"),
+                  {"stride": None})
+        kernel = int(b["kernel"])
+        stride = int(b["stride"]) if b["stride"] else kernel
+        tracer.emit(name, (tracer.value_id(args[0], src),), out,
+                    dict(kernel=kernel, stride=stride), src)
+    return rec
+
+
+_OPS_RECORDERS: dict[str, Callable] = {
+    **{name: _rec_binary(name)
+       for name in ("add", "sub", "mul", "div", "maximum", "minimum")},
+    **{name: _rec_unary(name)
+       for name in ("relu", "sigmoid", "tanh", "neg", "exp", "log",
+                    "sqrt", "abs")},
+    **{name: _rec_reduction(name) for name in ("sum", "mean", "max")},
+    "log_softmax": _rec_axis("log_softmax"),
+    "softmax": _rec_axis("softmax"),
+    "reshape": _rec_reshape,
+    "flatten": _rec_flatten,
+    "transpose": _rec_transpose,
+    "clip": _rec_clip,
+    "concat": _rec_concat,
+    "pad2d": _rec_pad2d,
+}
+
+_CONV_RECORDERS: dict[str, Callable] = {
+    "conv2d": _rec_conv2d,
+    "max_pool2d": _rec_pool("max_pool2d"),
+    "avg_pool2d": _rec_pool("avg_pool2d"),
+    "global_avg_pool2d": _rec_unary("global_avg_pool"),
+}
+
+
+@contextlib.contextmanager
+def _patched(tracer: _Tracer, names: dict[int, str]):
+    """Patch Module.__call__ and the functional op entry points."""
+    original_call = Module.__call__
+
+    def traced_call(self, *args, **kwargs):
+        if tracer.suppress or not isinstance(self, _LEAF_TYPES):
+            return original_call(self, *args, **kwargs)
+        if self._forward_hooks:
+            raise PlanError(
+                f"{names.get(id(self), type(self).__name__)}: forward hooks "
+                "are active; capture would silently drop their effect")
+        tracer.suppress += 1
+        try:
+            out = original_call(self, *args, **kwargs)
+        finally:
+            tracer.suppress -= 1
+        _record_leaf(tracer, self, args, out,
+                     names.get(id(self), type(self).__name__))
+        return out
+
+    def wrap(mod, name, recorder):
+        original = getattr(mod, name)
+        src = f"{mod.__name__.rsplit('.', 1)[-1]}.{name}"
+
+        def wrapper(*args, **kwargs):
+            if tracer.suppress:
+                return original(*args, **kwargs)
+            tracer.suppress += 1
+            try:
+                out = original(*args, **kwargs)
+            finally:
+                tracer.suppress -= 1
+            recorder(tracer, args, kwargs, out, src)
+            return out
+
+        return original, wrapper
+
+    patched: list[tuple[Any, str, Any]] = []
+    try:
+        Module.__call__ = traced_call
+        for mod, recorders in ((ops_mod, _OPS_RECORDERS),
+                               (conv_mod, _CONV_RECORDERS)):
+            for name, recorder in recorders.items():
+                original, wrapper = wrap(mod, name, recorder)
+                patched.append((mod, name, original))
+                setattr(mod, name, wrapper)
+        yield
+    finally:
+        Module.__call__ = original_call
+        for mod, name, original in patched:
+            setattr(mod, name, original)
+
+
+def capture_plan(model: Module, example_input) -> Plan:
+    """Trace one forward pass of ``model`` into a :class:`Plan`.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module` in eval mode whose forward is built
+        from registered layers and the functional ops of
+        :mod:`repro.tensor.ops` / :mod:`repro.tensor.conv`.
+    example_input:
+        Batched example (``Tensor`` or array) with the leading batch axis;
+        its non-batch shape is frozen into the plan.
+    """
+    if not isinstance(model, Module):
+        raise TypeError(f"capture_plan expects a Module, got {type(model)!r}")
+    if model.training:
+        raise PlanError(
+            "capture requires eval mode — call model.eval() first "
+            "(BatchNorm must use running statistics, Dropout must be "
+            "the identity)")
+    x = (example_input if isinstance(example_input, Tensor)
+         else Tensor(np.asarray(example_input, dtype=np.float32)))
+    if x.ndim < 2:
+        raise PlanError("example input needs a leading batch axis")
+
+    tracer = _Tracer()
+    names = {id(m): path or type(m).__name__
+             for path, m in model.named_modules()}
+    input_id = tracer.register(x)
+    with no_grad(), _patched(tracer, names):
+        out = model(x)
+
+    if not isinstance(out, Tensor):
+        raise PlanError("model output is not a Tensor")
+    output_id = tracer.lookup(out)
+    if output_id is None:
+        raise PlanError("model output was not produced by a traced operation")
+    if not tracer.steps:
+        raise PlanError("capture recorded no operations")
+
+    plan = Plan(steps=tracer.steps, input_id=input_id, output_id=output_id,
+                shapes=tracer.shapes, constants=tracer.constants,
+                example_batch=int(x.shape[0]))
+    _validate(plan)
+    return plan
+
+
+def _validate(plan: Plan) -> None:
+    """Structural checks: SSA ordering and batched step outputs."""
+    defined = {plan.input_id, *plan.constants}
+    for step in plan.steps:
+        for vid in step.inputs:
+            if vid not in defined:
+                raise PlanError(f"step {step.describe()} uses value %{vid} "
+                                "before it is defined")
+        if step.output in defined:
+            raise PlanError(f"value %{step.output} defined twice")
+        defined.add(step.output)
+        shape = plan.shapes[step.output]
+        if not shape or shape[0] != plan.example_batch:
+            raise PlanError(
+                f"step {step.describe()} produced shape {shape}; compiled "
+                "inference requires every intermediate to keep the leading "
+                "batch axis")

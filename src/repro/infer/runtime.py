@@ -1,0 +1,241 @@
+"""Compiled inference runtime: preallocated buffers + a flat program.
+
+The engine turns a (typically optimized) :class:`~repro.infer.plan.Plan`
+into a list of kernel closures bound to a buffer arena. Every value in the
+plan owns at most one buffer, allocated once at ``(max_batch, *tail)``
+capacity; running a batch of ``n <= max_batch`` samples slices the leading
+axis and performs no large allocations. Batches larger than the capacity
+are processed in chunks transparently.
+
+Entry point: :func:`compile_model`, which captures, optimizes, builds, and
+(by default) validates the compiled engine against the eager model on the
+example input before returning it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.module import Module
+from ..tensor import Tensor, no_grad
+from .kernels import build_step
+from .optimize import OptimizationReport, optimize_plan
+from .plan import Plan, capture_plan
+
+__all__ = ["BufferArena", "InferenceEngine", "CompileValidationError",
+           "compile_model"]
+
+
+class CompileValidationError(RuntimeError):
+    """Compiled outputs diverged from eager outputs on the example input."""
+
+
+class BufferArena:
+    """Owns every preallocated array of one engine, keyed by value id."""
+
+    def __init__(self):
+        self._buffers: dict[int, np.ndarray] = {}
+        self._scratch: dict[tuple[int, str], np.ndarray] = {}
+
+    def buffer(self, vid: int, shape: tuple[int, ...]) -> np.ndarray:
+        buf = self._buffers.get(vid)
+        if buf is None:
+            buf = np.zeros(shape, dtype=np.float32)
+            self._buffers[vid] = buf
+        return buf
+
+    def scratch(self, owner: int, name: str, shape: tuple[int, ...],
+                zero: bool = False) -> np.ndarray:
+        key = (owner, name)
+        buf = self._scratch.get(key)
+        if buf is None:
+            buf = (np.zeros if zero else np.empty)(shape, dtype=np.float32)
+            self._scratch[key] = buf
+        return buf
+
+    @property
+    def nbytes(self) -> int:
+        return (sum(b.nbytes for b in self._buffers.values())
+                + sum(b.nbytes for b in self._scratch.values()))
+
+    def __len__(self) -> int:
+        return len(self._buffers) + len(self._scratch)
+
+
+class _BuildContext:
+    """Per-step facade over the arena handed to kernel builders."""
+
+    def __init__(self, engine: "InferenceEngine"):
+        self._engine = engine
+        self._step = None
+
+    def _bind(self, step):
+        self._step = step
+
+    @property
+    def im2col(self) -> str:
+        return self._engine.im2col
+
+    @property
+    def max_batch(self) -> int:
+        return self._engine.max_batch
+
+    def shape(self, vid: int) -> tuple[int, ...]:
+        return self._engine._capacity_shape(vid)
+
+    def getter(self, vid: int):
+        return self._engine._getter(vid)
+
+    def out(self, vid: int) -> np.ndarray:
+        return self._engine.arena.buffer(vid, self._engine._capacity_shape(vid))
+
+    def alias(self, vid: int, fn) -> None:
+        self._engine._aliases[vid] = fn
+
+    def scratch(self, name: str, shape: tuple[int, ...],
+                zero: bool = False) -> np.ndarray:
+        return self._engine.arena.scratch(self._step.output, name, shape, zero)
+
+
+class InferenceEngine:
+    """Executable form of a plan: flat kernel program over a buffer arena."""
+
+    def __init__(self, plan: Plan, max_batch: int | None = None,
+                 im2col: str = "strided"):
+        if im2col not in ("strided", "gather"):
+            raise ValueError(f"im2col must be 'strided' or 'gather', "
+                             f"got {im2col!r}")
+        self.plan = plan
+        self.max_batch = int(plan.example_batch if max_batch is None
+                             else max_batch)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        self.im2col = im2col
+        self.arena = BufferArena()
+        self.optimization: OptimizationReport | None = None
+        self._aliases: dict[int, callable] = {}
+        self._program: list = []
+
+        ctx = _BuildContext(self)
+        input_buf = self.arena.buffer(plan.input_id,
+                                      self._capacity_shape(plan.input_id))
+        for step in plan.steps:
+            ctx._bind(step)
+            run = build_step(step, ctx)
+            if run is not None:
+                self._program.append(run)
+        self._input_buf = input_buf
+        self._output = self._getter(plan.output_id)
+
+    # -- value plumbing -------------------------------------------------
+
+    def _capacity_shape(self, vid: int) -> tuple[int, ...]:
+        if vid in self.plan.constants:
+            return tuple(self.plan.shapes[vid])
+        return (self.max_batch,) + tuple(self.plan.shapes[vid][1:])
+
+    def _getter(self, vid: int):
+        if vid in self.plan.constants:
+            const = np.asarray(self.plan.constants[vid], dtype=np.float32)
+            return lambda n: const
+        alias = self._aliases.get(vid)
+        if alias is not None:
+            return alias
+        buf = self.arena.buffer(vid, self._capacity_shape(vid))
+        return lambda n: buf[:n]
+
+    # -- execution ------------------------------------------------------
+
+    def _run_chunk(self, x: np.ndarray) -> np.ndarray:
+        n = x.shape[0]
+        np.copyto(self._input_buf[:n], x)
+        for run in self._program:
+            run(n)
+        return self._output(n)
+
+    def run(self, x) -> np.ndarray:
+        """Execute the compiled network on a batch (or single sample).
+
+        Accepts arrays or :class:`~repro.tensor.Tensor` inputs. A sample
+        missing the batch axis is promoted to a batch of one and returned
+        without it. Batches larger than ``max_batch`` are chunked.
+        """
+        if isinstance(x, Tensor):
+            x = x.data
+        x = np.asarray(x, dtype=np.float32)
+        sample_shape = tuple(self.plan.shapes[self.plan.input_id][1:])
+        single = x.shape == sample_shape
+        if single:
+            x = x[None]
+        if x.shape[1:] != sample_shape:
+            raise ValueError(
+                f"input shape {x.shape} does not match compiled sample "
+                f"shape {sample_shape} (leading batch axis excepted)")
+        n = x.shape[0]
+        if n <= self.max_batch:
+            out = np.array(self._run_chunk(x), copy=True)
+        else:
+            out_tail = tuple(self.plan.shapes[self.plan.output_id][1:])
+            out = np.empty((n,) + out_tail, dtype=np.float32)
+            for lo in range(0, n, self.max_batch):
+                hi = min(lo + self.max_batch, n)
+                out[lo:hi] = self._run_chunk(x[lo:hi])
+        return out[0] if single else out
+
+    __call__ = run
+
+    def describe(self) -> str:
+        lines = [f"InferenceEngine: {len(self._program)} kernels, "
+                 f"max_batch={self.max_batch}, im2col={self.im2col}, "
+                 f"arena={len(self.arena)} buffers "
+                 f"({self.arena.nbytes / 1e6:.2f} MB)"]
+        if self.optimization is not None:
+            lines.append(f"  optimization: {self.optimization.summary()}")
+        lines.append(self.plan.summary())
+        return "\n".join(lines)
+
+
+def compile_model(model: Module, example_input, *, optimize: bool = True,
+                  max_batch: int | None = None, im2col: str = "strided",
+                  validate: bool = True, rtol: float = 1e-4,
+                  atol: float = 1e-5) -> InferenceEngine:
+    """Capture, optimize, and build a compiled engine for ``model``.
+
+    Parameters
+    ----------
+    model:
+        Eval-mode :class:`~repro.nn.Module` built from traceable ops.
+    example_input:
+        Batched example defining the frozen sample shape.
+    optimize:
+        Run BatchNorm folding and ReLU fusion on the captured plan.
+    max_batch:
+        Buffer capacity (defaults to the example batch size). Larger
+        inputs are chunked at runtime.
+    im2col:
+        Column-lowering strategy for conv kernels (``"strided"`` or
+        ``"gather"``).
+    validate:
+        Compare compiled vs eager outputs on the example input and raise
+        :class:`CompileValidationError` on mismatch.
+    """
+    plan = capture_plan(model, example_input)
+    report = OptimizationReport(steps_before=len(plan.steps),
+                                steps_after=len(plan.steps))
+    if optimize:
+        plan, report = optimize_plan(plan)
+    engine = InferenceEngine(plan, max_batch=max_batch, im2col=im2col)
+    engine.optimization = report
+
+    if validate:
+        x = (example_input.data if isinstance(example_input, Tensor)
+             else np.asarray(example_input, dtype=np.float32))
+        with no_grad():
+            eager = model(Tensor(x)).data
+        compiled = engine.run(x)
+        if not np.allclose(compiled, eager, rtol=rtol, atol=atol):
+            worst = float(np.max(np.abs(compiled - eager)))
+            raise CompileValidationError(
+                f"compiled output diverges from eager (max abs diff "
+                f"{worst:.3e}, rtol={rtol}, atol={atol})")
+    return engine

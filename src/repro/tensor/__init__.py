@@ -7,7 +7,7 @@ See :mod:`repro.tensor.tensor` for the engine design.
 from . import conv, ops
 from .conv import (avg_pool2d, conv2d, conv_output_size, global_avg_pool2d,
                    max_pool2d)
-from .tensor import Tensor, is_grad_enabled, no_grad, tensor
+from .tensor import Tensor, inference_mode, is_grad_enabled, no_grad, tensor
 
 # Gradient checking lives in the correctness subsystem; re-exported here for
 # backwards compatibility. ``repro.verify.gradcheck`` imports only
@@ -15,7 +15,8 @@ from .tensor import Tensor, is_grad_enabled, no_grad, tensor
 from ..verify.gradcheck import check_gradients, numerical_grad
 
 __all__ = [
-    "Tensor", "tensor", "no_grad", "is_grad_enabled", "ops", "conv",
+    "Tensor", "tensor", "no_grad", "inference_mode", "is_grad_enabled",
+    "ops", "conv",
     "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
     "conv_output_size", "check_gradients", "numerical_grad",
 ]

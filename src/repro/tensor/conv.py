@@ -12,20 +12,115 @@ inputs are ``(N, C, H, W)``, convolution weights are ``(O, C, KH, KW)``.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 from numpy.lib.stride_tricks import as_strided
 
-from .tensor import Tensor
+from .tensor import Tensor, _tape_active
 
 __all__ = [
     "conv2d", "max_pool2d", "avg_pool2d", "global_avg_pool2d",
-    "im2col", "col2im", "conv_output_size",
+    "im2col", "col2im", "im2col_gather", "im2col_signature",
+    "clear_im2col_cache", "conv_output_size", "IM2COL_CACHE_SIZE",
 ]
 
 
 def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
     """Spatial output size of a convolution/pooling window sweep."""
     return (size + 2 * padding - kernel) // stride + 1
+
+
+class ColSignature:
+    """Precomputed geometry of one im2col lowering.
+
+    Holds the output extent for a ``(C, H, W, kh, kw, stride, padding)``
+    signature and lazily materialises the flat gather indices that map the
+    padded image to the ``(C*kh*kw, OH*OW)`` patch matrix. The indices are
+    built at most once per signature; :func:`im2col_signature` memoizes the
+    whole object, so repeated forward passes on fixed shapes (the training
+    and inference steady state) never recompute either.
+    """
+
+    __slots__ = ("c", "h", "w", "kh", "kw", "stride", "padding",
+                 "oh", "ow", "_indices")
+
+    def __init__(self, c: int, h: int, w: int, kh: int, kw: int,
+                 stride: int, padding: int):
+        self.c, self.h, self.w = c, h, w
+        self.kh, self.kw = kh, kw
+        self.stride, self.padding = stride, padding
+        self.oh = conv_output_size(h, kh, stride, padding)
+        self.ow = conv_output_size(w, kw, stride, padding)
+        self._indices: np.ndarray | None = None
+
+    @property
+    def padded_extent(self) -> tuple[int, int]:
+        return self.h + 2 * self.padding, self.w + 2 * self.padding
+
+    @property
+    def indices(self) -> np.ndarray:
+        """``(C*kh*kw, OH*OW)`` indices into the flattened padded image."""
+        if self._indices is None:
+            hp, wp = self.padded_extent
+            ci = np.repeat(np.arange(self.c), self.kh * self.kw)
+            ki = np.tile(np.repeat(np.arange(self.kh), self.kw), self.c)
+            kj = np.tile(np.tile(np.arange(self.kw), self.kh), self.c)
+            oi = self.stride * np.repeat(np.arange(self.oh), self.ow)
+            oj = self.stride * np.tile(np.arange(self.ow), self.oh)
+            rows = ki[:, None] + oi[None, :]
+            cols = kj[:, None] + oj[None, :]
+            self._indices = np.ascontiguousarray(
+                (ci[:, None] * (hp * wp) + rows * wp + cols).astype(np.intp))
+        return self._indices
+
+
+# Bounded LRU of ColSignature objects. A handful of distinct shapes exist
+# per network (one per layer geometry), so the bound is generous; it only
+# guards against unbounded growth in long-lived processes that sweep many
+# resolutions.
+IM2COL_CACHE_SIZE = 128
+_SIGNATURE_CACHE: OrderedDict[tuple, ColSignature] = OrderedDict()
+
+
+def im2col_signature(c: int, h: int, w: int, kh: int, kw: int,
+                     stride: int, padding: int) -> ColSignature:
+    """Memoized :class:`ColSignature` for an im2col geometry."""
+    key = (c, h, w, kh, kw, stride, padding)
+    sig = _SIGNATURE_CACHE.get(key)
+    if sig is not None:
+        _SIGNATURE_CACHE.move_to_end(key)
+        return sig
+    sig = ColSignature(*key)
+    _SIGNATURE_CACHE[key] = sig
+    while len(_SIGNATURE_CACHE) > IM2COL_CACHE_SIZE:
+        _SIGNATURE_CACHE.popitem(last=False)
+    return sig
+
+
+def clear_im2col_cache() -> None:
+    """Drop all memoized im2col signatures (tests and memory pressure)."""
+    _SIGNATURE_CACHE.clear()
+
+
+def im2col_gather(x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
+                  out: np.ndarray | None = None) -> np.ndarray:
+    """Gather-based im2col using the cached per-signature indices.
+
+    Functionally identical to :func:`im2col`; this variant indexes the
+    flattened (padded) image with the memoized gather table and supports an
+    ``out`` buffer, which lets the compiled inference runtime reuse one
+    preallocated column matrix across calls.
+    """
+    n, c, h, w = x.shape
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    if padding > 0:
+        x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    flat = np.ascontiguousarray(x).reshape(n, -1)
+    k, l = sig.indices.shape
+    target = None if out is None else out.reshape(n, k * l)
+    cols = np.take(flat, sig.indices.reshape(-1), axis=1, out=target)
+    return cols.reshape(n, k, l)
 
 
 def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
@@ -42,8 +137,8 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.nda
     receptive field.
     """
     n, c, h, w = x.shape
-    oh = conv_output_size(h, kh, stride, padding)
-    ow = conv_output_size(w, kw, stride, padding)
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    oh, ow = sig.oh, sig.ow
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     sn, sc, sh, sw = x.strides
@@ -60,9 +155,9 @@ def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
            kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
     n, c, h, w = x_shape
-    oh = conv_output_size(h, kh, stride, padding)
-    ow = conv_output_size(w, kw, stride, padding)
-    hp, wp = h + 2 * padding, w + 2 * padding
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    oh, ow = sig.oh, sig.ow
+    hp, wp = sig.padded_extent
     x = np.zeros((n, c, hp, wp), dtype=cols.dtype)
     cols6 = cols.reshape(n, c, kh, kw, oh, ow)
     for i in range(kh):
@@ -92,8 +187,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     o, c_w, kh, kw = weight.shape
     if c != c_w:
         raise ValueError(f"channel mismatch: input has {c}, weight expects {c_w}")
-    oh = conv_output_size(h, kh, stride, padding)
-    ow = conv_output_size(w, kw, stride, padding)
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    oh, ow = sig.oh, sig.ow
 
     cols = im2col(x.data, kh, kw, stride, padding)       # (N, C*KH*KW, OH*OW)
     w2d = weight.data.reshape(o, -1)                     # (O, C*KH*KW)
@@ -103,6 +198,8 @@ def conv2d(x: Tensor, weight: Tensor, bias: Tensor | None = None,
     out = out.reshape(n, o, oh, ow)
 
     parents = (x, weight) if bias is None else (x, weight, bias)
+    if not _tape_active(*parents):
+        return Tensor._make(out, (), "conv2d", None)
 
     def backward(grad):
         grad2d = grad.reshape(n, o, oh * ow)
@@ -135,6 +232,10 @@ def max_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         strides=(sn, sc, sh * stride, sw * stride, sh, sw),
         writeable=False,
     )
+    if not _tape_active(x):
+        # Forward-only: skip the argmax bookkeeping the backward needs.
+        return Tensor._make(np.ascontiguousarray(windows.max(axis=(-2, -1))),
+                            (), "max_pool2d", None)
     flat = windows.reshape(n, c, oh, ow, kernel * kernel)
     argmax = flat.argmax(axis=-1)
     out = np.take_along_axis(flat, argmax[..., None], axis=-1)[..., 0]
@@ -168,6 +269,8 @@ def avg_pool2d(x: Tensor, kernel: int, stride: int | None = None) -> Tensor:
         writeable=False,
     )
     out = windows.mean(axis=(-2, -1))
+    if not _tape_active(x):
+        return Tensor._make(np.ascontiguousarray(out), (), "avg_pool2d", None)
     scale = 1.0 / (kernel * kernel)
 
     def backward(grad):

@@ -15,7 +15,7 @@ from typing import Sequence
 
 import numpy as np
 
-from .tensor import Tensor, _unbroadcast
+from .tensor import Tensor, _tape_active, _unbroadcast
 
 __all__ = [
     "add", "sub", "mul", "div", "neg", "pow", "matmul", "exp", "log", "sqrt",
@@ -37,6 +37,8 @@ def _wrap(value) -> Tensor:
 def add(a, b) -> Tensor:
     a, b = _wrap(a), _wrap(b)
     out_data = a.data + b.data
+    if not _tape_active(a, b):
+        return Tensor._make(out_data, (), "add", None)
 
     def backward(grad):
         return (_unbroadcast(grad, a.shape), _unbroadcast(grad, b.shape))
@@ -47,6 +49,8 @@ def add(a, b) -> Tensor:
 def sub(a, b) -> Tensor:
     a, b = _wrap(a), _wrap(b)
     out_data = a.data - b.data
+    if not _tape_active(a, b):
+        return Tensor._make(out_data, (), "sub", None)
 
     def backward(grad):
         return (_unbroadcast(grad, a.shape), _unbroadcast(-grad, b.shape))
@@ -57,6 +61,8 @@ def sub(a, b) -> Tensor:
 def mul(a, b) -> Tensor:
     a, b = _wrap(a), _wrap(b)
     out_data = a.data * b.data
+    if not _tape_active(a, b):
+        return Tensor._make(out_data, (), "mul", None)
 
     def backward(grad):
         ga = _unbroadcast(grad * b.data, a.shape) if a.requires_grad else None
@@ -69,6 +75,8 @@ def mul(a, b) -> Tensor:
 def div(a, b) -> Tensor:
     a, b = _wrap(a), _wrap(b)
     out_data = a.data / b.data
+    if not _tape_active(a, b):
+        return Tensor._make(out_data, (), "div", None)
 
     def backward(grad):
         ga = _unbroadcast(grad / b.data, a.shape) if a.requires_grad else None
@@ -181,6 +189,8 @@ def abs(a) -> Tensor:
 def relu(a) -> Tensor:
     a = _wrap(a)
     out_data = np.maximum(a.data, 0.0)
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "relu", None)
 
     def backward(grad):
         return (grad * (a.data > 0),)
@@ -237,6 +247,8 @@ def dropout_mask(a, mask: np.ndarray) -> Tensor:
 def matmul(a, b) -> Tensor:
     a, b = _wrap(a), _wrap(b)
     out_data = a.data @ b.data
+    if not _tape_active(a, b):
+        return Tensor._make(out_data, (), "matmul", None)
 
     def backward(grad):
         # Mirror numpy's matmul semantics exactly: a 1-D left operand is a
@@ -283,6 +295,8 @@ def sum(a, axis=None, keepdims: bool = False) -> Tensor:
     a = _wrap(a)
     axis_n = _normalize_axis(axis, a.ndim)
     out_data = a.data.sum(axis=axis_n, keepdims=keepdims)
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "sum", None)
 
     def backward(grad):
         g = grad
@@ -297,6 +311,8 @@ def mean(a, axis=None, keepdims: bool = False) -> Tensor:
     a = _wrap(a)
     axis_n = _normalize_axis(axis, a.ndim)
     out_data = a.data.mean(axis=axis_n, keepdims=keepdims)
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "mean", None)
     if axis_n is None:
         count = a.data.size
     else:
@@ -355,6 +371,8 @@ def log_softmax(a, axis: int = -1) -> Tensor:
     shifted = a.data - m
     logsum = np.log(np.exp(shifted).sum(axis=ax, keepdims=True))
     out_data = shifted - logsum
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "log_softmax", None)
     softmax_data = np.exp(out_data)
 
     def backward(grad):
@@ -374,6 +392,8 @@ def softmax(a, axis: int = -1) -> Tensor:
 def reshape(a, shape: Sequence[int]) -> Tensor:
     a = _wrap(a)
     out_data = a.data.reshape(shape)
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "reshape", None)
 
     def backward(grad):
         return (grad.reshape(a.shape),)
@@ -384,6 +404,8 @@ def reshape(a, shape: Sequence[int]) -> Tensor:
 def transpose(a, axes: Sequence[int] | None = None) -> Tensor:
     a = _wrap(a)
     out_data = a.data.transpose(axes)
+    if not _tape_active(a):
+        return Tensor._make(out_data, (), "transpose", None)
     if axes is None:
         inverse = None
     else:

@@ -22,7 +22,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-__all__ = ["Tensor", "no_grad", "is_grad_enabled", "tensor"]
+__all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled", "tensor"]
 
 
 _GRAD_ENABLED = True
@@ -44,9 +44,35 @@ def no_grad():
         _GRAD_ENABLED = previous
 
 
+def inference_mode():
+    """Forward-only context: no graph recording, no backward closures.
+
+    Alias of :func:`no_grad` kept as a distinct name (mirroring
+    ``torch.inference_mode``) to mark call sites that are pure inference.
+    Inside the context the hot ops in :mod:`repro.tensor.ops` and
+    :mod:`repro.tensor.conv` take a fast path that skips building their
+    backward closures entirely rather than building and discarding them.
+    """
+    return no_grad()
+
+
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded on the tape."""
     return _GRAD_ENABLED
+
+
+def _tape_active(*parents: "Tensor") -> bool:
+    """True when an op over ``parents`` would be recorded on the tape.
+
+    Ops use this to skip constructing their backward closure (and any
+    arrays it would capture) when the result cannot require gradients.
+    """
+    if not _GRAD_ENABLED:
+        return False
+    for p in parents:
+        if p.requires_grad:
+            return True
+    return False
 
 
 def _as_array(value, dtype=np.float32) -> np.ndarray:

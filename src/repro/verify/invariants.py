@@ -39,14 +39,16 @@ from ..core.importance import ImportanceConfig, ImportanceEvaluator
 from ..core.masking import FilterMasks
 from ..core.surgery import group_sizes, prune_groups
 from ..data import SyntheticConfig, SyntheticImageClassification
-from ..models import build_model
+from ..models import MODEL_REGISTRY, build_model
 from ..nn import BatchNorm2d, Module
 from ..tensor import Tensor, no_grad
 
 __all__ = [
-    "InvariantResult", "REGISTRY_CASES", "perturb_batchnorm_stats",
+    "InvariantResult", "REGISTRY_CASES", "INFER_CASES",
+    "perturb_batchnorm_stats",
     "check_prune_mask_equivalence", "check_baseline_scorer_equivalence",
     "check_taylor_score_ranges", "check_importance_determinism",
+    "check_compiled_inference_equivalence",
     "run_invariants",
 ]
 
@@ -72,6 +74,14 @@ REGISTRY_CASES: dict[str, dict] = {
 }
 
 _RTOL, _ATOL = 1e-4, 1e-5
+
+# Every registry architecture at its smallest usable width — the compiled
+# inference engine must reproduce eager logits on all of them.
+INFER_CASES: dict[str, dict] = {
+    name: dict(num_classes=3, image_size=8, seed=0,
+               width=0.25 if name.startswith("resnet") else 0.125)
+    for name in sorted(MODEL_REGISTRY)
+}
 
 
 def perturb_batchnorm_stats(model: Module, seed: int = 0) -> None:
@@ -284,6 +294,60 @@ def check_importance_determinism(seed: int = 0) -> InvariantResult:
     return result
 
 
+def check_compiled_inference_equivalence(seed: int = 0,
+                                         quick: bool = False
+                                         ) -> InvariantResult:
+    """Compiled engine ≡ eager eval on every registry model, dense + pruned.
+
+    The :mod:`repro.infer` pipeline (capture → BN folding → ReLU fusion →
+    arena runtime) must reproduce eager logits to float32 tolerance. BN
+    statistics are perturbed first; with fresh statistics, folding errors
+    at the scale/shift step would cancel and hide.
+    """
+    from ..infer import compile_model
+
+    start = time.perf_counter()
+    result = InvariantResult(name="compiled_inference_equivalence",
+                             passed=True)
+    cases = ({k: INFER_CASES[k] for k in ("vgg11", "resnet20", "mlp")}
+             if quick else INFER_CASES)
+    rng = np.random.default_rng(seed + 3)
+    worst = 0.0
+    checked = 0
+    for model_name, kwargs in cases.items():
+        batch = _eval_batch(model_name, kwargs, seed)
+        for variant in ("dense", "pruned"):
+            try:
+                model = build_model(model_name, **kwargs)
+                perturb_batchnorm_stats(model, seed=seed)
+                if variant == "pruned":
+                    groups = model.prunable_groups()
+                    victims = _random_victims(model, groups, rng)
+                    sizes = group_sizes(model, groups)
+                    keep = {name: np.setdiff1d(np.arange(sizes[name]), idx)
+                            for name, idx in victims.items()}
+                    prune_groups(model, groups, keep)
+                eager_out = _forward(model, batch)
+                engine = compile_model(model, batch, validate=False)
+                compiled_out = engine.run(batch)
+                np.testing.assert_allclose(compiled_out, eager_out,
+                                           rtol=_RTOL, atol=_ATOL)
+                worst = max(worst, float(
+                    np.abs(compiled_out - eager_out).max()))
+                checked += 1
+            except AssertionError as exc:
+                result.passed = False
+                head = str(exc).strip().splitlines()[0] if str(exc) else ""
+                result.failures.append(f"{model_name}/{variant}: {head}")
+            except Exception as exc:
+                result.passed = False
+                result.failures.append(
+                    f"{model_name}/{variant}: {type(exc).__name__}: {exc}")
+    result.detail = f"{checked} model/variant cases, worst |Δ|={worst:.2e}"
+    result.seconds = time.perf_counter() - start
+    return result
+
+
 def run_invariants(seed: int = 0, quick: bool = False) -> list[InvariantResult]:
     """Run the full invariant battery.
 
@@ -299,4 +363,5 @@ def run_invariants(seed: int = 0, quick: bool = False) -> list[InvariantResult]:
         check_baseline_scorer_equivalence(seed=seed, scorers=scorers),
         check_taylor_score_ranges(seed=seed),
         check_importance_determinism(seed=seed),
+        check_compiled_inference_equivalence(seed=seed, quick=quick),
     ]

@@ -1,0 +1,89 @@
+"""Micro-batching: coalescing, result scattering, error propagation."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.infer import BatchRunner, compile_model
+from repro.models import build_model
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _engine(max_batch=8):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=0)
+    perturb_batchnorm_stats(model, seed=0)
+    model.eval()
+    rng = np.random.default_rng(0)
+    example = rng.normal(size=(max_batch, 3, 8, 8)).astype(np.float32)
+    return compile_model(model, example, max_batch=max_batch)
+
+
+class TestBatchRunner:
+    def test_results_match_direct_engine_run(self):
+        engine = _engine()
+        rng = np.random.default_rng(1)
+        samples = rng.normal(size=(12, 3, 8, 8)).astype(np.float32)
+        expected = engine.run(samples)
+        with BatchRunner(engine, max_wait=0.005) as runner:
+            tickets = [runner.submit(s) for s in samples]
+            for ticket, want in zip(tickets, expected):
+                np.testing.assert_allclose(ticket.result(timeout=10.0), want,
+                                           rtol=1e-5, atol=1e-6)
+
+    def test_concurrent_submitters(self):
+        engine = _engine()
+        rng = np.random.default_rng(2)
+        samples = rng.normal(size=(16, 3, 8, 8)).astype(np.float32)
+        expected = engine.run(samples)
+        results = [None] * len(samples)
+
+        with BatchRunner(engine, max_wait=0.01) as runner:
+            def worker(idx):
+                results[idx] = runner.submit(samples[idx]).result(timeout=10.0)
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(len(samples))]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert runner.stats["samples"] == len(samples)
+            assert runner.stats["batches"] >= 1
+            assert 1 <= runner.stats["largest_batch"] <= runner.max_batch
+        for got, want in zip(results, expected):
+            np.testing.assert_allclose(got, want, rtol=1e-5, atol=1e-6)
+
+    def test_bad_sample_fails_its_ticket(self):
+        engine = _engine()
+        with BatchRunner(engine) as runner:
+            ticket = runner.submit(np.zeros((5, 5), dtype=np.float32))
+            with pytest.raises(ValueError):
+                ticket.result(timeout=10.0)
+
+    def test_submit_after_close_raises(self):
+        engine = _engine()
+        runner = BatchRunner(engine)
+        runner.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_close_is_idempotent(self):
+        runner = BatchRunner(_engine())
+        runner.close()
+        runner.close()
+
+    def test_invalid_configuration_rejected(self):
+        engine = _engine()
+        with pytest.raises(ValueError):
+            BatchRunner(engine, max_wait=-1.0)
+        with pytest.raises(ValueError):
+            BatchRunner(engine, max_batch=0)
+
+    def test_ticket_done_transitions(self):
+        engine = _engine()
+        with BatchRunner(engine, max_wait=0.0) as runner:
+            ticket = runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
+            ticket.result(timeout=10.0)
+            assert ticket.done()

@@ -1,0 +1,110 @@
+"""Graph capture: step recording, SSA validation, training-mode rejection."""
+
+import numpy as np
+import pytest
+
+from repro.infer import PlanError, capture_plan
+from repro.models import build_model
+from repro.nn import Conv2d, Module, ReLU, Sequential
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _example(batch=4, channels=3, size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(batch, channels, size, size)).astype(np.float32)
+
+
+def _tiny_vgg():
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=0)
+    perturb_batchnorm_stats(model, seed=0)
+    model.eval()
+    return model
+
+
+class TestCapture:
+    def test_vgg_plan_structure(self):
+        plan = capture_plan(_tiny_vgg(), _example())
+        counts = plan.op_counts()
+        assert counts["conv2d"] == 8
+        assert counts["batchnorm"] == 8
+        assert counts["linear"] >= 1
+        assert "max_pool2d" in counts
+        # Dropout layers alias through: no step recorded for them.
+        assert "dropout" not in counts
+        assert plan.shapes[plan.input_id] == (4, 3, 8, 8)
+        assert plan.shapes[plan.output_id] == (4, 3)
+        assert plan.example_batch == 4
+
+    def test_resnet_residual_join_is_captured(self):
+        model = build_model("resnet20", num_classes=3, image_size=8,
+                            width=0.25, seed=0)
+        model.eval()
+        plan = capture_plan(model, _example())
+        # Functional ops.relu(ops.add(...)) in each BasicBlock.
+        assert plan.op_counts()["add"] >= 9
+
+    def test_steps_are_in_ssa_order(self):
+        plan = capture_plan(_tiny_vgg(), _example())
+        defined = {plan.input_id, *plan.constants}
+        for step in plan.steps:
+            assert all(vid in defined for vid in step.inputs)
+            assert step.output not in defined
+            defined.add(step.output)
+        assert plan.output_id in defined
+
+    def test_every_step_output_keeps_batch_axis(self):
+        plan = capture_plan(_tiny_vgg(), _example())
+        for step in plan.steps:
+            assert plan.shapes[step.output][0] == plan.example_batch
+
+    def test_summary_mentions_each_step(self):
+        plan = capture_plan(_tiny_vgg(), _example())
+        text = plan.summary()
+        assert f"{len(plan)} steps" in text
+        assert "conv2d" in text and "linear" in text
+
+
+class TestRejection:
+    def test_training_mode_rejected(self):
+        model = _tiny_vgg()
+        model.train()
+        with pytest.raises(PlanError, match="eval mode"):
+            capture_plan(model, _example())
+
+    def test_non_module_rejected(self):
+        with pytest.raises(TypeError):
+            capture_plan(lambda x: x, _example())
+
+    def test_missing_batch_axis_rejected(self):
+        model = _tiny_vgg()
+        with pytest.raises(PlanError, match="batch axis"):
+            capture_plan(model, np.zeros(24, dtype=np.float32))
+
+    def test_forward_hooks_rejected(self):
+        model = Sequential(Conv2d(3, 4, 3, padding=1), ReLU())
+        model.eval()
+        handle = model[0].register_forward_hook(lambda m, i, o: None)
+        try:
+            with pytest.raises(PlanError, match="hook"):
+                capture_plan(model, _example())
+        finally:
+            handle.remove()
+
+    def test_untraced_tensor_rejected(self):
+        from repro.tensor import Tensor
+
+        class Sneaky(Module):
+            def __init__(self):
+                super().__init__()
+                self.conv = Conv2d(3, 4, 3, padding=1)
+
+            def forward(self, x):
+                # Hand-rolled Tensor op that bypasses repro.tensor.ops.
+                doubled = Tensor._make(x.data * 2, (x,), "custom", None)
+                return self.conv(doubled)
+
+        model = Sneaky()
+        model.eval()
+        with pytest.raises(PlanError, match="untraced"):
+            capture_plan(model, _example())

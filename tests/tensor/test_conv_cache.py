@@ -1,0 +1,101 @@
+"""im2col signature cache and the inference-mode tape fast paths."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Tensor, inference_mode, no_grad, ops
+from repro.tensor.conv import (IM2COL_CACHE_SIZE, _SIGNATURE_CACHE,
+                               clear_im2col_cache, conv2d, im2col,
+                               im2col_gather, im2col_signature)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    clear_im2col_cache()
+    yield
+    clear_im2col_cache()
+
+
+class TestSignatureCache:
+    def test_signature_is_memoized(self):
+        a = im2col_signature(3, 8, 8, 3, 3, 1, 1)
+        b = im2col_signature(3, 8, 8, 3, 3, 1, 1)
+        assert a is b
+        assert len(_SIGNATURE_CACHE) == 1
+
+    def test_indices_built_lazily_and_once(self):
+        sig = im2col_signature(3, 8, 8, 3, 3, 1, 1)
+        assert sig._indices is None
+        first = sig.indices
+        assert sig.indices is first
+        assert first.shape == (3 * 3 * 3, sig.oh * sig.ow)
+
+    def test_cache_is_bounded(self):
+        for size in range(IM2COL_CACHE_SIZE + 10):
+            im2col_signature(1, 8 + size, 8, 3, 3, 1, 1)
+        assert len(_SIGNATURE_CACHE) == IM2COL_CACHE_SIZE
+
+    def test_lru_keeps_recently_used(self):
+        keep = im2col_signature(3, 8, 8, 3, 3, 1, 1)
+        for size in range(IM2COL_CACHE_SIZE - 1):
+            im2col_signature(1, 9 + size, 8, 3, 3, 1, 1)
+        # Touch the first signature, then overflow by one: the oldest
+        # *untouched* entry must be evicted, not the one we refreshed.
+        assert im2col_signature(3, 8, 8, 3, 3, 1, 1) is keep
+        im2col_signature(2, 200, 8, 3, 3, 1, 1)
+        assert im2col_signature(3, 8, 8, 3, 3, 1, 1) is keep
+
+    def test_gather_matches_strided_im2col(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        for stride, padding in ((1, 1), (2, 0), (2, 1)):
+            np.testing.assert_array_equal(
+                im2col_gather(x, 3, 3, stride, padding),
+                im2col(x, 3, 3, stride, padding))
+
+    def test_gather_supports_out_buffer(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        expected = im2col(x, 3, 3, 1, 1)
+        out = np.empty_like(expected)
+        result = im2col_gather(x, 3, 3, 1, 1, out=out)
+        assert result.base is out or result is out
+        np.testing.assert_array_equal(result, expected)
+
+
+class TestInferenceModeFastPaths:
+    def test_no_grad_conv_builds_no_graph(self):
+        x = Tensor(np.random.rand(2, 3, 8, 8).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(np.random.rand(4, 3, 3, 3).astype(np.float32),
+                   requires_grad=True)
+        with no_grad():
+            out = conv2d(x, w, padding=1)
+        assert out._parents == ()
+        assert out._backward is None
+
+    def test_inference_mode_is_forward_only(self):
+        x = Tensor(np.random.rand(2, 5).astype(np.float32),
+                   requires_grad=True)
+        with inference_mode():
+            out = ops.relu(ops.mul(x, x))
+        assert out._parents == ()
+
+    def test_fast_path_matches_taped_forward(self):
+        rng = np.random.default_rng(2)
+        x = Tensor(rng.normal(size=(2, 3, 8, 8)).astype(np.float32),
+                   requires_grad=True)
+        w = Tensor(rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+                   requires_grad=True)
+        taped = conv2d(x, w, padding=1)
+        with no_grad():
+            untaped = conv2d(x, w, padding=1)
+        np.testing.assert_array_equal(taped.data, untaped.data)
+
+    def test_constant_inputs_skip_tape_outside_no_grad(self):
+        # No tensor requires grad => no backward closure even when the
+        # global grad switch is on.
+        a = Tensor(np.ones((2, 2), dtype=np.float32))
+        b = Tensor(np.ones((2, 2), dtype=np.float32))
+        out = ops.add(a, b)
+        assert out._parents == ()

@@ -76,7 +76,8 @@ class TestRunInvariants:
         assert names == {"prune_mask_equivalence",
                          "baseline_scorer_equivalence",
                          "taylor_score_ranges",
-                         "importance_determinism"}
+                         "importance_determinism",
+                         "compiled_inference_equivalence"}
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(f"{r.name}: {r.failures}"
                                      for r in failed)
