@@ -1,0 +1,45 @@
+"""Parallel-scoring and fused/sharded fine-tuning benchmark.
+
+Times the class-parallel importance evaluation against the serial
+evaluator (asserting the reports are bit-identical) and one fine-tuning
+epoch under the autograd, fused-regularizer and sharded data-parallel
+loops, recording the results to ``BENCH_train.json`` at the repo root:
+
+    python benchmarks/bench_train.py              # full suite
+    python benchmarks/bench_train.py --smoke      # tiny CI variant
+"""
+
+import argparse
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.parallel.bench import format_table, run_bench, write_bench  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workers", type=int, default=4,
+                        help="logical worker shards for the parallel paths")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timing repeats per point (best is kept)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny models and few repeats, for CI; "
+                             "caps workers at 2")
+    parser.add_argument("--out", default=str(ROOT / "BENCH_train.json"),
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    results = run_bench(workers=args.workers, repeats=args.repeats,
+                        smoke=args.smoke, seed=args.seed)
+    print(format_table(results))
+    write_bench(results, args.out)
+    print(f"\nresults written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

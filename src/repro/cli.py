@@ -47,7 +47,8 @@ def _training(args):
     from .core import TrainingConfig
     return TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
                           lr=args.lr, momentum=0.9, weight_decay=5e-4,
-                          lambda1=args.lambda1, lambda2=args.lambda2)
+                          lambda1=args.lambda1, lambda2=args.lambda2,
+                          workers=getattr(args, "workers", 0))
 
 
 def _training_args(parser: argparse.ArgumentParser, epochs: int) -> None:
@@ -58,6 +59,10 @@ def _training_args(parser: argparse.ArgumentParser, epochs: int) -> None:
                         help="L1 coefficient of the modified loss (Eq. 1)")
     parser.add_argument("--lambda2", type=float, default=1e-2,
                         help="orthogonality coefficient of the modified loss")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="logical worker shards for importance scoring "
+                             "and fine-tuning (0 = serial); results are "
+                             "reproducible for a fixed worker count")
 
 
 def _load_checkpoint(path: str):
@@ -287,6 +292,17 @@ def cmd_infer_bench(args) -> int:
     return 0
 
 
+def cmd_train_bench(args) -> int:
+    from .parallel.bench import format_table, run_bench, write_bench
+    results = run_bench(workers=args.workers, repeats=args.repeats,
+                        smoke=args.smoke, seed=args.seed)
+    print(format_table(results))
+    if args.out:
+        write_bench(results, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verify.runner import main as verify_main
     forwarded = args.verify_args
@@ -391,6 +407,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--out", default=None,
                          help="write results JSON to this path")
     p_bench.set_defaults(func=cmd_infer_bench)
+
+    p_tbench = sub.add_parser(
+        "train-bench",
+        help="benchmark parallel scoring + fused/sharded fine-tuning")
+    p_tbench.add_argument("--workers", type=int, default=4,
+                          help="logical worker shards for the parallel paths")
+    p_tbench.add_argument("--repeats", type=int, default=3)
+    p_tbench.add_argument("--seed", type=int, default=0)
+    p_tbench.add_argument("--smoke", action="store_true",
+                          help="tiny models / few repeats (CI); also caps "
+                               "workers at 2")
+    p_tbench.add_argument("--out", default=None,
+                          help="write results JSON to this path "
+                               "(e.g. BENCH_train.json)")
+    p_tbench.set_defaults(func=cmd_train_bench)
 
     p_verify = sub.add_parser(
         "verify", help="gradient fuzzing + pruning invariant checks")

@@ -256,13 +256,25 @@ class ClassAwarePruningFramework:
                           self.training, sentinel=self.config.sentinel)
         return trainer.train(epochs=epochs, log=log)
 
-    def evaluate_importance(self) -> ImportanceReport:
-        """Score all prunable groups on the current model."""
+    def evaluate_importance(self, workers: int | None = None) -> ImportanceReport:
+        """Score all prunable groups on the current model.
+
+        ``workers`` defaults to the training config's shard count, so a
+        ``run(workers=N)`` fans the per-class Taylor evaluations across
+        the same pool size it fine-tunes with. Results are bit-identical
+        to the serial evaluator for any worker count.
+        """
         groups = self.model.prunable_groups()
+        if workers is None:
+            workers = self.training.workers
         evaluator = ImportanceEvaluator(self.model, self.train_dataset,
                                         self.num_classes,
-                                        self.config.importance)
-        return evaluator.evaluate([g.conv for g in groups])
+                                        self.config.importance,
+                                        workers=workers)
+        try:
+            return evaluator.evaluate([g.conv for g in groups])
+        finally:
+            evaluator.close()
 
     # ------------------------------------------------------------------
     # Journaling helpers
@@ -283,7 +295,8 @@ class ClassAwarePruningFramework:
     # ------------------------------------------------------------------
     def run(self, log: bool = False, run_dir: str | Path | None = None,
             resume_from: str | Path | None = None,
-            post_iteration=None, meta: dict | None = None) -> PruningResult:
+            post_iteration=None, meta: dict | None = None,
+            workers: int | None = None) -> PruningResult:
         """Execute the iterative prune/fine-tune loop on a trained model.
 
         The model is expected to be trained already (call :meth:`pretrain`
@@ -310,7 +323,18 @@ class ClassAwarePruningFramework:
             Caller-defined JSON-serialisable dict stored verbatim in the
             ``run_start`` journal record (the CLI stores its dataset recipe
             there so ``repro run --resume`` is self-contained).
+        workers:
+            When given, overrides the shard count of both the fine-tuning
+            and importance-evaluation phases for this run (equivalent to
+            setting ``TrainingConfig.workers``). Applied *before* the
+            ``run_start`` record is journaled, so a resumed run replays
+            with the same worker count and stays bit-identical.
         """
+        if workers is not None:
+            self.training = dataclasses.replace(self.training,
+                                                workers=workers)
+            self.finetune_training = dataclasses.replace(
+                self.finetune_training, workers=workers)
         if resume_from is not None:
             return self._resume(Path(resume_from), log=log,
                                 post_iteration=post_iteration)

@@ -160,23 +160,76 @@ class ImportanceEvaluator:
         Evaluation hyperparameters.
     loss_fn:
         Optional override of the sensitivity loss (defaults to summed CE).
+    workers:
+        When positive, the per-class evaluations are sharded across a
+        persistent worker pool (:mod:`repro.parallel`) — bit-identical to
+        the serial loop under the same seed. The pool is created lazily
+        on the first :meth:`evaluate` and reused while the model's shapes
+        are unchanged; call :meth:`close` (or use the evaluator as a
+        context manager) to release it. Requires the model to carry an
+        architecture recipe (``model.arch``) and the default loss.
+    processes:
+        Physical process cap for the pool (default: ``min(workers,
+        usable CPUs)``; see :func:`repro.parallel.resolve_processes`).
     """
 
     def __init__(self, model: Module, dataset: Dataset, num_classes: int,
                  config: ImportanceConfig | None = None,
-                 loss_fn: Callable | None = None):
+                 loss_fn: Callable | None = None, workers: int = 0,
+                 processes: int | None = None):
         self.model = model
         self.dataset = dataset
         self.num_classes = num_classes
         self.config = config or ImportanceConfig()
         self.loss_fn = loss_fn
+        self.workers = workers
+        self.processes = processes
+        self._session = None
 
-    def evaluate(self, group_paths: list[str]) -> ImportanceReport:
+    def close(self) -> None:
+        """Release the worker pool and shared memory, if any."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+    def __enter__(self) -> "ImportanceEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _evaluate_parallel(self, group_paths: list[str],
+                           workers: int) -> ImportanceReport:
+        if self.loss_fn is not None:
+            raise ValueError(
+                "a custom loss_fn is not supported with workers > 0 "
+                "(closures cannot be shipped to worker processes); "
+                "evaluate serially instead")
+        from ..parallel.scoring import ScoringSession
+        session = self._session
+        if session is not None and not session.compatible(
+                self.model, group_paths, workers):
+            session.close()
+            session = self._session = None
+        if session is None:
+            session = self._session = ScoringSession(
+                self.model, self.dataset, self.num_classes, self.config,
+                list(group_paths), workers, processes=self.processes)
+        return session.evaluate(self.dataset)
+
+    def evaluate(self, group_paths: list[str],
+                 workers: int | None = None) -> ImportanceReport:
         """Score the filters of the given producer layers.
 
         One forward+backward pass per class evaluates all layers at once,
         so the cost is ``num_classes`` passes regardless of network size.
+        With ``workers`` (argument or constructor default) positive, the
+        classes are scored by the worker pool instead; the report is
+        bit-identical to the serial loop's.
         """
+        workers = self.workers if workers is None else workers
+        if workers and workers > 0:
+            return self._evaluate_parallel(list(group_paths), workers)
         cfg = self.config
         engine_cls = ExactZeroingEngine if cfg.use_exact else TaylorScoreEngine
         engine = engine_cls(self.model, group_paths, loss_fn=self.loss_fn)

@@ -34,9 +34,22 @@ from ..tensor import Tensor, conv as tconv, ops
 from .toeplitz import toeplitz_matrix_tensor
 
 __all__ = ["l1_regularizer", "orthogonality_term", "OrthMode",
-           "ModifiedLoss", "LossTerms"]
+           "ModifiedLoss", "LossTerms", "FusedRegularizer"]
 
 OrthMode = str  # "kernel" | "conv" | "toeplitz"
+
+# Identity Tensors used by the Gram-matrix penalties, cached by size:
+# these were rebuilt (np.eye allocation + Tensor wrap) on every batch for
+# every layer. The cached tensors are constants — never mutated by any op
+# and never requiring grad — so sharing one instance across graphs is safe.
+_EYE_CACHE: dict[int, Tensor] = {}
+
+
+def _eye(n: int) -> Tensor:
+    cached = _EYE_CACHE.get(n)
+    if cached is None:
+        cached = _EYE_CACHE[n] = Tensor(np.eye(n, dtype=np.float32))
+    return cached
 
 
 def l1_regularizer(model: Module) -> Tensor:
@@ -60,8 +73,7 @@ def _orth_kernel_rows(weight: Tensor) -> Tensor:
     """‖W Wᵀ − I‖_F treating each output row of a 2-D weight as a filter."""
     o = weight.shape[0]
     gram = ops.matmul(weight, ops.transpose(weight))
-    eye = Tensor(np.eye(o, dtype=np.float32))
-    diff = ops.sub(gram, eye)
+    diff = ops.sub(gram, _eye(o))
     return ops.sqrt(ops.sum(ops.mul(diff, diff)) + 1e-12)
 
 
@@ -100,8 +112,7 @@ def _orth_toeplitz(weight: Tensor, input_size: int, stride: int, padding: int) -
                                     padding=padding)
     rows = matrix.shape[0]
     gram = ops.matmul(matrix, ops.transpose(matrix))
-    eye = Tensor(np.eye(rows, dtype=np.float32))
-    diff = ops.sub(gram, eye)
+    diff = ops.sub(gram, _eye(rows))
     return ops.sqrt(ops.sum(ops.mul(diff, diff)) + 1e-12)
 
 
@@ -165,18 +176,23 @@ class ModifiedLoss:
         Coefficient of the orthogonality term (paper: 1e-2).
     orth_mode:
         Orthogonality computation (see :func:`orthogonality_term`).
+    track_terms:
+        When False the per-term ``float(...)`` materialisations are
+        skipped and :class:`LossTerms` reports 0.0 for ``l1``/``orth`` —
+        for history-less loops that only backpropagate ``total``.
 
     With both coefficients zero this reduces to plain cross entropy, which
     is how the "no regularisation" ablation row of Table III is produced.
     """
 
     def __init__(self, lambda1: float = 1e-4, lambda2: float = 1e-2,
-                 orth_mode: OrthMode = "kernel"):
+                 orth_mode: OrthMode = "kernel", track_terms: bool = True):
         if lambda1 < 0 or lambda2 < 0:
             raise ValueError("regularisation coefficients must be non-negative")
         self.lambda1 = lambda1
         self.lambda2 = lambda2
         self.orth_mode = orth_mode
+        self.track_terms = track_terms
 
     def __call__(self, model: Module, logits: Tensor,
                  targets: np.ndarray) -> LossTerms:
@@ -187,11 +203,83 @@ class ModifiedLoss:
         orth_value = 0.0
         if self.lambda1 > 0:
             l1 = l1_regularizer(model)
-            l1_value = float(l1.data)
+            if self.track_terms:
+                l1_value = float(l1.data)
             total = ops.add(total, ops.mul(Tensor(np.float32(self.lambda1)), l1))
         if self.lambda2 > 0:
             orth = orthogonality_term(model, mode=self.orth_mode)
-            orth_value = float(orth.data)
+            if self.track_terms:
+                orth_value = float(orth.data)
             total = ops.add(total, ops.mul(Tensor(np.float32(self.lambda2)), orth))
         return LossTerms(total=total, cross_entropy=float(ce.data),
                          l1=l1_value, orth=orth_value)
+
+
+class FusedRegularizer:
+    """Closed-form gradients of the Eq. 2 penalties, injected into ``.grad``.
+
+    The autograd path rebuilds a full penalty graph over *all* weights on
+    every batch; but both penalties have analytic gradients:
+
+    * ``d/dW ‖W‖₁ = sign(W)`` (0 at 0, matching the autograd ``abs``);
+    * for the kernel-mode term ``f = sqrt(‖D‖_F² + ε)`` with
+      ``D = ŴŴᵀ − I`` (Ŵ the flattened kernels, D symmetric):
+      ``df/dŴ = 2 D Ŵ / f``.
+
+    :meth:`accumulate` adds ``λ1·sign(W) + λ2·dforth/dW`` directly into
+    each weight's ``.grad`` (call it *after* the cross-entropy backward)
+    and returns the penalty values, which fall out of the gradient
+    computation for free. Agreement with the autograd path is pinned by
+    gradcheck in ``tests/parallel/test_fused_regularizers.py``.
+
+    Only ``orth_mode="kernel"`` (the training default) has a closed form
+    here; ``conv``/``toeplitz`` must keep using the autograd path.
+    """
+
+    def __init__(self, lambda1: float = 1e-4, lambda2: float = 1e-2,
+                 orth_mode: OrthMode = "kernel"):
+        if lambda1 < 0 or lambda2 < 0:
+            raise ValueError("regularisation coefficients must be non-negative")
+        if orth_mode != "kernel" and lambda2 > 0:
+            raise ValueError(
+                f"FusedRegularizer has closed-form gradients only for "
+                f"orth_mode='kernel', not {orth_mode!r}; use the autograd "
+                "ModifiedLoss for the conv/toeplitz forms")
+        self.lambda1 = lambda1
+        self.lambda2 = lambda2
+        self.orth_mode = orth_mode
+
+    def accumulate(self, model: Module) -> tuple[float, float]:
+        """Add the scaled penalty gradients to ``model``; return values.
+
+        Returns ``(l1_value, orth_value)`` — the same float32-accumulated
+        penalty values the autograd path reports.
+        """
+        l1_total = np.float32(0.0)
+        orth_total = np.float32(0.0)
+        saw_weight = False
+        for _, module in model.named_modules():
+            if not isinstance(module, (Conv2d, Linear)):
+                continue
+            saw_weight = True
+            weight = module.weight
+            data = weight.data
+            grad = np.zeros_like(data)
+            if self.lambda1 > 0:
+                l1_total = l1_total + np.sum(np.abs(data))
+                grad += self.lambda1 * np.sign(data)
+            if self.lambda2 > 0:
+                flat = data.reshape(data.shape[0], -1)
+                diff = flat @ flat.T
+                diff[np.diag_indices_from(diff)] -= np.float32(1.0)
+                value = np.sqrt(np.sum(diff * diff) + np.float32(1e-12))
+                orth_total = orth_total + value
+                gflat = (np.float32(2.0) / value) * (diff @ flat)
+                grad += self.lambda2 * gflat.reshape(data.shape)
+            if weight.grad is None:
+                weight.grad = grad
+            else:
+                weight.grad = weight.grad + grad
+        if not saw_weight:
+            raise ValueError("model contains no conv or linear layers")
+        return float(l1_total), float(orth_total)

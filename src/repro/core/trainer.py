@@ -45,11 +45,24 @@ class TrainingConfig:
     lr_milestones: tuple[int, ...] = ()
     lr_gamma: float = 0.1
     seed: int = 0
+    #: Logical shard count for data-parallel fine-tuning; 0 keeps the
+    #: serial loop. Part of the numerics (see repro.parallel.shard) —
+    #: fixed (workers, seed) reproduces the training history bitwise.
+    workers: int = 0
+    #: Use closed-form regularizer gradients instead of the autograd
+    #: penalty graph (implied by workers > 0; kernel orth mode only).
+    fused_reg: bool = False
+    #: Double-buffer training batches on a background thread.
+    prefetch: bool = True
+    #: Materialise per-term L1/orth floats for the history. Turning this
+    #: off skips two device-scalar syncs per batch in the autograd path.
+    track_terms: bool = True
 
     def loss(self) -> ModifiedLoss:
         """The modified cost function this config describes."""
         return ModifiedLoss(lambda1=self.lambda1, lambda2=self.lambda2,
-                            orth_mode=self.orth_mode)
+                            orth_mode=self.orth_mode,
+                            track_terms=self.track_terms)
 
 
 @dataclass
@@ -175,6 +188,21 @@ class Trainer:
         self.test_dataset = test_dataset
         self.config = config or TrainingConfig()
         self.sentinel = sentinel
+        use_fused = self.config.workers > 0 or self.config.fused_reg
+        if use_fused and loss_fn is not None:
+            raise ValueError(
+                "a custom loss_fn cannot be combined with workers > 0 or "
+                "fused_reg: the fused/sharded paths compute cross entropy "
+                "plus the closed-form Eq. 2 penalties and would silently "
+                "ignore the override")
+        if use_fused:
+            from .regularizers import FusedRegularizer
+            self._fused = FusedRegularizer(self.config.lambda1,
+                                           self.config.lambda2,
+                                           self.config.orth_mode)
+        else:
+            self._fused = None
+        self._session = None
         # Baselines (SSS, TPP, OrthConv) substitute their own regularised
         # objectives here; anything with the ModifiedLoss call signature works.
         self.loss_fn = loss_fn if loss_fn is not None else self.config.loss()
@@ -196,6 +224,11 @@ class Trainer:
         momentum buffers are allocated for resized tensors.
         """
         self.optimizer.rebind(self.model.parameters())
+        if self._session is not None:
+            # The shared weight/grad buffers were sized for the old
+            # parameter shapes; a fresh session is built on the next batch.
+            self._session.close()
+            self._session = None
 
     def _run_epoch(self, loader: DataLoader, epoch: int,
                    monitor: HealthMonitor | None):
@@ -206,6 +239,10 @@ class Trainer:
         between ``backward`` and the optimiser step, so a poisoned update
         is never applied to the weights.
         """
+        if self.config.workers > 0:
+            return self._run_epoch_sharded(loader, epoch, monitor)
+        if self._fused is not None:
+            return self._run_epoch_fused(loader, epoch, monitor)
         sums = {"loss": 0.0, "ce": 0.0, "l1": 0.0, "orth": 0.0, "acc": 0.0}
         batches = 0
         for step, (images, labels) in enumerate(loader):
@@ -234,6 +271,112 @@ class Trainer:
             batches += 1
         return sums, batches
 
+    def _observe(self, monitor: HealthMonitor | None, total: float,
+                 epoch: int, step: int):
+        """Sentinel checks for the fused/sharded paths (grads are ready).
+
+        Runs after the gradients are assembled but before the optimiser
+        step, preserving the guarantee that a poisoned update is never
+        applied to the weights.
+        """
+        if monitor is None:
+            return None
+        event = monitor.observe_loss(total, epoch, step)
+        if event is not None:
+            return event
+        return monitor.observe_gradients(self.model.named_parameters(),
+                                         epoch, step)
+
+    def _run_epoch_fused(self, loader: DataLoader, epoch: int,
+                         monitor: HealthMonitor | None):
+        """Serial epoch with closed-form regularizer gradients.
+
+        Cross entropy backpropagates through the tape; the Eq. 2 penalty
+        gradients are then added analytically by
+        :class:`~repro.core.regularizers.FusedRegularizer`, skipping the
+        per-batch penalty graph over every weight matrix. The penalty
+        *values* fall out of the gradient computation for free, so the
+        history stays fully populated.
+        """
+        cfg = self.config
+        sums = {"loss": 0.0, "ce": 0.0, "l1": 0.0, "orth": 0.0, "acc": 0.0}
+        batches = 0
+        for step, (images, labels) in enumerate(loader):
+            self.optimizer.zero_grad()
+            logits = self.model(Tensor(images))
+            ce = cross_entropy(logits, labels)
+            ce.backward()
+            l1_value, orth_value = self._fused.accumulate(self.model)
+            ce_value = float(ce.data)
+            total = (ce_value + cfg.lambda1 * l1_value
+                     + cfg.lambda2 * orth_value)
+            event = self._observe(monitor, total, epoch, step)
+            if event is not None:
+                return event
+            self.optimizer.step()
+            if self.post_step is not None:
+                self.post_step()
+            sums["loss"] += total
+            sums["ce"] += ce_value
+            sums["l1"] += l1_value
+            sums["orth"] += orth_value
+            sums["acc"] += accuracy(logits, labels)
+            batches += 1
+        return sums, batches
+
+    def _ensure_session(self, images: np.ndarray):
+        if self._session is not None and not self._session.compatible(
+                images.shape):
+            self._session.close()
+            self._session = None
+        if self._session is None:
+            from ..parallel.shard import ShardedTrainingSession
+            self._session = ShardedTrainingSession(
+                self.model, self.config.workers,
+                capacity=max(self.config.batch_size, len(images)),
+                sample_shape=images.shape[1:])
+        return self._session
+
+    def _run_epoch_sharded(self, loader: DataLoader, epoch: int,
+                           monitor: HealthMonitor | None):
+        """Data-parallel epoch over a persistent worker pool.
+
+        Each batch is broadcast through shared memory, its cross-entropy
+        gradients computed shard-wise by the pool and all-reduced into the
+        parameters (``repro.parallel.shard``); the fused regularizer
+        gradients and the SGD step run in the parent. With ``workers=1``
+        this is bitwise identical to :meth:`_run_epoch_fused`.
+        """
+        cfg = self.config
+        sums = {"loss": 0.0, "ce": 0.0, "l1": 0.0, "orth": 0.0, "acc": 0.0}
+        batches = 0
+        for step, (images, labels) in enumerate(loader):
+            self.optimizer.zero_grad()
+            session = self._ensure_session(images)
+            batch = session.run_batch(images, labels)
+            l1_value, orth_value = self._fused.accumulate(self.model)
+            total = (batch["ce"] + cfg.lambda1 * l1_value
+                     + cfg.lambda2 * orth_value)
+            event = self._observe(monitor, total, epoch, step)
+            if event is not None:
+                return event
+            self.optimizer.step()
+            if self.post_step is not None:
+                self.post_step()
+            sums["loss"] += total
+            sums["ce"] += batch["ce"]
+            sums["l1"] += l1_value
+            sums["orth"] += orth_value
+            sums["acc"] += batch["correct"] / batch["count"]
+            batches += 1
+        return sums, batches
+
+    def close(self) -> None:
+        """Release the sharded-training worker pool, if one was started."""
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
     def _rewind(self, healthy_state, monitor: HealthMonitor) -> None:
         """Restore the last healthy weights and back off the learning rate."""
         self.model.load_state_dict(healthy_state)
@@ -254,58 +397,62 @@ class Trainer:
             raise EmptyDatasetError(
                 "Trainer received an empty training dataset")
         loader = DataLoader(self.train_dataset, batch_size=self.config.batch_size,
-                            shuffle=True, seed=self.config.seed)
+                            shuffle=True, seed=self.config.seed,
+                            prefetch=self.config.prefetch)
         monitor = (HealthMonitor(self.sentinel)
                    if self.sentinel is not None else None)
         healthy = self.model.state_dict() if monitor is not None else None
         retries = 0
         epoch = 0
-        while epoch < epochs:
-            self.model.train()
-            outcome = self._run_epoch(loader, epoch, monitor)
-            if isinstance(outcome, SentinelEvent):
-                retries += 1
-                if retries > self.sentinel.max_retries:
-                    outcome.action = "abort"
+        try:
+            while epoch < epochs:
+                self.model.train()
+                outcome = self._run_epoch(loader, epoch, monitor)
+                if isinstance(outcome, SentinelEvent):
+                    retries += 1
+                    if retries > self.sentinel.max_retries:
+                        outcome.action = "abort"
+                        history.sentinel_events.append(outcome)
+                        self.model.load_state_dict(healthy)
+                        raise NumericalHealthError(
+                            f"retry budget ({self.sentinel.max_retries}) "
+                            f"exhausted; last fault: {outcome.describe()} — "
+                            "weights restored to the last healthy epoch",
+                            events=history.sentinel_events)
+                    outcome.action = "rewind"
                     history.sentinel_events.append(outcome)
-                    self.model.load_state_dict(healthy)
-                    raise NumericalHealthError(
-                        f"retry budget ({self.sentinel.max_retries}) "
-                        f"exhausted; last fault: {outcome.describe()} — "
-                        "weights restored to the last healthy epoch",
-                        events=history.sentinel_events)
-                outcome.action = "rewind"
-                history.sentinel_events.append(outcome)
-                self._rewind(healthy, monitor)
+                    self._rewind(healthy, monitor)
+                    if log:
+                        print(f"sentinel: {outcome.describe()} "
+                              f"(retry {retries}/{self.sentinel.max_retries}, "
+                              f"lr -> {self.optimizer.lr:.2e})")
+                    continue  # retry the same epoch index
+                sums, batches = outcome
+                test_acc = None
+                if self.test_dataset is not None:
+                    _, test_acc = evaluate_model(self.model, self.test_dataset,
+                                                 self.config.batch_size)
+                stats = EpochStats(
+                    epoch=epoch,
+                    train_loss=sums["loss"] / batches,
+                    cross_entropy=sums["ce"] / batches,
+                    l1=sums["l1"] / batches,
+                    orth=sums["orth"] / batches,
+                    train_accuracy=sums["acc"] / batches,
+                    test_accuracy=test_acc,
+                    lr=self.optimizer.lr,
+                )
+                history.epochs.append(stats)
+                if self.scheduler is not None:
+                    self.scheduler.step()
                 if log:
-                    print(f"sentinel: {outcome.describe()} "
-                          f"(retry {retries}/{self.sentinel.max_retries}, "
-                          f"lr -> {self.optimizer.lr:.2e})")
-                continue  # retry the same epoch index
-            sums, batches = outcome
-            test_acc = None
-            if self.test_dataset is not None:
-                _, test_acc = evaluate_model(self.model, self.test_dataset,
-                                             self.config.batch_size)
-            stats = EpochStats(
-                epoch=epoch,
-                train_loss=sums["loss"] / batches,
-                cross_entropy=sums["ce"] / batches,
-                l1=sums["l1"] / batches,
-                orth=sums["orth"] / batches,
-                train_accuracy=sums["acc"] / batches,
-                test_accuracy=test_acc,
-                lr=self.optimizer.lr,
-            )
-            history.epochs.append(stats)
-            if self.scheduler is not None:
-                self.scheduler.step()
-            if log:
-                acc_str = f" test_acc={test_acc:.3f}" if test_acc is not None else ""
-                print(f"epoch {epoch:3d} loss={stats.train_loss:.4f} "
-                      f"ce={stats.cross_entropy:.4f} acc={stats.train_accuracy:.3f}"
-                      f"{acc_str}")
-            if monitor is not None:
-                healthy = self.model.state_dict()
-            epoch += 1
+                    acc_str = f" test_acc={test_acc:.3f}" if test_acc is not None else ""
+                    print(f"epoch {epoch:3d} loss={stats.train_loss:.4f} "
+                          f"ce={stats.cross_entropy:.4f} acc={stats.train_accuracy:.3f}"
+                          f"{acc_str}")
+                if monitor is not None:
+                    healthy = self.model.state_dict()
+                epoch += 1
+        finally:
+            self.close()
         return history

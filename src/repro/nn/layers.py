@@ -214,6 +214,10 @@ class BatchNorm2d(Module):
                            requires_grad=True, name="bias")
         self.register_buffer("running_mean", np.zeros(num_features, dtype=np.float32))
         self.register_buffer("running_var", np.ones(num_features, dtype=np.float32))
+        # (batch_mean, biased batch_var, n) of the most recent training
+        # forward; the sharded trainer reads it to reduce per-shard batch
+        # statistics into the parent's running stats.
+        object.__setattr__(self, "last_batch_stats", None)
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
@@ -228,6 +232,8 @@ class BatchNorm2d(Module):
             batch_var = var.data.reshape(-1)
             n = x.shape[0] * x.shape[2] * x.shape[3]
             unbiased = batch_var * n / max(n - 1, 1)
+            object.__setattr__(self, "last_batch_stats",
+                               (batch_mean, batch_var, n))
             object.__setattr__(self, "running_mean",
                                (1 - m) * self.running_mean + m * batch_mean)
             object.__setattr__(self, "running_var",

@@ -1,0 +1,47 @@
+"""Multi-process execution layer: class-parallel scoring, sharded training.
+
+Three pillars, all exposed through knobs on the existing APIs
+(``ImportanceEvaluator(workers=N)``, ``TrainingConfig(workers=N)``,
+``ClassAwarePruningFramework.run(workers=N)``, ``repro run --workers N``):
+
+* :mod:`~repro.parallel.scoring` — per-class Taylor evaluations fanned
+  across a persistent worker pool, bit-identical to serial;
+* :mod:`~repro.parallel.shard` — data-parallel fine-tuning: batch shards
+  are evaluated in workers and their gradients all-reduced into the
+  parent's SGD step;
+* :mod:`~repro.parallel.pool` / :mod:`~repro.parallel.shm` — the process
+  pool and shared-memory ndarray transport underneath both.
+
+See ``docs/performance.md`` for the architecture, the shared-memory
+layout and the determinism contract.
+"""
+
+from .errors import ParallelExecutionError
+from .pool import CRASH_TASK, EchoService, WorkerPool, resolve_processes
+from .scoring import (FusedTaylorScorer, ScoringService, ScoringSession,
+                      aggregate_scores_fast)
+from .shm import SharedArrayBundle, ShmSpec
+
+__all__ = [
+    "ParallelExecutionError",
+    "WorkerPool",
+    "EchoService",
+    "CRASH_TASK",
+    "resolve_processes",
+    "SharedArrayBundle",
+    "ShmSpec",
+    "FusedTaylorScorer",
+    "ScoringService",
+    "ScoringSession",
+    "aggregate_scores_fast",
+    "ShardedTrainingSession",
+]
+
+
+def __getattr__(name):
+    # shard.py imports trainer-adjacent modules; load it lazily so
+    # importing repro.parallel stays cheap for scoring-only users.
+    if name == "ShardedTrainingSession":
+        from .shard import ShardedTrainingSession
+        return ShardedTrainingSession
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

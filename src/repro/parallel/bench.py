@@ -1,0 +1,204 @@
+"""Training-side benchmark lane: parallel scoring and fused fine-tuning.
+
+Two workloads, mirroring the two halves of :mod:`repro.parallel`:
+
+* **scoring** — the per-class Taylor importance evaluation, serial
+  (:class:`~repro.core.importance.ImportanceEvaluator` loop) vs fanned
+  across a persistent worker pool. The parallel path must return a
+  bit-identical :class:`~repro.core.importance.ImportanceReport`; the
+  benchmark *asserts* this before reporting any timing.
+* **finetune** — one training epoch under the modified objective, in
+  three flavours: the autograd penalty graph, the fused closed-form
+  regularizer gradients, and the sharded data-parallel loop.
+
+Timing is best-of-``repeats`` with a warmup pass (the warmup also
+amortises worker-pool start-up into session setup, where it belongs —
+the pool is persistent across evaluations in real runs). Entry point:
+:func:`run_bench`, shared by ``repro train-bench`` and the standalone
+``benchmarks/bench_train.py`` script that refreshes ``BENCH_train.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+__all__ = ["BENCH_CONFIG", "SMOKE_CONFIG", "run_bench", "write_bench",
+           "format_table"]
+
+
+# The acceptance workload: resnet20 on a 100-class task, M=10 images per
+# class — enough classes that per-class evaluation dominates pool
+# overhead, and images sized so the benchmark stays in CI budget on a
+# one-CPU container (the fused path's win — amortising 100 small
+# per-class passes into a handful of large ones — is what is measured).
+BENCH_CONFIG: dict = {
+    "scoring": dict(model="resnet20", num_classes=100, image_size=8,
+                    width=0.25, images_per_class=10, samples_per_class=12),
+    "finetune": dict(model="vgg11", num_classes=10, image_size=12,
+                     width=0.5, samples_per_class=16, batch_size=32),
+}
+
+# CI smoke variant: tiny everything, still exercises every path.
+SMOKE_CONFIG: dict = {
+    "scoring": dict(model="vgg11", num_classes=6, image_size=8,
+                    width=0.25, images_per_class=4, samples_per_class=6),
+    "finetune": dict(model="vgg11", num_classes=3, image_size=8,
+                     width=0.25, samples_per_class=8, batch_size=8),
+}
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    fn()                                    # warmup
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return float(min(samples))
+
+
+def _reports_identical(a, b) -> bool:
+    return (set(a.total) == set(b.total)
+            and all(np.array_equal(a.total[k], b.total[k]) for k in a.total)
+            and all(np.array_equal(a.per_class[k], b.per_class[k])
+                    for k in a.per_class))
+
+
+def _bench_scoring(cfg: dict, workers: int, repeats: int, seed: int) -> dict:
+    from ..core.importance import ImportanceConfig, ImportanceEvaluator
+    from ..data import make_cifar_like
+    from ..models import build_model
+
+    model = build_model(cfg["model"], num_classes=cfg["num_classes"],
+                        image_size=cfg["image_size"], width=cfg["width"],
+                        seed=seed)
+    train, _ = make_cifar_like(num_classes=cfg["num_classes"],
+                               image_size=cfg["image_size"],
+                               samples_per_class=cfg["samples_per_class"],
+                               seed=seed)
+    groups = [g.conv for g in model.prunable_groups()]
+    icfg = ImportanceConfig(images_per_class=cfg["images_per_class"],
+                            tau_mode="quantile", tau_quantile=0.9, seed=seed)
+
+    serial = ImportanceEvaluator(model, train, cfg["num_classes"], icfg)
+    serial_report = serial.evaluate(groups)
+    serial_s = _best_seconds(lambda: serial.evaluate(groups), repeats)
+
+    parallel = ImportanceEvaluator(model, train, cfg["num_classes"], icfg,
+                                   workers=workers)
+    try:
+        parallel_report = parallel.evaluate(groups)  # warmup builds the pool
+        if not _reports_identical(serial_report, parallel_report):
+            raise AssertionError(
+                "parallel importance report differs from serial — the "
+                "bit-identity contract of repro.parallel.scoring is broken")
+        parallel_s = _best_seconds(lambda: parallel.evaluate(groups), repeats)
+    finally:
+        parallel.close()
+
+    return dict(cfg, workers=workers,
+                groups=len(groups),
+                serial_s=round(serial_s, 4),
+                parallel_s=round(parallel_s, 4),
+                speedup=round(serial_s / parallel_s, 3) if parallel_s else None,
+                bit_identical=True)
+
+
+def _bench_finetune(cfg: dict, workers: int, repeats: int, seed: int) -> dict:
+    from ..core.trainer import Trainer, TrainingConfig
+    from ..data import make_cifar_like
+    from ..models import build_model
+
+    train, _ = make_cifar_like(num_classes=cfg["num_classes"],
+                               image_size=cfg["image_size"],
+                               samples_per_class=cfg["samples_per_class"],
+                               seed=seed)
+    base = TrainingConfig(epochs=1, batch_size=cfg["batch_size"], lr=0.01,
+                          seed=seed)
+
+    def epoch_seconds(**overrides) -> float:
+        import dataclasses
+        model = build_model(cfg["model"], num_classes=cfg["num_classes"],
+                            image_size=cfg["image_size"], width=cfg["width"],
+                            seed=seed)
+        trainer = Trainer(model, train,
+                          config=dataclasses.replace(base, **overrides))
+        try:
+            return _best_seconds(lambda: trainer.train(epochs=1), repeats)
+        finally:
+            trainer.close()
+
+    autograd_s = epoch_seconds()
+    fused_s = epoch_seconds(fused_reg=True)
+    sharded_s = epoch_seconds(workers=workers)
+    return dict(cfg, workers=workers,
+                autograd_s=round(autograd_s, 4),
+                fused_s=round(fused_s, 4),
+                sharded_s=round(sharded_s, 4),
+                fused_speedup=round(autograd_s / fused_s, 3) if fused_s
+                else None,
+                sharded_speedup=round(autograd_s / sharded_s, 3) if sharded_s
+                else None)
+
+
+def run_bench(workers: int = 4, repeats: int = 3, smoke: bool = False,
+              seed: int = 0) -> dict:
+    """Benchmark parallel scoring + fused/sharded fine-tuning.
+
+    Raises ``AssertionError`` if the parallel importance report is not
+    bit-identical to the serial one — the benchmark doubles as an
+    end-to-end determinism check.
+    """
+    from .pool import resolve_processes
+
+    config = SMOKE_CONFIG if smoke else BENCH_CONFIG
+    if smoke:
+        workers = min(workers, 2)
+        repeats = min(repeats, 2)
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        cpus = os.cpu_count() or 1
+    return {
+        "benchmark": "repro.parallel scoring + fine-tuning",
+        "smoke": bool(smoke),
+        "workers": int(workers),
+        "physical_processes": resolve_processes(workers),
+        "cpu_count": int(cpus),
+        "repeats": int(repeats),
+        "numpy": np.__version__,
+        "scoring": _bench_scoring(config["scoring"], workers, repeats, seed),
+        "finetune": _bench_finetune(config["finetune"], workers, repeats,
+                                    seed),
+    }
+
+
+def write_bench(results: dict, path) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(results, fh, indent=2)
+        fh.write("\n")
+
+
+def format_table(results: dict) -> str:
+    s = results["scoring"]
+    f = results["finetune"]
+    lines = [
+        f"workers={results['workers']} "
+        f"(physical processes={results['physical_processes']}, "
+        f"cpus={results['cpu_count']})",
+        "",
+        f"scoring   {s['model']:<10} classes={s['num_classes']:<4} "
+        f"M={s['images_per_class']:<3} serial={s['serial_s']:.3f}s "
+        f"parallel={s['parallel_s']:.3f}s speedup={s['speedup']:.2f}x "
+        f"bit_identical={s['bit_identical']}",
+        f"finetune  {f['model']:<10} batch={f['batch_size']:<4} "
+        f"autograd={f['autograd_s']:.3f}s fused={f['fused_s']:.3f}s "
+        f"sharded={f['sharded_s']:.3f}s "
+        f"fused_speedup={f['fused_speedup']:.2f}x "
+        f"sharded_speedup={f['sharded_speedup']:.2f}x",
+    ]
+    return "\n".join(lines)

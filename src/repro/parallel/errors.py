@@ -1,0 +1,17 @@
+"""Error types of the multi-process execution layer."""
+
+from __future__ import annotations
+
+__all__ = ["ParallelExecutionError"]
+
+
+class ParallelExecutionError(RuntimeError):
+    """A worker process failed (crashed, died, or raised inside a task).
+
+    Raised by :class:`repro.parallel.WorkerPool` whenever a task cannot be
+    completed: the worker raised an exception (the remote traceback is
+    included in the message), the process died without reporting a result
+    (its exit code is included), or initialisation of the worker-side
+    service failed. The pool is unusable after this error and must be
+    recreated; the parent process and its model state are unaffected.
+    """

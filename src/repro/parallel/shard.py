@@ -1,0 +1,241 @@
+"""Sharded data-parallel fine-tuning (the all-reduce side of the pool).
+
+Each optimisation step, the parent broadcasts the current weights through
+shared memory, splits the batch into ``workers`` contiguous shards, and
+the pool computes each shard's cross-entropy gradients locally (model in
+training mode, so batch-norm uses the *shard's* batch statistics, as in
+unsynchronised distributed data parallel). The parent then
+
+1. all-reduces the shard gradients — ``g = Σ_k (n_k/n) · g_k`` in shard
+   order — into each parameter's ``.grad``,
+2. folds the per-shard batch-norm statistics into the running stats
+   (exact pooling via ``E[x²]``), and
+3. adds the fused analytic regularizer gradients
+   (:class:`~repro.core.regularizers.FusedRegularizer`) before the SGD
+   step, which runs in the parent only.
+
+Determinism contract
+--------------------
+``workers`` is a *logical* shard count and part of the numerics: shard
+boundaries, gradient reduction order and batch-norm pooling all follow
+from it. Fixed ``(workers, seed)`` ⇒ bit-reproducible training history,
+regardless of how many physical processes execute the shards. With
+``workers=1`` the scaling and pooling collapse to identities, making the
+run bitwise equal to the serial fused-regularizer path (pinned by
+``tests/parallel/test_sharded_trainer.py``). Different worker counts are
+*different* (equally valid) numerics, exactly like changing the device
+count under DDP with unsynced batch norm.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TrainingService", "ShardedTrainingSession"]
+
+
+class TrainingService:
+    """Worker-side service: gradients of one batch shard.
+
+    The model parameters are bound to the shared weight views, so the
+    parent's per-step broadcast is visible without any message passing;
+    shard gradients leave through per-shard shared buffers. Only the tiny
+    scalars (loss, correct count) and batch-norm statistics travel over
+    the result queue.
+    """
+
+    def __init__(self, arch: dict, weight_spec, input_shape, batch_spec,
+                 grad_specs):
+        from ..models import build_model
+        from .scoring import _bind_state_views
+        from .shm import SharedArrayBundle
+
+        arch = dict(arch)
+        model = build_model(arch.pop("name"), **arch)
+        self._weights = SharedArrayBundle.attach(weight_spec)
+        state = self._weights.arrays
+        try:
+            _bind_state_views(model, state)
+        except ValueError:
+            from ..io.checkpoint import conform_to_state
+            conform_to_state(model, dict(state), tuple(input_shape))
+            _bind_state_views(model, state)
+        model.train()
+        self.model = model
+        self._batch = SharedArrayBundle.attach(batch_spec)
+        self._grads = [SharedArrayBundle.attach(spec) for spec in grad_specs]
+        from ..nn import BatchNorm2d
+        self._bn_modules = [(path, module)
+                            for path, module in model.named_modules()
+                            if isinstance(module, BatchNorm2d)]
+
+    def handle(self, task):
+        from ..nn import cross_entropy
+        from ..tensor import Tensor
+        shard_id, start, stop = task
+        images = self._batch.arrays["images"][start:stop]
+        labels = np.array(self._batch.arrays["labels"][start:stop], copy=True)
+
+        model = self.model
+        model.zero_grad()
+        for _, module in self._bn_modules:
+            object.__setattr__(module, "last_batch_stats", None)
+        logits = model(Tensor(images))
+        ce = cross_entropy(logits, labels)
+        ce.backward()
+
+        views = self._grads[shard_id].arrays
+        for name, param in model.named_parameters():
+            if param.grad is None:
+                views[name][:] = 0.0
+            else:
+                np.copyto(views[name], param.grad)
+
+        correct = int((logits.data.argmax(axis=1) == labels).sum())
+        bn_stats = {}
+        for path, module in self._bn_modules:
+            stats = module.last_batch_stats
+            if stats is not None:
+                mean, var, n = stats
+                bn_stats[path] = (np.array(mean, copy=True),
+                                  np.array(var, copy=True), int(n))
+        return float(ce.data), correct, bn_stats
+
+
+class ShardedTrainingSession:
+    """Parent-side handle owning the pool and the shared buffers.
+
+    Created lazily by the :class:`~repro.core.trainer.Trainer` on the
+    first batch (when the batch geometry is known) and reused for the
+    whole ``train()`` call.
+    """
+
+    def __init__(self, model, workers: int, capacity: int,
+                 sample_shape: tuple[int, ...],
+                 processes: int | None = None):
+        from .pool import WorkerPool, resolve_processes
+        from .shm import SharedArrayBundle
+
+        arch = getattr(model, "arch", None)
+        if not isinstance(arch, dict) or "name" not in arch:
+            raise ValueError(
+                "sharded training rebuilds the model inside each worker "
+                "and needs an architecture recipe: build the model via "
+                "repro.models.build_model or set model.arch")
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.model = model
+        self.workers = workers
+        self.capacity = capacity
+        self.sample_shape = tuple(sample_shape)
+
+        state = model.state_dict()
+        self._weights = SharedArrayBundle.create(state)
+        self._batch = SharedArrayBundle.create({
+            "images": np.zeros((capacity,) + self.sample_shape, np.float32),
+            "labels": np.zeros(capacity, np.intp),
+        })
+        param_arrays = {name: param.data
+                        for name, param in model.named_parameters()}
+        self._grads = [SharedArrayBundle.create(param_arrays)
+                       for _ in range(workers)]
+        self.physical_processes = resolve_processes(workers, processes)
+        self.pool = WorkerPool(
+            self.physical_processes, TrainingService,
+            (dict(arch), self._weights.spec,
+             (self.sample_shape if len(self.sample_shape) != 3
+              else self.sample_shape),
+             self._batch.spec, tuple(g.spec for g in self._grads)))
+
+    # ------------------------------------------------------------------
+    def compatible(self, batch_shape: tuple[int, ...]) -> bool:
+        return (batch_shape[0] <= self.capacity
+                and tuple(batch_shape[1:]) == self.sample_shape)
+
+    def run_batch(self, images: np.ndarray,
+                  labels: np.ndarray) -> dict:
+        """One forward/backward over the pool; grads land in the model.
+
+        Returns ``{"ce": float, "correct": int, "count": int}`` where
+        ``ce`` is the shard-weighted mean cross entropy of the batch.
+        """
+        n = len(images)
+        self._weights.copy_from(self.model.state_dict())
+        np.copyto(self._batch.arrays["images"][:n], images)
+        self._batch.arrays["labels"][:n] = labels
+
+        n_shards = min(self.workers, n)
+        bounds = [n * i // n_shards for i in range(n_shards + 1)]
+        tasks = [(k, bounds[k], bounds[k + 1]) for k in range(n_shards)]
+        results = self.pool.run_tasks(tasks)
+
+        self._reduce_gradients(tasks, n)
+        self._reduce_batchnorm(tasks, results, n)
+
+        if n_shards == 1:
+            ce = results[0][0]
+        else:
+            ce = sum(((b - a) / n) * results[k][0]
+                     for k, (_, a, b) in zip(range(n_shards), tasks))
+        correct = sum(r[1] for r in results)
+        return {"ce": ce, "correct": correct, "count": n}
+
+    def _reduce_gradients(self, tasks, n: int) -> None:
+        """``p.grad = Σ_k (n_k/n) g_k`` in shard order (bit-deterministic)."""
+        single = len(tasks) == 1
+        scales = [np.float32((b - a) / n) for _, a, b in tasks]
+        for name, param in self.model.named_parameters():
+            if single:
+                param.grad = np.array(self._grads[0].arrays[name], copy=True)
+                continue
+            grad = scales[0] * self._grads[0].arrays[name]
+            for k in range(1, len(tasks)):
+                grad += scales[k] * self._grads[k].arrays[name]
+            param.grad = grad
+
+    def _reduce_batchnorm(self, tasks, results, n: int) -> None:
+        """Fold per-shard batch statistics into the parent running stats.
+
+        One shard: the worker's statistics are applied verbatim, exactly
+        replicating the in-forward update of ``BatchNorm2d`` (bitwise).
+        Several shards: means pool linearly and variances pool through
+        ``E[x²] − E[x]²`` — exact in real arithmetic for the full batch.
+        """
+        paths = results[0][2].keys() if results else ()
+        for path in paths:
+            shard_stats = [r[2][path] for r in results]
+            total = sum(s[2] for s in shard_stats)
+            if len(shard_stats) == 1:
+                mean_c, var_c, _ = shard_stats[0]
+            else:
+                weights = [s[2] / total for s in shard_stats]
+                mean64 = sum(w * s[0].astype(np.float64)
+                             for w, s in zip(weights, shard_stats))
+                sq64 = sum(w * (s[1].astype(np.float64)
+                                + s[0].astype(np.float64) ** 2)
+                           for w, s in zip(weights, shard_stats))
+                mean_c = mean64.astype(np.float32)
+                var_c = np.maximum(sq64 - mean64 ** 2, 0.0).astype(np.float32)
+            module = self.model.get_module(path)
+            m = module.momentum
+            unbiased = var_c * total / max(total - 1, 1)
+            object.__setattr__(module, "last_batch_stats",
+                               (mean_c, var_c, total))
+            object.__setattr__(module, "running_mean",
+                               (1 - m) * module.running_mean + m * mean_c)
+            object.__setattr__(module, "running_var",
+                               (1 - m) * module.running_var + m * unbiased)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self.pool.close()
+        self._weights.unlink()
+        self._batch.unlink()
+        for bundle in self._grads:
+            bundle.unlink()
+
+    def __enter__(self) -> "ShardedTrainingSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

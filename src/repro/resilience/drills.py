@@ -11,6 +11,9 @@ the matching recovery path actually recovers:
   be rewound, leaving finite weights and a recorded sentinel event;
 * ``loader.retry`` — a flaky dataset behind the bounded-retry wrapper must
   feed a full epoch;
+* ``worker.crash`` — a worker process killed mid-task must surface as a
+  clean :class:`~repro.parallel.ParallelExecutionError` in the parent,
+  and a fresh pool must work afterwards;
 * ``crash.resume`` (skipped with ``--quick``) — a framework run killed
   after its first committed iteration must resume to a bit-identical final
   state.
@@ -169,6 +172,28 @@ def _drill_loader_retry(seed: int) -> DrillResult:
     return result
 
 
+def _drill_worker_crash(seed: int) -> DrillResult:
+    result = DrillResult("worker.crash")
+    from ..parallel import (CRASH_TASK, EchoService, ParallelExecutionError,
+                            WorkerPool)
+    pool = WorkerPool(2, EchoService, ("drill",))
+    try:
+        try:
+            pool.run_tasks(["before", CRASH_TASK, "after"])
+        except ParallelExecutionError:
+            pass
+        else:
+            result.fail("killed worker did not raise ParallelExecutionError")
+    finally:
+        pool.close()
+    with WorkerPool(2, EchoService, ("drill",)) as fresh:
+        echoed = fresh.run_tasks(["x", "y"])
+        if echoed != [("drill", "x"), ("drill", "y")]:
+            result.fail(f"fresh pool after the crash returned {echoed!r}")
+    result.detail = "crash detected, fresh pool unaffected"
+    return result
+
+
 def _drill_crash_resume(seed: int) -> DrillResult:
     result = DrillResult("crash.resume")
 
@@ -229,7 +254,8 @@ def _drill_crash_resume(seed: int) -> DrillResult:
 def run_drills(seed: int = 0, quick: bool = False) -> list[DrillResult]:
     """Run the battery; ``quick`` skips the (slower) crash-resume drill."""
     drills = [_drill_surgery_rollback, _drill_checkpoint_tamper,
-              _drill_sentinel_recovery, _drill_loader_retry]
+              _drill_sentinel_recovery, _drill_loader_retry,
+              _drill_worker_crash]
     if not quick:
         drills.append(_drill_crash_resume)
     results = []

@@ -1,0 +1,83 @@
+"""Shared-memory ndarray bundles: round trips, refresh, lifecycle."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.parallel import SharedArrayBundle, ShmSpec
+
+
+def _sample_arrays():
+    rng = np.random.default_rng(0)
+    return {
+        "weights": rng.normal(size=(4, 3, 3, 3)).astype(np.float32),
+        "labels": np.arange(10, dtype=np.intp),
+        "scores": rng.normal(size=(8, 5)),  # float64
+    }
+
+
+def test_round_trip_through_spec():
+    arrays = _sample_arrays()
+    bundle = SharedArrayBundle.create(arrays)
+    try:
+        attached = SharedArrayBundle.attach(bundle.spec, untrack=False)
+        try:
+            assert set(attached.arrays) == set(arrays)
+            for key, value in arrays.items():
+                view = attached.arrays[key]
+                assert view.dtype == value.dtype
+                np.testing.assert_array_equal(view, value)
+        finally:
+            attached.close()
+    finally:
+        bundle.unlink()
+
+
+def test_spec_is_picklable():
+    bundle = SharedArrayBundle.create({"x": np.ones(3, np.float32)})
+    try:
+        spec = pickle.loads(pickle.dumps(bundle.spec))
+        assert isinstance(spec, ShmSpec)
+        assert spec == bundle.spec
+    finally:
+        bundle.unlink()
+
+
+def test_copy_from_refreshes_in_place():
+    arrays = _sample_arrays()
+    bundle = SharedArrayBundle.create(arrays)
+    try:
+        attached = SharedArrayBundle.attach(bundle.spec, untrack=False)
+        try:
+            updated = {k: v + 1 for k, v in arrays.items()}
+            bundle.copy_from(updated)
+            # The other mapping sees the new values without re-attaching.
+            for key in arrays:
+                np.testing.assert_array_equal(attached.arrays[key],
+                                              updated[key])
+        finally:
+            attached.close()
+    finally:
+        bundle.unlink()
+
+
+def test_writes_through_attached_view_visible_to_owner():
+    bundle = SharedArrayBundle.create({"x": np.zeros((2, 2), np.float32)})
+    try:
+        attached = SharedArrayBundle.attach(bundle.spec, untrack=False)
+        try:
+            attached.arrays["x"][0, 1] = 7.0
+            assert bundle.arrays["x"][0, 1] == 7.0
+        finally:
+            attached.close()
+    finally:
+        bundle.unlink()
+
+
+def test_unlink_destroys_segment():
+    bundle = SharedArrayBundle.create({"x": np.ones(2, np.float32)})
+    spec = bundle.spec
+    bundle.unlink()
+    with pytest.raises(FileNotFoundError):
+        SharedArrayBundle.attach(spec, untrack=False)

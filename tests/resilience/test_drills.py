@@ -8,7 +8,8 @@ class TestRunDrills:
         results = drills.run_drills(seed=0, quick=True)
         names = [r.name for r in results]
         assert names == ["surgery.rollback", "checkpoint.tamper",
-                         "sentinel.recovery", "loader.retry"]
+                         "sentinel.recovery", "loader.retry",
+                         "worker.crash"]
         for result in results:
             assert result.passed, f"{result.name}: {result.failures}"
             assert result.seconds >= 0.0
