@@ -90,6 +90,7 @@ def cmd_train(args) -> int:
 
 def _framework_config(args):
     from .core import FrameworkConfig, ImportanceConfig
+    from .parallel import SupervisionConfig
     return FrameworkConfig(
         score_threshold=(args.threshold if args.threshold is not None
                          else 0.3 * args.num_classes),
@@ -101,7 +102,12 @@ def _framework_config(args):
         importance=ImportanceConfig(
             images_per_class=args.images_per_class,
             tau=args.tau, tau_mode=args.tau_mode,
-            tau_quantile=args.tau_quantile))
+            tau_quantile=args.tau_quantile),
+        supervision=SupervisionConfig(
+            task_deadline_seconds=args.worker_deadline,
+            stale_after_seconds=args.worker_stale_after,
+            max_respawns=args.worker_respawns,
+            max_task_retries=args.worker_task_retries))
 
 
 def _build_framework(args, model):
@@ -183,6 +189,9 @@ def _resume_run(args):
     cfg_dict["importance"] = ImportanceConfig(**cfg_dict["importance"])
     cfg_dict["sentinel"] = (SentinelConfig(**cfg_dict["sentinel"])
                             if cfg_dict.get("sentinel") else None)
+    from .parallel import SupervisionConfig
+    cfg_dict["supervision"] = (SupervisionConfig(**cfg_dict["supervision"])
+                               if cfg_dict.get("supervision") else None)
     config = FrameworkConfig(**cfg_dict)
     tr_dict = dict(payload["training"])
     tr_dict["lr_milestones"] = tuple(tr_dict.get("lr_milestones", ()))
@@ -342,6 +351,20 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--tau-mode", default="quantile",
                        choices=["absolute", "quantile"])
         p.add_argument("--tau-quantile", type=float, default=0.9)
+        p.add_argument("--worker-deadline", type=float, default=120.0,
+                       help="wall-clock seconds one parallel task may run "
+                            "before its worker is treated as hung, killed "
+                            "and respawned (workers > 0 only)")
+        p.add_argument("--worker-stale-after", type=float, default=10.0,
+                       help="heartbeat silence after which a worker counts "
+                            "as frozen and is killed")
+        p.add_argument("--worker-respawns", type=int, default=3,
+                       help="pool-lifetime respawn budget; exhausting it "
+                            "degrades the run to serial execution "
+                            "(stop_reason=parallel-degraded)")
+        p.add_argument("--worker-task-retries", type=int, default=2,
+                       help="re-dispatch budget per task before the pool "
+                            "degrades to serial execution")
         p.add_argument("--quiet", action="store_true")
         _dataset_args(p)
         _training_args(p, epochs=5)

@@ -171,12 +171,21 @@ class ImportanceEvaluator:
     processes:
         Physical process cap for the pool (default: ``min(workers,
         usable CPUs)``; see :func:`repro.parallel.resolve_processes`).
+    supervision:
+        Optional :class:`~repro.parallel.SupervisionConfig` tuning the
+        self-healing layer of the pool (heartbeats, deadlines, respawn
+        budget, serial fallback); defaults apply when ``None``.
+    on_worker_event:
+        Optional callback receiving each
+        :class:`~repro.parallel.WorkerEvent` (crash/hang/respawn/degrade)
+        — the framework uses it to journal supervision decisions.
     """
 
     def __init__(self, model: Module, dataset: Dataset, num_classes: int,
                  config: ImportanceConfig | None = None,
                  loss_fn: Callable | None = None, workers: int = 0,
-                 processes: int | None = None):
+                 processes: int | None = None, supervision=None,
+                 on_worker_event=None):
         self.model = model
         self.dataset = dataset
         self.num_classes = num_classes
@@ -184,6 +193,8 @@ class ImportanceEvaluator:
         self.loss_fn = loss_fn
         self.workers = workers
         self.processes = processes
+        self.supervision = supervision
+        self.on_worker_event = on_worker_event
         self._session = None
 
     def close(self) -> None:
@@ -214,8 +225,15 @@ class ImportanceEvaluator:
         if session is None:
             session = self._session = ScoringSession(
                 self.model, self.dataset, self.num_classes, self.config,
-                list(group_paths), workers, processes=self.processes)
+                list(group_paths), workers, processes=self.processes,
+                supervision=self.supervision,
+                on_event=self.on_worker_event)
         return session.evaluate(self.dataset)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the scoring pool fell back to serial execution."""
+        return self._session is not None and self._session.degraded
 
     def evaluate(self, group_paths: list[str],
                  workers: int | None = None) -> ImportanceReport:

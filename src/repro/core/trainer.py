@@ -182,12 +182,17 @@ class Trainer:
                  config: TrainingConfig | None = None,
                  loss_fn: ModifiedLoss | None = None,
                  post_step: Callable[[], None] | None = None,
-                 sentinel: SentinelConfig | None = None):
+                 sentinel: SentinelConfig | None = None,
+                 supervision=None, on_worker_event=None):
         self.model = model
         self.train_dataset = train_dataset
         self.test_dataset = test_dataset
         self.config = config or TrainingConfig()
         self.sentinel = sentinel
+        # Supervision knobs of the sharded-training pool (workers > 0):
+        # see repro.parallel.SupervisionConfig / docs/supervision.md.
+        self.supervision = supervision
+        self.on_worker_event = on_worker_event
         use_fused = self.config.workers > 0 or self.config.fused_reg
         if use_fused and loss_fn is not None:
             raise ValueError(
@@ -334,8 +339,15 @@ class Trainer:
             self._session = ShardedTrainingSession(
                 self.model, self.config.workers,
                 capacity=max(self.config.batch_size, len(images)),
-                sample_shape=images.shape[1:])
+                sample_shape=images.shape[1:],
+                supervision=self.supervision,
+                on_event=self.on_worker_event)
         return self._session
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the sharded pool fell back to serial execution."""
+        return self._session is not None and self._session.degraded
 
     def _run_epoch_sharded(self, loader: DataLoader, epoch: int,
                            monitor: HealthMonitor | None):

@@ -57,7 +57,17 @@ class InferenceTicket:
 
 
 class BatchRunner:
-    """Daemon worker that micro-batches submissions into ``engine.run``."""
+    """Daemon worker that micro-batches submissions into ``engine.run``.
+
+    Engine exceptions are contained per batch (forwarded to the affected
+    tickets only). Should the worker thread itself die of an unexpected
+    error, every ticket it was holding is failed — no ticket ever hangs —
+    and the next :meth:`submit` transparently restarts a fresh worker
+    (counted in ``stats["restarts"]``), mirroring the respawn treatment
+    of the process pool supervisor. Callers bound their own wait with
+    ``ticket.result(timeout=...)``; a thread cannot be killed from
+    outside, so a wedged ``engine.run`` surfaces as those timeouts.
+    """
 
     def __init__(self, engine, max_batch: int | None = None,
                  max_wait: float = 0.002):
@@ -69,17 +79,31 @@ class BatchRunner:
         if self.max_batch < 1:
             raise ValueError("max_batch must be positive")
         self.max_wait = float(max_wait)
-        self.stats = {"samples": 0, "batches": 0, "largest_batch": 0}
+        self.stats = {"samples": 0, "batches": 0, "largest_batch": 0,
+                      "restarts": 0}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
-        self._worker = threading.Thread(target=self._loop, daemon=True,
-                                        name="repro-infer-batcher")
-        self._worker.start()
+        self._lock = threading.Lock()
+        self._worker = self._start_worker()
+
+    def _start_worker(self) -> threading.Thread:
+        worker = threading.Thread(target=self._loop, daemon=True,
+                                  name="repro-infer-batcher")
+        worker.start()
+        return worker
+
+    def _ensure_worker(self) -> None:
+        """Respawn the worker if it died; submissions must never hang."""
+        with self._lock:
+            if not self._worker.is_alive() and not self._closed:
+                self.stats["restarts"] += 1
+                self._worker = self._start_worker()
 
     def submit(self, sample) -> InferenceTicket:
         """Queue one sample (no batch axis); returns its ticket."""
         if self._closed:
             raise RuntimeError("BatchRunner is closed")
+        self._ensure_worker()
         sample = np.asarray(sample, dtype=np.float32)
         ticket = InferenceTicket()
         self._queue.put((sample, ticket))
@@ -107,25 +131,53 @@ class BatchRunner:
         return pending
 
     def _loop(self) -> None:
+        pending: list = []
+        try:
+            while True:
+                pending = self._collect()
+                if not pending:
+                    return
+                samples = [s for s, _ in pending]
+                tickets = [t for _, t in pending]
+                try:
+                    batch = np.stack(samples)
+                    outputs = self.engine.run(batch)
+                except BaseException as exc:  # noqa: BLE001 - to callers
+                    for ticket in tickets:
+                        ticket._fail(exc)
+                    continue
+                self.stats["samples"] += len(tickets)
+                self.stats["batches"] += 1
+                self.stats["largest_batch"] = max(self.stats["largest_batch"],
+                                                  len(tickets))
+                for ticket, row in zip(tickets, outputs):
+                    ticket._complete(np.array(row, copy=True))
+                pending = []
+        except BaseException as exc:  # noqa: BLE001 - worker is dying
+            # Something escaped the per-batch containment (a malformed
+            # queue item, an allocator failure in _collect). This worker
+            # is done for — but no ticket may be left hanging: fail the
+            # current batch and everything still queued, then exit so
+            # the next submit() can respawn a clean worker.
+            self._fail_stranded(pending, exc)
+
+    def _fail_stranded(self, pending: list, exc: BaseException) -> None:
+        def fail(item) -> None:
+            if (isinstance(item, tuple) and len(item) == 2
+                    and isinstance(item[1], InferenceTicket)):
+                item[1]._fail(exc)
+
+        for item in pending:
+            fail(item)
         while True:
-            pending = self._collect()
-            if not pending:
-                return
-            samples = [s for s, _ in pending]
-            tickets = [t for _, t in pending]
             try:
-                batch = np.stack(samples)
-                outputs = self.engine.run(batch)
-            except BaseException as exc:  # noqa: BLE001 - forwarded to callers
-                for ticket in tickets:
-                    ticket._fail(exc)
-                continue
-            self.stats["samples"] += len(tickets)
-            self.stats["batches"] += 1
-            self.stats["largest_batch"] = max(self.stats["largest_batch"],
-                                              len(tickets))
-            for ticket, row in zip(tickets, outputs):
-                ticket._complete(np.array(row, copy=True))
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _STOP:
+                self._queue.put(_STOP)   # preserve the shutdown signal
+                return
+            fail(item)
 
     def close(self, timeout: float | None = 5.0) -> None:
         """Stop accepting work and join the worker thread."""

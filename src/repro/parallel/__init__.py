@@ -10,23 +10,37 @@ Three pillars, all exposed through knobs on the existing APIs
   are evaluated in workers and their gradients all-reduced into the
   parent's SGD step;
 * :mod:`~repro.parallel.pool` / :mod:`~repro.parallel.shm` — the process
-  pool and shared-memory ndarray transport underneath both.
+  pool and shared-memory ndarray transport underneath both;
+* :mod:`~repro.parallel.supervisor` / :mod:`~repro.parallel.reaper` — the
+  self-healing layer: heartbeats, watchdog deadlines, worker respawn with
+  deterministic retry, graceful serial fallback, and the shared-memory
+  ledger that reclaims segments after crashes (including SIGKILL).
 
-See ``docs/performance.md`` for the architecture, the shared-memory
-layout and the determinism contract.
+See ``docs/performance.md`` for the architecture and the determinism
+contract, and ``docs/supervision.md`` for the fault model and tuning
+knobs of the supervision layer.
 """
 
-from .errors import ParallelExecutionError
+from .errors import ParallelExecutionError, TaskFailedError
 from .pool import CRASH_TASK, EchoService, WorkerPool, resolve_processes
 from .scoring import (FusedTaylorScorer, ScoringService, ScoringSession,
                       aggregate_scores_fast)
 from .shm import SharedArrayBundle, ShmSpec
+from .supervisor import (HANG_TASK, STALL_HEARTBEAT_TASK,
+                         SupervisedWorkerPool, SupervisionConfig,
+                         WorkerEvent)
 
 __all__ = [
     "ParallelExecutionError",
+    "TaskFailedError",
     "WorkerPool",
+    "SupervisedWorkerPool",
+    "SupervisionConfig",
+    "WorkerEvent",
     "EchoService",
     "CRASH_TASK",
+    "HANG_TASK",
+    "STALL_HEARTBEAT_TASK",
     "resolve_processes",
     "SharedArrayBundle",
     "ShmSpec",

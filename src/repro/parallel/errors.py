@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-__all__ = ["ParallelExecutionError"]
+__all__ = ["ParallelExecutionError", "TaskFailedError"]
 
 
 class ParallelExecutionError(RuntimeError):
@@ -14,4 +14,19 @@ class ParallelExecutionError(RuntimeError):
     (its exit code is included), or initialisation of the worker-side
     service failed. The pool is unusable after this error and must be
     recreated; the parent process and its model state are unaffected.
+
+    The supervised pool (:class:`repro.parallel.SupervisedWorkerPool`)
+    raises this only for unusable-pool states (closed pool, start-up
+    failure); worker deaths and hangs are self-healed instead.
+    """
+
+
+class TaskFailedError(ParallelExecutionError):
+    """A task *raised* inside a healthy worker (deterministic bug).
+
+    Distinguished from infrastructure faults because retrying or
+    degrading to serial execution would fail identically: the remote
+    traceback, carried in the message, is the actionable signal. The
+    supervised pool surfaces these immediately instead of burning its
+    respawn budget on them.
     """

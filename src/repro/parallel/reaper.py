@@ -1,0 +1,185 @@
+"""Run-scoped shared-memory ledger and orphan reaper.
+
+``multiprocessing.shared_memory`` segments are kernel objects: they
+outlive any process that forgets to ``unlink()`` them, and a SIGKILL —
+the exact fault the supervisor is built to survive — gives the owner no
+chance to clean up. This module guarantees that every segment created
+through :class:`~repro.parallel.shm.SharedArrayBundle` is reclaimed:
+
+* **ledger** — every created segment is recorded in a per-process ledger
+  file under ``<tmpdir>/repro-shm-ledger/<pid>.json`` *before* the caller
+  sees the bundle, and removed from it on ``unlink``;
+* **atexit sweep** — normal interpreter exit (including an uncaught
+  ``KeyboardInterrupt``) unlinks everything still in this process's
+  ledger;
+* **orphan sweep** — on the next startup (pool construction, or an
+  explicit :func:`sweep_orphans`), ledger files whose owning process is
+  dead are replayed: their segments are unlinked and the stale ledger
+  removed. A SIGKILLed run therefore leaks segments only until the next
+  run starts.
+
+The ledger lists segment *names*, not handles, so sweeping works from any
+process. Entries belonging to a still-running process are never touched.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import tempfile
+import threading
+from multiprocessing import shared_memory
+from pathlib import Path
+
+__all__ = ["ledger_dir", "register", "unregister", "sweep_orphans",
+           "live_segments", "reap_all"]
+
+_lock = threading.Lock()
+_segments: set[str] = set()
+_atexit_armed = False
+_owner_pid = os.getpid()
+
+
+def _check_fork() -> None:
+    """Reset inherited state after a fork (caller holds ``_lock``).
+
+    A forked child inherits the parent's ``_segments`` set; registering a
+    new segment there must not write the *parent's* live segments into
+    the child's ledger — a later orphan sweep would destroy them under
+    the still-running parent.
+    """
+    global _owner_pid
+    if os.getpid() != _owner_pid:
+        _segments.clear()
+        _owner_pid = os.getpid()
+
+
+def ledger_dir() -> Path:
+    """Directory holding one ledger file per segment-owning process."""
+    override = os.environ.get("REPRO_SHM_LEDGER_DIR")
+    base = Path(override) if override else (
+        Path(tempfile.gettempdir()) / "repro-shm-ledger")
+    return base
+
+
+def _ledger_path(pid: int | None = None) -> Path:
+    return ledger_dir() / f"{os.getpid() if pid is None else pid}.json"
+
+
+def _write_ledger() -> None:
+    """Persist this process's live-segment set (caller holds ``_lock``)."""
+    path = _ledger_path()
+    if not _segments:
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+        return
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(".tmp")
+    tmp.write_text(json.dumps(sorted(_segments)))
+    os.replace(tmp, path)
+
+
+def _unlink_segment(name: str) -> bool:
+    """Best-effort destroy of one segment by name; True when it existed."""
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    except Exception:  # pragma: no cover - platform oddities
+        return False
+    try:
+        segment.close()
+        segment.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another reaper
+        return False
+    return True
+
+
+def _atexit_sweep() -> None:  # pragma: no cover - runs at interpreter exit
+    reap_all()
+
+
+def register(name: str) -> None:
+    """Record a created segment in the run ledger (durable before use)."""
+    global _atexit_armed
+    with _lock:
+        _check_fork()
+        _segments.add(name)
+        _write_ledger()
+        if not _atexit_armed:
+            _atexit_armed = True
+            atexit.register(_atexit_sweep)
+
+
+def unregister(name: str) -> None:
+    """Drop a segment from the ledger after its orderly unlink."""
+    with _lock:
+        _check_fork()
+        _segments.discard(name)
+        _write_ledger()
+
+
+def live_segments() -> set[str]:
+    """Names this process still owns according to its ledger."""
+    with _lock:
+        _check_fork()
+        return set(_segments)
+
+
+def reap_all() -> int:
+    """Unlink every segment this process still has in its ledger.
+
+    Called by atexit; safe to call directly (e.g. from a signal handler
+    or a test). Returns how many segments were actually destroyed.
+    """
+    with _lock:
+        _check_fork()
+        doomed = sorted(_segments)
+        _segments.clear()
+        _write_ledger()
+    return sum(_unlink_segment(name) for name in doomed)
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, other user
+        return True
+    return True
+
+
+def sweep_orphans() -> list[str]:
+    """Reclaim segments whose owning process died without cleanup.
+
+    Scans the ledger directory; for every ledger whose pid is dead, the
+    listed segments are unlinked and the ledger file removed. Returns the
+    names of the segments that were actually destroyed.
+    """
+    base = ledger_dir()
+    if not base.is_dir():
+        return []
+    reaped: list[str] = []
+    for path in sorted(base.glob("*.json")):
+        try:
+            pid = int(path.stem)
+        except ValueError:
+            continue
+        if pid == os.getpid() or _pid_alive(pid):
+            continue
+        try:
+            names = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            names = []
+        for name in names:
+            if isinstance(name, str) and _unlink_segment(name):
+                reaped.append(name)
+        try:
+            path.unlink()
+        except FileNotFoundError:  # pragma: no cover - raced another sweep
+            pass
+    return reaped

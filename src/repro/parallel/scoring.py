@@ -184,6 +184,12 @@ class ScoringService:
             self.root_path = self._probe_root()
         self._fuse = max(1, _FUSE_IMAGE_CAP // self.config.images_per_class)
 
+    def close(self) -> None:
+        """Drop this process's shared-memory mappings (parent-side use)."""
+        self._bundle.close()
+        if self._out is not None:
+            self._out.close()
+
     # ------------------------------------------------------------------
     def _probe_root(self) -> str | None:
         """Check whether rooting at the first monitored layer reaches all.
@@ -330,9 +336,11 @@ class ScoringSession:
 
     def __init__(self, model, dataset, num_classes: int, config,
                  group_paths: list[str], workers: int,
-                 processes: int | None = None):
-        from .pool import WorkerPool, resolve_processes
+                 processes: int | None = None, supervision=None,
+                 on_event=None):
+        from .pool import resolve_processes
         from .shm import SharedArrayBundle
+        from .supervisor import SupervisedWorkerPool
 
         arch = getattr(model, "arch", None)
         if not isinstance(arch, dict) or "name" not in arch:
@@ -351,15 +359,27 @@ class ScoringSession:
         state = model.state_dict()
         self._signature = tuple((k, state[k].shape) for k in sorted(state))
         self._weights = SharedArrayBundle.create(state)
-        self._scores = SharedArrayBundle.create(
-            {p: np.zeros((_group_width(model, p), num_classes), np.float64)
-             for p in self.group_paths})
-        input_shape = tuple(np.asarray(dataset[0][0]).shape)
-        self.physical_processes = resolve_processes(workers, processes)
-        self.pool = WorkerPool(
-            self.physical_processes, ScoringService,
-            (dict(arch), self._weights.spec, input_shape, self.group_paths,
-             dataclasses.asdict(config), self._scores.spec))
+        self._scores = None
+        self.pool = None
+        try:
+            self._scores = SharedArrayBundle.create(
+                {p: np.zeros((_group_width(model, p), num_classes),
+                             np.float64)
+                 for p in self.group_paths})
+            input_shape = tuple(np.asarray(dataset[0][0]).shape)
+            self.physical_processes = resolve_processes(workers, processes)
+            self.pool = SupervisedWorkerPool(
+                self.physical_processes, ScoringService,
+                (dict(arch), self._weights.spec, input_shape,
+                 self.group_paths, dataclasses.asdict(config),
+                 self._scores.spec),
+                supervision=supervision, on_event=on_event)
+        except BaseException:
+            # A failed start-up (e.g. a worker raising during attach)
+            # must not leak the segments created above: nothing else
+            # holds a reference that could ever unlink them.
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     def compatible(self, model, group_paths: list[str], workers: int) -> bool:
@@ -432,10 +452,17 @@ class ScoringSession:
         return report
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool fell back to serial execution (see supervisor)."""
+        return self.pool is not None and self.pool.degraded
+
     def close(self) -> None:
-        self.pool.close()
+        if self.pool is not None:
+            self.pool.close()
         self._weights.unlink()
-        self._scores.unlink()
+        if self._scores is not None:
+            self._scores.unlink()
 
     def __enter__(self) -> "ScoringSession":
         return self

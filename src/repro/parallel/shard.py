@@ -69,6 +69,13 @@ class TrainingService:
                             for path, module in model.named_modules()
                             if isinstance(module, BatchNorm2d)]
 
+    def close(self) -> None:
+        """Drop this process's shared-memory mappings (parent-side use)."""
+        self._weights.close()
+        self._batch.close()
+        for bundle in self._grads:
+            bundle.close()
+
     def handle(self, task):
         from ..nn import cross_entropy
         from ..tensor import Tensor
@@ -112,9 +119,11 @@ class ShardedTrainingSession:
 
     def __init__(self, model, workers: int, capacity: int,
                  sample_shape: tuple[int, ...],
-                 processes: int | None = None):
-        from .pool import WorkerPool, resolve_processes
+                 processes: int | None = None, supervision=None,
+                 on_event=None):
+        from .pool import resolve_processes
         from .shm import SharedArrayBundle
+        from .supervisor import SupervisedWorkerPool
 
         arch = getattr(model, "arch", None)
         if not isinstance(arch, dict) or "name" not in arch:
@@ -129,23 +138,35 @@ class ShardedTrainingSession:
         self.capacity = capacity
         self.sample_shape = tuple(sample_shape)
 
-        state = model.state_dict()
-        self._weights = SharedArrayBundle.create(state)
-        self._batch = SharedArrayBundle.create({
-            "images": np.zeros((capacity,) + self.sample_shape, np.float32),
-            "labels": np.zeros(capacity, np.intp),
-        })
-        param_arrays = {name: param.data
-                        for name, param in model.named_parameters()}
-        self._grads = [SharedArrayBundle.create(param_arrays)
-                       for _ in range(workers)]
-        self.physical_processes = resolve_processes(workers, processes)
-        self.pool = WorkerPool(
-            self.physical_processes, TrainingService,
-            (dict(arch), self._weights.spec,
-             (self.sample_shape if len(self.sample_shape) != 3
-              else self.sample_shape),
-             self._batch.spec, tuple(g.spec for g in self._grads)))
+        self._weights = None
+        self._batch = None
+        self._grads = []
+        self.pool = None
+        try:
+            state = model.state_dict()
+            self._weights = SharedArrayBundle.create(state)
+            self._batch = SharedArrayBundle.create({
+                "images": np.zeros((capacity,) + self.sample_shape,
+                                   np.float32),
+                "labels": np.zeros(capacity, np.intp),
+            })
+            param_arrays = {name: param.data
+                            for name, param in model.named_parameters()}
+            self._grads = [SharedArrayBundle.create(param_arrays)
+                           for _ in range(workers)]
+            self.physical_processes = resolve_processes(workers, processes)
+            self.pool = SupervisedWorkerPool(
+                self.physical_processes, TrainingService,
+                (dict(arch), self._weights.spec,
+                 (self.sample_shape if len(self.sample_shape) != 3
+                  else self.sample_shape),
+                 self._batch.spec, tuple(g.spec for g in self._grads)),
+                supervision=supervision, on_event=on_event)
+        except BaseException:
+            # Don't leak the segments when pool start-up fails (e.g. a
+            # worker raises during attach): no other owner exists.
+            self.close()
+            raise
 
     # ------------------------------------------------------------------
     def compatible(self, batch_shape: tuple[int, ...]) -> bool:
@@ -227,10 +248,18 @@ class ShardedTrainingSession:
                                (1 - m) * module.running_var + m * unbiased)
 
     # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the pool fell back to serial execution (see supervisor)."""
+        return self.pool is not None and self.pool.degraded
+
     def close(self) -> None:
-        self.pool.close()
-        self._weights.unlink()
-        self._batch.unlink()
+        if self.pool is not None:
+            self.pool.close()
+        if self._weights is not None:
+            self._weights.unlink()
+        if self._batch is not None:
+            self._batch.unlink()
         for bundle in self._grads:
             bundle.unlink()
 

@@ -18,6 +18,10 @@ Lifetime: the creating process owns the segment and must call
 their mapping. On attach the segment is deregistered from the child's
 ``resource_tracker`` — otherwise the first worker to exit would tear the
 segment down under everyone else (Python 3.11 has no ``track=False``).
+Every created segment is additionally recorded in the
+:mod:`repro.parallel.reaper` ledger, so a crash (even SIGKILL) between
+``create`` and ``unlink`` leaves a reclaimable record instead of a
+permanent kernel-object leak.
 """
 
 from __future__ import annotations
@@ -26,6 +30,8 @@ from dataclasses import dataclass
 from multiprocessing import shared_memory
 
 import numpy as np
+
+from . import reaper
 
 __all__ = ["ShmSpec", "SharedArrayBundle"]
 
@@ -88,10 +94,21 @@ class SharedArrayBundle:
             offset += value.nbytes
         total = max(offset, 1)
         shm = shared_memory.SharedMemory(create=True, size=total)
+        reaper.register(shm.name)
         spec = ShmSpec(name=shm.name, entries=tuple(entries),
                        total_bytes=total)
-        bundle = cls(shm, spec, owner=True)
-        bundle.copy_from(arrays)
+        try:
+            bundle = cls(shm, spec, owner=True)
+            bundle.copy_from(arrays)
+        except BaseException:
+            # A failure between allocation and handing the bundle to the
+            # caller must not leak the segment: nobody else can unlink it.
+            try:
+                shm.close()
+                shm.unlink()
+            finally:
+                reaper.unregister(shm.name)
+            raise
         return bundle
 
     @classmethod
@@ -105,7 +122,19 @@ class SharedArrayBundle:
         shm = shared_memory.SharedMemory(name=spec.name)
         if untrack if untrack is not None else _UNTRACK_ON_ATTACH:
             _untrack(shm)
-        return cls(shm, spec, owner=False)
+        try:
+            return cls(shm, spec, owner=False)
+        except BaseException:
+            # A malformed spec (stale entry offsets after a crashed
+            # producer, say) raises while building the views; without
+            # this close the mapping leaks — and in a spawn worker the
+            # still-registered segment would be torn down under the
+            # owner when the worker's resource tracker exits.
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - partial view alive
+                pass
+            raise
 
     # ------------------------------------------------------------------
     def copy_from(self, arrays: dict[str, np.ndarray]) -> None:
@@ -129,3 +158,4 @@ class SharedArrayBundle:
                 self._shm.unlink()
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
+            reaper.unregister(self.spec.name)

@@ -14,8 +14,9 @@ the failures that show up at that time scale:
 * :mod:`repro.resilience.sentinels` — per-step numerical-health checks
   (NaN/Inf loss, NaN gradients, loss explosion) with rewind + learning-rate
   backoff inside the :class:`~repro.core.Trainer`;
-* :mod:`repro.resilience.retry` — bounded-retry dataset wrapper for flaky
-  storage;
+* :mod:`repro.resilience.retry` — deterministic backoff policies
+  (:class:`RetryPolicy`, used by the worker-pool supervisor to pace
+  respawns) and the bounded-retry dataset wrapper for flaky storage;
 * :mod:`repro.resilience.chaos` — deterministic fault injection used by the
   tests and the ``python -m repro.verify`` resilience drills to prove every
   recovery path actually recovers.
@@ -26,10 +27,11 @@ lazily by the runner to keep this package free of ``repro.core`` imports.
 
 from .chaos import (ChaosError, FlakyDataset, SimulatedCrash,
                     corrupt_checkpoint, plant_numerical_fault,
-                    sabotage_method)
+                    sabotage_method, scribble_shm, worker_fault)
 from .journal import (JournalCorruptError, RunDirectory, RunJournal,
                       decode_payload, encode_payload)
-from .retry import DataUnavailableError, RetryingDataset
+from .retry import (DataUnavailableError, RetryBudgetExhausted, RetryPolicy,
+                    RetryingDataset)
 from .sentinels import (HealthMonitor, NumericalHealthError, SentinelConfig,
                         SentinelEvent)
 from .transaction import ModelSnapshot, transactional
@@ -41,6 +43,8 @@ __all__ = [
     "SentinelConfig", "SentinelEvent", "HealthMonitor",
     "NumericalHealthError",
     "RetryingDataset", "DataUnavailableError",
+    "RetryPolicy", "RetryBudgetExhausted",
     "ChaosError", "SimulatedCrash", "FlakyDataset",
     "plant_numerical_fault", "sabotage_method", "corrupt_checkpoint",
+    "worker_fault", "scribble_shm",
 ]

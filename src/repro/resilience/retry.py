@@ -1,28 +1,143 @@
-"""Bounded-retry wrapper for flaky datasets.
+"""Bounded retries: backoff policies and the flaky-dataset wrapper.
 
-Real training feeds from storage that fails transiently — a network
-filesystem hiccup, an evicted cache shard, a racing writer. A single
-failed ``__getitem__`` should not kill an hours-long prune/fine-tune run,
-but an *unbounded* retry loop would hang it forever on a persistent
-failure; this wrapper retries a bounded number of times and then raises a
-:class:`DataUnavailableError` that names the item and the attempt count.
+Real systems fail transiently — a network filesystem hiccup, an evicted
+cache shard, a worker process killed by the OOM killer. A single fault
+should not kill an hours-long prune/fine-tune run, but an *unbounded*
+retry loop would hang it forever on a persistent failure. Two tools
+bound that trade-off:
 
-The framework enables it via ``FrameworkConfig.loader_retries``.
+* :class:`RetryPolicy` — a deterministic exponential-backoff schedule
+  (bounded attempts, multiplicative growth, seeded jitter) used by the
+  :mod:`repro.parallel.supervisor` to pace worker respawns and by
+  :meth:`RetryPolicy.call` to wrap arbitrary flaky callables;
+* :class:`RetryingDataset` — a dataset view that retries transient
+  ``__getitem__`` failures and then raises
+  :class:`DataUnavailableError` naming the item and the attempt count
+  (enabled by ``FrameworkConfig.loader_retries``).
+
+Jitter is *deterministic*: attempt ``k`` of a policy seeded ``s`` always
+draws the same jitter fraction, so retried runs stay reproducible and the
+supervisor's recovery timeline can be replayed from its journal.
 """
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
 
 from ..data import Dataset
 
-__all__ = ["DataUnavailableError", "RetryingDataset"]
+__all__ = ["DataUnavailableError", "RetryBudgetExhausted", "RetryPolicy",
+           "RetryingDataset"]
 
 
 class DataUnavailableError(RuntimeError):
     """An item stayed unreadable after exhausting the retry budget."""
+
+
+class RetryBudgetExhausted(RuntimeError):
+    """A retried operation kept failing after its final attempt.
+
+    ``__cause__`` carries the last underlying exception; ``attempts``
+    records how many times the operation ran.
+    """
+
+    def __init__(self, message: str, attempts: int):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic bounded exponential backoff.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries, including the first one (``max_attempts=3`` means
+        one initial attempt plus up to two retries). Must be >= 1.
+    base_delay:
+        Seconds to wait before the first retry.
+    factor:
+        Multiplicative growth of the delay per retry.
+    max_delay:
+        Hard cap on any single delay.
+    jitter:
+        Fraction of the (capped) delay added as seeded noise in
+        ``[0, jitter]`` — staggers simultaneous respawns without
+        sacrificing reproducibility.
+    seed:
+        Jitter seed. A fixed ``(seed, attempt)`` pair always produces the
+        same delay, so the whole schedule is a pure function of the
+        policy.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    factor: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1 (delays must not shrink)")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    # ------------------------------------------------------------------
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (0-based).
+
+        Deterministic: the jitter for attempt ``k`` is drawn from an rng
+        seeded with ``(seed, k)``, never from global state.
+        """
+        if attempt < 0:
+            raise ValueError("attempt must be >= 0")
+        raw = min(self.base_delay * self.factor ** attempt, self.max_delay)
+        if self.jitter == 0 or raw == 0:
+            return raw
+        fraction = float(np.random.default_rng((self.seed, attempt)).random())
+        return raw * (1.0 + self.jitter * fraction)
+
+    def delays(self) -> list[float]:
+        """The full backoff schedule (one entry per possible retry)."""
+        return [self.delay(k) for k in range(self.max_attempts - 1)]
+
+    # ------------------------------------------------------------------
+    def call(self, fn: Callable, *args,
+             retry_on: tuple[type[BaseException], ...] = (Exception,),
+             on_retry: Callable[[int, BaseException], None] | None = None,
+             sleep: Callable[[float], None] = time.sleep, **kwargs):
+        """Run ``fn(*args, **kwargs)`` under this policy.
+
+        Only exceptions matching ``retry_on`` are retried; anything else
+        propagates immediately (a programming error must not be masked by
+        backoff). ``on_retry(attempt, exc)`` fires before each sleep.
+        After the final attempt fails, :class:`RetryBudgetExhausted` is
+        raised from the last exception.
+        """
+        last: BaseException | None = None
+        for attempt in range(self.max_attempts):
+            try:
+                return fn(*args, **kwargs)
+            except retry_on as exc:
+                last = exc
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if attempt + 1 < self.max_attempts:
+                    sleep(self.delay(attempt))
+        raise RetryBudgetExhausted(
+            f"{getattr(fn, '__name__', fn)!r} still failing after "
+            f"{self.max_attempts} attempts: {last}",
+            attempts=self.max_attempts) from last
 
 
 class RetryingDataset(Dataset):

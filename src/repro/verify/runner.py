@@ -54,6 +54,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run only the fuzzer and invariants")
     parser.add_argument("--skip-resilience", action="store_true",
                         help="skip the fault-injection recovery drills")
+    parser.add_argument("--drills", type=str, default=None,
+                        help="substring filter on resilience drill names "
+                             "(e.g. 'worker' runs the worker-fault "
+                             "battery, 'shm' the reaper drill)")
     parser.add_argument("--write-golden", action="store_true",
                         help="regenerate the golden fixtures and exit")
     parser.add_argument("--list", action="store_true", dest="list_specs",
@@ -147,7 +151,8 @@ def main(argv=None) -> int:
         # package itself must not import.
         from ..resilience import drills
         ok &= _report("resilience drills",
-                      drills.run_drills(seed=args.seed, quick=args.quick))
+                      drills.run_drills(seed=args.seed, quick=args.quick,
+                                        only=args.drills))
 
     elapsed = time.perf_counter() - start
     print(f"\n{'PASS' if ok else 'FAIL'} in {elapsed:.1f}s")

@@ -87,3 +87,26 @@ class TestBatchRunner:
             ticket = runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
             ticket.result(timeout=10.0)
             assert ticket.done()
+
+    def test_dead_worker_thread_is_respawned_on_submit(self):
+        engine = _engine()
+        sample = np.zeros((3, 8, 8), dtype=np.float32)
+        with BatchRunner(engine, max_wait=0.0) as runner:
+            first = runner.submit(sample).result(timeout=10.0)
+            # Kill the worker thread out from under the runner.
+            runner._queue.put(runner._worker)  # not a (sample, ticket) pair
+            runner._worker.join(timeout=10.0)
+            assert not runner._worker.is_alive()
+            # The next submission must transparently restart it.
+            again = runner.submit(sample).result(timeout=10.0)
+            np.testing.assert_array_equal(first, again)
+            assert runner.stats["restarts"] == 1
+
+    def test_restart_not_attempted_after_close(self):
+        engine = _engine()
+        runner = BatchRunner(engine, max_wait=0.0)
+        runner.close()
+        assert not runner._worker.is_alive()
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
+        assert runner.stats["restarts"] == 0

@@ -1,0 +1,137 @@
+"""Shared-memory reaper: ledger durability, orphan sweep, fork safety."""
+
+import json
+import multiprocessing as mp
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import pytest
+
+from repro.parallel import reaper
+
+
+@pytest.fixture
+def ledger(tmp_path, monkeypatch):
+    """Isolate the ledger directory and this process's segment set."""
+    monkeypatch.setenv("REPRO_SHM_LEDGER_DIR", str(tmp_path))
+    saved = set(reaper._segments)
+    reaper._segments.clear()
+    yield tmp_path
+    reaper._segments.clear()
+    reaper._segments.update(saved)
+
+
+def _make_segment(size=64) -> str:
+    segment = shared_memory.SharedMemory(create=True, size=size)
+    # Keep the test process's resource tracker out of the picture: the
+    # reaper (the thing under test) owns cleanup here.
+    resource_tracker.unregister(segment._name, "shared_memory")
+    segment.close()
+    return segment.name
+
+
+def _destroy(name: str) -> None:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return
+    segment.close()
+    segment.unlink()
+
+
+class TestLedger:
+    def test_register_writes_ledger_before_use(self, ledger):
+        reaper.register("seg-a")
+        path = ledger / f"{os.getpid()}.json"
+        assert json.loads(path.read_text()) == ["seg-a"]
+        assert reaper.live_segments() == {"seg-a"}
+        reaper.unregister("seg-a")
+
+    def test_unregister_deletes_empty_ledger(self, ledger):
+        reaper.register("seg-a")
+        reaper.register("seg-b")
+        reaper.unregister("seg-a")
+        path = ledger / f"{os.getpid()}.json"
+        assert json.loads(path.read_text()) == ["seg-b"]
+        reaper.unregister("seg-b")
+        assert not path.exists()
+        assert reaper.live_segments() == set()
+
+    def test_reap_all_unlinks_and_clears(self, ledger):
+        name = _make_segment()
+        try:
+            reaper.register(name)
+            assert reaper.reap_all() == 1
+            assert reaper.live_segments() == set()
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            _destroy(name)
+
+
+class TestOrphanSweep:
+    def _dead_pid(self) -> int:
+        proc = mp.get_context("fork").Process(target=lambda: None)
+        proc.start()
+        proc.join()
+        return proc.pid
+
+    def test_dead_pids_ledger_is_replayed(self, ledger):
+        name = _make_segment()
+        try:
+            dead = self._dead_pid()
+            (ledger / f"{dead}.json").write_text(json.dumps([name]))
+            reaped = reaper.sweep_orphans()
+            assert name in reaped
+            assert not (ledger / f"{dead}.json").exists()
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        finally:
+            _destroy(name)
+
+    def test_live_pids_are_never_touched(self, ledger):
+        name = _make_segment()
+        try:
+            reaper.register(name)           # our own (live) ledger
+            assert reaper.sweep_orphans() == []
+            segment = shared_memory.SharedMemory(name=name)  # still there
+            segment.close()
+            reaper.unregister(name)
+        finally:
+            _destroy(name)
+
+    def test_garbage_ledger_files_are_skipped(self, ledger):
+        (ledger / "not-a-pid.json").write_text("[]")
+        dead = self._dead_pid()
+        (ledger / f"{dead}.json").write_text("{corrupt")
+        assert reaper.sweep_orphans() == []
+        assert (ledger / "not-a-pid.json").exists()
+        assert not (ledger / f"{dead}.json").exists()
+
+
+class TestForkSafety:
+    def test_child_does_not_inherit_parents_segments(self, ledger):
+        reaper.register("parent-seg")
+        queue = mp.get_context("fork").Queue()
+
+        def child(queue):
+            # The inherited set must be reset: registering here must not
+            # write the parent's live segment into the child's ledger.
+            reaper.register("child-seg")
+            queue.put(sorted(reaper.live_segments()))
+            queue.close()
+            queue.join_thread()
+            # _exit: a normal exit would run the inherited atexit sweep
+            # and erase the child ledger this test wants to inspect.
+            os._exit(0)
+
+        proc = mp.get_context("fork").Process(target=child, args=(queue,))
+        proc.start()
+        seen = queue.get(timeout=10)
+        proc.join(timeout=10)
+        assert seen == ["child-seg"]
+        child_ledger = ledger / f"{proc.pid}.json"
+        assert json.loads(child_ledger.read_text()) == ["child-seg"]
+        assert reaper.live_segments() == {"parent-seg"}
+        reaper.unregister("parent-seg")
+        child_ledger.unlink()

@@ -81,3 +81,50 @@ def test_unlink_destroys_segment():
     bundle.unlink()
     with pytest.raises(FileNotFoundError):
         SharedArrayBundle.attach(spec, untrack=False)
+
+
+def test_create_registers_with_reaper_until_unlink():
+    from repro.parallel import reaper
+    bundle = SharedArrayBundle.create({"x": np.ones(2, np.float32)})
+    try:
+        assert bundle.spec.name in reaper.live_segments()
+    finally:
+        bundle.unlink()
+    assert bundle.spec.name not in reaper.live_segments()
+
+
+def test_failed_create_leaks_nothing():
+    # copy_from fails after the segment is allocated; the segment must be
+    # unlinked and deregistered before the error reaches the caller.
+    from repro.parallel import reaper
+
+    class ExplodingMapping(dict):
+        def __getitem__(self, key):
+            raise RuntimeError("storage fault while copying")
+
+    arrays = ExplodingMapping(x=np.ones(4, np.float32))
+    before = reaper.live_segments()
+    with pytest.raises(RuntimeError, match="storage fault"):
+        SharedArrayBundle.create(arrays)
+    assert reaper.live_segments() == before
+
+
+def test_failed_attach_closes_mapping_and_segment_stays_destroyable():
+    # Regression: a malformed spec used to leak the worker-side mapping
+    # when view construction raised between attach and return.
+    from repro.parallel.shm import ShmSpec
+    bundle = SharedArrayBundle.create({"x": np.ones(4, np.float32)})
+    try:
+        bad = ShmSpec(name=bundle.spec.name,
+                      entries=(("x", "<f4", (1024, 1024),
+                                bundle.spec.total_bytes * 2),),
+                      total_bytes=bundle.spec.total_bytes)
+        with pytest.raises(TypeError):
+            SharedArrayBundle.attach(bad, untrack=False)
+        # The good spec still works: the failed attach held no mapping.
+        attached = SharedArrayBundle.attach(bundle.spec, untrack=False)
+        np.testing.assert_array_equal(attached.arrays["x"],
+                                      np.ones(4, np.float32))
+        attached.close()
+    finally:
+        bundle.unlink()

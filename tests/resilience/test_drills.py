@@ -9,7 +9,8 @@ class TestRunDrills:
         names = [r.name for r in results]
         assert names == ["surgery.rollback", "checkpoint.tamper",
                          "sentinel.recovery", "loader.retry",
-                         "worker.crash"]
+                         "worker.crash", "worker.respawn", "worker.hang",
+                         "worker.degrade", "shm.reaper"]
         for result in results:
             assert result.passed, f"{result.name}: {result.failures}"
             assert result.seconds >= 0.0
