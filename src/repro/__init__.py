@@ -28,6 +28,7 @@ Subpackages
 ``repro.flops``      parameter & FLOP accounting
 ``repro.core``       the class-aware pruning method (the paper)
 ``repro.infer``      compiled inference engine (capture / fold / fuse)
+``repro.serve``      async inference service (batching / shedding / hot-swap)
 ``repro.baselines``  L1 / SSS / HRank / TPP / OrthConv / DepGraph / ...
 ``repro.analysis``   histograms, comparisons, experiment records
 """

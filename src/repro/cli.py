@@ -10,6 +10,7 @@ task::
     python -m repro profile    --checkpoint pruned.npz
     python -m repro compare    --checkpoint base.npz --methods l1,sss,random
     python -m repro specialize --checkpoint base.npz --classes 0,1 --out s.npz
+    python -m repro serve      --model vgg16=pruned.npz --port 7071
     python -m repro verify     --quick
 
 Every subcommand prints a short report; ``train``/``prune``/``specialize``
@@ -312,6 +313,50 @@ def cmd_train_bench(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from .serve import (InferenceServer, ModelRegistry, ServeConfig,
+                        SheddingConfig)
+
+    deployments = []
+    for item in args.model:
+        ref, sep, checkpoint = item.partition("=")
+        name, at, version = ref.partition("@")
+        if not sep or not name or not checkpoint:
+            print(f"--model expects name[@version]=checkpoint.npz, "
+                  f"got {item!r}")
+            return 1
+        deployments.append((name, version if at else "v1", checkpoint))
+    budget = args.p99_budget_ms if args.p99_budget_ms > 0 else None
+    registry = ModelRegistry(
+        max_batch=args.max_batch,
+        shedding=SheddingConfig(max_pending=args.max_pending,
+                                p99_budget_ms=budget))
+    with registry:
+        for name, version, checkpoint in deployments:
+            report = registry.deploy(name, version, checkpoint=checkpoint)
+            print(f"deployed {name}@{version} from {checkpoint} "
+                  f"(probe max|diff| {report.probe_max_abs_diff:.2e})")
+        server = InferenceServer(
+            registry, ServeConfig(host=args.host, port=args.port,
+                                  request_timeout_s=args.request_timeout))
+        server.run_forever()
+    return 0
+
+
+def cmd_serve_bench(args) -> int:
+    from .serve.bench import format_table, run_bench, write_bench
+    connections = tuple(int(c) for c in args.connections.split(","))
+    results = run_bench(smoke=args.smoke, seed=args.seed,
+                        connections=connections,
+                        requests_per_connection=args.requests,
+                        max_batch=args.max_batch)
+    print(format_table(results))
+    if args.out:
+        write_bench(results, args.out)
+        print(f"results written to {args.out}")
+    return 0
+
+
 def cmd_verify(args) -> int:
     from .verify.runner import main as verify_main
     forwarded = args.verify_args
@@ -445,6 +490,45 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write results JSON to this path "
                                "(e.g. BENCH_train.json)")
     p_tbench.set_defaults(func=cmd_train_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve checkpoints over the NDJSON socket protocol")
+    p_serve.add_argument("--model", action="append", required=True,
+                         metavar="NAME[@VERSION]=CHECKPOINT",
+                         help="deploy a checkpoint under a serving name; "
+                              "repeatable for multi-model serving")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7071,
+                         help="listen port (0 picks an ephemeral one)")
+    p_serve.add_argument("--max-batch", type=int, default=32)
+    p_serve.add_argument("--max-pending", type=int, default=64,
+                         help="admitted-but-unfinished requests per model "
+                              "before shedding with reason queue-full")
+    p_serve.add_argument("--p99-budget-ms", type=float, default=200.0,
+                         help="shed (reason slo) once recent p99 exceeds "
+                              "this; <= 0 disables the SLO gate")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="seconds before an in-flight request is "
+                              "cancelled and answered with a timeout")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_sbench = sub.add_parser(
+        "serve-bench",
+        help="closed-loop serving benchmark: latency/throughput vs load")
+    p_sbench.add_argument("--connections", default="1,4,16",
+                          help="comma-separated offered-load sweep "
+                               "(concurrent connections)")
+    p_sbench.add_argument("--requests", type=int, default=40,
+                          help="requests per connection at each sweep point")
+    p_sbench.add_argument("--max-batch", type=int, default=16)
+    p_sbench.add_argument("--seed", type=int, default=0)
+    p_sbench.add_argument("--smoke", action="store_true",
+                          help="tiny model / short sweep (CI); asserts the "
+                               "zero-drop serving contract")
+    p_sbench.add_argument("--out", default=None,
+                          help="write results JSON to this path "
+                               "(e.g. BENCH_serve.json)")
+    p_sbench.set_defaults(func=cmd_serve_bench)
 
     p_verify = sub.add_parser(
         "verify", help="gradient fuzzing + pruning invariant checks")

@@ -1,0 +1,104 @@
+"""Injectable time source for everything that batches, waits, or sheds.
+
+Timing-sensitive components (:class:`repro.infer.BatchRunner`, the
+adaptive batching window and admission controller in :mod:`repro.serve`)
+never call :mod:`time` directly — they go through a :class:`Clock`. In
+production that is :data:`SYSTEM_CLOCK` (a thin wrapper over
+``time.monotonic`` / ``time.sleep`` / ``queue.get``); in tests it is a
+:class:`FakeClock` whose time only moves when the test moves it, so
+batching-window, deadline, and shedding behaviour are asserted *exactly*
+instead of raced against the wall clock.
+
+The protocol is three methods:
+
+``monotonic()``
+    Seconds on a monotonic axis (epoch is arbitrary).
+``sleep(seconds)``
+    Block for that long. The fake clock just advances itself.
+``get(queue, timeout)``
+    Pop one item from a queue, waiting at most ``timeout`` seconds, or
+    raise :class:`queue.Empty`. This is the one *blocking* primitive the
+    batching loop needs; routing it through the clock is what lets a fake
+    clock expire a batching window deterministically — if the queue is
+    empty the fake simply advances virtual time by ``timeout`` and raises.
+"""
+
+from __future__ import annotations
+
+import queue as _queue
+import threading
+import time as _time
+
+__all__ = ["Clock", "SystemClock", "FakeClock", "SYSTEM_CLOCK"]
+
+
+class Clock:
+    """Protocol (and doc anchor) for injectable time sources."""
+
+    def monotonic(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+    def get(self, q, timeout: float):
+        """Pop from ``q`` within ``timeout`` seconds or raise ``queue.Empty``."""
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """The real thing: ``time.monotonic``, ``time.sleep``, blocking gets."""
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            _time.sleep(seconds)
+
+    def get(self, q, timeout: float):
+        if timeout <= 0:
+            return q.get_nowait()
+        return q.get(timeout=timeout)
+
+
+class FakeClock(Clock):
+    """Manual time for tests: it is whatever o'clock you say it is.
+
+    ``advance``/``sleep`` move virtual time; ``get`` first tries a
+    non-blocking pop and, when the queue is empty, *charges the full
+    timeout* to virtual time before raising :class:`queue.Empty` — exactly
+    what a real clock would have spent waiting on a quiet queue. Every
+    mutation happens under a lock so a worker thread and the test driver
+    can share one instance.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+        self._lock = threading.Lock()
+        self.slept: list[float] = []
+
+    def monotonic(self) -> float:
+        with self._lock:
+            return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("time only moves forward")
+        with self._lock:
+            self._now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self._now += max(float(seconds), 0.0)
+            self.slept.append(float(seconds))
+
+    def get(self, q, timeout: float):
+        try:
+            return q.get_nowait()
+        except _queue.Empty:
+            self.advance(max(float(timeout), 0.0))
+            raise
+
+
+SYSTEM_CLOCK = SystemClock()

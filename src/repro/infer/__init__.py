@@ -18,14 +18,14 @@ Typical use::
     logits = engine.run(images)
 """
 
-from .batcher import BatchRunner, InferenceTicket
+from .batcher import BatchRunner, InferenceTicket, TicketCancelled
 from .optimize import OptimizationReport, fold_batchnorm, fuse_relu, optimize_plan
 from .plan import Plan, PlanError, Step, capture_plan
 from .runtime import (BufferArena, CompileValidationError, InferenceEngine,
                       compile_model)
 
 __all__ = [
-    "BatchRunner", "InferenceTicket",
+    "BatchRunner", "InferenceTicket", "TicketCancelled",
     "OptimizationReport", "fold_batchnorm", "fuse_relu", "optimize_plan",
     "Plan", "PlanError", "Step", "capture_plan",
     "BufferArena", "CompileValidationError", "InferenceEngine",

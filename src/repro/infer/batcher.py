@@ -7,6 +7,12 @@ seconds for stragglers once the first request arrives), runs them through
 the compiled engine as one batch, and scatters the per-sample results back
 to their tickets.
 
+All waiting goes through an injectable :class:`repro.clock.Clock`
+(``clock=``), so the batching window and its deadline are testable on a
+:class:`repro.clock.FakeClock` with no wall-clock sleeps; the serving
+layer (:mod:`repro.serve`) additionally retunes ``max_wait`` on the fly
+through the ``on_batch`` hook to widen the window under load.
+
 Typical use::
 
     with BatchRunner(engine, max_batch=32, max_wait=0.002) as runner:
@@ -18,42 +24,101 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 
 import numpy as np
 
-__all__ = ["InferenceTicket", "BatchRunner"]
+from ..clock import SYSTEM_CLOCK, Clock
+
+__all__ = ["InferenceTicket", "TicketCancelled", "BatchRunner"]
 
 _STOP = object()
 
 
-class InferenceTicket:
-    """Handle to one submitted sample; resolves to its output row."""
+class TicketCancelled(RuntimeError):
+    """The ticket was cancelled before its batch ran."""
 
-    __slots__ = ("_event", "_value", "_error")
+
+class InferenceTicket:
+    """Handle to one submitted sample; resolves to its output row.
+
+    A ticket resolves exactly once — to a value, an error, or (via
+    :meth:`cancel`) a :class:`TicketCancelled`. Cancelling a ticket whose
+    batch has not run yet also tells the worker to drop the sample, so a
+    caller that times out does not leave an unresolved ticket (or wasted
+    compute) behind.
+    """
+
+    __slots__ = ("_event", "_lock", "_value", "_error", "_callbacks")
 
     def __init__(self):
         self._event = threading.Event()
+        self._lock = threading.Lock()
         self._value = None
         self._error: BaseException | None = None
+        self._callbacks: list = []
 
     def done(self) -> bool:
         return self._event.is_set()
 
-    def result(self, timeout: float | None = None) -> np.ndarray:
+    def cancelled(self) -> bool:
+        return isinstance(self._error, TicketCancelled)
+
+    def result(self, timeout: float | None = None, *,
+               cancel_on_timeout: bool = False) -> np.ndarray:
+        """Block for the output row.
+
+        With ``cancel_on_timeout=True`` a timeout also :meth:`cancel`\\ s
+        the ticket, so the caller walks away clean instead of leaking a
+        pending entry; if the batch won the race and completed anyway,
+        the value is returned instead of raising.
+        """
         if not self._event.wait(timeout):
-            raise TimeoutError("inference result not ready")
+            if not cancel_on_timeout or self.cancel():
+                raise TimeoutError("inference result not ready")
         if self._error is not None:
             raise self._error
         return self._value
 
-    def _complete(self, value: np.ndarray) -> None:
-        self._value = value
-        self._event.set()
+    def cancel(self) -> bool:
+        """Resolve the ticket as cancelled; False if it already resolved."""
+        return self._fail(TicketCancelled("inference request cancelled"))
 
-    def _fail(self, error: BaseException) -> None:
-        self._error = error
-        self._event.set()
+    def add_done_callback(self, fn) -> None:
+        """Run ``fn(ticket)`` once resolved (immediately if already done).
+
+        Callbacks fire on the resolving thread (usually the batcher
+        worker); exceptions they raise are swallowed — a misbehaving
+        observer must not take the batch loop down with it.
+        """
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        self._invoke(fn)
+
+    def _invoke(self, fn) -> None:
+        try:
+            fn(self)
+        except Exception:  # noqa: BLE001 - observer errors are not ours
+            pass
+
+    def _resolve(self, value, error) -> bool:
+        with self._lock:
+            if self._event.is_set():
+                return False
+            self._value = value
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            self._invoke(fn)
+        return True
+
+    def _complete(self, value: np.ndarray) -> bool:
+        return self._resolve(value, None)
+
+    def _fail(self, error: BaseException) -> bool:
+        return self._resolve(None, error)
 
 
 class BatchRunner:
@@ -67,10 +132,15 @@ class BatchRunner:
     of the process pool supervisor. Callers bound their own wait with
     ``ticket.result(timeout=...)``; a thread cannot be killed from
     outside, so a wedged ``engine.run`` surfaces as those timeouts.
+
+    ``on_batch(samples, outputs)`` (optional) observes every successful
+    batch — the serving layer uses it for batch-size metrics, adaptive
+    window control, and the bitwise replay trace of its equivalence tests.
     """
 
     def __init__(self, engine, max_batch: int | None = None,
-                 max_wait: float = 0.002):
+                 max_wait: float = 0.002, *, clock: Clock = SYSTEM_CLOCK,
+                 on_batch=None):
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
         self.engine = engine
@@ -79,8 +149,10 @@ class BatchRunner:
         if self.max_batch < 1:
             raise ValueError("max_batch must be positive")
         self.max_wait = float(max_wait)
+        self.clock = clock
+        self.on_batch = on_batch
         self.stats = {"samples": 0, "batches": 0, "largest_batch": 0,
-                      "restarts": 0}
+                      "restarts": 0, "cancelled": 0}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
         self._lock = threading.Lock()
@@ -107,28 +179,41 @@ class BatchRunner:
         sample = np.asarray(sample, dtype=np.float32)
         ticket = InferenceTicket()
         self._queue.put((sample, ticket))
+        if self._closed:
+            # Lost the race against close(): the worker may already have
+            # consumed _STOP and exited, stranding this ticket behind it.
+            # Resolve it here — submit-after-close must never hang.
+            if ticket._fail(RuntimeError("BatchRunner is closed")):
+                raise RuntimeError("BatchRunner is closed")
         return ticket
 
     def _collect(self) -> list:
-        """Block for the first request, then coalesce until full or deadline."""
+        """Block for the first request, then coalesce until full or deadline.
+
+        Cancelled tickets are dropped on the floor here (counted in
+        ``stats["cancelled"]``) — their callers already hold a resolved
+        ticket, and the batch should not spend compute on them.
+        """
         first = self._queue.get()
         if first is _STOP:
             return []
         pending = [first]
-        deadline = time.monotonic() + self.max_wait
+        deadline = self.clock.monotonic() + self.max_wait
         while len(pending) < self.max_batch:
-            remaining = deadline - time.monotonic()
+            remaining = deadline - self.clock.monotonic()
             if remaining <= 0:
                 break
             try:
-                item = self._queue.get(timeout=remaining)
+                item = self.clock.get(self._queue, remaining)
             except queue.Empty:
                 break
             if item is _STOP:
                 self._queue.put(_STOP)   # re-arm for the outer loop
                 break
             pending.append(item)
-        return pending
+        live = [(s, t) for s, t in pending if not t.done()]
+        self.stats["cancelled"] += len(pending) - len(live)
+        return live
 
     def _loop(self) -> None:
         pending: list = []
@@ -136,7 +221,13 @@ class BatchRunner:
             while True:
                 pending = self._collect()
                 if not pending:
-                    return
+                    # Either the _STOP sentinel (close() sets _closed before
+                    # enqueueing it) or a batch whose every ticket was
+                    # cancelled while it coalesced — only the former ends
+                    # the worker.
+                    if self._closed:
+                        return
+                    continue
                 samples = [s for s, _ in pending]
                 tickets = [t for _, t in pending]
                 try:
@@ -151,7 +242,13 @@ class BatchRunner:
                 self.stats["largest_batch"] = max(self.stats["largest_batch"],
                                                   len(tickets))
                 for ticket, row in zip(tickets, outputs):
-                    ticket._complete(np.array(row, copy=True))
+                    if not ticket._complete(np.array(row, copy=True)):
+                        self.stats["cancelled"] += 1
+                if self.on_batch is not None:
+                    try:
+                        self.on_batch(batch, outputs)
+                    except Exception:  # noqa: BLE001 - observer, not ours
+                        pass
                 pending = []
         except BaseException as exc:  # noqa: BLE001 - worker is dying
             # Something escaped the per-batch containment (a malformed
@@ -180,12 +277,15 @@ class BatchRunner:
             fail(item)
 
     def close(self, timeout: float | None = 5.0) -> None:
-        """Stop accepting work and join the worker thread."""
+        """Stop accepting work, join the worker, resolve any stragglers."""
         if self._closed:
             return
         self._closed = True
         self._queue.put(_STOP)
         self._worker.join(timeout)
+        # Anything still queued (racing submits, items behind _STOP) gets
+        # an explicit failure instead of an eternally pending ticket.
+        self._fail_stranded([], RuntimeError("BatchRunner is closed"))
 
     def __enter__(self) -> "BatchRunner":
         return self

@@ -28,6 +28,7 @@ mode, so BatchNorm uses running statistics and Dropout is the identity.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable
 
@@ -384,13 +385,27 @@ _CONV_RECORDERS: dict[str, Callable] = {
 }
 
 
+_CAPTURE_LOCK = threading.RLock()
+
+
 @contextlib.contextmanager
 def _patched(tracer: _Tracer, names: dict[int, str]):
-    """Patch Module.__call__ and the functional op entry points."""
+    """Patch Module.__call__ and the functional op entry points.
+
+    The patch is process-global but the *tracing* is thread-local: only
+    the capturing thread records steps, every other thread falls straight
+    through to the originals. Without this, a server hot-swap compiling a
+    replacement model would corrupt (and be corrupted by) concurrent
+    eager forwards on other threads. ``_CAPTURE_LOCK`` additionally
+    serialises whole captures, so two threads can never interleave their
+    patch/unpatch of the same entry points.
+    """
     original_call = Module.__call__
+    owner = threading.get_ident()
 
     def traced_call(self, *args, **kwargs):
-        if tracer.suppress or not isinstance(self, _LEAF_TYPES):
+        if (threading.get_ident() != owner or tracer.suppress
+                or not isinstance(self, _LEAF_TYPES)):
             return original_call(self, *args, **kwargs)
         if self._forward_hooks:
             raise PlanError(
@@ -410,7 +425,7 @@ def _patched(tracer: _Tracer, names: dict[int, str]):
         src = f"{mod.__name__.rsplit('.', 1)[-1]}.{name}"
 
         def wrapper(*args, **kwargs):
-            if tracer.suppress:
+            if threading.get_ident() != owner or tracer.suppress:
                 return original(*args, **kwargs)
             tracer.suppress += 1
             try:
@@ -423,19 +438,20 @@ def _patched(tracer: _Tracer, names: dict[int, str]):
         return original, wrapper
 
     patched: list[tuple[Any, str, Any]] = []
-    try:
-        Module.__call__ = traced_call
-        for mod, recorders in ((ops_mod, _OPS_RECORDERS),
-                               (conv_mod, _CONV_RECORDERS)):
-            for name, recorder in recorders.items():
-                original, wrapper = wrap(mod, name, recorder)
-                patched.append((mod, name, original))
-                setattr(mod, name, wrapper)
-        yield
-    finally:
-        Module.__call__ = original_call
-        for mod, name, original in patched:
-            setattr(mod, name, original)
+    with _CAPTURE_LOCK:
+        try:
+            Module.__call__ = traced_call
+            for mod, recorders in ((ops_mod, _OPS_RECORDERS),
+                                   (conv_mod, _CONV_RECORDERS)):
+                for name, recorder in recorders.items():
+                    original, wrapper = wrap(mod, name, recorder)
+                    patched.append((mod, name, original))
+                    setattr(mod, name, wrapper)
+            yield
+        finally:
+            Module.__call__ = original_call
+            for mod, name, original in patched:
+                setattr(mod, name, original)
 
 
 def capture_plan(model: Module, example_input) -> Plan:

@@ -23,6 +23,10 @@ the matching recovery path actually recovers:
   retry budget and finish *serially* (``degraded`` set, results intact);
 * ``shm.reaper`` — a shared-memory segment orphaned by a dead process
   must be reclaimed by the next startup sweep;
+* ``serve.shed`` / ``serve.swap`` — the serving layer under 2× overload
+  must shed explicitly and fast without dropping accepted requests, and
+  a mid-traffic checkpoint hot-swap must complete with zero drops (see
+  :mod:`repro.serve.drills`);
 * ``crash.resume`` (skipped with ``--quick``) — a framework run killed
   after its first committed iteration must resume to a bit-identical final
   state.
@@ -417,11 +421,15 @@ def run_drills(seed: int = 0, quick: bool = False,
     selects the whole worker-fault battery) — the CI supervision job uses
     it to run exactly the supervisor drills under a wall-clock guard.
     """
+    # Serving drills live next to the serving layer; imported lazily so
+    # this module stays importable without pulling repro.serve (and its
+    # compiled-engine stack) until the battery actually runs.
+    from ..serve.drills import SERVE_DRILLS
     drills = [_drill_surgery_rollback, _drill_checkpoint_tamper,
               _drill_sentinel_recovery, _drill_loader_retry,
               _drill_worker_crash, _drill_worker_respawn,
               _drill_worker_hang, _drill_worker_degrade,
-              _drill_shm_reaper]
+              _drill_shm_reaper, *SERVE_DRILLS]
     if not quick:
         drills.append(_drill_crash_resume)
     if only:

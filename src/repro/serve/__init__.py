@@ -1,0 +1,50 @@
+"""Async inference service over the compiled engine.
+
+The front door of the repo: an asyncio newline-delimited-JSON server that
+feeds an adaptively micro-batched :class:`repro.infer.BatchRunner` per
+deployed model, sheds load explicitly once its pending queue or latency
+budget is exceeded, exports per-request metrics through a ``stats`` verb,
+and hot-swaps pruned checkpoints mid-traffic with zero dropped requests
+(load → validate on a probe batch → atomic swap → drain the old engine).
+
+Pieces (each importable on its own):
+
+``scheduler``   adaptive batching window (widens under load, shrinks idle)
+``shedding``    admission control: bounded queue depth + p99 SLO budget
+``metrics``     latency reservoirs, counters, the ``stats`` snapshot
+``registry``    name@version model registry, hot-swap, degrade-to-eager
+``server``      the asyncio NDJSON frontend
+``client``      minimal blocking client (tests, drills, load generator)
+``loadgen``     closed-loop load generator behind ``repro serve-bench``
+``bench``       the BENCH_serve.json lane
+``drills``      ``serve.shed`` / ``serve.swap`` fault drills for
+                ``python -m repro.verify --drills serve``
+
+Typical use::
+
+    from repro.serve import ModelRegistry, InferenceServer, ServeConfig
+
+    registry = ModelRegistry()
+    registry.deploy("vgg16", "v1", model=model)
+    server = InferenceServer(registry, ServeConfig(port=7071))
+    server.run_forever()        # or: ServerThread(server) in tests
+
+See ``docs/serving.md`` for the wire protocol, shedding policy, hot-swap
+lifecycle, and the BENCH_serve.json schema.
+"""
+
+from .metrics import LatencyReservoir, ServerMetrics
+from .registry import (DeployReport, ModelRegistry, ModelVersion,
+                       NoSuchModelError, SwapValidationError)
+from .scheduler import AdaptiveWindow, WindowConfig
+from .server import InferenceServer, ServeConfig, ServerThread
+from .shedding import AdmissionController, SheddingConfig
+
+__all__ = [
+    "AdaptiveWindow", "WindowConfig",
+    "AdmissionController", "SheddingConfig",
+    "LatencyReservoir", "ServerMetrics",
+    "DeployReport", "ModelRegistry", "ModelVersion", "NoSuchModelError",
+    "SwapValidationError",
+    "InferenceServer", "ServeConfig", "ServerThread",
+]

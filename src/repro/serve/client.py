@@ -1,0 +1,114 @@
+"""Minimal blocking NDJSON client for the inference server.
+
+Used by the test suite, the fault drills, and the closed-loop load
+generator; also handy interactively::
+
+    from repro.serve.client import ServeClient
+
+    with ServeClient("127.0.0.1", 7071) as client:
+        probs = client.infer("vgg16", image)       # np.float32 row
+        print(client.stats()["latency"])
+
+One socket, one in-flight request: :meth:`request` writes a line and
+blocks for the answering line, which matches the server's
+one-request-per-connection processing model. Open one client per
+concurrent stream.
+
+Float fidelity: outputs travel as JSON numbers. ``float32 → float64 →
+shortest-repr decimal → float64 → float32`` is an exact round-trip, so
+``infer`` returns arrays *bitwise equal* to what the server computed —
+the equivalence tests rely on this.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import numpy as np
+
+__all__ = ["ServeClient", "ServerError", "Overloaded"]
+
+
+class ServerError(RuntimeError):
+    """The server answered with ``ok: false``; carries the payload."""
+
+    def __init__(self, payload: dict):
+        super().__init__(payload.get("message")
+                         or payload.get("reason")
+                         or payload.get("error", "server error"))
+        self.payload = payload
+        self.error = payload.get("error")
+
+
+class Overloaded(ServerError):
+    """Explicit load-shed rejection (``error: "overloaded"``)."""
+
+    @property
+    def reason(self) -> str:
+        return self.payload.get("reason", "unknown")
+
+
+class ServeClient:
+    """One connection to an :class:`~repro.serve.InferenceServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing -------------------------------------------------------
+
+    def request(self, payload: dict) -> dict:
+        """Send one request line, block for its response line."""
+        self._next_id += 1
+        payload.setdefault("id", self._next_id)
+        self._file.write(json.dumps(payload).encode("utf-8") + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok", False):
+            if response.get("error") == "overloaded":
+                raise Overloaded(response)
+            raise ServerError(response)
+        return response
+
+    # -- verbs ----------------------------------------------------------
+
+    def infer(self, model: str, sample) -> np.ndarray:
+        response = self.infer_verbose(model, sample)
+        return np.asarray(response["output"], dtype=np.float32)
+
+    def infer_verbose(self, model: str, sample) -> dict:
+        sample = np.asarray(sample, dtype=np.float32)
+        return self.request({"op": "infer", "model": model,
+                             "input": sample.tolist()})
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def models(self) -> dict:
+        return self.request({"op": "models"})["models"]
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def swap(self, name: str, version: str, checkpoint: str) -> dict:
+        return self.request({"op": "swap", "name": name, "version": version,
+                             "checkpoint": str(checkpoint)})["swap"]
+
+    # -- lifecycle ------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,239 @@
+"""Serving fault drills for ``python -m repro.verify --drills serve``.
+
+Two drills, run against a *real* socket server in-process, extend the
+resilience battery to the serving layer:
+
+* ``serve.shed`` — offered load at 2× the admission bound: every
+  *accepted* request must complete correctly, every rejection must be
+  explicit (``error: "overloaded"`` with a reason) and fast, and nothing
+  may simply vanish;
+* ``serve.swap`` — a checkpoint hot-swap in the middle of live traffic:
+  zero dropped and zero errored requests, every response valid against
+  the old or the new model, and the registry must end up on the new
+  version with the old one drained.
+
+Like the worker drills, these guard *recovery semantics*, not speed —
+they use tiny models and finish in seconds.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from ..models import build_model
+from ..tensor import Tensor, inference_mode
+from ..verify.invariants import perturb_batchnorm_stats
+from .client import Overloaded, ServeClient, ServerError
+from .registry import ModelRegistry
+from .server import ServeConfig, ServerThread
+from .shedding import SheddingConfig
+
+__all__ = ["SERVE_DRILLS"]
+
+
+def _drill_result(name: str):
+    from ..resilience.drills import DrillResult
+    return DrillResult(name)
+
+
+def _tiny_model(seed: int, pruned: bool = False):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    if pruned:
+        from ..infer.bench import _prune_model
+        _prune_model(model, seed)
+    model.eval()
+    return model
+
+
+class _SlowEngine:
+    """Engine wrapper that makes every batch take a while (queues form)."""
+
+    def __init__(self, engine, delay_s: float):
+        self._engine = engine
+        self._delay = delay_s
+        self.max_batch = engine.max_batch
+
+    def run(self, x):
+        time.sleep(self._delay)
+        return self._engine.run(x)
+
+
+def _drill_serve_shed(seed: int):
+    result = _drill_result("serve.shed")
+    max_pending = 4
+    registry = ModelRegistry(
+        max_batch=4,
+        shedding=SheddingConfig(max_pending=max_pending,
+                                p99_budget_ms=None))
+    model = _tiny_model(seed)
+    with registry:
+        registry.deploy("m", "v1", model=model, input_shape=(3, 8, 8),
+                        seed=seed)
+        _, version = registry.resolve("m")
+        version.runner.engine = _SlowEngine(version.engine, delay_s=0.02)
+
+        workers = 2 * max_pending          # offered load 2× the bound
+        per_worker = 6
+        lock = threading.Lock()
+        outcomes = {"completed": 0, "rejected": 0, "errors": 0,
+                    "unanswered": 0, "bad_output": 0}
+        reject_ms: list[float] = []
+
+        def eager(sample):
+            with inference_mode():
+                return model(Tensor(sample[None])).data[0]
+
+        def client_loop(wid: int):
+            rng = np.random.default_rng(seed * 997 + wid)
+            local = dict.fromkeys(outcomes, 0)
+            local_rej = []
+            try:
+                with ServeClient("127.0.0.1", port) as client:
+                    for _ in range(per_worker):
+                        sample = rng.normal(size=(3, 8, 8)).astype(np.float32)
+                        start = time.perf_counter()
+                        try:
+                            out = client.infer("m", sample)
+                            if not np.allclose(out, eager(sample),
+                                               rtol=1e-4, atol=1e-5):
+                                local["bad_output"] += 1
+                            local["completed"] += 1
+                        except Overloaded as exc:
+                            local_rej.append(
+                                (time.perf_counter() - start) * 1e3)
+                            if exc.reason not in ("queue-full", "slo"):
+                                local["errors"] += 1
+                            local["rejected"] += 1
+                        except (ServerError, ConnectionError):
+                            local["errors"] += 1
+            except OSError:
+                local["unanswered"] += per_worker
+            with lock:
+                for key in outcomes:
+                    outcomes[key] += local[key]
+                reject_ms.extend(local_rej)
+
+        with ServerThread(registry, ServeConfig()) as srv:
+            port = srv.port
+            threads = [threading.Thread(target=client_loop, args=(i,))
+                       for i in range(workers)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+    total = workers * per_worker
+    answered = outcomes["completed"] + outcomes["rejected"]
+    if outcomes["unanswered"] or answered + outcomes["errors"] != total:
+        result.fail(f"requests vanished: {outcomes} (total {total})")
+    if outcomes["errors"]:
+        result.fail(f"{outcomes['errors']} non-shed errors under overload")
+    if outcomes["bad_output"]:
+        result.fail(f"{outcomes['bad_output']} accepted requests returned "
+                    "wrong outputs")
+    if not outcomes["rejected"]:
+        result.fail("2x offered load produced no explicit rejections")
+    if reject_ms and float(np.median(np.asarray(reject_ms))) >= 10.0:
+        result.fail(f"rejections are slow: median "
+                    f"{float(np.median(np.asarray(reject_ms))):.1f} ms")
+    result.detail = (f"{outcomes['completed']} served, "
+                     f"{outcomes['rejected']} shed fast, 0 dropped")
+    return result
+
+
+def _drill_serve_swap(seed: int):
+    result = _drill_result("serve.swap")
+    from ..io import save_model
+
+    dense = _tiny_model(seed)
+    pruned = _tiny_model(seed, pruned=True)
+
+    def eager(model, sample):
+        with inference_mode():
+            return model(Tensor(sample[None])).data[0]
+
+    registry = ModelRegistry(max_batch=8,
+                             shedding=SheddingConfig(max_pending=64,
+                                                     p99_budget_ms=None))
+    with tempfile.TemporaryDirectory() as tmp, registry:
+        checkpoint = Path(tmp) / "pruned.npz"
+        save_model(pruned, checkpoint)
+        registry.deploy("m", "v1", model=dense, input_shape=(3, 8, 8),
+                        seed=seed)
+
+        stop = threading.Event()
+        lock = threading.Lock()
+        failures: list[str] = []
+        served = {"total": 0, "v1": 0, "v2": 0}
+
+        def traffic(wid: int):
+            rng = np.random.default_rng(seed * 131 + wid)
+            try:
+                with ServeClient("127.0.0.1", port) as client:
+                    while not stop.is_set():
+                        sample = rng.normal(size=(3, 8, 8)).astype(np.float32)
+                        response = client.infer_verbose("m", sample)
+                        out = np.asarray(response["output"], np.float32)
+                        version = response["model"].split("@")[1]
+                        reference = eager(
+                            dense if version == "v1" else pruned, sample)
+                        with lock:
+                            served["total"] += 1
+                            served[version] = served.get(version, 0) + 1
+                            if not np.allclose(out, reference, rtol=1e-4,
+                                               atol=1e-5):
+                                failures.append(
+                                    f"wrong output from {version}")
+            except (ServerError, ConnectionError, OSError) as exc:
+                with lock:
+                    failures.append(f"traffic error: {exc}")
+
+        with ServerThread(registry, ServeConfig()) as srv:
+            port = srv.port
+            threads = [threading.Thread(target=traffic, args=(i,))
+                       for i in range(4)]
+            for t in threads:
+                t.start()
+            try:
+                with ServeClient("127.0.0.1", port) as control:
+                    # Let traffic establish before, and continue after,
+                    # the swap — the swap must be invisible to callers.
+                    while served["total"] < 20 and not failures:
+                        time.sleep(0.005)
+                    report = control.swap("m", "v2", str(checkpoint))
+                    deadline = time.time() + 10
+                    while (served.get("v2", 0) < 10 and not failures
+                           and time.time() < deadline):
+                        time.sleep(0.005)
+                    stats = control.stats()
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30)
+
+        if failures:
+            result.fail("; ".join(sorted(set(failures))[:3]))
+        if report["swapped_from"] != "v1":
+            result.fail(f"swap report wrong: {report}")
+        if served.get("v2", 0) == 0:
+            result.fail("no traffic reached v2 after the swap")
+        if stats["counters"]["errors"]:
+            result.fail(f"server recorded {stats['counters']['errors']} "
+                        "errors across the swap")
+        active = stats["models"]["m"]["active"]
+        if active != "m@v2":
+            result.fail(f"active version is {active!r}, expected m@v2")
+    result.detail = (f"{served['total']} responses "
+                     f"({served.get('v1', 0)} v1 / {served.get('v2', 0)} v2),"
+                     f" 0 dropped across swap")
+    return result
+
+
+SERVE_DRILLS = [_drill_serve_shed, _drill_serve_swap]

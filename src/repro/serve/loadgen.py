@@ -1,0 +1,129 @@
+"""Closed-loop load generator for the serving benchmark.
+
+Closed-loop means each virtual client keeps exactly one request in
+flight: send, wait for the answer, immediately send the next. Offered
+load is therefore set by the *number of concurrent connections*, and the
+measured throughput is the service's actual sustained rate at that
+concurrency — the model matches the server's one-request-per-connection
+protocol and avoids coordinated-omission artefacts of naive open-loop
+generators.
+
+Each worker records per-request wall-clock latency client-side; explicit
+``overloaded`` rejections are counted (with their reject latency) but do
+not contribute to the completion percentiles. A *drop* — an accepted
+request that never got an answer — is a protocol violation and is
+counted separately; the smoke bench asserts it stays zero.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from .client import Overloaded, ServeClient, ServerError
+
+__all__ = ["LoadReport", "run_load"]
+
+
+class LoadReport:
+    """Aggregated result of one (model, connections) load point."""
+
+    def __init__(self, model: str, connections: int, duration_s: float,
+                 latencies_ms: list[float], reject_ms: list[float],
+                 rejected: int, errors: int, dropped: int):
+        self.model = model
+        self.connections = connections
+        self.duration_s = duration_s
+        self.latencies_ms = latencies_ms
+        self.reject_ms = reject_ms
+        self.rejected = rejected
+        self.errors = errors
+        self.dropped = dropped
+
+    @property
+    def completed(self) -> int:
+        return len(self.latencies_ms)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.completed / self.duration_s
+
+    def _pct(self, values: list[float], p: float) -> float | None:
+        if not values:
+            return None
+        return float(np.percentile(np.asarray(values), p))
+
+    def as_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "connections": self.connections,
+            "duration_s": round(self.duration_s, 4),
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "dropped": self.dropped,
+            "throughput_rps": round(self.throughput_rps, 1),
+            "p50_ms": self._pct(self.latencies_ms, 50),
+            "p99_ms": self._pct(self.latencies_ms, 99),
+            "max_ms": max(self.latencies_ms) if self.latencies_ms else None,
+            "reject_p50_ms": self._pct(self.reject_ms, 50),
+            "reject_p99_ms": self._pct(self.reject_ms, 99),
+        }
+
+
+def run_load(host: str, port: int, model: str, sample_shape,
+             connections: int, requests_per_connection: int,
+             seed: int = 0) -> LoadReport:
+    """Drive ``connections`` closed-loop clients; aggregate their stats."""
+    lock = threading.Lock()
+    latencies: list[float] = []
+    reject_ms: list[float] = []
+    counters = {"rejected": 0, "errors": 0, "dropped": 0}
+
+    def worker(worker_id: int) -> None:
+        rng = np.random.default_rng(seed * 10_007 + worker_id)
+        local_lat, local_rej = [], []
+        local = {"rejected": 0, "errors": 0, "dropped": 0}
+        try:
+            with ServeClient(host, port) as client:
+                for _ in range(requests_per_connection):
+                    sample = rng.normal(size=sample_shape).astype(np.float32)
+                    start = time.perf_counter()
+                    try:
+                        client.infer(model, sample)
+                        local_lat.append(
+                            (time.perf_counter() - start) * 1e3)
+                    except Overloaded:
+                        local["rejected"] += 1
+                        local_rej.append(
+                            (time.perf_counter() - start) * 1e3)
+                    except (ServerError, ConnectionError):
+                        local["errors"] += 1
+        except OSError:
+            # Connection-level failure: every request this worker still
+            # owed is an accepted-side unknown — count as dropped so the
+            # bench can assert it never happens.
+            outstanding = requests_per_connection - (
+                len(local_lat) + local["rejected"] + local["errors"])
+            local["dropped"] += max(outstanding, 0)
+        with lock:
+            latencies.extend(local_lat)
+            reject_ms.extend(local_rej)
+            for key in counters:
+                counters[key] += local[key]
+
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True)
+               for i in range(connections)]
+    start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    duration = time.perf_counter() - start
+    return LoadReport(model, connections, duration, latencies, reject_ms,
+                      counters["rejected"], counters["errors"],
+                      counters["dropped"])

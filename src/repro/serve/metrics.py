@@ -1,0 +1,110 @@
+"""Serving metrics: latency reservoirs, counters, the ``stats`` payload.
+
+Everything a load test or an operator needs to judge the service —
+request counts by outcome, queue depth, batching behaviour, and latency
+percentiles — is collected here and serialised by :meth:`ServerMetrics.
+snapshot` into the JSON the server's ``stats`` verb returns.
+
+Percentiles use a bounded ring of the most recent samples (a reservoir of
+the *last N*, not a random sample): serving cares about "how slow are we
+right now", and a ring is O(1) to feed from the hot path. The percentile
+itself sorts a copy on demand — reads are rare, writes are not.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LatencyReservoir", "ServerMetrics"]
+
+
+class LatencyReservoir:
+    """Ring buffer of the most recent latency samples (milliseconds)."""
+
+    def __init__(self, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._ring: list[float] = []
+        self._next = 0
+        self.count = 0                      # lifetime samples
+
+    def record(self, value_ms: float) -> None:
+        value_ms = float(value_ms)
+        if len(self._ring) < self.capacity:
+            self._ring.append(value_ms)
+        else:
+            self._ring[self._next] = value_ms
+            self._next = (self._next + 1) % self.capacity
+        self.count += 1
+
+    def percentile(self, p: float) -> float | None:
+        """Nearest-rank percentile of the retained window; None if empty."""
+        if not self._ring:
+            return None
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        ordered = sorted(self._ring)
+        rank = max(int(round(p / 100.0 * len(ordered) + 0.5)) - 1, 0)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": self.percentile(50.0),
+            "p99_ms": self.percentile(99.0),
+            "max_ms": max(self._ring) if self._ring else None,
+        }
+
+
+class ServerMetrics:
+    """Thread-safe roll-up of one server's request stream."""
+
+    def __init__(self, reservoir: int = 1024):
+        self._lock = threading.Lock()
+        self._reservoir = reservoir
+        self.counters = {"received": 0, "accepted": 0, "rejected": 0,
+                         "completed": 0, "errors": 0, "fallbacks": 0,
+                         "swaps": 0, "cancelled": 0}
+        self.reject_reasons: dict[str, int] = {}
+        self._latency = LatencyReservoir(reservoir)
+        self._queue_wait = LatencyReservoir(reservoir)
+        self._per_model: dict[str, LatencyReservoir] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_rejection(self, reason: str) -> None:
+        with self._lock:
+            self.counters["rejected"] += 1
+            self.reject_reasons[reason] = \
+                self.reject_reasons.get(reason, 0) + 1
+
+    def record_completion(self, model: str, latency_ms: float,
+                          queue_wait_ms: float | None = None) -> None:
+        with self._lock:
+            self.counters["completed"] += 1
+            self._latency.record(latency_ms)
+            if queue_wait_ms is not None:
+                self._queue_wait.record(queue_wait_ms)
+            per_model = self._per_model.get(model)
+            if per_model is None:
+                per_model = self._per_model[model] = \
+                    LatencyReservoir(self._reservoir)
+            per_model.record(latency_ms)
+
+    def snapshot(self, extra: dict | None = None) -> dict:
+        """JSON-ready view; ``extra`` merges model/shed state from callers."""
+        with self._lock:
+            payload = {
+                "counters": dict(self.counters),
+                "reject_reasons": dict(self.reject_reasons),
+                "latency": self._latency.summary(),
+                "queue_wait": self._queue_wait.summary(),
+                "per_model": {name: r.summary()
+                              for name, r in self._per_model.items()},
+            }
+        if extra:
+            payload.update(extra)
+        return payload

@@ -1,0 +1,380 @@
+"""Asyncio NDJSON inference server: the front door.
+
+Wire protocol — one JSON object per ``\\n``-terminated line, one JSON
+object back per request, stdlib only:
+
+* ``{"op": "infer", "model": "name[@version]", "input": [...], "id": x}``
+  (``op`` may be omitted; ``infer`` is the default) →
+  ``{"id": x, "ok": true, "model": "name@vN", "output": [...],
+  "latency_ms": ..., "served_by": "batch" | "eager"}``. Rejections are
+  explicit and immediate: ``{"id": x, "ok": false, "error": "overloaded",
+  "reason": "queue-full" | "slo"}``.
+* ``{"op": "stats"}`` → the full :class:`~.metrics.ServerMetrics`
+  snapshot plus per-model registry state (the ``/stats`` endpoint).
+* ``{"op": "swap", "name": ..., "version": ..., "checkpoint": path}`` →
+  hot-swap through :meth:`~.registry.ModelRegistry.deploy`; traffic keeps
+  flowing while the replacement compiles and validates off-loop.
+* ``{"op": "models"}``, ``{"op": "ping"}`` — introspection.
+
+Each connection is served sequentially (one in-flight request per
+connection; open more connections for concurrency — the closed-loop load
+model). Admission control runs *before* any compute or queueing, so an
+overloaded server answers rejections in event-loop time, not model time.
+
+Fault containment mirrors the PR 5 supervisor: a request whose batched
+ticket fails is retried on the current engine (covers the swap race,
+where the old runner closed under it) and then falls back to a serial
+eager forward; repeated faults mark the line degraded (all-eager) rather
+than dropping accepted requests. See ``docs/serving.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..clock import SYSTEM_CLOCK, Clock
+from .metrics import ServerMetrics
+from .registry import ModelRegistry, NoSuchModelError, SwapValidationError
+
+__all__ = ["ServeConfig", "InferenceServer", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Socket + per-request limits of one server instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                       # 0 → ephemeral, see server.port
+    request_timeout_s: float = 30.0     # ticket wait before cancel
+    max_line_bytes: int = 8 * 2 ** 20   # readline limit per request
+
+
+class InferenceServer:
+    """Routes NDJSON requests into a :class:`~.registry.ModelRegistry`."""
+
+    def __init__(self, registry: ModelRegistry,
+                 config: ServeConfig | None = None, *,
+                 metrics: ServerMetrics | None = None,
+                 clock: Clock = SYSTEM_CLOCK):
+        self.registry = registry
+        self.config = config or ServeConfig()
+        self.metrics = metrics or ServerMetrics()
+        self.clock = clock
+        self.port: int | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port,
+            limit=self.config.max_line_bytes)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def aclose(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+
+    def run_forever(self) -> None:
+        """Blocking entry point used by ``repro serve``."""
+        async def main():
+            await self.start()
+            print(f"repro.serve listening on "
+                  f"{self.config.host}:{self.port}")
+            async with self._server:
+                await self._server.serve_forever()
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+
+    # -- connection loop ------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, {"ok": False,
+                                              "error": "line-too-long"})
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._dispatch(line)
+                await self._send(writer, response)
+                if response.get("bye"):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown cancelled this handler mid-read. Absorb it
+            # and return normally: a task that finishes *cancelled* makes
+            # the stream protocol's completion callback raise when it
+            # polls task.exception() during loop teardown.
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    payload: dict) -> None:
+        writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await writer.drain()
+
+    async def _dispatch(self, raw: bytes) -> dict:
+        self.metrics.incr("received")
+        try:
+            msg = json.loads(raw)
+            if not isinstance(msg, dict):
+                raise ValueError("request must be a JSON object")
+        except ValueError as exc:
+            return {"ok": False, "error": "bad-request", "message": str(exc)}
+        op = msg.get("op", "infer")
+        rid = msg.get("id")
+        try:
+            if op == "infer":
+                return await self._infer(msg)
+            if op == "stats":
+                return {"id": rid, "ok": True, "stats": self.stats()}
+            if op == "models":
+                return {"id": rid, "ok": True,
+                        "models": self.registry.models()}
+            if op == "ping":
+                return {"id": rid, "ok": True, "pong": True}
+            if op == "swap":
+                return await self._swap(msg)
+            return {"id": rid, "ok": False, "error": "unknown-op",
+                    "message": f"unknown op {op!r}"}
+        except Exception as exc:  # noqa: BLE001 - protocol boundary
+            self.metrics.incr("errors")
+            return {"id": rid, "ok": False, "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}"}
+
+    # -- ops ------------------------------------------------------------
+
+    def stats(self) -> dict:
+        return self.metrics.snapshot(extra={"models": self.registry.models()})
+
+    async def _swap(self, msg: dict) -> dict:
+        rid = msg.get("id")
+        name, version = msg.get("name"), msg.get("version")
+        checkpoint = msg.get("checkpoint")
+        if not name or not version or not checkpoint:
+            return {"id": rid, "ok": False, "error": "bad-request",
+                    "message": "swap needs name, version, checkpoint"}
+        try:
+            # Compile + validate off-loop so traffic keeps flowing.
+            report = await asyncio.to_thread(
+                self.registry.deploy, name, version, checkpoint=checkpoint)
+        except SwapValidationError as exc:
+            return {"id": rid, "ok": False, "error": "swap-rejected",
+                    "message": str(exc)}
+        self.metrics.incr("swaps")
+        return {"id": rid, "ok": True, "swap": report.as_dict()}
+
+    async def _infer(self, msg: dict) -> dict:
+        rid = msg.get("id")
+        ref = msg.get("model")
+        if not ref or "input" not in msg:
+            return {"id": rid, "ok": False, "error": "bad-request",
+                    "message": "infer needs model and input"}
+        try:
+            line, version = self.registry.resolve(ref)
+        except NoSuchModelError as exc:
+            return {"id": rid, "ok": False, "error": "no-such-model",
+                    "message": str(exc.args[0])}
+        admitted, reason = line.admission.try_admit()
+        if not admitted:
+            # The load-shedding fast path: no parse of the input payload
+            # beyond this point, no queueing, no compute.
+            self.metrics.record_rejection(reason)
+            return {"id": rid, "ok": False, "error": "overloaded",
+                    "reason": reason}
+        start = self.clock.monotonic()
+        try:
+            sample = np.asarray(msg["input"], dtype=np.float32)
+            output, served_by, active = await self._run(line, version,
+                                                        sample)
+            latency_ms = (self.clock.monotonic() - start) * 1e3
+            self.metrics.record_completion(active.ref, latency_ms)
+            return {"id": rid, "ok": True, "model": active.ref,
+                    "output": output.tolist(), "served_by": served_by,
+                    "latency_ms": round(latency_ms, 3)}
+        except Exception as exc:  # noqa: BLE001 - answer, don't drop
+            self.metrics.incr("errors")
+            kind = ("bad-request" if isinstance(exc, ValueError)
+                    else "timeout" if isinstance(exc, TimeoutError)
+                    else "internal")
+            return {"id": rid, "ok": False, "error": kind,
+                    "message": f"{type(exc).__name__}: {exc}"}
+        finally:
+            line.admission.on_complete(
+                (self.clock.monotonic() - start) * 1e3)
+
+    async def _run(self, line, version, sample):
+        """Batched path with supervisor-style containment.
+
+        Returns ``(output_row, served_by, version_served)``. Raises only
+        when the *eager* path also rejects the sample (a client error) —
+        engine-side faults degrade, they do not drop.
+        """
+        if line.degraded:
+            out = await asyncio.to_thread(self.registry.eager_infer,
+                                          line, version, sample)
+            return out, "eager", version
+
+        failure: BaseException | None = None
+        for attempt in range(2):
+            try:
+                ticket = version.runner.submit(sample)
+            except RuntimeError:
+                # Runner closed under us (hot-swap race): re-resolve and
+                # retry on whatever is active now.
+                line, version = self.registry.resolve(version.name)
+                continue
+            outcome = await self._await_ticket(ticket)
+            if outcome is _TIMED_OUT:
+                self.metrics.incr("cancelled")
+                raise TimeoutError(
+                    f"inference exceeded "
+                    f"{self.config.request_timeout_s:.1f}s budget")
+            value, failure = outcome
+            if failure is None:
+                return value, "batch", version
+            if isinstance(failure, RuntimeError) and attempt == 0:
+                # "BatchRunner is closed" surfaced through the ticket.
+                line, version = self.registry.resolve(version.name)
+                continue
+            break
+
+        # Batched path is faulty — serial eager fallback, then maybe
+        # degrade the line. A ValueError here means the *request* was bad
+        # (shape mismatch); that propagates to the client and is not a
+        # serving fault.
+        try:
+            out = await asyncio.to_thread(self.registry.eager_infer,
+                                          line, version, sample)
+        except ValueError:
+            raise
+        except Exception:
+            if failure is not None:
+                raise failure
+            raise
+        self.metrics.incr("fallbacks")
+        self.registry.note_fallback(line, version)
+        return out, "eager", version
+
+    async def _await_ticket(self, ticket):
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+
+        def resolved(t):
+            def finish():
+                if not future.done():
+                    future.set_result((t._value, t._error))
+            loop.call_soon_threadsafe(finish)
+
+        ticket.add_done_callback(resolved)
+        try:
+            return await asyncio.wait_for(future,
+                                          self.config.request_timeout_s)
+        except asyncio.TimeoutError:
+            ticket.cancel()
+            return _TIMED_OUT
+
+
+_TIMED_OUT = object()
+
+
+class ServerThread:
+    """Run an :class:`InferenceServer` on a background event loop.
+
+    Tests, drills, and the load generator use this to host a real socket
+    server inside the current process::
+
+        with ServerThread(registry, ServeConfig()) as srv:
+            client = ServeClient("127.0.0.1", srv.port)
+    """
+
+    def __init__(self, registry: ModelRegistry,
+                 config: ServeConfig | None = None, **server_kwargs):
+        self.server = InferenceServer(registry, config, **server_kwargs)
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve")
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def host(self) -> str:
+        return self.server.config.host
+
+    def start(self) -> "ServerThread":
+        self._thread.start()
+        self._ready.wait(timeout=30)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.server.port is None:
+            raise RuntimeError("server failed to start within 30s")
+        return self
+
+    def _main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        try:
+            self._loop.run_until_complete(self.server.start())
+        except BaseException as exc:  # noqa: BLE001 - surface to starter
+            self._startup_error = exc
+            self._ready.set()
+            self._loop.close()
+            return
+        self._ready.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(self.server.aclose())
+            # Connection handlers parked on readline() survive loop.stop();
+            # cancel and drain them so the loop closes without orphans.
+            tasks = asyncio.all_tasks(self._loop)
+            for task in tasks:
+                task.cancel()
+            if tasks:
+                self._loop.run_until_complete(
+                    asyncio.gather(*tasks, return_exceptions=True))
+            self._loop.close()
+
+    def stop(self) -> None:
+        if self._loop is None or not self._thread.is_alive():
+            return
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

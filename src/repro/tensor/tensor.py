@@ -18,6 +18,7 @@ practice); gradient checking utilities promote to ``float64`` where needed.
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Sequence
 
 import numpy as np
@@ -25,23 +26,31 @@ import numpy as np
 __all__ = ["Tensor", "no_grad", "inference_mode", "is_grad_enabled", "tensor"]
 
 
-_GRAD_ENABLED = True
+# Grad mode is per-thread (as in torch): an inference thread running under
+# no_grad must not switch off tape recording for a training or tracing
+# thread that shares the process — the serving layer's eager fallbacks and
+# hot-swap compilations run exactly that mix. Fresh threads start with
+# gradients enabled.
+_GRAD_STATE = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_GRAD_STATE, "enabled", True)
 
 
 @contextlib.contextmanager
 def no_grad():
-    """Context manager that disables graph recording.
+    """Context manager that disables graph recording (this thread only).
 
     Used for evaluation loops and for the weight updates inside optimisers,
     exactly like ``torch.no_grad()``.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    previous = _grad_enabled()
+    _GRAD_STATE.enabled = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_STATE.enabled = previous
 
 
 def inference_mode():
@@ -58,7 +67,7 @@ def inference_mode():
 
 def is_grad_enabled() -> bool:
     """Return whether operations are currently recorded on the tape."""
-    return _GRAD_ENABLED
+    return _grad_enabled()
 
 
 def _tape_active(*parents: "Tensor") -> bool:
@@ -67,7 +76,7 @@ def _tape_active(*parents: "Tensor") -> bool:
     Ops use this to skip constructing their backward closure (and any
     arrays it would capture) when the result cannot require gradients.
     """
-    if not _GRAD_ENABLED:
+    if not _grad_enabled():
         return False
     for p in parents:
         if p.requires_grad:
@@ -132,7 +141,7 @@ class Tensor:
                  dtype=np.float32):
         self.data: np.ndarray = _as_array(data, dtype) if dtype is not None else np.asarray(data)
         self.grad: np.ndarray | None = None
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _grad_enabled()
         self.name = name
         self._backward: Callable[[np.ndarray], tuple] | None = None
         self._parents: tuple[Tensor, ...] = ()
@@ -214,7 +223,7 @@ class Tensor:
         ``backward`` receives the gradient flowing into the node and must
         return one gradient array (or ``None``) per entry of ``parents``.
         """
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _grad_enabled() and any(p.requires_grad for p in parents)
         out = Tensor.__new__(Tensor)
         out.data = data
         out.grad = None

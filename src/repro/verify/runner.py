@@ -57,7 +57,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--drills", type=str, default=None,
                         help="substring filter on resilience drill names "
                              "(e.g. 'worker' runs the worker-fault "
-                             "battery, 'shm' the reaper drill)")
+                             "battery, 'shm' the reaper drill, 'serve' "
+                             "the serving shed/hot-swap drills)")
     parser.add_argument("--write-golden", action="store_true",
                         help="regenerate the golden fixtures and exit")
     parser.add_argument("--list", action="store_true", dest="list_specs",

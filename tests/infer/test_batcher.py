@@ -1,13 +1,46 @@
-"""Micro-batching: coalescing, result scattering, error propagation."""
+"""Micro-batching: coalescing, result scattering, error propagation.
+
+The coalescing-window and deadline tests run on :class:`repro.clock.
+FakeClock` — virtual time only moves when the batching loop charges it,
+so the window trajectory is asserted exactly, with zero wall-clock
+sleeps in any assertion.
+"""
 
 import threading
 
 import numpy as np
 import pytest
 
-from repro.infer import BatchRunner, compile_model
+from repro.clock import FakeClock
+from repro.infer import BatchRunner, TicketCancelled, compile_model
+from repro.infer.batcher import InferenceTicket
 from repro.models import build_model
 from repro.verify.invariants import perturb_batchnorm_stats
+
+
+class _StubEngine:
+    """Shape-preserving engine double: doubles the input, logs batches."""
+
+    def __init__(self, max_batch=8):
+        self.max_batch = max_batch
+        self.batches = []
+
+    def run(self, x):
+        x = np.asarray(x, dtype=np.float32)
+        self.batches.append(x.shape[0])
+        return x * 2.0
+
+
+class _GatedEngine(_StubEngine):
+    """Engine that blocks each batch until the test releases it."""
+
+    def __init__(self, max_batch=8):
+        super().__init__(max_batch)
+        self.gate = threading.Event()
+
+    def run(self, x):
+        self.gate.wait()
+        return super().run(x)
 
 
 def _engine(max_batch=8):
@@ -102,6 +135,31 @@ class TestBatchRunner:
             np.testing.assert_array_equal(first, again)
             assert runner.stats["restarts"] == 1
 
+    def test_on_batch_hook_observes_every_batch(self):
+        engine = _StubEngine(max_batch=4)
+        seen = []
+        with BatchRunner(engine, max_wait=0.0,
+                         on_batch=lambda b, o: seen.append(
+                             (b.shape[0], o.shape[0]))) as runner:
+            for value in (1.0, 2.0, 3.0):
+                sample = np.full((2,), value, dtype=np.float32)
+                np.testing.assert_array_equal(
+                    runner.submit(sample).result(timeout=10.0), sample * 2)
+        assert len(seen) == 3
+        assert all(b == o for b, o in seen)
+
+    def test_raising_on_batch_hook_does_not_kill_worker(self):
+        def bad_hook(batch, outputs):
+            raise RuntimeError("observer bug")
+
+        with BatchRunner(_StubEngine(), max_wait=0.0,
+                         on_batch=bad_hook) as runner:
+            sample = np.ones((2,), dtype=np.float32)
+            for _ in range(3):
+                runner.submit(sample).result(timeout=10.0)
+            assert runner.stats["restarts"] == 0
+            assert runner.stats["batches"] == 3
+
     def test_restart_not_attempted_after_close(self):
         engine = _engine()
         runner = BatchRunner(engine, max_wait=0.0)
@@ -110,3 +168,168 @@ class TestBatchRunner:
         with pytest.raises(RuntimeError, match="closed"):
             runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
         assert runner.stats["restarts"] == 0
+
+
+def _quiesced_runner(clock, max_batch=4, max_wait=0.01):
+    """A runner whose worker has exited, for driving ``_collect`` directly.
+
+    ``close()`` makes the worker consume the stop sentinel and return;
+    afterwards the coalescing loop can be stepped from the test thread
+    with the FakeClock as the only time source — fully deterministic.
+    """
+    runner = BatchRunner(_StubEngine(max_batch), max_batch=max_batch,
+                         max_wait=max_wait, clock=clock)
+    runner.close()
+    return runner
+
+
+def _enqueue(runner, n, start=0):
+    tickets = []
+    for i in range(n):
+        ticket = InferenceTicket()
+        sample = np.full((2,), float(start + i), dtype=np.float32)
+        runner._queue.put((sample, ticket))
+        tickets.append(ticket)
+    return tickets
+
+
+class TestCoalescingWindowDeterministic:
+    """Exact window/deadline behaviour on a FakeClock — no wall clock."""
+
+    def test_full_batch_returns_without_consuming_window(self):
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.01)
+        _enqueue(runner, 4)
+        batch = runner._collect()
+        assert len(batch) == 4
+        assert clock.monotonic() == 0.0     # full batch: no waiting at all
+
+    def test_partial_batch_waits_exactly_max_wait(self):
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.01)
+        _enqueue(runner, 2)
+        batch = runner._collect()
+        assert len(batch) == 2
+        # Both queued items pop for free; the one empty get charges the
+        # whole remaining window to virtual time, expiring the deadline.
+        assert clock.monotonic() == pytest.approx(0.01)
+
+    def test_zero_window_ships_singletons(self):
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.0)
+        _enqueue(runner, 3)
+        assert len(runner._collect()) == 1  # deadline expires immediately
+        assert len(runner._collect()) == 1
+        assert clock.monotonic() == 0.0
+
+    def test_max_wait_is_read_per_batch(self):
+        # The serving layer's adaptive window retunes runner.max_wait
+        # between batches; _collect must pick up the new value.
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.001)
+        _enqueue(runner, 1)
+        runner._collect()
+        assert clock.monotonic() == pytest.approx(0.001)
+        runner.max_wait = 0.016
+        _enqueue(runner, 1)
+        runner._collect()
+        assert clock.monotonic() == pytest.approx(0.017)
+
+    def test_cancelled_tickets_are_dropped_before_the_engine_runs(self):
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.01)
+        tickets = _enqueue(runner, 3)
+        assert tickets[1].cancel()
+        batch = runner._collect()
+        assert len(batch) == 2
+        assert [float(s[0]) for s, _ in batch] == [0.0, 2.0]
+        assert runner.stats["cancelled"] == 1
+
+    def test_stop_sentinel_mid_coalesce_is_rearmed(self):
+        from repro.infer import batcher
+        clock = FakeClock()
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.01)
+        _enqueue(runner, 1)
+        runner._queue.put(batcher._STOP)
+        _enqueue(runner, 1, start=1)
+        # The sentinel truncates the first batch but must survive for the
+        # loop's next round rather than being swallowed.
+        assert len(runner._collect()) == 1
+        assert len(runner._collect()) == 1
+        assert runner._collect() == []      # the re-armed sentinel
+
+    def test_live_worker_resolves_results_on_fake_clock(self):
+        clock = FakeClock()
+        engine = _StubEngine(max_batch=8)
+        with BatchRunner(engine, max_wait=0.004, clock=clock) as runner:
+            for value in (1.0, 2.0, 3.0):
+                sample = np.full((2,), value, dtype=np.float32)
+                np.testing.assert_array_equal(
+                    runner.submit(sample).result(timeout=10.0), sample * 2)
+        # Each singleton batch charged its whole window to virtual time.
+        assert clock.monotonic() == pytest.approx(3 * 0.004)
+
+
+class TestInferenceTicket:
+    def test_cancel_resolves_and_reports(self):
+        ticket = InferenceTicket()
+        assert ticket.cancel()
+        assert ticket.done() and ticket.cancelled()
+        with pytest.raises(TicketCancelled):
+            ticket.result(timeout=0)
+
+    def test_cancel_after_completion_is_refused(self):
+        ticket = InferenceTicket()
+        assert ticket._complete(np.float32(7.0))
+        assert not ticket.cancel()
+        assert not ticket.cancelled()
+        assert ticket.result(timeout=0) == np.float32(7.0)
+
+    def test_result_without_cancel_leaves_ticket_pending(self):
+        ticket = InferenceTicket()
+        with pytest.raises(TimeoutError):
+            ticket.result(timeout=0)
+        assert not ticket.done()
+        ticket._complete(np.float32(1.0))
+        assert ticket.result(timeout=0) == np.float32(1.0)
+
+    def test_cancel_on_timeout_resolves_the_ticket(self):
+        engine = _GatedEngine()
+        with BatchRunner(engine, max_wait=0.0) as runner:
+            ticket = runner.submit(np.ones((2,), dtype=np.float32))
+            with pytest.raises(TimeoutError):
+                ticket.result(timeout=0.01, cancel_on_timeout=True)
+            assert ticket.cancelled()
+            engine.gate.set()
+            # The in-flight batch completes; its attempt to resolve the
+            # cancelled ticket is counted, not raised.
+            probe = runner.submit(np.ones((2,), dtype=np.float32))
+            probe.result(timeout=10.0)
+            assert runner.stats["cancelled"] >= 1
+
+    def test_done_callback_fires_on_resolution(self):
+        ticket = InferenceTicket()
+        fired = []
+        ticket.add_done_callback(lambda t: fired.append(t.done()))
+        assert fired == []
+        ticket._complete(np.float32(0.0))
+        assert fired == [True]
+
+    def test_done_callback_fires_immediately_when_already_done(self):
+        ticket = InferenceTicket()
+        ticket.cancel()
+        fired = []
+        ticket.add_done_callback(lambda t: fired.append(t.cancelled()))
+        assert fired == [True]
+
+    def test_raising_done_callback_is_contained(self):
+        ticket = InferenceTicket()
+
+        def bad(_t):
+            raise RuntimeError("observer bug")
+
+        fired = []
+        ticket.add_done_callback(bad)
+        ticket.add_done_callback(lambda t: fired.append(True))
+        ticket._complete(np.float32(0.0))
+        assert fired == [True]

@@ -10,7 +10,8 @@ class TestRunDrills:
         assert names == ["surgery.rollback", "checkpoint.tamper",
                          "sentinel.recovery", "loader.retry",
                          "worker.crash", "worker.respawn", "worker.hang",
-                         "worker.degrade", "shm.reaper"]
+                         "worker.degrade", "shm.reaper",
+                         "serve.shed", "serve.swap"]
         for result in results:
             assert result.passed, f"{result.name}: {result.failures}"
             assert result.seconds >= 0.0

@@ -1,0 +1,82 @@
+"""Latency reservoirs and the server's metrics roll-up."""
+
+import pytest
+
+from repro.serve import LatencyReservoir, ServerMetrics
+
+
+class TestLatencyReservoir:
+    def test_empty_reservoir_has_no_percentiles(self):
+        reservoir = LatencyReservoir(8)
+        assert reservoir.percentile(99.0) is None
+        assert reservoir.summary() == {"count": 0, "p50_ms": None,
+                                       "p99_ms": None, "max_ms": None}
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(0)
+
+    def test_percentile_is_nearest_rank(self):
+        reservoir = LatencyReservoir(8)
+        for v in (40.0, 10.0, 30.0, 20.0):
+            reservoir.record(v)
+        assert reservoir.percentile(0.0) == 10.0
+        assert reservoir.percentile(50.0) == 20.0
+        assert reservoir.percentile(100.0) == 40.0
+
+    def test_percentile_range_is_validated(self):
+        reservoir = LatencyReservoir(8)
+        reservoir.record(1.0)
+        with pytest.raises(ValueError):
+            reservoir.percentile(101.0)
+
+    def test_ring_keeps_only_the_most_recent_window(self):
+        reservoir = LatencyReservoir(3)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            reservoir.record(v)
+        assert reservoir.count == 5                 # lifetime
+        assert reservoir.percentile(0.0) == 3.0     # 1.0 and 2.0 evicted
+        assert reservoir.percentile(100.0) == 5.0
+
+    def test_summary_reports_the_window(self):
+        reservoir = LatencyReservoir(8)
+        for v in (5.0, 1.0, 9.0):
+            reservoir.record(v)
+        summary = reservoir.summary()
+        assert summary["count"] == 3
+        assert summary["p50_ms"] == 5.0
+        assert summary["max_ms"] == 9.0
+
+
+class TestServerMetrics:
+    def test_counters_and_rejection_reasons(self):
+        metrics = ServerMetrics()
+        metrics.incr("received", 3)
+        metrics.record_rejection("queue-full")
+        metrics.record_rejection("queue-full")
+        metrics.record_rejection("slo")
+        snap = metrics.snapshot()
+        assert snap["counters"]["received"] == 3
+        assert snap["counters"]["rejected"] == 3
+        assert snap["reject_reasons"] == {"queue-full": 2, "slo": 1}
+
+    def test_completions_feed_global_and_per_model_reservoirs(self):
+        metrics = ServerMetrics()
+        metrics.record_completion("m@v1", 10.0, queue_wait_ms=2.0)
+        metrics.record_completion("m@v1", 30.0, queue_wait_ms=4.0)
+        metrics.record_completion("n@v1", 50.0)
+        snap = metrics.snapshot()
+        assert snap["counters"]["completed"] == 3
+        assert snap["latency"]["count"] == 3
+        assert snap["latency"]["max_ms"] == 50.0
+        assert snap["queue_wait"]["count"] == 2
+        assert snap["per_model"]["m@v1"]["count"] == 2
+        assert snap["per_model"]["n@v1"]["p50_ms"] == 50.0
+
+    def test_snapshot_merges_extra_payload(self):
+        metrics = ServerMetrics()
+        snap = metrics.snapshot(extra={"models": {"m": {}}})
+        assert snap["models"] == {"m": {}}
+        # And the stock sections are still present alongside.
+        assert set(snap) >= {"counters", "reject_reasons", "latency",
+                             "queue_wait", "per_model", "models"}

@@ -1,0 +1,186 @@
+"""Registry lifecycle: deploy, routing, hot-swap, validation, degrade."""
+
+import numpy as np
+import pytest
+
+from repro.io import save_model
+from repro.models import build_model
+from repro.serve import (ModelRegistry, NoSuchModelError, SheddingConfig,
+                         SwapValidationError)
+from repro.serve import registry as registry_module
+from repro.tensor import Tensor, inference_mode
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _tiny_model(seed=0):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    model.eval()
+    return model
+
+
+def _registry(**kw):
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("shedding", SheddingConfig(p99_budget_ms=None))
+    return ModelRegistry(**kw)
+
+
+class TestDeploy:
+    def test_exactly_one_source_is_required(self):
+        with _registry() as registry:
+            with pytest.raises(ValueError, match="exactly one"):
+                registry.deploy("m", "v1")
+            with pytest.raises(ValueError, match="exactly one"):
+                registry.deploy("m", "v1", model=_tiny_model(),
+                                checkpoint="x.npz")
+
+    def test_fresh_deploy_serves_and_reports(self):
+        with _registry() as registry:
+            report = registry.deploy("m", "v1", model=_tiny_model(),
+                                    input_shape=(3, 8, 8))
+            assert report.swapped_from is None
+            assert report.drained_samples == 0
+            assert np.isfinite(report.probe_max_abs_diff)
+            line, version = registry.resolve("m")
+            assert version.ref == "m@v1"
+            assert not line.degraded
+            assert registry.models()["m"]["active"] == "m@v1"
+
+    def test_deploy_from_checkpoint_uses_recorded_arch(self, tmp_path):
+        path = tmp_path / "model.npz"
+        save_model(_tiny_model(), path)
+        with _registry() as registry:
+            # No input_shape: the probe comes from the checkpoint's arch.
+            report = registry.deploy("m", "v1", checkpoint=path)
+            assert report.as_dict()["name"] == "m"
+            _, version = registry.resolve("m@v1")
+            assert version.engine.max_batch == 8
+
+    def test_deploy_with_explicit_probe_batch(self):
+        probe = np.random.default_rng(0).normal(
+            size=(2, 3, 8, 8)).astype(np.float32)
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(), probe=probe)
+            registry.resolve("m")
+
+    def test_deploy_without_any_shape_hint_fails_clearly(self):
+        model = _tiny_model()
+        model.arch = {}
+        with _registry() as registry:
+            with pytest.raises(ValueError, match="image_size"):
+                registry.deploy("m", "v1", model=model)
+
+
+class TestResolve:
+    def test_unknown_name_is_explicit(self):
+        with _registry() as registry:
+            with pytest.raises(NoSuchModelError, match="no model"):
+                registry.resolve("ghost")
+
+    def test_pinned_active_version_resolves(self):
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            _, version = registry.resolve("m@v1")
+            assert version.ref == "m@v1"
+
+    def test_pinned_retired_version_is_rejected_not_rerouted(self):
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            registry.deploy("m", "v2", model=_tiny_model(seed=1),
+                            input_shape=(3, 8, 8))
+            with pytest.raises(NoSuchModelError, match="not active"):
+                registry.resolve("m@v1")
+
+
+class TestHotSwap:
+    def test_swap_reroutes_and_drains_the_old_runner(self):
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            _, old = registry.resolve("m")
+            report = registry.deploy("m", "v2", model=_tiny_model(seed=1),
+                                     input_shape=(3, 8, 8))
+            assert report.swapped_from == "v1"
+            _, version = registry.resolve("m")
+            assert version.ref == "m@v2"
+            assert registry.models()["m"]["retired"] == ["v1"]
+            # The old runner is closed (drained): submissions must fail
+            # loudly instead of queueing into a dead engine.
+            with pytest.raises(RuntimeError, match="closed"):
+                old.runner.submit(np.zeros((3, 8, 8), dtype=np.float32))
+
+    def test_failed_validation_keeps_the_old_version(self, monkeypatch):
+        from repro.infer import CompileValidationError
+
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+
+            def broken_compile(*args, **kwargs):
+                raise CompileValidationError("probe divergence")
+
+            monkeypatch.setattr(registry_module, "compile_model",
+                                broken_compile)
+            with pytest.raises(SwapValidationError, match="m@v2"):
+                registry.deploy("m", "v2", model=_tiny_model(seed=1),
+                                input_shape=(3, 8, 8))
+            _, version = registry.resolve("m")
+            assert version.ref == "m@v1"            # old line untouched
+            version.runner.submit(
+                np.zeros((3, 8, 8), dtype=np.float32)).result(timeout=10.0)
+
+    def test_swap_clears_a_degraded_line(self):
+        with _registry(max_fallbacks=1) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            line, version = registry.resolve("m")
+            registry.note_fallback(line, version)
+            assert line.degraded
+            registry.deploy("m", "v2", model=_tiny_model(seed=1),
+                            input_shape=(3, 8, 8))
+            assert not line.degraded and line.fallbacks == 0
+
+
+class TestDegrade:
+    def test_fallback_budget_flips_the_line(self):
+        with _registry(max_fallbacks=2) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            line, version = registry.resolve("m")
+            registry.note_fallback(line, version)
+            assert not line.degraded and line.fallbacks == 1
+            registry.note_fallback(line, version)
+            assert line.degraded
+
+    def test_eager_infer_matches_the_model(self):
+        with _registry() as registry:
+            model = _tiny_model()
+            registry.deploy("m", "v1", model=model, input_shape=(3, 8, 8))
+            line, version = registry.resolve("m")
+            sample = np.random.default_rng(3).normal(
+                size=(3, 8, 8)).astype(np.float32)
+            with inference_mode():
+                want = model(Tensor(sample[None])).data[0]
+            np.testing.assert_array_equal(
+                registry.eager_infer(line, version, sample), want)
+
+
+class TestObserveBatch:
+    def test_adaptive_window_retunes_the_runner(self):
+        trace = []
+        with _registry(on_batch=lambda *a: trace.append(a)) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            _, version = registry.resolve("m")
+            before = version.runner.max_wait
+            batch = np.zeros((8, 3, 8, 8), dtype=np.float32)
+            outputs = np.zeros((8, 3), dtype=np.float32)
+            registry._observe_batch(version, batch, outputs)   # full batch
+            assert version.runner.max_wait > before            # widened
+            assert version.runner.max_wait == version.window.current()
+            name, ver, seen_batch, seen_outputs = trace[-1]
+            assert (name, ver) == ("m", "v1")
+            assert seen_batch is batch and seen_outputs is outputs

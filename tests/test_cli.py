@@ -39,6 +39,28 @@ class TestParser:
             build_parser().parse_args(["prune", "--checkpoint", "a",
                                        "--out", "b", "--strategy", "magic"])
 
+    def test_serve_defaults_and_repeatable_models(self):
+        args = build_parser().parse_args(
+            ["serve", "--model", "a=a.npz", "--model", "b@v2=b.npz"])
+        assert args.model == ["a=a.npz", "b@v2=b.npz"]
+        assert args.port == 7071
+        assert args.max_pending == 64
+        assert args.p99_budget_ms == pytest.approx(200.0)
+
+    def test_serve_requires_a_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
+    def test_serve_rejects_malformed_model_spec(self):
+        from repro.cli import main
+        assert main(["serve", "--model", "no-checkpoint-here"]) == 1
+
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.connections == "1,4,16"
+        assert args.requests == 40
+        assert not args.smoke
+
 
 class TestWorkflow:
     def test_train_writes_checkpoint(self, base_checkpoint):
