@@ -315,10 +315,13 @@ def cmd_train_bench(args) -> int:
 
 def cmd_serve(args) -> int:
     from .serve import (InferenceServer, ModelRegistry, ServeConfig,
-                        SheddingConfig)
+                        SheddingConfig, restore_registry)
 
+    if not args.model and not args.resume:
+        print("serve needs --model and/or --resume")
+        return 1
     deployments = []
-    for item in args.model:
+    for item in args.model or []:
         ref, sep, checkpoint = item.partition("=")
         name, at, version = ref.partition("@")
         if not sep or not name or not checkpoint:
@@ -327,18 +330,28 @@ def cmd_serve(args) -> int:
             return 1
         deployments.append((name, version if at else "v1", checkpoint))
     budget = args.p99_budget_ms if args.p99_budget_ms > 0 else None
+    manifest_dir = args.manifest or args.resume
     registry = ModelRegistry(
         max_batch=args.max_batch,
         shedding=SheddingConfig(max_pending=args.max_pending,
-                                p99_budget_ms=budget))
+                                p99_budget_ms=budget),
+        manifest_dir=manifest_dir)
     with registry:
+        if args.resume:
+            report = restore_registry(registry, args.resume)
+            print(report.summary())
+            if not report.restored and not deployments:
+                print("nothing restorable in the manifest and no --model "
+                      "given; refusing to serve an empty registry")
+                return 1
         for name, version, checkpoint in deployments:
             report = registry.deploy(name, version, checkpoint=checkpoint)
             print(f"deployed {name}@{version} from {checkpoint} "
                   f"(probe max|diff| {report.probe_max_abs_diff:.2e})")
         server = InferenceServer(
             registry, ServeConfig(host=args.host, port=args.port,
-                                  request_timeout_s=args.request_timeout))
+                                  request_timeout_s=args.request_timeout,
+                                  drain_grace_s=args.drain_grace))
         server.run_forever()
     return 0
 
@@ -493,7 +506,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_serve = sub.add_parser(
         "serve", help="serve checkpoints over the NDJSON socket protocol")
-    p_serve.add_argument("--model", action="append", required=True,
+    p_serve.add_argument("--model", action="append", default=None,
                          metavar="NAME[@VERSION]=CHECKPOINT",
                          help="deploy a checkpoint under a serving name; "
                               "repeatable for multi-model serving")
@@ -510,6 +523,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--request-timeout", type=float, default=30.0,
                          help="seconds before an in-flight request is "
                               "cancelled and answered with a timeout")
+    p_serve.add_argument("--drain-grace", type=float, default=30.0,
+                         help="seconds SIGTERM waits for in-flight "
+                              "requests before closing the loop")
+    p_serve.add_argument("--manifest", default=None, metavar="DIR",
+                         help="journal every deploy to this directory so "
+                              "'--resume DIR' can warm-restart the fleet")
+    p_serve.add_argument("--resume", default=None, metavar="DIR",
+                         help="redeploy every name@version journaled in "
+                              "DIR's manifest (through probe validation) "
+                              "before serving; implies --manifest DIR")
     p_serve.set_defaults(func=cmd_serve)
 
     p_sbench = sub.add_parser(

@@ -13,6 +13,12 @@ All waiting goes through an injectable :class:`repro.clock.Clock`
 layer (:mod:`repro.serve`) additionally retunes ``max_wait`` on the fly
 through the ``on_batch`` hook to widen the window under load.
 
+A submission may carry an absolute *deadline* (seconds on the runner's
+clock axis). A ticket whose deadline has passed while it sat in the
+queue is evicted during batch formation — failed with
+:class:`DeadlineExpired` and counted in ``stats["expired"]`` — *before*
+the engine runs, so an already-dead request never wastes engine time.
+
 Typical use::
 
     with BatchRunner(engine, max_batch=32, max_wait=0.002) as runner:
@@ -29,13 +35,18 @@ import numpy as np
 
 from ..clock import SYSTEM_CLOCK, Clock
 
-__all__ = ["InferenceTicket", "TicketCancelled", "BatchRunner"]
+__all__ = ["InferenceTicket", "TicketCancelled", "DeadlineExpired",
+           "BatchRunner"]
 
 _STOP = object()
 
 
 class TicketCancelled(RuntimeError):
     """The ticket was cancelled before its batch ran."""
+
+
+class DeadlineExpired(TimeoutError):
+    """The ticket's deadline passed before its batch could run."""
 
 
 class InferenceTicket:
@@ -45,17 +56,21 @@ class InferenceTicket:
     :meth:`cancel`) a :class:`TicketCancelled`. Cancelling a ticket whose
     batch has not run yet also tells the worker to drop the sample, so a
     caller that times out does not leave an unresolved ticket (or wasted
-    compute) behind.
+    compute) behind. ``deadline`` (absolute clock seconds, or None) is
+    set by :meth:`BatchRunner.submit` and read by the batch-formation
+    loop to evict expired work.
     """
 
-    __slots__ = ("_event", "_lock", "_value", "_error", "_callbacks")
+    __slots__ = ("_event", "_lock", "_value", "_error", "_callbacks",
+                 "deadline")
 
-    def __init__(self):
+    def __init__(self, deadline: float | None = None):
         self._event = threading.Event()
         self._lock = threading.Lock()
         self._value = None
         self._error: BaseException | None = None
         self._callbacks: list = []
+        self.deadline = deadline
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -152,7 +167,7 @@ class BatchRunner:
         self.clock = clock
         self.on_batch = on_batch
         self.stats = {"samples": 0, "batches": 0, "largest_batch": 0,
-                      "restarts": 0, "cancelled": 0}
+                      "restarts": 0, "cancelled": 0, "expired": 0}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
         self._lock = threading.Lock()
@@ -171,13 +186,19 @@ class BatchRunner:
                 self.stats["restarts"] += 1
                 self._worker = self._start_worker()
 
-    def submit(self, sample) -> InferenceTicket:
-        """Queue one sample (no batch axis); returns its ticket."""
+    def submit(self, sample, *,
+               deadline: float | None = None) -> InferenceTicket:
+        """Queue one sample (no batch axis); returns its ticket.
+
+        ``deadline`` is absolute seconds on this runner's clock axis
+        (``clock.monotonic() + budget``); an expired ticket is evicted
+        before its batch forms instead of burning engine time.
+        """
         if self._closed:
             raise RuntimeError("BatchRunner is closed")
         self._ensure_worker()
         sample = np.asarray(sample, dtype=np.float32)
-        ticket = InferenceTicket()
+        ticket = InferenceTicket(deadline)
         self._queue.put((sample, ticket))
         if self._closed:
             # Lost the race against close(): the worker may already have
@@ -191,8 +212,10 @@ class BatchRunner:
         """Block for the first request, then coalesce until full or deadline.
 
         Cancelled tickets are dropped on the floor here (counted in
-        ``stats["cancelled"]``) — their callers already hold a resolved
-        ticket, and the batch should not spend compute on them.
+        ``stats["cancelled"]``), and tickets whose own deadline has
+        passed are evicted — failed with :class:`DeadlineExpired` and
+        counted in ``stats["expired"]`` — so the batch that reaches the
+        engine holds only work somebody is still waiting for.
         """
         first = self._queue.get()
         if first is _STOP:
@@ -211,8 +234,19 @@ class BatchRunner:
                 self._queue.put(_STOP)   # re-arm for the outer loop
                 break
             pending.append(item)
-        live = [(s, t) for s, t in pending if not t.done()]
-        self.stats["cancelled"] += len(pending) - len(live)
+        now = self.clock.monotonic()
+        live = []
+        for sample, ticket in pending:
+            if ticket.done():
+                self.stats["cancelled"] += 1
+            elif ticket.deadline is not None and ticket.deadline <= now:
+                if ticket._fail(DeadlineExpired(
+                        "request deadline passed while queued for a batch")):
+                    self.stats["expired"] += 1
+                else:
+                    self.stats["cancelled"] += 1
+            else:
+                live.append((sample, ticket))
         return live
 
     def _loop(self) -> None:

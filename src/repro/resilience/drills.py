@@ -23,10 +23,13 @@ the matching recovery path actually recovers:
   retry budget and finish *serially* (``degraded`` set, results intact);
 * ``shm.reaper`` — a shared-memory segment orphaned by a dead process
   must be reclaimed by the next startup sweep;
-* ``serve.shed`` / ``serve.swap`` — the serving layer under 2× overload
-  must shed explicitly and fast without dropping accepted requests, and
-  a mid-traffic checkpoint hot-swap must complete with zero drops (see
-  :mod:`repro.serve.drills`);
+* ``serve.shed`` / ``serve.swap`` / ``serve.drain`` / ``serve.restart``
+  — the serving layer under 2× overload must shed explicitly and fast
+  without dropping accepted requests; a mid-traffic checkpoint hot-swap
+  must complete with zero drops; a graceful drain must answer every
+  accepted request and reject new ones explicitly; and a warm restart
+  from the deploy manifest must re-validate every version, skipping
+  corrupted ones with a report (see :mod:`repro.serve.drills`);
 * ``crash.resume`` (skipped with ``--quick``) — a framework run killed
   after its first committed iteration must resume to a bit-identical final
   state.

@@ -10,14 +10,17 @@ and hot-swaps pruned checkpoints mid-traffic with zero dropped requests
 Pieces (each importable on its own):
 
 ``scheduler``   adaptive batching window (widens under load, shrinks idle)
-``shedding``    admission control: bounded queue depth + p99 SLO budget
+``shedding``    admission control: queue depth + p99 SLO + deadline gates
 ``metrics``     latency reservoirs, counters, the ``stats`` snapshot
 ``registry``    name@version model registry, hot-swap, degrade-to-eager
-``server``      the asyncio NDJSON frontend
+``manifest``    journaled deploy manifest + warm restart (``--resume``)
+``server``      the asyncio NDJSON frontend (deadlines, graceful drain)
 ``client``      minimal blocking client (tests, drills, load generator)
+``resilient``   self-healing client: reconnect, backoff, circuit breaker
 ``loadgen``     closed-loop load generator behind ``repro serve-bench``
 ``bench``       the BENCH_serve.json lane
-``drills``      ``serve.shed`` / ``serve.swap`` fault drills for
+``drills``      ``serve.shed`` / ``serve.swap`` / ``serve.drain`` /
+                ``serve.restart`` fault drills for
                 ``python -m repro.verify --drills serve``
 
 Typical use::
@@ -33,9 +36,11 @@ See ``docs/serving.md`` for the wire protocol, shedding policy, hot-swap
 lifecycle, and the BENCH_serve.json schema.
 """
 
+from .manifest import RestoreReport, ServeManifest, restore_registry
 from .metrics import LatencyReservoir, ServerMetrics
 from .registry import (DeployReport, ModelRegistry, ModelVersion,
                        NoSuchModelError, SwapValidationError)
+from .resilient import CircuitBreaker, CircuitOpenError, ResilientClient
 from .scheduler import AdaptiveWindow, WindowConfig
 from .server import InferenceServer, ServeConfig, ServerThread
 from .shedding import AdmissionController, SheddingConfig
@@ -46,5 +51,7 @@ __all__ = [
     "LatencyReservoir", "ServerMetrics",
     "DeployReport", "ModelRegistry", "ModelVersion", "NoSuchModelError",
     "SwapValidationError",
+    "ServeManifest", "RestoreReport", "restore_registry",
+    "CircuitBreaker", "CircuitOpenError", "ResilientClient",
     "InferenceServer", "ServeConfig", "ServerThread",
 ]

@@ -27,7 +27,7 @@ import socket
 
 import numpy as np
 
-__all__ = ["ServeClient", "ServerError", "Overloaded"]
+__all__ = ["ServeClient", "ServerError", "Overloaded", "Draining", "Expired"]
 
 
 class ServerError(RuntimeError):
@@ -47,6 +47,15 @@ class Overloaded(ServerError):
     @property
     def reason(self) -> str:
         return self.payload.get("reason", "unknown")
+
+
+class Draining(ServerError):
+    """The server is draining and takes no new requests; retry elsewhere
+    (or later — a drain usually precedes a warm restart)."""
+
+
+class Expired(ServerError):
+    """The request's ``deadline_ms`` passed before it could be served."""
 
 
 class ServeClient:
@@ -70,21 +79,30 @@ class ServeClient:
             raise ConnectionError("server closed the connection")
         response = json.loads(line)
         if not response.get("ok", False):
-            if response.get("error") == "overloaded":
+            error = response.get("error")
+            if error == "overloaded":
                 raise Overloaded(response)
+            if error == "draining":
+                raise Draining(response)
+            if error == "expired":
+                raise Expired(response)
             raise ServerError(response)
         return response
 
     # -- verbs ----------------------------------------------------------
 
-    def infer(self, model: str, sample) -> np.ndarray:
-        response = self.infer_verbose(model, sample)
+    def infer(self, model: str, sample,
+              deadline_ms: float | None = None) -> np.ndarray:
+        response = self.infer_verbose(model, sample, deadline_ms)
         return np.asarray(response["output"], dtype=np.float32)
 
-    def infer_verbose(self, model: str, sample) -> dict:
+    def infer_verbose(self, model: str, sample,
+                      deadline_ms: float | None = None) -> dict:
         sample = np.asarray(sample, dtype=np.float32)
-        return self.request({"op": "infer", "model": model,
-                             "input": sample.tolist()})
+        payload = {"op": "infer", "model": model, "input": sample.tolist()}
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        return self.request(payload)
 
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]

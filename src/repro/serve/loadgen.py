@@ -13,6 +13,12 @@ Each worker records per-request wall-clock latency client-side; explicit
 not contribute to the completion percentiles. A *drop* — an accepted
 request that never got an answer — is a protocol violation and is
 counted separately; the smoke bench asserts it stays zero.
+
+``deadline_ms`` (optional) attaches a per-request deadline budget, which
+exercises the deadline-propagation path end to end: requests shed at
+admission count as rejected, requests that expire in the queue or while
+waiting count as ``expired`` — neither pollutes the completion
+percentiles.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ import time
 
 import numpy as np
 
-from .client import Overloaded, ServeClient, ServerError
+from .client import Expired, Overloaded, ServeClient, ServerError
 
 __all__ = ["LoadReport", "run_load"]
 
@@ -32,7 +38,8 @@ class LoadReport:
 
     def __init__(self, model: str, connections: int, duration_s: float,
                  latencies_ms: list[float], reject_ms: list[float],
-                 rejected: int, errors: int, dropped: int):
+                 rejected: int, errors: int, dropped: int,
+                 expired: int = 0):
         self.model = model
         self.connections = connections
         self.duration_s = duration_s
@@ -41,6 +48,7 @@ class LoadReport:
         self.rejected = rejected
         self.errors = errors
         self.dropped = dropped
+        self.expired = expired
 
     @property
     def completed(self) -> int:
@@ -66,6 +74,7 @@ class LoadReport:
             "rejected": self.rejected,
             "errors": self.errors,
             "dropped": self.dropped,
+            "expired": self.expired,
             "throughput_rps": round(self.throughput_rps, 1),
             "p50_ms": self._pct(self.latencies_ms, 50),
             "p99_ms": self._pct(self.latencies_ms, 99),
@@ -77,30 +86,32 @@ class LoadReport:
 
 def run_load(host: str, port: int, model: str, sample_shape,
              connections: int, requests_per_connection: int,
-             seed: int = 0) -> LoadReport:
+             seed: int = 0, deadline_ms: float | None = None) -> LoadReport:
     """Drive ``connections`` closed-loop clients; aggregate their stats."""
     lock = threading.Lock()
     latencies: list[float] = []
     reject_ms: list[float] = []
-    counters = {"rejected": 0, "errors": 0, "dropped": 0}
+    counters = {"rejected": 0, "errors": 0, "dropped": 0, "expired": 0}
 
     def worker(worker_id: int) -> None:
         rng = np.random.default_rng(seed * 10_007 + worker_id)
         local_lat, local_rej = [], []
-        local = {"rejected": 0, "errors": 0, "dropped": 0}
+        local = {"rejected": 0, "errors": 0, "dropped": 0, "expired": 0}
         try:
             with ServeClient(host, port) as client:
                 for _ in range(requests_per_connection):
                     sample = rng.normal(size=sample_shape).astype(np.float32)
                     start = time.perf_counter()
                     try:
-                        client.infer(model, sample)
+                        client.infer(model, sample, deadline_ms)
                         local_lat.append(
                             (time.perf_counter() - start) * 1e3)
                     except Overloaded:
                         local["rejected"] += 1
                         local_rej.append(
                             (time.perf_counter() - start) * 1e3)
+                    except Expired:
+                        local["expired"] += 1
                     except (ServerError, ConnectionError):
                         local["errors"] += 1
         except OSError:
@@ -108,7 +119,8 @@ def run_load(host: str, port: int, model: str, sample_shape,
             # owed is an accepted-side unknown — count as dropped so the
             # bench can assert it never happens.
             outstanding = requests_per_connection - (
-                len(local_lat) + local["rejected"] + local["errors"])
+                len(local_lat) + local["rejected"] + local["errors"]
+                + local["expired"])
             local["dropped"] += max(outstanding, 0)
         with lock:
             latencies.extend(local_lat)
@@ -126,4 +138,4 @@ def run_load(host: str, port: int, model: str, sample_shape,
     duration = time.perf_counter() - start
     return LoadReport(model, connections, duration, latencies, reject_ms,
                       counters["rejected"], counters["errors"],
-                      counters["dropped"])
+                      counters["dropped"], counters["expired"])

@@ -1,0 +1,146 @@
+"""Deploy manifest: journal every deploy, rebuild the registry after one.
+
+A serving process dies — OOM kill, node reboot, planned restart — and
+everything it knew about its ``name@version`` lines dies with it unless
+that knowledge lives somewhere durable. :class:`ServeManifest` is that
+somewhere: an append-only, CRC-framed journal (the
+:class:`repro.resilience.journal.RunJournal` primitive) of every deploy,
+plus a checkpoint directory for models that were deployed from memory
+(snapshotted through the atomic, checksummed
+:func:`repro.io.save_model`).
+
+Warm restart (:func:`restore_registry`, ``repro serve --resume <dir>``)
+replays the manifest: the last-deployed version of every name goes back
+through the *same* deploy gate as live traffic — checksum-verified
+checkpoint load, compile, probe validation — so a restart can never
+quietly serve a model that would have been rejected at deploy time. An
+entry that fails (corrupted checkpoint, failed validation, missing file)
+is skipped and named in the :class:`RestoreReport`; the healthy rest of
+the fleet comes back up.
+
+Corruption tolerance mirrors the run journal: a truncated or bit-flipped
+*tail* record is detected by its CRC and dropped (``journal_truncated``
+in the report), and a corrupted checkpoint fails its content digest in
+:func:`repro.io.load_model` rather than loading garbage weights.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..resilience.journal import RunJournal
+
+__all__ = ["ServeManifest", "RestoreReport", "restore_registry"]
+
+MANIFEST_NAME = "manifest.jsonl"
+
+
+class ServeManifest:
+    """Journal of deploys under one directory; enough to rebuild a registry.
+
+    Layout::
+
+        <root>/
+            manifest.jsonl            # CRC-framed deploy journal
+            checkpoints/<name>@<version>.npz   # snapshots of model= deploys
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.checkpoint_dir = self.root / "checkpoints"
+        self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+        self.journal = RunJournal(self.root / MANIFEST_NAME)
+
+    @property
+    def truncated(self) -> bool:
+        """True when the journal had a corrupt tail (dropped on read)."""
+        return self.journal.truncated
+
+    # -- writing --------------------------------------------------------
+
+    def snapshot_path(self, name: str, version: str) -> Path:
+        return self.checkpoint_dir / f"{name}@{version}.npz"
+
+    def record_deploy(self, name: str, version: str,
+                      checkpoint: str | Path | None) -> dict:
+        """Append one deploy event; ``checkpoint`` may be None when the
+        model could not be snapshotted (restore will skip it, by name)."""
+        return self.journal.append(
+            "deploy", name=name, version=version,
+            checkpoint=None if checkpoint is None
+            else str(Path(checkpoint).resolve()))
+
+    # -- reading --------------------------------------------------------
+
+    def active_entries(self) -> list[dict]:
+        """Last-deployed entry per name, in first-deploy order."""
+        latest: dict[str, dict] = {}
+        for record in self.journal.events("deploy"):
+            latest[record["name"]] = record
+        return list(latest.values())
+
+
+class RestoreReport:
+    """What a warm restart restored — and what it refused to serve."""
+
+    def __init__(self, manifest_dir: str | Path, journal_truncated: bool):
+        self.manifest_dir = str(manifest_dir)
+        self.journal_truncated = journal_truncated
+        self.restored: list[dict] = []
+        self.skipped: list[dict] = []
+
+    def as_dict(self) -> dict:
+        return {"manifest_dir": self.manifest_dir,
+                "journal_truncated": self.journal_truncated,
+                "restored": list(self.restored),
+                "skipped": list(self.skipped)}
+
+    def summary(self) -> str:
+        lines = [f"restored {len(self.restored)} model(s) "
+                 f"from {self.manifest_dir}"]
+        for entry in self.restored:
+            lines.append(f"  + {entry['name']}@{entry['version']} "
+                         f"<- {entry['checkpoint']}")
+        for entry in self.skipped:
+            lines.append(f"  ! skipped {entry['name']}@{entry['version']}: "
+                         f"{entry['reason']}")
+        if self.journal_truncated:
+            lines.append("  ! manifest journal had a corrupt tail "
+                         "(later records dropped)")
+        return "\n".join(lines)
+
+
+def restore_registry(registry, manifest_dir: str | Path) -> RestoreReport:
+    """Redeploy every manifest-active ``name@version`` into ``registry``.
+
+    Each entry runs through :meth:`ModelRegistry.deploy` — the full
+    compile + probe-validation gate — with journaling suppressed (the
+    entry is already in the manifest). Failures never abort the restore:
+    the entry is skipped and reported, because five healthy models
+    serving beats zero while an operator hunts one bad checkpoint.
+    """
+    from ..io import CheckpointCorruptError
+    from .registry import SwapValidationError
+
+    manifest = ServeManifest(manifest_dir)
+    report = RestoreReport(manifest_dir, manifest.truncated)
+    for entry in manifest.active_entries():
+        name, version = entry["name"], entry["version"]
+        checkpoint = entry.get("checkpoint")
+        if checkpoint is None:
+            report.skipped.append(
+                {"name": name, "version": version, "checkpoint": None,
+                 "reason": "no checkpoint was recorded for this deploy"})
+            continue
+        try:
+            registry.deploy(name, version, checkpoint=checkpoint,
+                            record=False)
+        except (SwapValidationError, CheckpointCorruptError,
+                FileNotFoundError, KeyError, ValueError) as exc:
+            report.skipped.append(
+                {"name": name, "version": version, "checkpoint": checkpoint,
+                 "reason": f"{type(exc).__name__}: {exc}"})
+            continue
+        report.restored.append(
+            {"name": name, "version": version, "checkpoint": checkpoint})
+    return report

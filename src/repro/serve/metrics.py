@@ -65,7 +65,8 @@ class ServerMetrics:
         self._reservoir = reservoir
         self.counters = {"received": 0, "accepted": 0, "rejected": 0,
                          "completed": 0, "errors": 0, "fallbacks": 0,
-                         "swaps": 0, "cancelled": 0}
+                         "swaps": 0, "cancelled": 0, "expired": 0,
+                         "replayed": 0}
         self.reject_reasons: dict[str, int] = {}
         self._latency = LatencyReservoir(reservoir)
         self._queue_wait = LatencyReservoir(reservoir)

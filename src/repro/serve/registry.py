@@ -125,7 +125,8 @@ class ModelRegistry:
                  clock: Clock = SYSTEM_CLOCK,
                  max_worker_restarts: int = 3,
                  max_fallbacks: int = 8,
-                 on_batch=None):
+                 on_batch=None,
+                 manifest_dir=None):
         self.max_batch = int(max_batch)
         self.window_config = window or WindowConfig()
         self.shedding_config = shedding or SheddingConfig()
@@ -135,19 +136,30 @@ class ModelRegistry:
         self.on_batch = on_batch    # callable(name, version, batch, outputs)
         self._lines: dict[str, _Line] = {}
         self._registry_lock = threading.Lock()
+        self.manifest = None
+        if manifest_dir is not None:
+            from .manifest import ServeManifest
+            self.manifest = ServeManifest(manifest_dir)
 
     # -- deployment -----------------------------------------------------
 
     def deploy(self, name: str, version: str, *, model=None,
                checkpoint=None, probe=None, input_shape=None,
                probe_batch: int = 4, seed: int = 0,
-               validate: bool = True) -> DeployReport:
+               validate: bool = True, record: bool = True) -> DeployReport:
         """Load → validate → swap → drain. Raises before touching traffic.
 
         Exactly one of ``model`` / ``checkpoint`` supplies the network.
         ``probe`` (a batched example input) anchors compilation and
         validation; without it one is generated from ``input_shape`` (or
         the checkpoint's recorded architecture) with ``seed``.
+
+        With a ``manifest_dir`` configured, every successful deploy is
+        journaled (``record=False`` suppresses this — used when a warm
+        restart replays the manifest) so ``repro serve --resume`` can
+        rebuild the registry after a process death; in-memory ``model=``
+        deploys are snapshotted into the manifest's checkpoint directory
+        to make them restorable too.
         """
         if (model is None) == (checkpoint is None):
             raise ValueError("pass exactly one of model= or checkpoint=")
@@ -192,9 +204,25 @@ class ModelRegistry:
         if outgoing is not None:
             outgoing.runner.close()     # processes everything already queued
             drained = outgoing.runner.stats["samples"]
+        if self.manifest is not None and record:
+            self._journal_deploy(name, version, model, checkpoint)
         return DeployReport(name, version,
                             outgoing.version if outgoing else None,
                             probe_diff, drained)
+
+    def _journal_deploy(self, name, version, model, checkpoint) -> None:
+        """Make this deploy warm-restartable: snapshot if needed, journal."""
+        if checkpoint is None:
+            from ..io import save_model
+            try:
+                checkpoint = self.manifest.snapshot_path(name, version)
+                save_model(model, checkpoint)
+            except ValueError:
+                # No architecture recipe — the model cannot be rebuilt
+                # from weights. Journal the deploy anyway (the restore
+                # report names it) rather than hiding it.
+                checkpoint = None
+        self.manifest.record_deploy(name, version, checkpoint)
 
     def _probe_batch(self, model, probe, input_shape, probe_batch, seed):
         if probe is not None:

@@ -21,6 +21,18 @@ connection; open more connections for concurrency — the closed-loop load
 model). Admission control runs *before* any compute or queueing, so an
 overloaded server answers rejections in event-loop time, not model time.
 
+Request lifecycle (PR 7): an ``infer`` request may carry ``deadline_ms``
+(its remaining latency budget). A request that cannot meet its deadline
+is shed at admission (``overloaded``/``deadline``); one that expires
+while queued is evicted before its batch runs and answered with
+``error: "expired"`` — either way no engine time is spent on an answer
+nobody will read. ``aclose(drain=True)`` (and SIGTERM under ``repro
+serve``) drains gracefully: the listening socket closes, new requests
+get an explicit ``error: "draining"``, and every already-accepted
+request completes before the loop shuts down. Requests carrying an
+idempotency key (``rid``) are answered from a bounded replay cache on
+retry, so a reconnecting client never double-counts work.
+
 Fault containment mirrors the PR 5 supervisor: a request whose batched
 ticket fails is retried on the current engine (covers the swap race,
 where the old runner closed under it) and then falls back to a serial
@@ -32,12 +44,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..clock import SYSTEM_CLOCK, Clock
+from ..infer.batcher import DeadlineExpired
 from .metrics import ServerMetrics
 from .registry import ModelRegistry, NoSuchModelError, SwapValidationError
 
@@ -52,6 +67,8 @@ class ServeConfig:
     port: int = 0                       # 0 → ephemeral, see server.port
     request_timeout_s: float = 30.0     # ticket wait before cancel
     max_line_bytes: int = 8 * 2 ** 20   # readline limit per request
+    drain_grace_s: float = 30.0         # in-flight budget for drain=True
+    replay_cache_size: int = 1024       # idempotent-rid responses kept
 
 
 class InferenceServer:
@@ -68,30 +85,80 @@ class InferenceServer:
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
+        self._draining = False
+        self._closed = False
+        self._inflight = 0
+        self._idle: asyncio.Event | None = None
+        self._replay: OrderedDict[str, dict] = OrderedDict()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port,
             limit=self.config.max_line_bytes)
         self.port = self._server.sockets[0].getsockname()[1]
 
-    async def aclose(self) -> None:
+    async def aclose(self, drain: bool = False,
+                     grace: float | None = None) -> None:
+        """Stop the server; with ``drain=True``, finish accepted work first.
+
+        Drain order: the listening socket closes (no new connections),
+        new requests on live connections are answered ``draining``, and
+        the loop waits — up to ``grace`` seconds (default: the config's
+        ``drain_grace_s``) — until every already-accepted request has
+        been answered. Only then are the connections torn down, so a
+        drain drops zero accepted requests.
+        """
+        if self._closed:
+            return
+        self._closed = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        if drain:
+            self._draining = True
+            if self._inflight > 0 and self._idle is not None:
+                grace = self.config.drain_grace_s if grace is None else grace
+                try:
+                    await asyncio.wait_for(self._idle.wait(), grace)
+                except asyncio.TimeoutError:
+                    pass        # grace spent; the rest is cancelled below
         for writer in list(self._writers):
             writer.close()
 
     def run_forever(self) -> None:
-        """Blocking entry point used by ``repro serve``."""
+        """Blocking entry point used by ``repro serve``.
+
+        SIGTERM and SIGINT trigger a graceful drain (see :meth:`aclose`)
+        instead of killing in-flight requests.
+        """
         async def main():
             await self.start()
+            loop = asyncio.get_running_loop()
+            stop = asyncio.Event()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, stop.set)
+                except (NotImplementedError, ValueError, RuntimeError):
+                    pass        # non-main thread / exotic platform
             print(f"repro.serve listening on "
                   f"{self.config.host}:{self.port}")
-            async with self._server:
-                await self._server.serve_forever()
+            await stop.wait()
+            print(f"repro.serve draining ({self._inflight} in flight, "
+                  f"grace {self.config.drain_grace_s:.0f}s)")
+            await self.aclose(drain=True)
+            print("repro.serve drained; bye")
         try:
             asyncio.run(main())
         except KeyboardInterrupt:
@@ -105,11 +172,32 @@ class InferenceServer:
         try:
             while True:
                 try:
-                    line = await reader.readline()
-                except (asyncio.LimitOverrunError, ValueError):
-                    await self._send(writer, {"ok": False,
-                                              "error": "line-too-long"})
-                    break
+                    # readuntil, not readline: on an over-limit line
+                    # readline consumes an unpredictable amount of the
+                    # buffer before raising, while readuntil leaves it
+                    # intact — which is what lets _discard_oversized
+                    # resynchronise on the newline.
+                    line = await reader.readuntil(b"\n")
+                except asyncio.IncompleteReadError as exc:
+                    if not exc.partial:
+                        break               # clean EOF
+                    line = exc.partial      # final request, no newline
+                except asyncio.LimitOverrunError:
+                    # The line overran max_line_bytes. Consume the rest
+                    # of it (the client may still be writing; reading is
+                    # what unblocks it), answer explicitly, and keep the
+                    # connection alive — an oversized request is the
+                    # client's bug, not a reason to hang up mid-stream.
+                    self.metrics.incr("received")
+                    recovered = await self._discard_oversized(reader)
+                    await self._send(writer, {
+                        "ok": False, "error": "bad-request",
+                        "reason": "line-too-long",
+                        "message": (f"request line exceeds "
+                                    f"{self.config.max_line_bytes} bytes")})
+                    if not recovered:
+                        break
+                    continue
                 if not line:
                     break
                 line = line.strip()
@@ -135,6 +223,32 @@ class InferenceServer:
             except (ConnectionResetError, BrokenPipeError,
                     asyncio.CancelledError):
                 pass
+
+    async def _discard_oversized(self, reader: asyncio.StreamReader) -> bool:
+        """Eat the remainder of an over-limit line; True once its newline
+        is reached (the connection can then resync on the next request).
+
+        ``readuntil`` raises ``LimitOverrunError`` without consuming the
+        buffer, in two flavours: separator *found* past the limit
+        (``consumed`` = its index — dropping that many bytes puts the
+        newline next) and separator *not yet seen* (``consumed`` = the
+        searched length — drop it and keep reading). Either way the
+        first ``consumed`` bytes are guaranteed part of the bad line.
+        """
+        while True:
+            try:
+                await reader.readuntil(b"\n")
+                return True
+            except asyncio.LimitOverrunError as exc:
+                try:
+                    await reader.readexactly(exc.consumed)
+                    if await reader.readexactly(1) == b"\n":
+                        return True
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    return False
+            except (asyncio.IncompleteReadError, ConnectionResetError,
+                    ValueError):
+                return False
 
     async def _send(self, writer: asyncio.StreamWriter,
                     payload: dict) -> None:
@@ -173,10 +287,16 @@ class InferenceServer:
     # -- ops ------------------------------------------------------------
 
     def stats(self) -> dict:
-        return self.metrics.snapshot(extra={"models": self.registry.models()})
+        return self.metrics.snapshot(extra={
+            "models": self.registry.models(),
+            "lifecycle": {"draining": self._draining,
+                          "inflight": self._inflight}})
 
     async def _swap(self, msg: dict) -> dict:
         rid = msg.get("id")
+        if self._draining:
+            return {"id": rid, "ok": False, "error": "draining",
+                    "message": "server is draining; no new deployments"}
         name, version = msg.get("name"), msg.get("version")
         checkpoint = msg.get("checkpoint")
         if not name or not version or not checkpoint:
@@ -194,16 +314,36 @@ class InferenceServer:
 
     async def _infer(self, msg: dict) -> dict:
         rid = msg.get("id")
+        if self._draining:
+            self.metrics.record_rejection("draining")
+            return {"id": rid, "ok": False, "error": "draining",
+                    "message": "server is draining; no new requests"}
+        idem = msg.get("rid")
+        if idem is not None:
+            cached = self._replay.get(idem)
+            if cached is not None:
+                # A retried idempotent request: answer from the cache so
+                # the work (and every metric) is counted exactly once.
+                self.metrics.incr("replayed")
+                return {**cached, "id": rid, "replayed": True}
         ref = msg.get("model")
         if not ref or "input" not in msg:
             return {"id": rid, "ok": False, "error": "bad-request",
                     "message": "infer needs model and input"}
+        deadline_ms = msg.get("deadline_ms")
+        if deadline_ms is not None:
+            if isinstance(deadline_ms, bool) \
+                    or not isinstance(deadline_ms, (int, float)) \
+                    or not deadline_ms > 0:
+                return {"id": rid, "ok": False, "error": "bad-request",
+                        "message": "deadline_ms must be a positive number"}
+            deadline_ms = float(deadline_ms)
         try:
             line, version = self.registry.resolve(ref)
         except NoSuchModelError as exc:
             return {"id": rid, "ok": False, "error": "no-such-model",
                     "message": str(exc.args[0])}
-        admitted, reason = line.admission.try_admit()
+        admitted, reason = line.admission.try_admit(remaining_ms=deadline_ms)
         if not admitted:
             # The load-shedding fast path: no parse of the input payload
             # beyond this point, no queueing, no compute.
@@ -211,15 +351,26 @@ class InferenceServer:
             return {"id": rid, "ok": False, "error": "overloaded",
                     "reason": reason}
         start = self.clock.monotonic()
+        deadline = None if deadline_ms is None else start + deadline_ms / 1e3
+        self._inflight += 1
+        if self._idle is not None:
+            self._idle.clear()
         try:
             sample = np.asarray(msg["input"], dtype=np.float32)
             output, served_by, active = await self._run(line, version,
-                                                        sample)
+                                                        sample, deadline)
             latency_ms = (self.clock.monotonic() - start) * 1e3
             self.metrics.record_completion(active.ref, latency_ms)
-            return {"id": rid, "ok": True, "model": active.ref,
-                    "output": output.tolist(), "served_by": served_by,
-                    "latency_ms": round(latency_ms, 3)}
+            response = {"id": rid, "ok": True, "model": active.ref,
+                        "output": output.tolist(), "served_by": served_by,
+                        "latency_ms": round(latency_ms, 3)}
+            if idem is not None:
+                self._remember(idem, response)
+            return response
+        except DeadlineExpired as exc:
+            self.metrics.incr("expired")
+            return {"id": rid, "ok": False, "error": "expired",
+                    "message": str(exc)}
         except Exception as exc:  # noqa: BLE001 - answer, don't drop
             self.metrics.incr("errors")
             kind = ("bad-request" if isinstance(exc, ValueError)
@@ -230,15 +381,28 @@ class InferenceServer:
         finally:
             line.admission.on_complete(
                 (self.clock.monotonic() - start) * 1e3)
+            self._inflight -= 1
+            if self._inflight == 0 and self._idle is not None:
+                self._idle.set()
 
-    async def _run(self, line, version, sample):
+    def _remember(self, idem: str, response: dict) -> None:
+        """Cache one successful response under its idempotency key."""
+        self._replay[idem] = response
+        while len(self._replay) > self.config.replay_cache_size:
+            self._replay.popitem(last=False)
+
+    async def _run(self, line, version, sample, deadline=None):
         """Batched path with supervisor-style containment.
 
         Returns ``(output_row, served_by, version_served)``. Raises only
-        when the *eager* path also rejects the sample (a client error) —
-        engine-side faults degrade, they do not drop.
+        when the request itself cannot be served — a client error from
+        the eager path, a timeout, or an expired deadline; engine-side
+        faults degrade, they do not drop.
         """
         if line.degraded:
+            if deadline is not None and self.clock.monotonic() >= deadline:
+                raise DeadlineExpired("request deadline passed before the "
+                                      "eager path could run")
             out = await asyncio.to_thread(self.registry.eager_infer,
                                           line, version, sample)
             return out, "eager", version
@@ -246,13 +410,16 @@ class InferenceServer:
         failure: BaseException | None = None
         for attempt in range(2):
             try:
-                ticket = version.runner.submit(sample)
+                ticket = version.runner.submit(sample, deadline=deadline)
             except RuntimeError:
                 # Runner closed under us (hot-swap race): re-resolve and
                 # retry on whatever is active now.
                 line, version = self.registry.resolve(version.name)
                 continue
-            outcome = await self._await_ticket(ticket)
+            outcome = await self._await_ticket(ticket, deadline)
+            if outcome is _EXPIRED:
+                raise DeadlineExpired("request deadline passed while "
+                                      "waiting for its batch")
             if outcome is _TIMED_OUT:
                 self.metrics.incr("cancelled")
                 raise TimeoutError(
@@ -261,6 +428,9 @@ class InferenceServer:
             value, failure = outcome
             if failure is None:
                 return value, "batch", version
+            if isinstance(failure, DeadlineExpired):
+                # Evicted from the queue before its batch ran: final.
+                raise failure
             if isinstance(failure, RuntimeError) and attempt == 0:
                 # "BatchRunner is closed" surfaced through the ticket.
                 line, version = self.registry.resolve(version.name)
@@ -284,7 +454,7 @@ class InferenceServer:
         self.registry.note_fallback(line, version)
         return out, "eager", version
 
-    async def _await_ticket(self, ticket):
+    async def _await_ticket(self, ticket, deadline=None):
         loop = asyncio.get_running_loop()
         future = loop.create_future()
 
@@ -295,15 +465,21 @@ class InferenceServer:
             loop.call_soon_threadsafe(finish)
 
         ticket.add_done_callback(resolved)
+        timeout = self.config.request_timeout_s
+        deadline_bound = False
+        if deadline is not None:
+            remaining = max(deadline - self.clock.monotonic(), 0.0)
+            if remaining < timeout:
+                timeout, deadline_bound = remaining, True
         try:
-            return await asyncio.wait_for(future,
-                                          self.config.request_timeout_s)
+            return await asyncio.wait_for(future, timeout)
         except asyncio.TimeoutError:
             ticket.cancel()
-            return _TIMED_OUT
+            return _EXPIRED if deadline_bound else _TIMED_OUT
 
 
 _TIMED_OUT = object()
+_EXPIRED = object()
 
 
 class ServerThread:
@@ -366,6 +542,19 @@ class ServerThread:
                 self._loop.run_until_complete(
                     asyncio.gather(*tasks, return_exceptions=True))
             self._loop.close()
+
+    def drain(self, grace: float | None = None, timeout: float = 60.0) -> None:
+        """Gracefully drain the hosted server from the calling thread.
+
+        Blocks until every accepted request has been answered (or
+        ``grace`` seconds passed); the event loop keeps running so the
+        draining responses still flow — call :meth:`stop` afterwards.
+        """
+        if self._loop is None or not self._thread.is_alive():
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.aclose(drain=True, grace=grace), self._loop)
+        future.result(timeout)
 
     def stop(self) -> None:
         if self._loop is None or not self._thread.is_alive():

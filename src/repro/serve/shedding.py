@@ -19,6 +19,11 @@ batching queue:
   (``probe_pending``), so a trickle of probe traffic keeps flowing,
   refreshes the reservoir, and lets the controller discover recovery
   instead of shedding forever on stale data.
+* **deadline feasibility** — a request that carries a remaining deadline
+  budget (``remaining_ms``) is rejected with reason ``"deadline"`` when
+  the budget is already spent or smaller than the recent median service
+  time: the engine cannot possibly answer in time, so admitting it would
+  only burn compute on a response nobody will read.
 
 Decisions are pure functions of recorded state — no clock, no threads —
 so tests assert exact admit/reject sequences.
@@ -67,10 +72,24 @@ class AdmissionController:
     def pending(self) -> int:
         return self._pending
 
-    def try_admit(self) -> tuple[bool, str | None]:
-        """Admit or name the reason not to. Admission bumps ``pending``."""
+    def try_admit(self, *, remaining_ms: float | None = None
+                  ) -> tuple[bool, str | None]:
+        """Admit or name the reason not to. Admission bumps ``pending``.
+
+        ``remaining_ms`` is the request's remaining deadline budget;
+        requests that cannot possibly be answered inside it (budget
+        spent, or below the recent median service time) are shed with
+        reason ``"deadline"`` before they take a queue slot.
+        """
         cfg = self.config
         with self._lock:
+            if remaining_ms is not None:
+                floor = self._latencies.percentile(50.0)
+                if remaining_ms <= 0 or (floor is not None
+                                         and remaining_ms < floor):
+                    self.rejected["deadline"] = \
+                        self.rejected.get("deadline", 0) + 1
+                    return False, "deadline"
             if self._pending >= cfg.max_pending:
                 self.rejected["queue-full"] = \
                     self.rejected.get("queue-full", 0) + 1

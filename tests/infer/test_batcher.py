@@ -13,7 +13,7 @@ import pytest
 
 from repro.clock import FakeClock
 from repro.infer import BatchRunner, TicketCancelled, compile_model
-from repro.infer.batcher import InferenceTicket
+from repro.infer.batcher import DeadlineExpired, InferenceTicket
 from repro.models import build_model
 from repro.verify.invariants import perturb_batchnorm_stats
 
@@ -268,6 +268,92 @@ class TestCoalescingWindowDeterministic:
                     runner.submit(sample).result(timeout=10.0), sample * 2)
         # Each singleton batch charged its whole window to virtual time.
         assert clock.monotonic() == pytest.approx(3 * 0.004)
+
+
+def _enqueue_deadlines(runner, deadlines):
+    """Queue one ticket per deadline (sample value = its index)."""
+    tickets = []
+    for i, deadline in enumerate(deadlines):
+        ticket = InferenceTicket(deadline)
+        sample = np.full((2,), float(i), dtype=np.float32)
+        runner._queue.put((sample, ticket))
+        tickets.append(ticket)
+    return tickets
+
+
+class TestDeadlineEviction:
+    """Expired tickets are evicted during batch formation — acceptance
+    criterion (a): a request whose deadline passed while it sat in the
+    queue never reaches the engine and surfaces as ``expired``."""
+
+    def test_past_deadline_is_evicted_and_counted(self):
+        clock = FakeClock(start=10.0)
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.01)
+        tickets = _enqueue_deadlines(runner, [None, 9.0, 10.0, 11.0])
+        batch = runner._collect()
+        # 9.0 is past, 10.0 is exactly now (expired: deadline <= now);
+        # None and 11.0 survive. A full queue pops for free, so virtual
+        # time did not move and the cut is exact.
+        assert [float(s[0]) for s, _ in batch] == [0.0, 3.0]
+        assert runner.stats["expired"] == 2
+        assert clock.monotonic() == 10.0
+        for ticket in (tickets[1], tickets[2]):
+            with pytest.raises(DeadlineExpired):
+                ticket.result(timeout=0)
+
+    def test_eviction_happens_after_the_coalescing_wait(self):
+        # A deadline that is live at submit time but dies inside the
+        # batching window is still evicted: the check runs at batch
+        # formation, against the clock *after* the window was charged.
+        clock = FakeClock(start=0.0)
+        runner = _quiesced_runner(clock, max_batch=4, max_wait=0.05)
+        tickets = _enqueue_deadlines(runner, [0.01])
+        batch = runner._collect()       # one empty get charges 0.05s
+        assert batch == []
+        assert clock.monotonic() == pytest.approx(0.05)
+        assert runner.stats["expired"] == 1
+        with pytest.raises(DeadlineExpired):
+            tickets[0].result(timeout=0)
+
+    def test_cancelled_ticket_counts_cancelled_not_expired(self):
+        clock = FakeClock(start=10.0)
+        runner = _quiesced_runner(clock, max_batch=2, max_wait=0.01)
+        tickets = _enqueue_deadlines(runner, [5.0, None])
+        tickets[0].cancel()             # caller gave up before eviction
+        batch = runner._collect()
+        assert len(batch) == 1
+        assert runner.stats["cancelled"] == 1
+        assert runner.stats["expired"] == 0
+
+    def test_deadline_expired_is_a_timeout_error(self):
+        # The serving layer's error taxonomy depends on this: expired
+        # must NOT be a RuntimeError, or the hot-swap retry branch would
+        # resubmit already-dead work.
+        assert issubclass(DeadlineExpired, TimeoutError)
+        assert not issubclass(DeadlineExpired, RuntimeError)
+
+    def test_live_runner_never_runs_expired_work(self):
+        # Real clock, gated engine: the blocker occupies the worker, the
+        # victim's deadline is already past when submitted, so the batch
+        # formed after the gate opens must exclude it.
+        engine = _GatedEngine(max_batch=8)
+        with BatchRunner(engine, max_wait=0.0) as runner:
+            blocker = runner.submit(np.full((2,), 1.0, dtype=np.float32))
+            victim = runner.submit(np.full((2,), 2.0, dtype=np.float32),
+                                   deadline=runner.clock.monotonic() - 1.0)
+            engine.gate.set()
+            np.testing.assert_array_equal(blocker.result(timeout=10.0),
+                                          np.full((2,), 2.0, np.float32))
+            with pytest.raises(DeadlineExpired):
+                victim.result(timeout=10.0)
+            # Only the blocker's singleton batch ever reached the engine;
+            # a live-deadline probe confirms the worker is still healthy.
+            probe = runner.submit(
+                np.full((2,), 3.0, dtype=np.float32),
+                deadline=runner.clock.monotonic() + 60.0)
+            probe.result(timeout=10.0)
+            assert runner.stats["expired"] == 1
+            assert runner.stats["samples"] == 2     # blocker + probe
 
 
 class TestInferenceTicket:

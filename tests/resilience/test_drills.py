@@ -11,7 +11,8 @@ class TestRunDrills:
                          "sentinel.recovery", "loader.retry",
                          "worker.crash", "worker.respawn", "worker.hang",
                          "worker.degrade", "shm.reaper",
-                         "serve.shed", "serve.swap"]
+                         "serve.shed", "serve.swap",
+                         "serve.drain", "serve.restart"]
         for result in results:
             assert result.passed, f"{result.name}: {result.failures}"
             assert result.seconds >= 0.0

@@ -1,0 +1,194 @@
+"""Deploy manifest + warm restart: journal, snapshot, restore, skip.
+
+Acceptance criterion (c): ``restore_registry`` brings every manifest
+version back through the full compile + probe-validation deploy gate,
+and a corrupted entry (bit-flipped checkpoint, truncated journal tail)
+is skipped with an explicit report instead of aborting the restore or
+serving garbage weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.io import save_model
+from repro.models import build_model
+from repro.serve import (ModelRegistry, ServeManifest, SheddingConfig,
+                         restore_registry)
+from repro.serve.manifest import MANIFEST_NAME
+from repro.tensor import Tensor, inference_mode
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _tiny_model(seed=0):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    model.eval()
+    return model
+
+
+def _registry(**kw):
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("shedding", SheddingConfig(p99_budget_ms=None))
+    return ModelRegistry(**kw)
+
+
+def _corrupt_npz(path):
+    """Flip one payload byte; the checksum in load_model must catch it."""
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+class TestManifestJournal:
+    def test_active_entries_keep_the_last_deploy_per_name(self, tmp_path):
+        manifest = ServeManifest(tmp_path)
+        manifest.record_deploy("a", "v1", tmp_path / "a1.npz")
+        manifest.record_deploy("b", "v1", tmp_path / "b1.npz")
+        manifest.record_deploy("a", "v2", tmp_path / "a2.npz")
+        entries = manifest.active_entries()
+        assert [(e["name"], e["version"]) for e in entries] == \
+            [("a", "v2"), ("b", "v1")]          # last wins, a is still first
+
+    def test_checkpoint_deploys_journal_their_resolved_path(self, tmp_path):
+        checkpoint = tmp_path / "m.npz"
+        save_model(_tiny_model(), checkpoint)
+        with _registry(manifest_dir=tmp_path / "manifest") as registry:
+            registry.deploy("m", "v1", checkpoint=checkpoint)
+        manifest = ServeManifest(tmp_path / "manifest")
+        [entry] = manifest.active_entries()
+        assert entry["checkpoint"] == str(checkpoint.resolve())
+
+    def test_model_deploys_are_snapshotted_into_the_manifest(self, tmp_path):
+        with _registry(manifest_dir=tmp_path) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+        manifest = ServeManifest(tmp_path)
+        [entry] = manifest.active_entries()
+        snapshot = manifest.snapshot_path("m", "v1")
+        assert entry["checkpoint"] == str(snapshot.resolve())
+        assert snapshot.exists()
+
+    def test_unsnapshottable_model_is_journaled_without_checkpoint(
+            self, tmp_path):
+        model = _tiny_model()
+        model.arch = None               # no recipe: save_model must refuse
+        probe = np.random.default_rng(0).normal(
+            size=(2, 3, 8, 8)).astype(np.float32)
+        with _registry(manifest_dir=tmp_path) as registry:
+            registry.deploy("m", "v1", model=model, probe=probe)
+        [entry] = ServeManifest(tmp_path).active_entries()
+        assert entry["checkpoint"] is None
+        report = restore_registry(_registry(), tmp_path)
+        assert report.restored == []
+        [skipped] = report.skipped
+        assert skipped["name"] == "m" and skipped["checkpoint"] is None
+
+    def test_restore_suppresses_rejournaling(self, tmp_path):
+        with _registry(manifest_dir=tmp_path) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+        with _registry(manifest_dir=tmp_path) as restored:
+            restore_registry(restored, tmp_path)
+        # One deploy event, not two: the replay used record=False.
+        assert len(ServeManifest(tmp_path).journal.events("deploy")) == 1
+
+
+class TestRestore:
+    def test_round_trip_restores_every_version_through_validation(
+            self, tmp_path):
+        checkpoint = tmp_path / "b.npz"
+        save_model(_tiny_model(seed=1), checkpoint)
+        original = {}
+        with _registry(manifest_dir=tmp_path / "mf") as registry:
+            registry.deploy("a", "v1", model=_tiny_model(seed=0),
+                            input_shape=(3, 8, 8))
+            registry.deploy("b", "v3", checkpoint=checkpoint)
+            sample = np.random.default_rng(5).normal(
+                size=(3, 8, 8)).astype(np.float32)
+            for name in ("a", "b"):
+                line, version = registry.resolve(name)
+                original[name] = registry.eager_infer(line, version, sample)
+
+        with _registry() as fresh:
+            report = restore_registry(fresh, tmp_path / "mf")
+            assert report.skipped == []
+            assert sorted(e["name"] for e in report.restored) == ["a", "b"]
+            assert not report.journal_truncated
+            for name, want in original.items():
+                line, version = fresh.resolve(name)
+                assert np.isfinite(version.probe_max_abs_diff)   # validated
+                got = fresh.eager_infer(line, version, sample)
+                np.testing.assert_array_equal(got, want)
+            assert fresh.resolve("b")[1].ref == "b@v3"
+
+    def test_corrupted_checkpoint_is_skipped_with_a_named_reason(
+            self, tmp_path):
+        doomed = tmp_path / "doomed.npz"
+        save_model(_tiny_model(seed=2), doomed)
+        with _registry(manifest_dir=tmp_path / "mf") as registry:
+            registry.deploy("good", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            registry.deploy("bad", "v1", checkpoint=doomed)
+        _corrupt_npz(doomed)
+
+        with _registry() as fresh:
+            report = restore_registry(fresh, tmp_path / "mf")
+            assert [e["name"] for e in report.restored] == ["good"]
+            [skipped] = report.skipped
+            assert skipped["name"] == "bad"
+            assert "CheckpointCorrupt" in skipped["reason"]
+            fresh.resolve("good")
+            with pytest.raises(KeyError):
+                fresh.resolve("bad")
+        assert "skipped bad@v1" in report.summary()
+
+    def test_missing_checkpoint_is_skipped_not_fatal(self, tmp_path):
+        manifest = ServeManifest(tmp_path)
+        manifest.record_deploy("ghost", "v1", tmp_path / "nowhere.npz")
+        with _registry() as fresh:
+            report = restore_registry(fresh, tmp_path)
+        [skipped] = report.skipped
+        assert "FileNotFoundError" in skipped["reason"]
+
+    def test_corrupt_journal_tail_is_dropped_and_flagged(self, tmp_path):
+        checkpoint = tmp_path / "m.npz"
+        save_model(_tiny_model(), checkpoint)
+        with _registry(manifest_dir=tmp_path / "mf") as registry:
+            registry.deploy("m", "v1", checkpoint=checkpoint)
+        journal_path = tmp_path / "mf" / MANIFEST_NAME
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"crc": 0, "record": {"event": "deploy"}}\n')
+
+        with _registry() as fresh:
+            report = restore_registry(fresh, tmp_path / "mf")
+            assert report.journal_truncated
+            assert [e["name"] for e in report.restored] == ["m"]
+        assert "corrupt tail" in report.summary()
+
+    def test_report_as_dict_is_json_shaped(self, tmp_path):
+        with _registry(manifest_dir=tmp_path) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+        with _registry() as fresh:
+            report = restore_registry(fresh, tmp_path)
+        payload = report.as_dict()
+        assert payload["restored"][0]["name"] == "m"
+        assert payload["skipped"] == []
+        assert payload["journal_truncated"] is False
+        import json
+        json.dumps(payload)     # serialisable as-is
+
+
+class TestEagerReference:
+    def test_eager_reference_is_deterministic(self):
+        # The round-trip test compares eager outputs across registries;
+        # that only proves restoration if eager inference is itself
+        # deterministic for one model. Pin that assumption.
+        model = _tiny_model()
+        sample = np.random.default_rng(9).normal(
+            size=(1, 3, 8, 8)).astype(np.float32)
+        with inference_mode():
+            a = model(Tensor(sample)).data
+            b = model(Tensor(sample)).data
+        np.testing.assert_array_equal(a, b)

@@ -30,6 +30,29 @@ class TestLatencyReservoir:
         with pytest.raises(ValueError):
             reservoir.percentile(101.0)
 
+    def test_single_sample_dominates_every_percentile(self):
+        reservoir = LatencyReservoir(8)
+        reservoir.record(7.5)
+        for p in (0.0, 50.0, 99.0, 100.0):
+            assert reservoir.percentile(p) == 7.5
+        assert reservoir.summary() == {"count": 1, "p50_ms": 7.5,
+                                       "p99_ms": 7.5, "max_ms": 7.5}
+
+    def test_exact_ring_wrap_boundary(self):
+        # Filling to exactly capacity keeps every sample; the very next
+        # record evicts the oldest, one at a time, in arrival order.
+        reservoir = LatencyReservoir(4)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reservoir.record(v)
+        assert reservoir.count == 4
+        assert reservoir.percentile(0.0) == 1.0     # nothing evicted yet
+        reservoir.record(5.0)                       # first wrap
+        assert reservoir.percentile(0.0) == 2.0
+        assert reservoir.percentile(100.0) == 5.0
+        reservoir.record(6.0)                       # second slot wraps
+        assert reservoir.percentile(0.0) == 3.0
+        assert reservoir.count == 6                 # lifetime keeps counting
+
     def test_ring_keeps_only_the_most_recent_window(self):
         reservoir = LatencyReservoir(3)
         for v in (1.0, 2.0, 3.0, 4.0, 5.0):
@@ -72,6 +95,24 @@ class TestServerMetrics:
         assert snap["queue_wait"]["count"] == 2
         assert snap["per_model"]["m@v1"]["count"] == 2
         assert snap["per_model"]["n@v1"]["p50_ms"] == 50.0
+
+    def test_cancelled_and_expired_are_first_class_counters(self):
+        # The request-lifecycle outcomes are stock keys — present (at
+        # zero) before anything happens, so dashboards never KeyError.
+        fresh = ServerMetrics().snapshot()["counters"]
+        assert fresh["cancelled"] == 0
+        assert fresh["expired"] == 0
+        assert fresh["replayed"] == 0
+        metrics = ServerMetrics()
+        metrics.incr("cancelled")
+        metrics.incr("expired", 2)
+        metrics.incr("replayed")
+        snap = metrics.snapshot()["counters"]
+        assert snap["cancelled"] == 1
+        assert snap["expired"] == 2
+        assert snap["replayed"] == 1
+        # Neither path touches the completion reservoirs.
+        assert metrics.snapshot()["latency"]["count"] == 0
 
     def test_snapshot_merges_extra_payload(self):
         metrics = ServerMetrics()

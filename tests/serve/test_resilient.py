@@ -1,0 +1,266 @@
+"""Self-healing client: breaker, backoff, reconnect, idempotent replay.
+
+The breaker unit tests run entirely on :class:`FakeClock`. The e2e tests
+use real sockets but a FakeClock *inside the client*, so every backoff
+"sleep" is virtual — the only real waiting is socket round trips.
+Acceptance criterion (d): the client recovers bitwise-identical results
+across a full server restart.
+"""
+
+import numpy as np
+import pytest
+
+from repro.clock import FakeClock
+from repro.models import build_model
+from repro.resilience.retry import RetryBudgetExhausted, RetryPolicy
+from repro.serve import (CircuitBreaker, CircuitOpenError, ModelRegistry,
+                        ResilientClient, SheddingConfig, restore_registry)
+from repro.serve.client import ServeClient
+from repro.serve.server import ServeConfig, ServerThread
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _tiny_model(seed=0):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.125,
+                        seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    model.eval()
+    return model
+
+
+def _registry(**kw):
+    kw.setdefault("max_batch", 8)
+    kw.setdefault("shedding", SheddingConfig(p99_budget_ms=None))
+    return ModelRegistry(**kw)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=5.0,
+                                 clock=clock)
+        for _ in range(2):
+            breaker.on_failure()
+            assert breaker.state == "closed" and breaker.allow()
+        breaker.on_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.on_failure()
+        breaker.on_success()
+        breaker.on_failure()
+        assert breaker.state == "closed"    # streak broken; not 2 in a row
+
+    def test_cooldown_admits_exactly_one_half_open_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                                 clock=clock)
+        breaker.on_failure()
+        assert not breaker.allow()
+        clock.advance(9.999)
+        assert not breaker.allow()          # still cooling
+        clock.advance(0.001)
+        assert breaker.allow()              # the probe
+        assert breaker.state == "half-open"
+        assert not breaker.allow()          # second caller blocked
+
+    def test_probe_success_closes_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=10.0,
+                                 clock=clock)
+        breaker.on_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.on_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+        breaker.on_failure()                # trip again
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.on_failure()                # the probe failed
+        assert breaker.state == "open"
+        assert not breaker.allow()          # cooldown restarted
+        clock.advance(10.0)
+        assert breaker.allow()
+
+    def test_configuration_is_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_s=-1.0)
+
+
+class TestResilientAgainstLiveServer:
+    def test_plain_requests_pass_through_with_a_rid(self):
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            with ServerThread(registry, ServeConfig()) as srv:
+                with ResilientClient("127.0.0.1", srv.port) as rc:
+                    assert rc.ping()
+                    sample = np.random.default_rng(0).normal(
+                        size=(3, 8, 8)).astype(np.float32)
+                    out = rc.infer("m", sample)
+                    assert out.shape == (3,)
+                    assert rc.stats["retries"] == 0
+                stats = srv.server.stats()
+        assert stats["counters"]["completed"] == 1
+
+    def test_idempotent_rid_replays_are_not_double_counted(self):
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            sample = np.random.default_rng(1).normal(
+                size=(3, 8, 8)).astype(np.float32)
+            payload = {"op": "infer", "model": "m",
+                       "input": sample.tolist(), "rid": "t:1"}
+            with ServerThread(registry, ServeConfig()) as srv:
+                with ServeClient("127.0.0.1", srv.port) as client:
+                    first = client.request(dict(payload))
+                    again = client.request(dict(payload))
+                stats = srv.server.stats()
+        assert again["replayed"] is True
+        assert "replayed" not in first
+        assert again["output"] == first["output"]       # byte-for-byte JSON
+        # The work and its completion metric happened exactly once.
+        assert stats["counters"]["completed"] == 1
+        assert stats["counters"]["replayed"] == 1
+
+    def test_reconnects_across_a_server_restart_bitwise(self, tmp_path):
+        sample = np.random.default_rng(2).normal(
+            size=(3, 8, 8)).astype(np.float32)
+        manifest_dir = tmp_path / "mf"
+
+        with _registry(manifest_dir=manifest_dir) as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            srv = ServerThread(registry, ServeConfig()).start()
+            port = srv.port
+            rc = ResilientClient("127.0.0.1", port,
+                                 policy=RetryPolicy(max_attempts=40,
+                                                    base_delay=0.05,
+                                                    max_delay=0.2))
+            before = rc.infer("m", sample)
+            srv.stop()          # the socket under rc dies with the server
+
+        # Warm restart on the SAME port from the manifest — exactly what
+        # `repro serve --resume` does after a process death.
+        with _registry() as reborn:
+            report = restore_registry(reborn, manifest_dir)
+            assert [e["name"] for e in report.restored] == ["m"]
+            with ServerThread(reborn, ServeConfig(port=port)) as srv2:
+                after = rc.infer("m", sample)
+        # Batches of one on both sides: bitwise-identical recovery.
+        np.testing.assert_array_equal(before, after)
+        assert rc.stats["reconnects"] >= 1
+        rc.close()
+
+    def test_draining_rejections_back_off_then_exhaust(self):
+        # A drain held open by one gated in-flight request: the client's
+        # established connection keeps getting explicit ``draining``
+        # answers, which feed backoff (virtual, on the FakeClock) and
+        # finally RetryBudgetExhausted — never a silent hang, and never
+        # the breaker (the server is alive, just unwilling).
+        import threading
+
+        class _Gate:
+            def __init__(self, engine):
+                self._engine = engine
+                self.max_batch = engine.max_batch
+                self.release = threading.Event()
+
+            def run(self, x):
+                self.release.wait(timeout=30)
+                return self._engine.run(x)
+
+        registry = _registry()
+        registry.deploy("m", "v1", model=_tiny_model(),
+                        input_shape=(3, 8, 8))
+        _, version = registry.resolve("m")
+        gate = _Gate(version.engine)
+        version.runner.engine = gate
+        sample = np.zeros((3, 8, 8), dtype=np.float32)
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1e9,
+                                 clock=clock)
+        with registry, ServerThread(registry, ServeConfig()) as srv:
+            blocker = threading.Thread(
+                target=lambda: ServeClient("127.0.0.1", srv.port)
+                .infer("m", sample))
+            blocker.start()
+            import time
+            deadline = time.monotonic() + 10
+            while srv.server.inflight < 1 and time.monotonic() < deadline:
+                time.sleep(0.005)
+            rc = ResilientClient(
+                "127.0.0.1", srv.port, clock=clock, breaker=breaker,
+                policy=RetryPolicy(max_attempts=3, base_delay=0.5))
+            assert rc.ping()            # connection pre-dates the drain
+            drainer = threading.Thread(target=srv.drain)
+            drainer.start()
+            deadline = time.monotonic() + 10
+            while not srv.server.draining and time.monotonic() < deadline:
+                time.sleep(0.005)
+            with pytest.raises(RetryBudgetExhausted) as excinfo:
+                rc.infer("m", sample)
+            from repro.serve.client import Draining
+            assert isinstance(excinfo.value.__cause__, Draining)
+            assert len(clock.slept) == 2        # backoff between 3 attempts
+            # Alive-but-draining never trips the breaker.
+            assert breaker.state == "closed"
+            gate.release.set()
+            drainer.join(timeout=30)
+            blocker.join(timeout=10)
+            rc.close()
+
+    def test_retry_budget_exhausts_against_a_dead_port(self):
+        # Bind-then-close to get a port nothing listens on; connect then
+        # fails fast with ConnectionRefused — no wall-clock waiting, and
+        # the FakeClock absorbs every backoff sleep.
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        clock = FakeClock()
+        policy = RetryPolicy(max_attempts=4, base_delay=0.5, factor=2.0,
+                             max_delay=60.0, seed=7)
+        rc = ResilientClient("127.0.0.1", dead_port, policy=policy,
+                             clock=clock)
+        with pytest.raises(RetryBudgetExhausted):
+            rc.ping()
+        assert rc.stats["reconnects"] == 4
+        # Backoff consulted the policy schedule, on virtual time only.
+        assert clock.slept == [policy.delay(0), policy.delay(1),
+                               policy.delay(2)]
+
+    def test_breaker_fails_fast_once_open(self):
+        import socket
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=3600.0,
+                                 clock=clock)
+        rc = ResilientClient(
+            "127.0.0.1", dead_port, clock=clock, breaker=breaker,
+            policy=RetryPolicy(max_attempts=5, base_delay=0.01,
+                               max_delay=0.01))
+        # Attempts 1-2 fail on the wire and trip the breaker; attempt 3
+        # is refused before touching the socket.
+        with pytest.raises(CircuitOpenError):
+            rc.ping()
+        assert breaker.state == "open"
+        assert rc.stats["reconnects"] == 2
+        assert rc.stats["breaker_fast_fails"] == 1
+
+        # While open, calls fail fast without any connection attempt.
+        with pytest.raises(CircuitOpenError):
+            rc.ping()
+        assert rc.stats["reconnects"] == 2

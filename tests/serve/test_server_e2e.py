@@ -230,6 +230,66 @@ class TestOverload:
             outcomes["shed"]
 
 
+class TestOversizedLines:
+    """A request line over ``max_line_bytes`` is answered, not dropped.
+
+    Before PR 7 the server let ``readline`` blow up the connection and
+    the client saw a bare EOF. Now the oversized line is consumed, the
+    client gets an explicit ``bad-request``/``line-too-long``, and the
+    same connection keeps serving.
+    """
+
+    @pytest.fixture()
+    def small_limit_service(self):
+        registry = ModelRegistry(
+            max_batch=8, shedding=SheddingConfig(p99_budget_ms=None))
+        registry.deploy("m", "v1", model=_tiny_model(),
+                        input_shape=(3, 8, 8))
+        with registry, ServerThread(
+                registry, ServeConfig(max_line_bytes=4096)) as srv:
+            yield srv
+
+    def test_oversized_line_gets_explicit_error_and_survives(
+            self, small_limit_service):
+        import json
+        srv = small_limit_service
+        with ServeClient("127.0.0.1", srv.port) as client:
+            client._file.write(b"x" * 20_000 + b"\n")
+            client._file.flush()
+            response = json.loads(client._file.readline())
+            assert response["ok"] is False
+            assert response["error"] == "bad-request"
+            assert response["reason"] == "line-too-long"
+            # The connection resynchronised on the newline: later
+            # requests on the same socket are served normally.
+            assert client.ping()
+            sample = np.zeros((3, 8, 8), dtype=np.float32)
+            assert client.infer("m", sample).shape == (3,)
+
+    def test_interleaved_oversized_lines_do_not_poison_requests(
+            self, small_limit_service):
+        import json
+        srv = small_limit_service
+        with ServeClient("127.0.0.1", srv.port) as client:
+            for _ in range(3):
+                client._file.write(b"y" * 10_000 + b"\n")
+                client._file.flush()
+                response = json.loads(client._file.readline())
+                assert response["reason"] == "line-too-long"
+                assert client.ping()
+
+    def test_oversized_line_counts_as_received(self, small_limit_service):
+        import json
+        srv = small_limit_service
+        with ServeClient("127.0.0.1", srv.port) as client:
+            before = client.stats()["counters"]["received"]
+            client._file.write(b"z" * 9_000 + b"\n")
+            client._file.flush()
+            json.loads(client._file.readline())
+            after = client.stats()["counters"]["received"]
+        assert after == before + 2          # the bad line + one stats call
+
+
 class TestDrillsAsTests:
     """The verify drills double as the heavyweight e2e scenarios."""
 
@@ -241,4 +301,14 @@ class TestDrillsAsTests:
     def test_hot_swap_drill_passes(self):
         from repro.serve.drills import _drill_serve_swap
         result = _drill_serve_swap(seed=0)
+        assert result.passed, result.failures
+
+    def test_drain_drill_passes(self):
+        from repro.serve.drills import _drill_serve_drain
+        result = _drill_serve_drain(seed=0)
+        assert result.passed, result.failures
+
+    def test_restart_drill_passes(self):
+        from repro.serve.drills import _drill_serve_restart
+        result = _drill_serve_restart(seed=0)
         assert result.passed, result.failures

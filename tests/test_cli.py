@@ -47,9 +47,18 @@ class TestParser:
         assert args.max_pending == 64
         assert args.p99_budget_ms == pytest.approx(200.0)
 
-    def test_serve_requires_a_model(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["serve"])
+    def test_serve_requires_a_model_or_resume(self):
+        # --model is no longer parser-mandatory (a manifest via --resume
+        # is an alternative source of deployments); a bare `serve` is
+        # refused at runtime instead.
+        from repro.cli import main
+        assert main(["serve"]) == 1
+
+    def test_serve_lifecycle_flag_defaults(self):
+        args = build_parser().parse_args(["serve", "--resume", "mf"])
+        assert args.resume == "mf"
+        assert args.drain_grace == pytest.approx(30.0)
+        assert args.request_timeout == pytest.approx(30.0)
 
     def test_serve_rejects_malformed_model_spec(self):
         from repro.cli import main
