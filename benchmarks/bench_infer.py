@@ -28,13 +28,17 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny models and few repeats, for CI")
+    parser.add_argument("--quant", action="store_true",
+                        help="extend the sweep to the int8 engine "
+                             "({dense,pruned} x {fp32,int8} grid); with "
+                             "--smoke, asserts the size and accuracy gates")
     parser.add_argument("--out", default=str(ROOT / "BENCH_infer.json"),
                         help="output JSON path")
     args = parser.parse_args(argv)
 
     batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
     results = run_bench(batch_sizes=batch_sizes, repeats=args.repeats,
-                        smoke=args.smoke, seed=args.seed)
+                        smoke=args.smoke, seed=args.seed, quant=args.quant)
     print(format_table(results))
     write_bench(results, args.out)
     print(f"\nresults written to {args.out}")
@@ -45,6 +49,12 @@ def main(argv=None) -> int:
         best = max(e["speedup"] for e in conv_32)
         print(f"best conv-model speedup at batch {max(batch_sizes)}: "
               f"{best:.2f}x")
+    if args.quant:
+        ratios = [e["size_ratio"] for e in results["entries"]
+                  if "size_ratio" in e]
+        if ratios:
+            print(f"int8 artifact size ratio: {min(ratios):.2f}x - "
+                  f"{max(ratios):.2f}x")
     return 0
 
 

@@ -1,7 +1,8 @@
 """Closed-loop serving benchmark: latency/throughput vs offered load.
 
-Boots a real socket server with a dense and a channel-pruned variant of
-the bench model, sweeps concurrent connections against each, and records
+Boots a real socket server with dense, channel-pruned, and int8
+quantized-artifact variants of the bench model (``--variant`` selects a
+subset), sweeps concurrent connections against each, and records
 p50/p99 latency and sustained throughput to ``BENCH_serve.json`` at the
 repo root (schema in ``docs/serving.md``):
 
@@ -19,13 +20,17 @@ import sys
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(ROOT / "src"))
 
-from repro.serve.bench import format_table, run_bench, write_bench  # noqa: E402
+from repro.serve.bench import (_VARIANTS, format_table, run_bench,  # noqa: E402
+                               write_bench)
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--connections", default="1,4,16",
                         help="comma-separated offered-load sweep")
+    parser.add_argument("--variant", action="append", choices=_VARIANTS,
+                        help="benchmark only these variants "
+                             "(default: all of %s)" % (_VARIANTS,))
     parser.add_argument("--requests", type=int, default=40,
                         help="requests per connection at each sweep point")
     parser.add_argument("--max-batch", type=int, default=16)
@@ -40,7 +45,9 @@ def main(argv=None) -> int:
     results = run_bench(smoke=args.smoke, seed=args.seed,
                         connections=connections,
                         requests_per_connection=args.requests,
-                        max_batch=args.max_batch)
+                        max_batch=args.max_batch,
+                        variants=tuple(args.variant) if args.variant
+                        else _VARIANTS)
     print(format_table(results))
     write_bench(results, args.out)
     print(f"\nresults written to {args.out}")

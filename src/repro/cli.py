@@ -294,7 +294,7 @@ def cmd_infer_bench(args) -> int:
     batch_sizes = tuple(int(b) for b in args.batch_sizes.split(","))
     results = run_bench(models=models, batch_sizes=batch_sizes,
                         repeats=args.repeats, smoke=args.smoke,
-                        seed=args.seed)
+                        seed=args.seed, quant=args.quant)
     print(format_table(results))
     if args.out:
         write_bench(results, args.out)
@@ -357,12 +357,14 @@ def cmd_serve(args) -> int:
 
 
 def cmd_serve_bench(args) -> int:
-    from .serve.bench import format_table, run_bench, write_bench
+    from .serve.bench import _VARIANTS, format_table, run_bench, write_bench
     connections = tuple(int(c) for c in args.connections.split(","))
+    variants = tuple(args.variant) if args.variant else _VARIANTS
     results = run_bench(smoke=args.smoke, seed=args.seed,
                         connections=connections,
                         requests_per_connection=args.requests,
-                        max_batch=args.max_batch)
+                        max_batch=args.max_batch,
+                        variants=variants)
     print(format_table(results))
     if args.out:
         write_bench(results, args.out)
@@ -485,6 +487,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.add_argument("--smoke", action="store_true",
                          help="tiny models / few repeats (CI)")
+    p_bench.add_argument("--quant", action="store_true",
+                         help="extend the sweep to the int8 engine "
+                              "({dense,pruned} x {fp32,int8} grid with "
+                              "artifact sizes and top-1 agreement)")
     p_bench.add_argument("--out", default=None,
                          help="write results JSON to this path")
     p_bench.set_defaults(func=cmd_infer_bench)
@@ -544,6 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--requests", type=int, default=40,
                           help="requests per connection at each sweep point")
     p_sbench.add_argument("--max-batch", type=int, default=16)
+    p_sbench.add_argument("--variant", action="append", default=None,
+                          choices=["dense", "pruned", "int8"],
+                          help="serve only these variants (repeatable); "
+                               "default benches dense, pruned and int8")
     p_sbench.add_argument("--seed", type=int, default=0)
     p_sbench.add_argument("--smoke", action="store_true",
                           help="tiny model / short sweep (CI); asserts the "

@@ -6,6 +6,14 @@ measures execution speed, not accuracy), across a sweep of batch sizes.
 Timing is median-of-repeats with a warmup pass, so one-off page faults and
 lazy numpy initialisation do not pollute the numbers.
 
+With ``quant=True`` (``repro infer-bench --quant``) the sweep covers the
+full ``{dense, pruned} × {fp32, int8}`` grid: each variant is also
+compiled through :mod:`repro.qinfer` (percentile calibration over a
+synthetic loader), timed on the same batches, and annotated with its
+serialized artifact size and top-1 agreement against eager execution —
+the numbers behind the compression/throughput claims in
+``docs/quantization.md``.
+
 Entry point: :func:`run_bench`, used by both the ``repro infer-bench`` CLI
 command and the standalone ``benchmarks/bench_infer.py`` script that
 refreshes ``BENCH_infer.json`` at the repo root.
@@ -14,6 +22,8 @@ refreshes ``BENCH_infer.json`` at the repo root.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import time
 
 import numpy as np
@@ -69,8 +79,21 @@ def _prune_model(model, seed: int) -> None:
     prune_groups(model, groups, keep)
 
 
+def _artifact_bytes(plan) -> int:
+    """On-disk size of a plan serialized with :func:`repro.qinfer.save_plan`."""
+    from ..qinfer import save_plan
+
+    fd, path = tempfile.mkstemp(suffix=".rplan")
+    os.close(fd)
+    try:
+        save_plan(plan, path)
+        return os.path.getsize(path)
+    finally:
+        os.unlink(path)
+
+
 def _bench_variant(name: str, kwargs: dict, variant: str, batch_sizes,
-                   repeats: int, rng) -> list[dict]:
+                   repeats: int, rng, quant: bool = False) -> list[dict]:
     from ..verify.invariants import perturb_batchnorm_stats
 
     model = build_model(name, **kwargs)
@@ -90,40 +113,67 @@ def _bench_variant(name: str, kwargs: dict, variant: str, batch_sizes,
     # catch real miscompiles.
     engine = compile_model(model, example, max_batch=max_n, atol=1e-3)
 
+    engines = [("fp32", engine, None)]
+    fp32_bytes = None
+    if quant:
+        loader = [rng.normal(size=example.shape).astype(np.float32)
+                  for _ in range(3)]
+        qengine = compile_model(model, example, max_batch=max_n,
+                                quantize="int8", calibrate=loader)
+        fp32_bytes = _artifact_bytes(engine.plan)
+        engines.append(("int8", qengine, _artifact_bytes(qengine.plan)))
+
     entries = []
-    for batch in batch_sizes:
-        x = example[:batch]
-        xt = Tensor(x)
+    for kind, eng, art_bytes in engines:
+        for batch in batch_sizes:
+            x = example[:batch]
+            xt = Tensor(x)
 
-        def eager():
-            with no_grad():
-                return model(xt).data
+            def eager():
+                with no_grad():
+                    return model(xt).data
 
-        eager_out = eager()
-        compiled_out = engine.run(x)
-        max_diff = float(np.max(np.abs(eager_out - compiled_out)))
+            eager_out = eager()
+            compiled_out = eng.run(x)
+            max_diff = float(np.max(np.abs(eager_out - compiled_out)))
 
-        eager_ms = _median_ms(eager, repeats)
-        compiled_ms = _median_ms(lambda: engine.run(x), repeats)
-        entries.append(dict(
-            model=name, variant=variant, batch=int(batch),
-            eager_ms=round(eager_ms, 4),
-            compiled_ms=round(compiled_ms, 4),
-            speedup=round(eager_ms / compiled_ms, 3) if compiled_ms else None,
-            eager_throughput=round(batch / (eager_ms / 1e3), 1),
-            compiled_throughput=round(batch / (compiled_ms / 1e3), 1),
-            max_abs_diff=max_diff,
-            plan_steps=len(engine.plan),
-            optimization=engine.optimization.summary()
-            if engine.optimization else None,
-        ))
+            eager_ms = _median_ms(eager, repeats)
+            compiled_ms = _median_ms(lambda: eng.run(x), repeats)
+            entry = dict(
+                model=name, variant=variant, engine=kind, batch=int(batch),
+                eager_ms=round(eager_ms, 4),
+                compiled_ms=round(compiled_ms, 4),
+                speedup=round(eager_ms / compiled_ms, 3)
+                if compiled_ms else None,
+                eager_throughput=round(batch / (eager_ms / 1e3), 1),
+                compiled_throughput=round(batch / (compiled_ms / 1e3), 1),
+                max_abs_diff=max_diff,
+                plan_steps=len(eng.plan),
+                optimization=eng.optimization.summary()
+                if eng.optimization else None,
+            )
+            if quant:
+                entry["artifact_bytes"] = int(art_bytes if kind == "int8"
+                                              else fp32_bytes)
+                if kind == "int8":
+                    entry["size_ratio"] = round(fp32_bytes / art_bytes, 3)
+                    entry["top1_agreement"] = round(float(np.mean(
+                        np.argmax(compiled_out, -1)
+                        == np.argmax(eager_out, -1))), 4)
+            entries.append(entry)
     return entries
 
 
 def run_bench(models: dict[str, dict] | None = None,
               batch_sizes=(1, 8, 32), repeats: int = 10,
-              smoke: bool = False, seed: int = 0) -> dict:
-    """Benchmark eager vs compiled inference; returns the results payload."""
+              smoke: bool = False, seed: int = 0,
+              quant: bool = False) -> dict:
+    """Benchmark eager vs compiled inference; returns the results payload.
+
+    ``quant=True`` extends the sweep to the int8 engine, producing the
+    ``{dense, pruned} × {fp32, int8}`` grid with artifact sizes and top-1
+    agreement per int8 entry.
+    """
     if models is None:
         models = SMOKE_MODELS if smoke else BENCH_MODELS
     if smoke:
@@ -134,10 +184,26 @@ def run_bench(models: dict[str, dict] | None = None,
     for name, kwargs in models.items():
         for variant in ("dense", "pruned"):
             entries.extend(_bench_variant(name, kwargs, variant,
-                                          tuple(batch_sizes), repeats, rng))
+                                          tuple(batch_sizes), repeats, rng,
+                                          quant=quant))
+    if smoke and quant:
+        # CI tripwire: the quantization contract (artifact shrinkage and
+        # accuracy agreement) must hold at every grid point.
+        for e in entries:
+            if e.get("engine") != "int8":
+                continue
+            where = f"{e['model']}/{e['variant']}@{e['batch']}"
+            # The smoke mlp is small enough that the fixed manifest
+            # bytes keep it a hair under 3x; conv models must clear it.
+            gate = 3.0 if e["model"] != "mlp" else 2.8
+            assert e["size_ratio"] >= gate, \
+                f"{where}: artifact only shrank {e['size_ratio']}x"
+            assert e["top1_agreement"] >= 0.9, \
+                f"{where}: top-1 agreement {e['top1_agreement']}"
     return {
         "benchmark": "repro.infer eager-vs-compiled",
         "smoke": bool(smoke),
+        "quantization": bool(quant),
         "repeats": int(repeats),
         "batch_sizes": [int(b) for b in batch_sizes],
         "prune_fraction": _PRUNE_FRACTION,
@@ -153,13 +219,22 @@ def write_bench(results: dict, path) -> None:
 
 
 def format_table(results: dict) -> str:
-    header = (f"{'model':<10} {'variant':<7} {'batch':>5} "
+    quant = results.get("quantization")
+    header = (f"{'model':<10} {'variant':<7} {'engine':<6} {'batch':>5} "
               f"{'eager ms':>9} {'compiled ms':>12} {'speedup':>8} "
               f"{'max|Δ|':>9}")
+    if quant:
+        header += f" {'bytes':>9} {'ratio':>6} {'top1':>5}"
     lines = [header, "-" * len(header)]
     for e in results["entries"]:
-        lines.append(
-            f"{e['model']:<10} {e['variant']:<7} {e['batch']:>5} "
-            f"{e['eager_ms']:>9.3f} {e['compiled_ms']:>12.3f} "
-            f"{e['speedup']:>7.2f}x {e['max_abs_diff']:>9.2e}")
+        row = (f"{e['model']:<10} {e['variant']:<7} "
+               f"{e.get('engine', 'fp32'):<6} {e['batch']:>5} "
+               f"{e['eager_ms']:>9.3f} {e['compiled_ms']:>12.3f} "
+               f"{e['speedup']:>7.2f}x {e['max_abs_diff']:>9.2e}")
+        if quant:
+            ratio = (f"{e['size_ratio']:.2f}" if "size_ratio" in e else "-")
+            top1 = (f"{e['top1_agreement']:.2f}"
+                    if "top1_agreement" in e else "-")
+            row += f" {e.get('artifact_bytes', 0):>9} {ratio:>6} {top1:>5}"
+        lines.append(row)
     return "\n".join(lines)

@@ -36,11 +36,26 @@ from numpy.lib.stride_tricks import as_strided
 
 from ..tensor.conv import im2col_gather
 
-__all__ = ["BUILDERS", "build_step"]
+__all__ = ["BUILDERS", "build_step", "register_builders"]
 
 
 def _maybe_relu(buf, n):
     np.maximum(buf[:n], 0.0, out=buf[:n])
+
+
+def _layer_weight(params) -> np.ndarray:
+    """Float weight of a conv/linear step.
+
+    Weight-only-quantized steps (float execution, int8 storage — see
+    :func:`repro.infer.optimize.quantize_plan`) carry ``weight_q`` +
+    ``w_scale`` instead of ``weight``; dequantization happens here, once,
+    at engine build time.
+    """
+    w = params.get("weight")
+    if w is None:
+        w = (np.asarray(params["weight_q"], dtype=np.float32)
+             * np.asarray(params["w_scale"], dtype=np.float32))
+    return w
 
 
 # ----------------------------------------------------------------------
@@ -49,7 +64,7 @@ def _maybe_relu(buf, n):
 
 def _build_conv2d(step, ctx, relu=False):
     p = step.params
-    w = np.ascontiguousarray(p["weight"], dtype=np.float32)
+    w = np.ascontiguousarray(_layer_weight(p), dtype=np.float32)
     o, c, kh, kw = w.shape
     stride, padding = int(p["stride"]), int(p["padding"])
     get = ctx.getter(step.inputs[0])
@@ -105,7 +120,7 @@ def _build_conv2d(step, ctx, relu=False):
 def _build_linear(step, ctx, relu=False):
     p = step.params
     wt = np.ascontiguousarray(
-        np.asarray(p["weight"], dtype=np.float32).T)       # (in, out)
+        np.asarray(_layer_weight(p), dtype=np.float32).T)  # (in, out)
     bias = p.get("bias")
     b = None if bias is None else np.asarray(bias, dtype=np.float32)
     get = ctx.getter(step.inputs[0])
@@ -411,6 +426,20 @@ BUILDERS = {
     "log_softmax": _build_log_softmax,
     "softmax": lambda step, ctx: _build_log_softmax(step, ctx, log=False),
 }
+
+
+def register_builders(builders: dict) -> None:
+    """Extend the kernel registry (used by :mod:`repro.qinfer.kernels`).
+
+    Re-registering the same builder object for an op is a no-op;
+    registering a *different* builder for an existing op is an error, so
+    subsystems cannot silently shadow each other's lowerings.
+    """
+    for op, builder in builders.items():
+        existing = BUILDERS.get(op)
+        if existing is not None and existing is not builder:
+            raise ValueError(f"op {op!r} already has a registered builder")
+        BUILDERS[op] = builder
 
 
 def build_step(step, ctx):

@@ -29,7 +29,7 @@ import numpy as np
 from .plan import Plan, Step
 
 __all__ = ["OptimizationReport", "fold_batchnorm", "fuse_relu",
-           "optimize_plan"]
+           "optimize_plan", "QuantizeReport", "quantize_plan"]
 
 
 @dataclass
@@ -125,6 +125,281 @@ def fuse_relu(plan: Plan) -> tuple[Plan, int]:
         return producer.output
 
     return _rebuild(plan, rewrite)
+
+
+# ----------------------------------------------------------------------
+# Int8 quantization rewrite (repro.qinfer)
+# ----------------------------------------------------------------------
+
+@dataclass
+class QuantizeReport:
+    """What :func:`quantize_plan` rewrote, and what it left in float."""
+
+    quantized_conv: int = 0
+    quantized_linear: int = 0
+    kept_float: list[str] = field(default_factory=list)
+    boundary_steps: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (f"int8: {self.quantized_conv} conv + "
+                f"{self.quantized_linear} linear quantized, "
+                f"{len(self.kept_float)} kept float, "
+                f"{self.boundary_steps} quantize/dequantize boundaries")
+
+
+# Shape heuristic for which layers run int8. Tiny-channel convs lose to
+# float32 BLAS because the int8->float32 im2col cast dominates the (small)
+# GEMM; measured on this runtime, the break-even is C_in >= 16 generally,
+# or C_in >= 8 once the spatial size has dropped to <= 8 (smaller cast,
+# relatively larger GEMM). The first conv (C_in = 3) is never quantized,
+# which also matches standard deployment practice of keeping the stem in
+# higher precision.
+def _conv_worth_quantizing(c_in: int, h_in: int) -> bool:
+    return c_in >= 16 or (c_in >= 8 and h_in <= 8)
+
+
+_MIN_LINEAR_FEATURES = 32
+
+_QCONV_OPS = {"conv2d": False, "conv2d_relu": True}
+_QLINEAR_OPS = {"linear": False, "linear_relu": True}
+
+
+def _nhwc(shape: tuple[int, ...]) -> tuple[int, ...]:
+    if len(shape) == 4:
+        n, c, h, w = shape
+        return (n, h, w, c)
+    return tuple(shape)
+
+
+def quantize_plan(plan: Plan, scales: dict[int, float],
+                  ) -> tuple[Plan, QuantizeReport]:
+    """Rewrite conv/linear steps of an optimized float plan into int8 ops.
+
+    ``scales`` maps value ids of the float plan to per-tensor activation
+    quantization scales (from :func:`repro.qinfer.calibrate.collect_scales`).
+    The rewrite assigns each value a domain: a step runs quantized when
+    its inputs can be codes and the shape heuristic says int8 wins;
+    ``quantize``/``dequantize`` boundary steps are inserted only where
+    the domain actually changes. Quantized 4-D activations live in NHWC
+    (``plan.shapes`` records the permuted shape) so the int8 conv GEMM
+    output is directly the next conv's input layout. Monotone ops
+    (max-pool, ReLU) pass codes through at unchanged scale; residual adds
+    requantize onto the output grid; global average pooling consumes
+    codes and emits float32.
+
+    BatchNorm must already be folded (run :func:`optimize_plan` first) —
+    a remaining ``batchnorm`` step simply stays in float here, costing a
+    dequantize boundary.
+    """
+    report = QuantizeReport()
+    shapes = dict(plan.shapes)
+    # Codes pass through max-pool/ReLU unchanged, so those outputs MUST
+    # carry their input's scale — an independently observed (smaller)
+    # range would silently re-interpret the codes on a different grid.
+    scales = dict(scales)
+    for step in plan.steps:
+        if step.op in ("max_pool2d", "relu") and step.inputs[0] in scales:
+            scales[step.output] = scales[step.inputs[0]]
+    consumers: dict[int, list[Step]] = {}
+    for step in plan.steps:
+        for vid in step.inputs:
+            consumers.setdefault(vid, []).append(step)
+
+    # Pass 1: which conv/linear steps run int8 (keyed by output vid).
+    quant: set[int] = set()
+    for step in plan.steps:
+        in_vid = step.inputs[0] if step.inputs else None
+        if step.op in _QCONV_OPS:
+            c_in, h_in = shapes[in_vid][1], shapes[in_vid][2]
+            if _conv_worth_quantizing(c_in, h_in) and in_vid in scales:
+                quant.add(step.output)
+            else:
+                report.kept_float.append(step.describe())
+        elif step.op in _QLINEAR_OPS:
+            if shapes[in_vid][1] >= _MIN_LINEAR_FEATURES and in_vid in scales:
+                quant.add(step.output)
+            else:
+                report.kept_float.append(step.describe())
+
+    # Pass 2 (forward): which values *can* exist as int8 codes.
+    capable: dict[int, bool] = {}
+    for step in plan.steps:
+        out = step.output
+        if step.op in _QCONV_OPS or step.op in _QLINEAR_OPS:
+            capable[out] = out in quant and out in scales
+        elif step.op in ("max_pool2d", "relu"):
+            capable[out] = capable.get(step.inputs[0], False)
+        elif step.op in ("add", "add_relu"):
+            capable[out] = (capable.get(step.inputs[0], False)
+                            and capable.get(step.inputs[1], False)
+                            and out in scales)
+        else:
+            capable[out] = False
+
+    # Pass 3 (reverse, memoized): should the producer emit codes? Only
+    # when *every* consumer reads codes — with mixed consumers the value
+    # is emitted float and code-consumers requantize it themselves.
+    want_q8: dict[int, bool] = {}
+
+    def _wants(vid: int) -> bool:
+        cached = want_q8.get(vid)
+        if cached is not None:
+            return cached
+        want_q8[vid] = False            # break cycles conservatively
+        ok = capable.get(vid, False) and vid != plan.output_id
+        if ok:
+            users = consumers.get(vid, [])
+            ok = bool(users)
+            for user in users:
+                if user.op in _QCONV_OPS or user.op in _QLINEAR_OPS:
+                    ok = ok and user.output in quant
+                elif user.op in ("max_pool2d", "relu"):
+                    ok = ok and _wants(user.output)
+                elif user.op == "global_avg_pool":
+                    pass
+                elif user.op in ("add", "add_relu"):
+                    ok = ok and capable.get(user.output, False)
+                else:
+                    ok = False
+                if not ok:
+                    break
+        want_q8[vid] = ok
+        return ok
+
+    # Pass 4: emission.
+    next_vid = max(shapes) + 1
+    new_steps: list[Step] = []
+    q8_of: dict[int, int] = {}
+    f32_avail = {plan.input_id} | set(plan.constants)
+
+    def fresh() -> int:
+        nonlocal next_vid
+        next_vid += 1
+        return next_vid - 1
+
+    def ensure_q8(vid: int) -> int:
+        qv = q8_of.get(vid)
+        if qv is None:
+            qv = fresh()
+            new_steps.append(Step("quantize", (vid,), qv,
+                                  {"scale": float(scales[vid]),
+                                   "out_dtype": "int8"}, "qinfer"))
+            shapes[qv] = _nhwc(shapes[vid])
+            q8_of[vid] = qv
+            report.boundary_steps += 1
+        return qv
+
+    def ensure_f32(vid: int) -> int:
+        if vid not in f32_avail:
+            new_steps.append(Step("dequantize", (q8_of[vid],), vid,
+                                  {"scale": float(scales[vid])}, "qinfer"))
+            f32_avail.add(vid)
+            report.boundary_steps += 1
+        return vid
+
+    from ..quant.quantize import quantize_array
+
+    for step in plan.steps:
+        op, out = step.op, step.output
+        if out in quant:
+            relu = op.endswith("_relu")
+            in_vid = step.inputs[0]
+            emit_q8 = _wants(out)
+            qin = ensure_q8(in_vid)
+            wq, w_scale = quantize_array(step.params["weight"], 8,
+                                         per_channel=True)
+            params = {"weight_q": wq.astype(np.int8),
+                      "w_scale": w_scale.reshape(-1),
+                      "bias": step.params.get("bias"),
+                      "in_scale": float(scales[in_vid]),
+                      "relu": relu,
+                      "emit": "q8" if emit_q8 else "f32"}
+            if op in _QCONV_OPS:
+                qop = "qconv2d"
+                params["stride"] = step.params["stride"]
+                params["padding"] = step.params["padding"]
+                report.quantized_conv += 1
+            else:
+                qop = "qlinear"
+                report.quantized_linear += 1
+            if emit_q8:
+                qout = fresh()
+                params["out_scale"] = float(scales[out])
+                params["out_dtype"] = "int8"
+                shapes[qout] = _nhwc(shapes[out])
+                q8_of[out] = qout
+            else:
+                qout = out
+                f32_avail.add(out)
+            new_steps.append(Step(qop, (qin,), qout, params, step.source))
+        elif (op in ("max_pool2d", "relu")
+              and step.inputs[0] in q8_of and _wants(out)):
+            qout = fresh()
+            if op == "max_pool2d":
+                params = {"kernel": step.params["kernel"],
+                          "stride": step.params["stride"],
+                          "out_dtype": "int8"}
+                qop = "qmax_pool2d"
+            else:
+                params = {"out_dtype": "int8"}
+                qop = "qrelu"
+            shapes[qout] = _nhwc(shapes[out])
+            q8_of[out] = qout
+            new_steps.append(
+                Step(qop, (q8_of[step.inputs[0]],), qout, params,
+                     step.source))
+        elif (op in ("add", "add_relu")
+              and all(v in q8_of for v in step.inputs)
+              and capable.get(out, False)):
+            a, b = step.inputs
+            emit_q8 = _wants(out)
+            params = {"a_scale": float(scales[a]),
+                      "b_scale": float(scales[b]),
+                      "emit": "q8" if emit_q8 else "f32"}
+            if emit_q8:
+                qout = fresh()
+                params["out_scale"] = float(scales[out])
+                params["out_dtype"] = "int8"
+                shapes[qout] = _nhwc(shapes[out])
+                q8_of[out] = qout
+            else:
+                qout = out
+                f32_avail.add(out)
+            new_steps.append(
+                Step("qadd_relu" if op == "add_relu" else "qadd",
+                     (q8_of[a], q8_of[b]), qout, params, step.source))
+        elif op == "global_avg_pool" and step.inputs[0] in q8_of:
+            in_vid = step.inputs[0]
+            new_steps.append(
+                Step("qglobal_avg_pool", (q8_of[in_vid],), out,
+                     {"scale": float(scales[in_vid])}, step.source))
+            f32_avail.add(out)
+        else:
+            inputs = tuple(
+                ensure_f32(v) if v in q8_of and v not in f32_avail else v
+                for v in step.inputs)
+            params = dict(step.params)
+            if op in _QCONV_OPS or op in _QLINEAR_OPS:
+                # Weight-only quantization for layers kept in float:
+                # executes at full float32 speed (codes are dequantized
+                # once into the GEMM matrix at engine build), but the
+                # artifact stores one byte per weight like every other
+                # layer. Error is the per-channel int8 weight grid only.
+                wq, w_scale = quantize_array(params.pop("weight"), 8,
+                                             per_channel=True)
+                params["weight_q"] = wq.astype(np.int8)
+                params["w_scale"] = w_scale
+            new_steps.append(Step(op, inputs, out, params, step.source))
+            f32_avail.add(out)
+
+    if plan.output_id not in f32_avail:
+        ensure_f32(plan.output_id)
+    if not (report.quantized_conv or report.quantized_linear):
+        report.notes.append(
+            "no layer met the int8 shape heuristic; plan left in float")
+    new_plan = plan.replace(steps=new_steps, shapes=shapes)
+    return new_plan, report
 
 
 def optimize_plan(plan: Plan, fold_bn: bool = True,

@@ -31,25 +31,32 @@ class CompileValidationError(RuntimeError):
 
 
 class BufferArena:
-    """Owns every preallocated array of one engine, keyed by value id."""
+    """Owns every preallocated array of one engine, keyed by value id.
+
+    Buffers default to float32; quantized plans allocate int8 activation
+    buffers and float64 accumulator scratch by passing ``dtype``. The
+    first allocation of a value id fixes its dtype (the producing step
+    allocates before any consumer looks it up).
+    """
 
     def __init__(self):
         self._buffers: dict[int, np.ndarray] = {}
         self._scratch: dict[tuple[int, str], np.ndarray] = {}
 
-    def buffer(self, vid: int, shape: tuple[int, ...]) -> np.ndarray:
+    def buffer(self, vid: int, shape: tuple[int, ...],
+               dtype=np.float32) -> np.ndarray:
         buf = self._buffers.get(vid)
         if buf is None:
-            buf = np.zeros(shape, dtype=np.float32)
+            buf = np.zeros(shape, dtype=dtype)
             self._buffers[vid] = buf
         return buf
 
     def scratch(self, owner: int, name: str, shape: tuple[int, ...],
-                zero: bool = False) -> np.ndarray:
+                zero: bool = False, dtype=np.float32) -> np.ndarray:
         key = (owner, name)
         buf = self._scratch.get(key)
         if buf is None:
-            buf = (np.zeros if zero else np.empty)(shape, dtype=np.float32)
+            buf = (np.zeros if zero else np.empty)(shape, dtype=dtype)
             self._scratch[key] = buf
         return buf
 
@@ -87,14 +94,32 @@ class _BuildContext:
         return self._engine._getter(vid)
 
     def out(self, vid: int) -> np.ndarray:
-        return self._engine.arena.buffer(vid, self._engine._capacity_shape(vid))
+        dtype = self._step.params.get("out_dtype", "float32")
+        return self._engine.arena.buffer(
+            vid, self._engine._capacity_shape(vid), dtype=np.dtype(dtype))
 
     def alias(self, vid: int, fn) -> None:
         self._engine._aliases[vid] = fn
 
     def scratch(self, name: str, shape: tuple[int, ...],
-                zero: bool = False) -> np.ndarray:
-        return self._engine.arena.scratch(self._step.output, name, shape, zero)
+                zero: bool = False, dtype=np.float32) -> np.ndarray:
+        return self._engine.arena.scratch(self._step.output, name, shape,
+                                          zero, dtype=dtype)
+
+
+# Ops lowered by repro.qinfer.kernels; importing that module registers
+# them. Lazy so the float path never pays for (or depends on) qinfer.
+_QUANT_OPS = frozenset({
+    "quantize", "dequantize", "qconv2d", "qlinear", "qmax_pool2d",
+    "qrelu", "qadd", "qadd_relu", "qglobal_avg_pool",
+})
+
+
+def _ensure_quant_kernels(plan: Plan) -> bool:
+    if any(step.op in _QUANT_OPS for step in plan.steps):
+        from ..qinfer import kernels  # noqa: F401  registers Q_BUILDERS
+        return True
+    return False
 
 
 class InferenceEngine:
@@ -115,6 +140,7 @@ class InferenceEngine:
         self.optimization: OptimizationReport | None = None
         self._aliases: dict[int, callable] = {}
         self._program: list = []
+        self.quantized = _ensure_quant_kernels(plan)
 
         ctx = _BuildContext(self)
         input_buf = self.arena.buffer(plan.input_id,
@@ -184,6 +210,30 @@ class InferenceEngine:
 
     __call__ = run
 
+    def run_observing(self, x, hooks: dict[int, callable]) -> np.ndarray:
+        """Run a batch, then feed selected intermediate values to hooks.
+
+        ``hooks`` maps value ids to callables receiving the value's array
+        (a read-only slice of the arena buffer, valid until the next run).
+        Works because every plan value owns its own buffer — nothing is
+        overwritten within a chunk. Used by calibration to observe
+        activation ranges without instrumenting kernels.
+        """
+        if isinstance(x, Tensor):
+            x = x.data
+        x = np.asarray(x, dtype=np.float32)
+        if x.shape == tuple(self.plan.shapes[self.plan.input_id][1:]):
+            x = x[None]
+        getters = {vid: self._getter(vid) for vid in hooks}
+        outs = []
+        for lo in range(0, x.shape[0], self.max_batch):
+            chunk = x[lo:lo + self.max_batch]
+            n = chunk.shape[0]
+            outs.append(np.array(self._run_chunk(chunk), copy=True))
+            for vid, hook in hooks.items():
+                hook(getters[vid](n))
+        return outs[0] if len(outs) == 1 else np.concatenate(outs, axis=0)
+
     def describe(self) -> str:
         lines = [f"InferenceEngine: {len(self._program)} kernels, "
                  f"max_batch={self.max_batch}, im2col={self.im2col}, "
@@ -198,7 +248,10 @@ class InferenceEngine:
 def compile_model(model: Module, example_input, *, optimize: bool = True,
                   max_batch: int | None = None, im2col: str = "strided",
                   validate: bool = True, rtol: float = 1e-4,
-                  atol: float = 1e-5) -> InferenceEngine:
+                  atol: float = 1e-5, quantize: str | None = None,
+                  calibrate=None, observer="percentile",
+                  max_calibration_batches: int | None = None
+                  ) -> InferenceEngine:
     """Capture, optimize, and build a compiled engine for ``model``.
 
     Parameters
@@ -217,19 +270,71 @@ def compile_model(model: Module, example_input, *, optimize: bool = True,
         ``"gather"``).
     validate:
         Compare compiled vs eager outputs on the example input and raise
-        :class:`CompileValidationError` on mismatch.
+        :class:`CompileValidationError` on mismatch. For quantized
+        engines the check is different — and stricter: the engine must
+        match the exact-arithmetic reference interpreter
+        (:func:`repro.qinfer.reference.run_reference`) *bitwise*, since
+        quantization error makes a float tolerance meaningless while the
+        kernels' exactness certificate makes bit equality achievable.
+    quantize:
+        ``None`` (float engine) or ``"int8"`` — rewrite the optimized
+        plan through :func:`repro.infer.optimize.quantize_plan` using
+        activation scales calibrated from ``calibrate``.
+    calibrate:
+        Calibration loader (iterable of batches or ``(batch, label)``
+        pairs); required when ``quantize`` is set.
+    observer:
+        Activation-range observer for calibration — ``"minmax"``,
+        ``"percentile"``, an :class:`~repro.qinfer.observers.Observer`
+        subclass, or an instance (see
+        :func:`~repro.qinfer.observers.make_observer`).
+    max_calibration_batches:
+        Cap on calibration batches drawn from the loader (``None`` uses
+        it all).
     """
+    if quantize is not None and quantize != "int8":
+        raise ValueError(f"quantize must be None or 'int8', got {quantize!r}")
+    if quantize is not None and calibrate is None:
+        raise ValueError("quantize='int8' requires a calibration loader "
+                         "(calibrate=...)")
+    if quantize is not None and not optimize:
+        raise ValueError("quantize='int8' requires optimize=True "
+                         "(BatchNorm must be folded before quantization)")
     plan = capture_plan(model, example_input)
     report = OptimizationReport(steps_before=len(plan.steps),
                                 steps_after=len(plan.steps))
     if optimize:
         plan, report = optimize_plan(plan)
+
+    if quantize is not None:
+        from ..qinfer.calibrate import collect_scales
+        from .optimize import quantize_plan
+        scales = collect_scales(plan, calibrate, observer=observer,
+                                max_batches=max_calibration_batches)
+        plan, qreport = quantize_plan(plan, scales)
+        report.steps_after = len(plan.steps)
+        report.notes.append(qreport.summary())
+
     engine = InferenceEngine(plan, max_batch=max_batch, im2col=im2col)
     engine.optimization = report
 
     if validate:
         x = (example_input.data if isinstance(example_input, Tensor)
              else np.asarray(example_input, dtype=np.float32))
+        if quantize is not None:
+            from ..qinfer.reference import run_reference
+            compiled = engine.run(x)
+            reference = run_reference(plan, x)
+            if compiled.dtype != reference.dtype or not np.array_equal(
+                    compiled, reference):
+                worst = float(np.max(np.abs(
+                    compiled.astype(np.float64)
+                    - reference.astype(np.float64))))
+                raise CompileValidationError(
+                    f"quantized engine diverges from the exact reference "
+                    f"interpreter (max abs diff {worst:.3e}; bitwise "
+                    f"equality is required by the exactness certificate)")
+            return engine
         with no_grad():
             eager = model(Tensor(x)).data
         compiled = engine.run(x)

@@ -1,0 +1,97 @@
+"""Activation calibration: run a float plan over data, collect scales.
+
+Calibration executes the *optimized float plan* (the exact plan
+:func:`repro.infer.optimize.quantize_plan` will rewrite, so value ids
+line up) inside a normal :class:`~repro.infer.runtime.InferenceEngine`,
+using :meth:`~repro.infer.runtime.InferenceEngine.run_observing` to feed
+every would-be-quantized tensor to an
+:class:`~repro.qinfer.observers.Observer`. No kernel instrumentation,
+no second execution path — the engine that serves float traffic is the
+engine that calibrates.
+
+Observed values are the inputs and outputs of conv / linear / residual-add
+steps plus the plan input; max-pool and ReLU outputs inherit their input's
+scale inside ``quantize_plan`` (codes pass through those ops unchanged, so
+their scale *must* equal the producer's — observing them separately would
+break code/scale consistency).
+"""
+
+from __future__ import annotations
+
+import copy
+
+import numpy as np
+
+from ..infer.plan import Plan
+from ..infer.runtime import InferenceEngine
+from .observers import CalibrationError, Observer, make_observer
+
+__all__ = ["observation_targets", "collect_scales"]
+
+_OBSERVED_OPS = frozenset({
+    "conv2d", "conv2d_relu", "linear", "linear_relu", "add", "add_relu",
+})
+
+
+def observation_targets(plan: Plan) -> list[int]:
+    """Value ids of the float plan whose ranges calibration must observe."""
+    vids = {plan.input_id}
+    for step in plan.steps:
+        if step.op in _OBSERVED_OPS:
+            vids.update(step.inputs)
+            vids.add(step.output)
+    return sorted(vids - set(plan.constants))
+
+
+def _batch_array(batch) -> np.ndarray:
+    if isinstance(batch, (tuple, list)):
+        batch = batch[0]
+    return np.asarray(getattr(batch, "data", batch), dtype=np.float32)
+
+
+def collect_scales(plan: Plan, loader, observer="percentile",
+                   max_batches: int | None = None,
+                   engine: InferenceEngine | None = None
+                   ) -> dict[int, float]:
+    """Run the calibration loader through the plan; return per-value scales.
+
+    Parameters
+    ----------
+    plan:
+        Optimized float plan (post BN-fold / ReLU-fuse).
+    loader:
+        Iterable of batches or ``(batch, label)`` pairs.
+    observer:
+        Observer spec (see :func:`~repro.qinfer.observers.make_observer`).
+        An :class:`Observer` *instance* serves as a prototype and is
+        deep-copied per observed tensor.
+    max_batches:
+        Cap on calibration batches (``None`` consumes the loader).
+    engine:
+        Reuse an already-built engine for ``plan`` instead of compiling
+        a fresh one.
+
+    Raises :class:`~repro.qinfer.observers.CalibrationError` if the
+    loader yields no batches or an observer sees non-finite activations.
+    """
+    if engine is None:
+        engine = InferenceEngine(plan)
+    elif engine.plan is not plan:
+        raise ValueError("engine was built for a different plan")
+
+    if isinstance(observer, Observer):
+        new_observer = lambda: copy.deepcopy(observer)  # noqa: E731
+    else:
+        new_observer = lambda: make_observer(observer)  # noqa: E731
+
+    observers = {vid: new_observer() for vid in observation_targets(plan)}
+    hooks = {vid: ob.update for vid, ob in observers.items()}
+    batches = 0
+    for batch in loader:
+        engine.run_observing(_batch_array(batch), hooks)
+        batches += 1
+        if max_batches is not None and batches >= max_batches:
+            break
+    if batches == 0:
+        raise CalibrationError("calibration loader yielded no batches")
+    return {vid: ob.scale() for vid, ob in observers.items()}

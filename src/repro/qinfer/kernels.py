@@ -1,0 +1,466 @@
+"""Int8 kernel builders for the compiled inference runtime.
+
+Execution model
+---------------
+Quantized activations are int8 **codes** stored channels-last (NHWC); the
+float engine's NCHW convention is converted at the quantize/dequantize
+boundaries that :func:`repro.infer.optimize.quantize_plan` inserts. NHWC
+makes the conv lowering a *tall* GEMM — im2col rows are output pixels,
+columns are ``(kh, kw, c)`` taps — which is the orientation BLAS handles
+well across every layer shape this runtime serves, and it makes each
+GEMM's output land directly in the next layer's input layout, so the
+steady state performs zero transposes.
+
+Integer arithmetic on float hardware
+------------------------------------
+numpy has no fast integer GEMM (its integer matmul falls back to a
+~40-50x slower non-BLAS loop), so the int8 GEMM runs on the float32 BLAS
+over *integer-valued* float32 operands. That is exact, not approximate:
+every product of two int8 codes has magnitude at most ``127 * 127 =
+16129``, and float32 represents every integer of magnitude below ``2**24``
+exactly, so any partial sum whose worst-case magnitude stays below
+``2**24`` is computed without rounding **regardless of the summation
+order BLAS chooses**. :func:`accumulation_chunks` certifies that bound
+per layer from the actual quantized weights (``127 * sum_k |w_q[k, o]| +
+|bias_q[o]|`` per output channel); when a layer exceeds it, the reduction
+axis is split into certified chunks whose exact partial results are
+summed in float64 (exact below ``2**53``). The certificate is what lets
+:mod:`repro.qinfer.reference` demand *bitwise* equality from this engine.
+
+Biases fold into the GEMM as an extra ones-column: ``bias_q =
+rint(bias / (w_scale * in_scale))`` joins the weight matrix as its last
+row, which is the standard int32-bias-at-scale-``s_w*s_a`` construction
+(the rounding introduces at most ``0.5 * w_scale * in_scale`` absolute
+error per output, accounted for in the documented tolerance).
+
+The requantization epilogue (scale to the output grid, round, clamp, emit
+int8) and the folded ReLU run as a short sequence of in-place ufunc
+passes over the accumulator; monotone ops (max-pool, ReLU) act directly
+on codes at unchanged scale because symmetric quantization commutes with
+them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from ..infer.kernels import register_builders
+
+__all__ = ["Q_BUILDERS", "QMAX", "F32_EXACT_LIMIT", "accumulation_chunks",
+           "gemm_matrices", "conv_cert_rows", "quantize_bias"]
+
+QMAX = 127
+# Integers with |value| < 2**24 are exactly representable in float32.
+F32_EXACT_LIMIT = 2 ** 24
+
+
+# ----------------------------------------------------------------------
+# Exactness certificate
+# ----------------------------------------------------------------------
+
+def conv_cert_rows(wq_2d: np.ndarray, bias_q: np.ndarray | None) -> np.ndarray:
+    """Per-K-row worst-case contribution table ``(K[+1], O)`` in int64.
+
+    Row ``k`` holds ``127 * |w_q[k, o]|`` — the largest magnitude the
+    products of that tap can contribute for any int8 input code. The
+    bias row (if present) contributes ``|bias_q[o]|`` exactly once.
+    """
+    rows = QMAX * np.abs(wq_2d.astype(np.int64))
+    if bias_q is not None:
+        rows = np.concatenate(
+            [rows, np.abs(bias_q.astype(np.int64))[None, :]], axis=0)
+    return rows
+
+
+def accumulation_chunks(cert_rows: np.ndarray) -> list[tuple[int, int]]:
+    """Split the reduction axis so each chunk's float32 sums stay exact.
+
+    Greedy scan over the per-row bound table: a chunk closes when adding
+    the next row would let some output channel's worst-case partial sum
+    reach ``2**24``. Any sub-sum of a chunk is bounded by the chunk's full
+    sum of absolute terms, so the guarantee holds for every summation
+    order BLAS may use. Returns ``[(0, K)]`` — one exact GEMM — for every
+    realistic layer; multi-chunk splits only appear for adversarial
+    weight/bias magnitudes.
+    """
+    k_total = cert_rows.shape[0]
+    chunks: list[tuple[int, int]] = []
+    start = 0
+    running = np.zeros(cert_rows.shape[1], dtype=np.int64)
+    for k in range(k_total):
+        candidate = running + cert_rows[k]
+        if start < k and int(candidate.max()) >= F32_EXACT_LIMIT:
+            chunks.append((start, k))
+            start = k
+            running = cert_rows[k].copy()
+        else:
+            running = candidate
+    chunks.append((start, k_total))
+    return chunks
+
+
+def gemm_matrices(wq_raw: np.ndarray, bias_q: np.ndarray | None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """GEMM weight matrix + certificate table for a quantized layer.
+
+    Packs int8 conv codes ``(O, C, kh, kw)`` (rows ordered to match the
+    NHWC im2col tap order ``(kh, kw, c)``) or linear codes ``(O, F)``
+    into a float32 ``(K[+1], O)`` matrix of integer values, with the
+    optional integer bias as the final (ones-column) row. Returns
+    ``(wt, cert_rows)``; the certificate table feeds
+    :func:`accumulation_chunks`.
+    """
+    wq_raw = np.asarray(wq_raw)
+    if wq_raw.ndim == 4:
+        o = wq_raw.shape[0]
+        wq_ko = wq_raw.transpose(2, 3, 1, 0).reshape(-1, o)
+    else:                                   # linear: (O, F) -> (F, O)
+        wq_ko = wq_raw.T
+    cert = conv_cert_rows(wq_ko, bias_q)
+    wt = np.ascontiguousarray(wq_ko, dtype=np.float32)
+    if bias_q is not None:
+        if int(np.abs(bias_q).max(initial=0)) >= F32_EXACT_LIMIT:
+            # Chunking cannot help here: the bias *code itself* would be
+            # rounded by the float32 weight matrix. Only reachable with
+            # degenerate (near-zero) scales; fail loudly.
+            raise ValueError(
+                "quantized bias code exceeds the exact float32 integer "
+                "range (2**24); activation/weight scales are degenerate")
+        wt = np.concatenate(
+            [wt, bias_q.astype(np.float32)[None, :]], axis=0)
+    return wt, cert
+
+
+def quantize_bias(bias, w_scale, in_scale) -> np.ndarray | None:
+    """Integer bias on the accumulator grid (TFLite-style int32 bias).
+
+    ``bias_q = rint(bias / (w_scale * in_scale))`` — rounding costs at
+    most ``0.5 * w_scale * in_scale`` absolute error per output channel.
+    """
+    if bias is None:
+        return None
+    acc_scale = np.asarray(w_scale, dtype=np.float64) * float(in_scale)
+    return np.rint(np.asarray(bias, dtype=np.float64)
+                   / acc_scale).astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# GEMM core shared by qconv2d / qlinear
+# ----------------------------------------------------------------------
+
+def _gemm_plan(ctx, wq_raw, bias_q, rows_cap):
+    """Build the (possibly chunked) GEMM and pick the accumulator dtype.
+
+    Returns ``(chunks, gemm)`` where ``gemm(cols, rows)`` leaves the
+    exact integer accumulation for the first ``rows`` rows in the
+    returned accumulator (float32 for the certified single-chunk fast
+    path, float64 when chunked).
+    """
+    wt, cert = gemm_matrices(wq_raw, bias_q)
+    chunks = accumulation_chunks(cert)
+    o = wt.shape[1]
+    acc = ctx.scratch("acc", (rows_cap, o))
+    if len(chunks) == 1:
+        def gemm(cols, rows):
+            np.matmul(cols[:rows], wt, out=acc[:rows])
+            return acc
+        return chunks, gemm
+
+    acc_wide = ctx.scratch("acc64", (rows_cap, o), dtype=np.float64)
+
+    def gemm(cols, rows):
+        first = True
+        for k0, k1 in chunks:
+            np.matmul(cols[:rows, k0:k1], wt[k0:k1], out=acc[:rows])
+            if first:
+                np.copyto(acc_wide[:rows], acc[:rows])
+                first = False
+            else:
+                np.add(acc_wide[:rows], acc[:rows], out=acc_wide[:rows])
+        return acc_wide
+
+    return chunks, gemm
+
+
+def _requant_epilogue(acc, rows, mult, relu, outq_rows):
+    """acc (rows, O) exact integers -> int8 codes on the output grid."""
+    np.multiply(acc[:rows], mult, out=acc[:rows])
+    np.rint(acc[:rows], out=acc[:rows])
+    if relu:
+        np.clip(acc[:rows], 0, QMAX, out=acc[:rows])
+    else:
+        np.clip(acc[:rows], -QMAX, QMAX, out=acc[:rows])
+    np.copyto(outq_rows[:rows], acc[:rows], casting="unsafe")
+
+
+# ----------------------------------------------------------------------
+# qconv2d
+# ----------------------------------------------------------------------
+
+def _build_qconv2d(step, ctx):
+    p = step.params
+    wq = np.asarray(p["weight_q"], dtype=np.int8)
+    o, c, kh, kw = wq.shape
+    stride, padding = int(p["stride"]), int(p["padding"])
+    in_scale = float(p["in_scale"])
+    w_scale = np.asarray(p["w_scale"], dtype=np.float64).reshape(-1)
+    relu = bool(p.get("relu", False))
+    emit = p.get("emit", "q8")
+
+    bias_q = quantize_bias(p.get("bias"), w_scale, in_scale)
+    get = ctx.getter(step.inputs[0])
+    in_shape = ctx.shape(step.inputs[0])          # (nb, H, W, C)
+    nb, h, w_in = in_shape[0], in_shape[1], in_shape[2]
+    out = ctx.out(step.output)
+    if emit == "q8":
+        oh, ow = out.shape[1], out.shape[2]       # (nb, OH, OW, O) int8
+    else:
+        oh, ow = out.shape[2], out.shape[3]       # (nb, O, OH, OW) f32
+    span = oh * ow
+    rows_cap = nb * span
+
+    k_cols = kh * kw * c + (1 if bias_q is not None else 0)
+    cols = ctx.scratch("cols", (rows_cap, k_cols))
+    if bias_q is not None:
+        cols[:, -1] = 1.0
+    rs = cols.strides[0]
+    itemsize = cols.itemsize
+
+    padbuf = None
+    if padding > 0:
+        padbuf = ctx.scratch(
+            "pad", (nb, h + 2 * padding, w_in + 2 * padding, c),
+            zero=True, dtype=np.int8)
+
+    chunks, gemm = _gemm_plan(ctx, wq, bias_q, rows_cap)
+
+    mult_dtype = np.float32 if len(chunks) == 1 else np.float64
+    if emit == "q8":
+        mult = (w_scale * in_scale / float(p["out_scale"])).astype(mult_dtype)
+        outq_rows = out.reshape(rows_cap, o)
+    else:
+        mult = (w_scale * in_scale).astype(mult_dtype)
+        # Dequantized output goes back to the float engine's NCHW layout
+        # through a strided write of the (nb, span, O) accumulator view.
+        out_t = out.reshape(nb, o, span).transpose(0, 2, 1)
+
+    def run(n):
+        x = get(n)                                # (n, H, W, C) int8
+        if padbuf is not None:
+            padbuf[:n, padding:padding + h, padding:padding + w_in, :] = x
+            src = padbuf
+        else:
+            src = x
+        sn, sh, sw, sc = src.strides
+        patches = as_strided(
+            src, shape=(n, oh, ow, kh, kw, c),
+            strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+            writeable=False)
+        rows = n * span
+        cols6 = as_strided(
+            cols, shape=(n, oh, ow, kh, kw, c),
+            strides=(span * rs, ow * rs, rs,
+                     kw * c * itemsize, c * itemsize, itemsize))
+        np.copyto(cols6, patches)                 # int8 -> f32 cast
+        a = gemm(cols, rows)
+        if emit == "q8":
+            _requant_epilogue(a, rows, mult, relu, outq_rows)
+        else:
+            a3 = a.reshape(nb, span, o)
+            np.multiply(a3[:n], mult, out=out_t[:n])
+            if relu:
+                np.maximum(out_t[:n], 0.0, out=out_t[:n])
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# qlinear
+# ----------------------------------------------------------------------
+
+def _build_qlinear(step, ctx):
+    p = step.params
+    wq = np.asarray(p["weight_q"], dtype=np.int8)       # (O, F)
+    o, f = wq.shape
+    in_scale = float(p["in_scale"])
+    w_scale = np.asarray(p["w_scale"], dtype=np.float64).reshape(-1)
+    relu = bool(p.get("relu", False))
+    emit = p.get("emit", "f32")
+
+    bias_q = quantize_bias(p.get("bias"), w_scale, in_scale)
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)
+    nb = ctx.shape(step.inputs[0])[0]
+
+    k_cols = f + (1 if bias_q is not None else 0)
+    cols = ctx.scratch("cols", (nb, k_cols))
+    if bias_q is not None:
+        cols[:, -1] = 1.0
+
+    chunks, gemm = _gemm_plan(ctx, wq, bias_q, nb)
+    mult_dtype = np.float32 if len(chunks) == 1 else np.float64
+    if emit == "q8":
+        mult = (w_scale * in_scale / float(p["out_scale"])).astype(mult_dtype)
+    else:
+        mult = (w_scale * in_scale).astype(mult_dtype)
+
+    def run(n):
+        np.copyto(cols[:n, :f], get(n))           # int8 -> f32 cast
+        a = gemm(cols, n)
+        if emit == "q8":
+            _requant_epilogue(a, n, mult, relu, out.reshape(nb, o))
+        else:
+            np.multiply(a[:n], mult, out=out[:n])
+            if relu:
+                np.maximum(out[:n], 0.0, out=out[:n])
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Quantize / dequantize boundaries
+# ----------------------------------------------------------------------
+
+def _build_quantize(step, ctx):
+    inv = np.float32(1.0 / float(step.params["scale"]))
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)
+    four_d = out.ndim == 4
+    s = ctx.scratch("fq", out.shape)
+
+    def run(n):
+        x = get(n)
+        if four_d:
+            x = x.transpose(0, 2, 3, 1)           # NCHW view -> NHWC
+        np.multiply(x, inv, out=s[:n])
+        np.rint(s[:n], out=s[:n])
+        np.clip(s[:n], -QMAX, QMAX, out=s[:n])
+        np.copyto(out[:n], s[:n], casting="unsafe")
+
+    return run
+
+
+def _build_dequantize(step, ctx):
+    scale = np.float32(step.params["scale"])
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)
+    four_d = out.ndim == 4
+
+    def run(n):
+        x = get(n)
+        if four_d:
+            x = x.transpose(0, 3, 1, 2)           # NHWC view -> NCHW
+        np.multiply(x, scale, out=out[:n])
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Code-passthrough ops (monotone under symmetric quantization)
+# ----------------------------------------------------------------------
+
+def _build_qmax_pool2d(step, ctx):
+    kernel = int(step.params["kernel"])
+    stride = int(step.params["stride"])
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)                    # (nb, OH, OW, C) int8
+    oh, ow = out.shape[1], out.shape[2]
+    offsets = [(i, j) for i in range(kernel) for j in range(kernel)]
+
+    def run(n):
+        x = get(n)
+        i0, j0 = offsets[0]
+        np.copyto(out[:n], x[:, i0:i0 + oh * stride:stride,
+                             j0:j0 + ow * stride:stride, :])
+        for i, j in offsets[1:]:
+            np.maximum(out[:n], x[:, i:i + oh * stride:stride,
+                                  j:j + ow * stride:stride, :], out=out[:n])
+
+    return run
+
+
+def _build_qrelu(step, ctx):
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)
+
+    def run(n):
+        np.maximum(get(n), np.int8(0), out=out[:n])
+
+    return run
+
+
+# ----------------------------------------------------------------------
+# Residual add and global average pool
+# ----------------------------------------------------------------------
+
+def _build_qadd(step, ctx, relu=False):
+    p = step.params
+    sa, sb = float(p["a_scale"]), float(p["b_scale"])
+    emit = p.get("emit", "q8")
+    ga = ctx.getter(step.inputs[0])
+    gb = ctx.getter(step.inputs[1])
+    out = ctx.out(step.output)
+
+    if emit == "q8":
+        so = float(p["out_scale"])
+        ca, cb = np.float32(sa / so), np.float32(sb / so)
+        f1 = ctx.scratch("fa", out.shape)
+        f2 = ctx.scratch("fb", out.shape)
+
+        def run(n):
+            np.multiply(ga(n), ca, out=f1[:n])
+            np.multiply(gb(n), cb, out=f2[:n])
+            np.add(f1[:n], f2[:n], out=f1[:n])
+            np.rint(f1[:n], out=f1[:n])
+            if relu:
+                np.clip(f1[:n], 0, QMAX, out=f1[:n])
+            else:
+                np.clip(f1[:n], -QMAX, QMAX, out=f1[:n])
+            np.copyto(out[:n], f1[:n], casting="unsafe")
+
+        return run
+
+    tmp = ctx.scratch("fb", out.shape)            # f32 NCHW emit
+
+    def run(n):
+        a, b = ga(n), gb(n)
+        if out.ndim == 4:
+            a = a.transpose(0, 3, 1, 2)
+            b = b.transpose(0, 3, 1, 2)
+        np.multiply(a, np.float32(sa), out=out[:n])
+        np.multiply(b, np.float32(sb), out=tmp[:n])
+        np.add(out[:n], tmp[:n], out=out[:n])
+        if relu:
+            np.maximum(out[:n], 0.0, out=out[:n])
+
+    return run
+
+
+def _build_qglobal_avg_pool(step, ctx):
+    scale = float(step.params["scale"])
+    get = ctx.getter(step.inputs[0])
+    out = ctx.out(step.output)                    # (nb, C) f32
+    in_shape = ctx.shape(step.inputs[0])          # (nb, H, W, C)
+    factor = np.float32(scale / (in_shape[1] * in_shape[2]))
+
+    def run(n):
+        np.sum(get(n), axis=(1, 2), dtype=np.float32, out=out[:n])
+        np.multiply(out[:n], factor, out=out[:n])
+
+    return run
+
+
+Q_BUILDERS = {
+    "quantize": _build_quantize,
+    "dequantize": _build_dequantize,
+    "qconv2d": _build_qconv2d,
+    "qlinear": _build_qlinear,
+    "qmax_pool2d": _build_qmax_pool2d,
+    "qrelu": _build_qrelu,
+    "qadd": _build_qadd,
+    "qadd_relu": lambda step, ctx: _build_qadd(step, ctx, relu=True),
+    "qglobal_avg_pool": _build_qglobal_avg_pool,
+}
+
+register_builders(Q_BUILDERS)

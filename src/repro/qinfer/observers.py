@@ -1,0 +1,160 @@
+"""Activation-range observers for post-training calibration.
+
+Per-tensor symmetric activation quantization needs one number per observed
+value: the clip range ``amax`` such that ``scale = amax / 127``. Observers
+accumulate that range over a calibration loader, one :meth:`update` per
+batch, and report the final scale once calibration ends.
+
+Two strategies, both deterministic for a fixed loader and iteration order
+(no sampling, no data-dependent allocation):
+
+* :class:`MinMaxObserver` — running maximum of ``|x|``. Exact, but a
+  single outlier activation dilates the grid for every other value.
+* :class:`PercentileObserver` — a fixed-width histogram of ``|x|`` whose
+  range doubles (with exact pairwise bin merging) whenever a batch
+  exceeds it; the final range is the requested percentile of the observed
+  distribution. Outliers saturate instead of stretching the grid, which
+  is usually worth a small clipping error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["CalibrationError", "Observer", "MinMaxObserver",
+           "PercentileObserver", "make_observer", "OBSERVERS"]
+
+QMAX = 127  # int8 symmetric grid: codes in [-127, 127]
+
+
+class CalibrationError(RuntimeError):
+    """Calibration could not produce a usable activation range."""
+
+
+class Observer:
+    """Interface: feed batches with :meth:`update`, read :meth:`scale`."""
+
+    def update(self, values: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def amax(self) -> float:
+        raise NotImplementedError
+
+    def scale(self) -> float:
+        """Final quantization scale (``amax / 127``; 1/127 if all-zero)."""
+        amax = float(self.amax())
+        if not np.isfinite(amax):
+            raise CalibrationError(
+                f"observed a non-finite activation range ({amax})")
+        if amax <= 0.0:
+            # An all-zero activation stream: any scale represents it
+            # exactly; 1/127 keeps the dequantized grid in [-1, 1].
+            return 1.0 / QMAX
+        return amax / QMAX
+
+
+class MinMaxObserver(Observer):
+    """Running ``max |x|`` over every batch."""
+
+    def __init__(self):
+        self._amax = 0.0
+        self._batches = 0
+
+    def update(self, values: np.ndarray) -> None:
+        values = np.asarray(values)
+        if values.size == 0:
+            return
+        amax = float(np.max(np.abs(values)))
+        if not np.isfinite(amax):
+            # Python's max() would silently drop a NaN here (NaN
+            # comparisons are False), hiding the poisoned batch.
+            raise CalibrationError(
+                "calibration batch contains non-finite activations")
+        self._amax = max(self._amax, amax)
+        self._batches += 1
+
+    def amax(self) -> float:
+        if self._batches == 0:
+            raise CalibrationError("observer saw no calibration batches")
+        return self._amax
+
+
+class PercentileObserver(Observer):
+    """Histogram-based percentile of ``|x|`` with exact range doubling.
+
+    The histogram starts sized to the first batch's range. A later batch
+    that overflows it doubles the range — merging adjacent bin pairs, so
+    no previously recorded mass is lost or displaced — until the new
+    maximum fits. The reported ``amax`` is the upper edge of the first
+    bin where the cumulative count reaches ``percentile``.
+    """
+
+    def __init__(self, percentile: float = 99.9, bins: int = 2048):
+        if not 0.0 < percentile <= 100.0:
+            raise ValueError("percentile must be in (0, 100]")
+        if bins < 16:
+            raise ValueError("need at least 16 histogram bins")
+        self.percentile = float(percentile)
+        self.bins = int(bins)
+        self._counts = np.zeros(self.bins, dtype=np.int64)
+        self._top = 0.0
+        self._batches = 0
+
+    def _grow_to(self, amax: float) -> None:
+        if self._top == 0.0:
+            self._top = amax
+            return
+        while self._top < amax:
+            merged = self._counts[0::2] + self._counts[1::2]
+            self._counts[:self.bins // 2] = merged
+            self._counts[self.bins // 2:] = 0
+            self._top *= 2.0
+
+    def update(self, values: np.ndarray) -> None:
+        mags = np.abs(np.asarray(values, dtype=np.float64)).reshape(-1)
+        if mags.size == 0:
+            return
+        amax = float(mags.max())
+        if not np.isfinite(amax):
+            raise CalibrationError(
+                "calibration batch contains non-finite activations")
+        self._batches += 1
+        if amax > 0.0:
+            self._grow_to(amax)
+        if self._top > 0.0:
+            idx = np.minimum(
+                (mags * (self.bins / self._top)).astype(np.int64),
+                self.bins - 1)
+            self._counts += np.bincount(idx, minlength=self.bins)
+
+    def amax(self) -> float:
+        if self._batches == 0:
+            raise CalibrationError("observer saw no calibration batches")
+        total = int(self._counts.sum())
+        if total == 0 or self._top == 0.0:
+            return 0.0
+        cdf = np.cumsum(self._counts)
+        target = np.ceil(total * (self.percentile / 100.0))
+        bin_idx = int(np.searchsorted(cdf, target))
+        return self._top * (bin_idx + 1) / self.bins
+
+
+OBSERVERS = {
+    "minmax": MinMaxObserver,
+    "percentile": PercentileObserver,
+}
+
+
+def make_observer(spec) -> Observer:
+    """Build an observer from a name, a class, or pass an instance through."""
+    if isinstance(spec, Observer):
+        return spec
+    if isinstance(spec, type) and issubclass(spec, Observer):
+        return spec()
+    try:
+        return OBSERVERS[spec]()
+    except (KeyError, TypeError):
+        raise ValueError(
+            f"unknown observer {spec!r}; expected one of "
+            f"{sorted(OBSERVERS)}, an Observer subclass, or an instance"
+        ) from None

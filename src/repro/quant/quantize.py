@@ -42,9 +42,26 @@ def quantize_array(values: np.ndarray, bits: int,
     (q, scale):
         Integer grid codes (int32) and the per-tensor (scalar array) or
         per-channel scale such that ``values ≈ q * scale``.
+
+    Edge cases are handled explicitly rather than leaking through the
+    arithmetic: non-finite inputs raise (a NaN or inf weight would turn
+    into a NaN/inf scale and poison every code in its channel), an
+    all-zero tensor or channel gets scale 1.0 (its codes are exactly 0, so
+    any finite scale round-trips it), and asymmetric ranges are clamped
+    onto the symmetric grid — the scale comes from ``max |x|``, so the
+    dominant side is exactly representable and the other side saturates
+    at ``-qmax`` instead of wrapping.
     """
     if not 2 <= bits <= 16:
         raise ValueError("bits must be in [2, 16]")
+    values = np.asarray(values)
+    if values.size == 0:
+        raise ValueError("cannot quantize an empty array")
+    if not np.isfinite(values).all():
+        bad = int(np.count_nonzero(~np.isfinite(values)))
+        raise ValueError(
+            f"cannot quantize non-finite values ({bad} NaN/inf element(s); "
+            "a non-finite weight would produce a non-finite scale)")
     qmax = 2 ** (bits - 1) - 1
     if per_channel:
         flat = np.abs(values.reshape(values.shape[0], -1))

@@ -23,6 +23,11 @@ the matching recovery path actually recovers:
   retry budget and finish *serially* (``degraded`` set, results intact);
 * ``shm.reaper`` — a shared-memory segment orphaned by a dead process
   must be reclaimed by the next startup sweep;
+* ``quant.deploy`` / ``quant.corrupt`` — the int8 deployable: a
+  quantized plan artifact must swap in through the serve validation
+  gate and come back bit-identical from a warm restart, and an artifact
+  with a corrupted scale must be rejected while the old version keeps
+  serving (see :mod:`repro.qinfer.drills`);
 * ``serve.shed`` / ``serve.swap`` / ``serve.drain`` / ``serve.restart``
   — the serving layer under 2× overload must shed explicitly and fast
   without dropping accepted requests; a mid-traffic checkpoint hot-swap
@@ -427,12 +432,13 @@ def run_drills(seed: int = 0, quick: bool = False,
     # Serving drills live next to the serving layer; imported lazily so
     # this module stays importable without pulling repro.serve (and its
     # compiled-engine stack) until the battery actually runs.
+    from ..qinfer.drills import QUANT_DRILLS
     from ..serve.drills import SERVE_DRILLS
     drills = [_drill_surgery_rollback, _drill_checkpoint_tamper,
               _drill_sentinel_recovery, _drill_loader_retry,
               _drill_worker_crash, _drill_worker_respawn,
               _drill_worker_hang, _drill_worker_degrade,
-              _drill_shm_reaper, *SERVE_DRILLS]
+              _drill_shm_reaper, *QUANT_DRILLS, *SERVE_DRILLS]
     if not quick:
         drills.append(_drill_crash_resume)
     if only:

@@ -8,7 +8,10 @@ with :func:`repro.serve.loadgen.run_load`. The payload lands in
 
 This is where pruning pays off operationally: the pruned variant runs the
 same protocol, the same batching, the same shedding — and serves more
-requests per second per box purely because each batch is cheaper.
+requests per second per box purely because each batch is cheaper. The
+``int8`` variant deploys the pruned model through the quantized compile
+path (:mod:`repro.qinfer` — percentile calibration, top-1 swap gate), so
+the sweep also measures the fused prune+quantize deployable.
 
 Smoke mode (CI) shrinks the model and the sweep and *asserts* the serving
 contract: finite p99, zero errors, zero dropped requests.
@@ -52,10 +55,23 @@ def _build_variant(spec: dict, pruned: bool):
     return model
 
 
+_VARIANTS = ("dense", "pruned", "int8")
+
+
 def run_bench(smoke: bool = False, seed: int = 0,
               connections=(1, 4, 16), requests_per_connection: int = 40,
-              max_batch: int = 16, max_pending: int = 256) -> dict:
-    """Serve dense + pruned variants, sweep offered load, return payload."""
+              max_batch: int = 16, max_pending: int = 256,
+              variants=_VARIANTS) -> dict:
+    """Serve the variant sweep under offered load, return the payload.
+
+    ``variants`` selects columns from ``("dense", "pruned", "int8")``;
+    the int8 variant is the pruned model deployed through the quantized
+    compile path, so dense→pruned→int8 reads as cumulative optimisation.
+    """
+    unknown = [v for v in variants if v not in _VARIANTS]
+    if unknown:
+        raise ValueError(f"unknown serve-bench variant(s): {unknown} "
+                         f"(choose from {_VARIANTS})")
     spec = _SMOKE_MODEL if smoke else _BENCH_MODEL
     if smoke:
         connections = tuple(c for c in connections if c <= 4) or (1, 4)
@@ -71,13 +87,19 @@ def run_bench(smoke: bool = False, seed: int = 0,
         shedding=SheddingConfig(max_pending=max_pending,
                                 p99_budget_ms=None))
     entries = []
+    rng = np.random.default_rng(seed)
     with registry:
-        for variant in ("dense", "pruned"):
-            model = _build_variant(spec, pruned=(variant == "pruned"))
+        for variant in variants:
+            model = _build_variant(spec, pruned=(variant != "dense"))
+            kwargs = {}
+            if variant == "int8":
+                kwargs = dict(quantize="int8", calibrate=[
+                    rng.normal(size=(max_batch, *sample_shape)
+                               ).astype(np.float32) for _ in range(3)])
             registry.deploy(f"{spec['name']}-{variant}", "v1", model=model,
-                            input_shape=sample_shape, seed=seed)
+                            input_shape=sample_shape, seed=seed, **kwargs)
         with ServerThread(registry, ServeConfig()) as srv:
-            for variant in ("dense", "pruned"):
+            for variant in variants:
                 ref = f"{spec['name']}-{variant}"
                 for conns in connections:
                     report = run_load(srv.host, srv.port, ref, sample_shape,
@@ -98,6 +120,7 @@ def run_bench(smoke: bool = False, seed: int = 0,
         "max_batch": int(max_batch),
         "requests_per_connection": int(requests_per_connection),
         "connection_sweep": [int(c) for c in connections],
+        "variants": list(variants),
         "numpy": np.__version__,
         "entries": entries,
     }

@@ -61,14 +61,26 @@ class ServeManifest:
     def snapshot_path(self, name: str, version: str) -> Path:
         return self.checkpoint_dir / f"{name}@{version}.npz"
 
+    def artifact_path(self, name: str, version: str) -> Path:
+        """Snapshot location for quantized-plan deploys."""
+        return self.checkpoint_dir / f"{name}@{version}.rplan"
+
     def record_deploy(self, name: str, version: str,
-                      checkpoint: str | Path | None) -> dict:
-        """Append one deploy event; ``checkpoint`` may be None when the
-        model could not be snapshotted (restore will skip it, by name)."""
+                      checkpoint: str | Path | None,
+                      artifact: str | Path | None = None) -> dict:
+        """Append one deploy event.
+
+        ``checkpoint`` may be None when the model could not be
+        snapshotted (restore will skip it, by name); ``artifact`` records
+        a compiled-plan deploy (:func:`repro.qinfer.save_plan`), which
+        restore replays through the artifact gate instead.
+        """
         return self.journal.append(
             "deploy", name=name, version=version,
             checkpoint=None if checkpoint is None
-            else str(Path(checkpoint).resolve()))
+            else str(Path(checkpoint).resolve()),
+            artifact=None if artifact is None
+            else str(Path(artifact).resolve()))
 
     # -- reading --------------------------------------------------------
 
@@ -127,20 +139,26 @@ def restore_registry(registry, manifest_dir: str | Path) -> RestoreReport:
     for entry in manifest.active_entries():
         name, version = entry["name"], entry["version"]
         checkpoint = entry.get("checkpoint")
-        if checkpoint is None:
+        artifact = entry.get("artifact")
+        if checkpoint is None and artifact is None:
             report.skipped.append(
                 {"name": name, "version": version, "checkpoint": None,
                  "reason": "no checkpoint was recorded for this deploy"})
             continue
+        source = artifact if artifact is not None else checkpoint
         try:
-            registry.deploy(name, version, checkpoint=checkpoint,
-                            record=False)
+            if artifact is not None:
+                registry.deploy(name, version, artifact=artifact,
+                                record=False)
+            else:
+                registry.deploy(name, version, checkpoint=checkpoint,
+                                record=False)
         except (SwapValidationError, CheckpointCorruptError,
                 FileNotFoundError, KeyError, ValueError) as exc:
             report.skipped.append(
-                {"name": name, "version": version, "checkpoint": checkpoint,
+                {"name": name, "version": version, "checkpoint": source,
                  "reason": f"{type(exc).__name__}: {exc}"})
             continue
         report.restored.append(
-            {"name": name, "version": version, "checkpoint": checkpoint})
+            {"name": name, "version": version, "checkpoint": source})
     return report

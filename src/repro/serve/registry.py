@@ -82,6 +82,7 @@ class ModelVersion:
             "batcher": dict(self.runner.stats),
             "window": self.window.snapshot(),
             "max_batch": self.engine.max_batch,
+            "quantized": bool(getattr(self.engine, "quantized", False)),
         }
 
 
@@ -102,18 +103,27 @@ class DeployReport:
     """What ``deploy`` did: fresh line or validated hot-swap."""
 
     def __init__(self, name: str, version: str, swapped_from: str | None,
-                 probe_max_abs_diff: float, drained_samples: int):
+                 probe_max_abs_diff: float, drained_samples: int,
+                 quantized: bool = False,
+                 top1_agreement: float | None = None,
+                 artifact: str | None = None):
         self.name = name
         self.version = version
         self.swapped_from = swapped_from
         self.probe_max_abs_diff = probe_max_abs_diff
         self.drained_samples = drained_samples
+        self.quantized = quantized
+        self.top1_agreement = top1_agreement
+        self.artifact = artifact
 
     def as_dict(self) -> dict:
         return {"name": self.name, "version": self.version,
                 "swapped_from": self.swapped_from,
                 "probe_max_abs_diff": self.probe_max_abs_diff,
-                "drained_samples": self.drained_samples}
+                "drained_samples": self.drained_samples,
+                "quantized": self.quantized,
+                "top1_agreement": self.top1_agreement,
+                "artifact": self.artifact}
 
 
 class ModelRegistry:
@@ -144,38 +154,79 @@ class ModelRegistry:
     # -- deployment -----------------------------------------------------
 
     def deploy(self, name: str, version: str, *, model=None,
-               checkpoint=None, probe=None, input_shape=None,
+               checkpoint=None, artifact=None, probe=None, input_shape=None,
                probe_batch: int = 4, seed: int = 0,
-               validate: bool = True, record: bool = True) -> DeployReport:
+               validate: bool = True, record: bool = True,
+               quantize: str | None = None, calibrate=None,
+               min_top1_agreement: float = 0.9) -> DeployReport:
         """Load → validate → swap → drain. Raises before touching traffic.
 
-        Exactly one of ``model`` / ``checkpoint`` supplies the network.
-        ``probe`` (a batched example input) anchors compilation and
-        validation; without it one is generated from ``input_shape`` (or
-        the checkpoint's recorded architecture) with ``seed``.
+        Exactly one of ``model`` / ``checkpoint`` / ``artifact`` supplies
+        the network. ``probe`` (a batched example input) anchors
+        compilation and validation; without it one is generated from
+        ``input_shape`` (or the checkpoint's recorded architecture, or the
+        artifact's input shape) with ``seed``.
+
+        **Quantized deploys** — ``quantize="int8"`` with a ``calibrate``
+        loader compiles a native int8 engine
+        (:func:`repro.infer.compile_model`); ``artifact=`` deploys a
+        serialized plan (:func:`repro.qinfer.load_plan`) directly. Both
+        pass the quantized validation gate: the engine must match the
+        exact reference interpreter bitwise, and its probe-batch top-1
+        predictions must agree with the float reference (the eager model,
+        or the line's currently active engine for artifact deploys) on at
+        least ``min_top1_agreement`` of samples — a regression raises
+        :class:`SwapValidationError` and the old version keeps serving. A
+        corrupted artifact is rejected the same way. Artifact deploys
+        have no eager model, so the degrade-to-eager fallback path is
+        unavailable for them (:meth:`eager_infer` raises).
 
         With a ``manifest_dir`` configured, every successful deploy is
         journaled (``record=False`` suppresses this — used when a warm
         restart replays the manifest) so ``repro serve --resume`` can
         rebuild the registry after a process death; in-memory ``model=``
         deploys are snapshotted into the manifest's checkpoint directory
-        to make them restorable too.
+        (quantized ones as plan artifacts) to make them restorable too.
         """
-        if (model is None) == (checkpoint is None):
-            raise ValueError("pass exactly one of model= or checkpoint=")
-        if checkpoint is not None:
-            from ..io import load_model
-            model = load_model(checkpoint)
-        model.eval()
-        probe = self._probe_batch(model, probe, input_shape, probe_batch,
-                                  seed)
-        try:
-            engine = compile_model(model, probe, max_batch=self.max_batch,
-                                   validate=validate)
-        except CompileValidationError as exc:
-            raise SwapValidationError(
-                f"{name}@{version} failed probe validation: {exc}") from exc
-        probe_diff = self._probe_diff(model, engine, probe)
+        if sum(x is not None for x in (model, checkpoint, artifact)) != 1:
+            raise ValueError(
+                "pass exactly one of model=, checkpoint=, or artifact=")
+        if artifact is not None and quantize is not None:
+            raise ValueError(
+                "artifact deploys are already compiled; quantize= only "
+                "applies to model=/checkpoint= deploys")
+        top1 = None
+        if artifact is not None:
+            engine, probe, top1 = self._load_artifact(
+                name, version, artifact, probe, probe_batch, seed,
+                validate, min_top1_agreement)
+            probe_diff = 0.0
+        else:
+            if checkpoint is not None:
+                from ..io import load_model
+                model = load_model(checkpoint)
+            model.eval()
+            probe = self._probe_batch(model, probe, input_shape,
+                                      probe_batch, seed)
+            try:
+                engine = compile_model(model, probe,
+                                       max_batch=self.max_batch,
+                                       validate=validate,
+                                       quantize=quantize,
+                                       calibrate=calibrate)
+            except CompileValidationError as exc:
+                raise SwapValidationError(
+                    f"{name}@{version} failed probe validation: "
+                    f"{exc}") from exc
+            probe_diff = self._probe_diff(model, engine, probe)
+            if quantize is not None and validate:
+                top1 = self._top1_agreement(
+                    self._eager_probe(model, probe), engine.run(probe))
+                if top1 < min_top1_agreement:
+                    raise SwapValidationError(
+                        f"{name}@{version} quantized accuracy gate failed: "
+                        f"top-1 agreement {top1:.3f} < "
+                        f"{min_top1_agreement:.3f} on the probe batch")
 
         window = AdaptiveWindow(self.window_config, max_batch=self.max_batch)
         incoming = ModelVersion(name, version, model, engine, runner=None,
@@ -205,10 +256,82 @@ class ModelRegistry:
             outgoing.runner.close()     # processes everything already queued
             drained = outgoing.runner.stats["samples"]
         if self.manifest is not None and record:
-            self._journal_deploy(name, version, model, checkpoint)
+            if artifact is not None:
+                self.manifest.record_deploy(name, version, None,
+                                            artifact=artifact)
+            elif quantize is not None:
+                # Snapshot the compiled plan, not the float weights: a
+                # warm restart must restore the same int8 engine, not
+                # silently requantize (calibration data is long gone).
+                from ..qinfer.artifact import save_plan
+                snapshot = self.manifest.artifact_path(name, version)
+                save_plan(engine.plan, snapshot)
+                self.manifest.record_deploy(name, version, None,
+                                            artifact=snapshot)
+            else:
+                self._journal_deploy(name, version, model, checkpoint)
         return DeployReport(name, version,
                             outgoing.version if outgoing else None,
-                            probe_diff, drained)
+                            probe_diff, drained,
+                            quantized=bool(engine.quantized),
+                            top1_agreement=top1,
+                            artifact=None if artifact is None
+                            else str(artifact))
+
+    def _load_artifact(self, name, version, artifact, probe, probe_batch,
+                       seed, validate, min_top1_agreement):
+        """Artifact half of the deploy gate: load, verify, accuracy-check."""
+        from ..infer.runtime import InferenceEngine
+        from ..qinfer.artifact import ArtifactCorruptError, load_plan
+        try:
+            plan = load_plan(artifact)
+            engine = InferenceEngine(plan, max_batch=self.max_batch)
+        except (ArtifactCorruptError, NotImplementedError,
+                ValueError) as exc:
+            raise SwapValidationError(
+                f"{name}@{version} artifact rejected: {exc}") from exc
+        if probe is None:
+            rng = np.random.default_rng(seed)
+            sample = tuple(plan.shapes[plan.input_id][1:])
+            probe = rng.normal(size=(probe_batch, *sample)).astype(np.float32)
+        else:
+            probe = np.asarray(probe, dtype=np.float32)
+        top1 = None
+        if validate:
+            out = engine.run(probe)
+            if not np.all(np.isfinite(out)):
+                raise SwapValidationError(
+                    f"{name}@{version} artifact produced non-finite "
+                    "outputs on the probe batch")
+            if engine.quantized:
+                from ..qinfer.reference import run_reference
+                ref = run_reference(plan, probe)
+                if not np.array_equal(out, ref):
+                    raise SwapValidationError(
+                        f"{name}@{version} quantized artifact diverges "
+                        "from the exact reference interpreter (bitwise "
+                        "equality required)")
+            line = self._lines.get(name)
+            active = line.current if line is not None else None
+            if active is not None:
+                top1 = self._top1_agreement(active.engine.run(probe), out)
+                if top1 < min_top1_agreement:
+                    raise SwapValidationError(
+                        f"{name}@{version} artifact accuracy gate failed "
+                        f"vs active {active.ref}: top-1 agreement "
+                        f"{top1:.3f} < {min_top1_agreement:.3f}")
+        return engine, probe, top1
+
+    @staticmethod
+    def _eager_probe(model, probe) -> np.ndarray:
+        with inference_mode():
+            return model(Tensor(probe)).data
+
+    @staticmethod
+    def _top1_agreement(reference: np.ndarray, candidate: np.ndarray
+                        ) -> float:
+        return float(np.mean(reference.argmax(axis=-1)
+                             == candidate.argmax(axis=-1)))
 
     def _journal_deploy(self, name, version, model, checkpoint) -> None:
         """Make this deploy warm-restartable: snapshot if needed, journal."""
@@ -290,6 +413,10 @@ class ModelRegistry:
     def eager_infer(self, line: _Line, version: ModelVersion,
                     sample: np.ndarray) -> np.ndarray:
         """Serial eager forward — the degraded/fallback path."""
+        if version.model is None:
+            raise RuntimeError(
+                f"{version.ref} was deployed from an artifact and has no "
+                "eager model; the degrade-to-eager fallback is unavailable")
         with line.eager_lock:
             with inference_mode():
                 out = version.model(Tensor(sample[None])).data[0]

@@ -34,22 +34,29 @@ def conv_output_size(size: int, kernel: int, stride: int, padding: int) -> int:
 class ColSignature:
     """Precomputed geometry of one im2col lowering.
 
-    Holds the output extent for a ``(C, H, W, kh, kw, stride, padding)``
-    signature and lazily materialises the flat gather indices that map the
-    padded image to the ``(C*kh*kw, OH*OW)`` patch matrix. The indices are
-    built at most once per signature; :func:`im2col_signature` memoizes the
-    whole object, so repeated forward passes on fixed shapes (the training
-    and inference steady state) never recompute either.
+    Holds the output extent for a ``(C, H, W, kh, kw, stride, padding,
+    dtype)`` signature and lazily materialises the flat gather indices that
+    map the padded image to the ``(C*kh*kw, OH*OW)`` patch matrix. The
+    indices are built at most once per signature; :func:`im2col_signature`
+    memoizes the whole object, so repeated forward passes on fixed shapes
+    (the training and inference steady state) never recompute either.
+
+    The element dtype is part of the signature: the quantized engine lowers
+    int8 activations through the same geometries as the float32 engine, and
+    a signature must never be shared between the two — cached per-dtype
+    state (scratch layouts, byte strides derived from the element size)
+    would silently alias otherwise.
     """
 
-    __slots__ = ("c", "h", "w", "kh", "kw", "stride", "padding",
+    __slots__ = ("c", "h", "w", "kh", "kw", "stride", "padding", "dtype",
                  "oh", "ow", "_indices")
 
     def __init__(self, c: int, h: int, w: int, kh: int, kw: int,
-                 stride: int, padding: int):
+                 stride: int, padding: int, dtype=np.float32):
         self.c, self.h, self.w = c, h, w
         self.kh, self.kw = kh, kw
         self.stride, self.padding = stride, padding
+        self.dtype = np.dtype(dtype)
         self.oh = conv_output_size(h, kh, stride, padding)
         self.ow = conv_output_size(w, kw, stride, padding)
         self._indices: np.ndarray | None = None
@@ -84,9 +91,11 @@ _SIGNATURE_CACHE: OrderedDict[tuple, ColSignature] = OrderedDict()
 
 
 def im2col_signature(c: int, h: int, w: int, kh: int, kw: int,
-                     stride: int, padding: int) -> ColSignature:
-    """Memoized :class:`ColSignature` for an im2col geometry."""
-    key = (c, h, w, kh, kw, stride, padding)
+                     stride: int, padding: int,
+                     dtype=np.float32) -> ColSignature:
+    """Memoized :class:`ColSignature` for an im2col geometry + dtype."""
+    dtype = np.dtype(dtype)
+    key = (c, h, w, kh, kw, stride, padding, dtype)
     sig = _SIGNATURE_CACHE.get(key)
     if sig is not None:
         _SIGNATURE_CACHE.move_to_end(key)
@@ -113,7 +122,7 @@ def im2col_gather(x: np.ndarray, kh: int, kw: int, stride: int, padding: int,
     preallocated column matrix across calls.
     """
     n, c, h, w = x.shape
-    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding, dtype=x.dtype)
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
     flat = np.ascontiguousarray(x).reshape(n, -1)
@@ -137,7 +146,7 @@ def im2col(x: np.ndarray, kh: int, kw: int, stride: int, padding: int) -> np.nda
     receptive field.
     """
     n, c, h, w = x.shape
-    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding, dtype=x.dtype)
     oh, ow = sig.oh, sig.ow
     if padding > 0:
         x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
@@ -155,7 +164,7 @@ def col2im(cols: np.ndarray, x_shape: tuple[int, int, int, int],
            kh: int, kw: int, stride: int, padding: int) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back to image layout."""
     n, c, h, w = x_shape
-    sig = im2col_signature(c, h, w, kh, kw, stride, padding)
+    sig = im2col_signature(c, h, w, kh, kw, stride, padding, dtype=cols.dtype)
     oh, ow = sig.oh, sig.ow
     hp, wp = sig.padded_extent
     x = np.zeros((n, c, hp, wp), dtype=cols.dtype)

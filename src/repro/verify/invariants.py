@@ -49,6 +49,7 @@ __all__ = [
     "check_prune_mask_equivalence", "check_baseline_scorer_equivalence",
     "check_taylor_score_ranges", "check_importance_determinism",
     "check_compiled_inference_equivalence",
+    "check_quantized_inference_equivalence",
     "run_invariants",
 ]
 
@@ -348,6 +349,80 @@ def check_compiled_inference_equivalence(seed: int = 0,
     return result
 
 
+def check_quantized_inference_equivalence(seed: int = 0,
+                                          quick: bool = False
+                                          ) -> InvariantResult:
+    """Int8 engine ≡ exact-integer reference, and close to eager, everywhere.
+
+    For every registry architecture, dense and pruned, the quantized
+    compile path (:mod:`repro.qinfer`: percentile calibration →
+    ``quantize_plan`` rewrite → int8 NHWC kernels) must
+
+    * reproduce the exact-integer reference interpreter **bitwise** —
+      the f32-BLAS-over-integer-codes trick is only legal while every
+      accumulator stays exact, and any drift means that certificate
+      (or the chunking it mandates) is broken; and
+    * agree with eager float execution on ≥ 90% of top-1 decisions on a
+      random probe — the same gate :meth:`ModelRegistry.deploy` applies
+      to quantized swaps (``min_top1_agreement``), so a regression here
+      fails verification before it can fail a deploy.
+    """
+    from ..infer import compile_model
+    from ..qinfer import run_reference
+
+    start = time.perf_counter()
+    result = InvariantResult(name="quantized_inference_equivalence",
+                             passed=True)
+    cases = ({k: INFER_CASES[k] for k in ("vgg11", "resnet20", "mlp")}
+             if quick else INFER_CASES)
+    rng = np.random.default_rng(seed + 5)
+    checked = 0
+    worst_top1 = 1.0
+    for model_name, kwargs in cases.items():
+        batch = _eval_batch(model_name, kwargs, seed)
+        loader = [rng.normal(size=batch.shape).astype(np.float32)
+                  for _ in range(2)]
+        for variant in ("dense", "pruned"):
+            try:
+                model = build_model(model_name, **kwargs)
+                perturb_batchnorm_stats(model, seed=seed)
+                if variant == "pruned":
+                    groups = model.prunable_groups()
+                    victims = _random_victims(model, groups, rng)
+                    sizes = group_sizes(model, groups)
+                    keep = {name: np.setdiff1d(np.arange(sizes[name]), idx)
+                            for name, idx in victims.items()}
+                    prune_groups(model, groups, keep)
+                eager_out = _forward(model, batch)
+                engine = compile_model(model, batch, quantize="int8",
+                                       calibrate=loader, validate=False)
+                native = engine.run(batch)
+                reference = run_reference(engine.plan, batch)
+                if native.dtype != reference.dtype or not np.array_equal(
+                        native, reference):
+                    result.passed = False
+                    result.failures.append(
+                        f"{model_name}/{variant}: native int8 engine is not "
+                        "bitwise-equal to the exact reference interpreter")
+                top1 = float(np.mean(np.argmax(native, -1)
+                                     == np.argmax(eager_out, -1)))
+                worst_top1 = min(worst_top1, top1)
+                if top1 < 0.9:
+                    result.passed = False
+                    result.failures.append(
+                        f"{model_name}/{variant}: top-1 agreement with "
+                        f"eager is {top1:.2f} < 0.9")
+                checked += 1
+            except Exception as exc:
+                result.passed = False
+                result.failures.append(
+                    f"{model_name}/{variant}: {type(exc).__name__}: {exc}")
+    result.detail = (f"{checked} model/variant cases bitwise vs reference, "
+                     f"worst top-1 {worst_top1:.2f}")
+    result.seconds = time.perf_counter() - start
+    return result
+
+
 def run_invariants(seed: int = 0, quick: bool = False) -> list[InvariantResult]:
     """Run the full invariant battery.
 
@@ -364,4 +439,5 @@ def run_invariants(seed: int = 0, quick: bool = False) -> list[InvariantResult]:
         check_taylor_score_ranges(seed=seed),
         check_importance_determinism(seed=seed),
         check_compiled_inference_equivalence(seed=seed, quick=quick),
+        check_quantized_inference_equivalence(seed=seed, quick=quick),
     ]

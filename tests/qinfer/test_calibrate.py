@@ -1,0 +1,106 @@
+"""Calibration over a loader: targets, determinism, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.infer import compile_model
+from repro.models import build_model
+from repro.qinfer import collect_scales, observation_targets
+from repro.qinfer.observers import CalibrationError, PercentileObserver
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _model(seed=0):
+    model = build_model("vgg11", num_classes=3, image_size=8, width=0.25,
+                        seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    model.eval()
+    return model
+
+
+def _loader(seed=0, n=3):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(16, 3, 8, 8)).astype(np.float32)
+            for _ in range(n)]
+
+
+def _float_plan(model, example):
+    return compile_model(model, example, max_batch=16).plan
+
+
+class TestTargets:
+    def test_targets_cover_conv_and_linear_boundaries(self):
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        targets = observation_targets(plan)
+        assert plan.input_id in targets
+        for step in plan.steps:
+            if step.op in ("conv2d", "conv2d_relu", "linear"):
+                assert step.output in targets
+        assert not any(vid in plan.constants for vid in targets)
+
+
+class TestCollectScales:
+    def test_empty_loader_raises(self):
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        with pytest.raises(CalibrationError):
+            collect_scales(plan, [])
+
+    def test_deterministic_for_fixed_loader(self):
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        first = collect_scales(plan, _loader(3), observer="percentile")
+        second = collect_scales(plan, _loader(3), observer="percentile")
+        assert first == second
+        third = collect_scales(plan, _loader(3), observer="minmax")
+        assert set(third) == set(first)
+
+    def test_observer_prototype_not_shared_between_values(self):
+        # Passing an *instance* must act as a prototype: every observed
+        # value gets its own copy, not a shared accumulator.
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        proto = PercentileObserver(percentile=99.0)
+        scales = collect_scales(plan, _loader(5), observer=proto)
+        assert len(set(scales.values())) > 1
+        with pytest.raises(CalibrationError):
+            proto.scale()   # the prototype itself saw no batches
+
+    def test_max_batches_caps_the_pass(self):
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        batches = _loader(7, n=6)
+        capped = collect_scales(plan, batches, observer="minmax",
+                                max_batches=2)
+        full = collect_scales(plan, batches[:2], observer="minmax")
+        assert capped == full
+
+    def test_labelled_batches_accepted(self):
+        model = _model()
+        plan = _float_plan(model, _loader()[0])
+        labelled = [(x, np.zeros(len(x), np.int64)) for x in _loader(1)]
+        scales = collect_scales(plan, labelled)
+        assert all(s > 0 for s in scales.values())
+
+
+class TestCompileModelQuantize:
+    def test_requires_calibration_loader(self):
+        model = _model()
+        with pytest.raises(ValueError):
+            compile_model(model, _loader()[0], quantize="int8")
+
+    def test_rejects_unknown_mode(self):
+        model = _model()
+        with pytest.raises(ValueError):
+            compile_model(model, _loader()[0], quantize="int4",
+                          calibrate=_loader())
+
+    def test_validation_compares_native_to_reference(self):
+        model = _model()
+        engine = compile_model(model, _loader()[0], max_batch=16,
+                               quantize="int8", calibrate=_loader())
+        assert engine.quantized
+        report = engine.optimization
+        assert report is not None
+        assert any("int8" in note for note in report.notes)

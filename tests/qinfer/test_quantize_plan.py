@@ -1,0 +1,111 @@
+"""quantize_plan rewrite: layer selection, scale propagation, storage."""
+
+import numpy as np
+import pytest
+
+from repro.infer import compile_model
+from repro.infer.optimize import (_MIN_LINEAR_FEATURES,
+                                  _conv_worth_quantizing)
+from repro.models import build_model
+from repro.verify.invariants import perturb_batchnorm_stats
+
+
+def _loader(seed=0, shape=(16, 3, 8, 8), n=3):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=shape).astype(np.float32) for _ in range(n)]
+
+
+def _quantized(name, width=0.25, image_size=8, seed=0):
+    model = build_model(name, num_classes=3, image_size=image_size,
+                        width=width, seed=seed)
+    perturb_batchnorm_stats(model, seed=seed)
+    model.eval()
+    loader = _loader(seed, shape=(16, 3, image_size, image_size))
+    return compile_model(model, loader[0], max_batch=16,
+                         quantize="int8", calibrate=loader)
+
+
+class TestSelectionHeuristic:
+    def test_first_conv_never_quantized(self):
+        # C_in=3: the im2col-cast overhead swamps any int8 GEMM win.
+        assert not _conv_worth_quantizing(3, 32)
+        engine = _quantized("vgg11")
+        first_conv = next(s for s in engine.plan.steps
+                          if s.op.startswith(("conv2d", "qconv2d")))
+        assert first_conv.op.startswith("conv2d")
+
+    def test_wide_and_deep_small_convs_quantize(self):
+        assert _conv_worth_quantizing(16, 32)
+        assert _conv_worth_quantizing(8, 8)
+        assert not _conv_worth_quantizing(8, 16)
+
+    def test_linear_floor(self):
+        assert _MIN_LINEAR_FEATURES == 32
+
+    def test_vgg_quantizes_most_convs(self):
+        engine = _quantized("vgg11")
+        counts = engine.plan.op_counts()
+        assert counts.get("qconv2d", 0) >= 6
+        assert counts.get("qlinear", 0) == 1
+
+
+class TestWeightOnlyStorage:
+    def test_kept_float_layers_store_int8_codes(self):
+        # Layers the heuristic keeps on the float engine still ship int8
+        # weights (dequantized once at engine build): full fp32 speed,
+        # one byte per weight on disk.
+        engine = _quantized("vgg11")
+        float_convs = [s for s in engine.plan.steps
+                       if s.op in ("conv2d", "conv2d_relu")]
+        assert float_convs
+        for step in float_convs:
+            assert "weight" not in step.params
+            assert step.params["weight_q"].dtype == np.int8
+            assert step.params["w_scale"].dtype == np.float32
+
+    def test_no_float32_weight_arrays_remain(self):
+        engine = _quantized("vgg11")
+        for step in engine.plan.steps:
+            for key, value in step.params.items():
+                if key in ("weight", "weight_q"):
+                    assert value.dtype == np.int8, \
+                        f"{step.op}.{key} stored at {value.dtype}"
+
+
+class TestScaleConsistency:
+    def test_consumer_in_scale_matches_producer_grid(self):
+        # qmax_pool2d/qrelu pass int8 codes through untouched, so every
+        # quantized consumer's in_scale must equal the grid its codes
+        # were *emitted* on, traced back through the passthrough ops.
+        engine = _quantized("vgg11")
+        steps = {s.output: s for s in engine.plan.steps}
+
+        def emission_scale(vid):
+            step = steps.get(vid)
+            if step is None:
+                return None
+            if step.op in ("qmax_pool2d", "qrelu"):
+                return emission_scale(step.inputs[0])
+            return step.params.get("out_scale", step.params.get("scale"))
+
+        checked = 0
+        for step in engine.plan.steps:
+            if step.op not in ("qconv2d", "qlinear"):
+                continue
+            produced = emission_scale(step.inputs[0])
+            if produced is not None:
+                assert step.params["in_scale"] == pytest.approx(produced)
+                checked += 1
+        assert checked >= 2
+
+    def test_residual_add_quantizes_on_resnet(self):
+        engine = _quantized("resnet20")
+        counts = engine.plan.op_counts()
+        assert counts.get("qadd", 0) + counts.get("qadd_relu", 0) >= 1
+
+    def test_output_is_float32(self):
+        for name in ("vgg11", "resnet20", "mlp"):
+            engine = _quantized(name)
+            out = engine.run(_loader(1)[0])
+            assert out.dtype == np.float32
+            assert np.all(np.isfinite(out))

@@ -50,6 +50,37 @@ class TestQuantizeArray:
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
             quantize_array(np.ones(3), bits=1)
+
+    def test_empty_array_raises(self):
+        with pytest.raises(ValueError):
+            quantize_array(np.empty((0, 4), dtype=np.float32), bits=8)
+
+    def test_nan_and_inf_raise_with_count(self):
+        w = np.array([1.0, np.nan, np.inf, 2.0], dtype=np.float32)
+        with pytest.raises(ValueError, match="2 NaN/inf"):
+            quantize_array(w, bits=8)
+
+    def test_all_zero_channel_gets_unit_scale(self):
+        # A dead (fully pruned-around) channel must not produce a 0 or
+        # NaN scale; its codes are exactly zero under any finite scale.
+        w = np.stack([np.zeros(4), np.full(4, 2.0)]).astype(np.float32)
+        q, scale = quantize_array(w, bits=8, per_channel=True)
+        assert scale.reshape(-1)[0] == 1.0
+        np.testing.assert_array_equal(q[0], 0)
+        np.testing.assert_allclose(dequantize_array(q, scale)[1], w[1],
+                                   rtol=0.01)
+
+    def test_asymmetric_range_clamps_instead_of_wrapping(self):
+        # Scale comes from max |x| (the negative side here), so the
+        # dominant side lands exactly on -qmax and nothing can wrap past
+        # the symmetric grid's edges.
+        w = np.array([10.0, -10.4], dtype=np.float32)
+        q, scale = quantize_array(w, bits=8)
+        assert scale == pytest.approx(10.4 / 127)
+        assert q[1] == -127
+        assert q.min() >= -127 and q.max() <= 127
+        np.testing.assert_allclose(dequantize_array(q, scale)[1], -10.4,
+                                   rtol=1e-6)
         with pytest.raises(ValueError):
             quantize_array(np.ones(3), bits=17)
 

@@ -11,6 +11,7 @@ class TestRunDrills:
                          "sentinel.recovery", "loader.retry",
                          "worker.crash", "worker.respawn", "worker.hang",
                          "worker.degrade", "shm.reaper",
+                         "quant.deploy", "quant.corrupt",
                          "serve.shed", "serve.swap",
                          "serve.drain", "serve.restart"]
         for result in results:

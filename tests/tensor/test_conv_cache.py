@@ -99,3 +99,38 @@ class TestInferenceModeFastPaths:
         b = Tensor(np.ones((2, 2), dtype=np.float32))
         out = ops.add(a, b)
         assert out._parents == ()
+
+
+class TestDtypeInSignature:
+    """The int8 engine lowers through the same geometries as float32;
+    sharing a signature across dtypes would alias per-dtype derived
+    state, so the dtype is part of the cache key."""
+
+    def test_distinct_dtypes_get_distinct_signatures(self):
+        f32 = im2col_signature(3, 8, 8, 3, 3, 1, 1, dtype=np.float32)
+        i8 = im2col_signature(3, 8, 8, 3, 3, 1, 1, dtype=np.int8)
+        assert f32 is not i8
+        assert f32.dtype == np.float32 and i8.dtype == np.int8
+        assert len(_SIGNATURE_CACHE) == 2
+
+    def test_same_dtype_still_memoizes(self):
+        a = im2col_signature(3, 8, 8, 3, 3, 1, 1, dtype=np.int8)
+        b = im2col_signature(3, 8, 8, 3, 3, 1, 1, dtype=np.int8)
+        assert a is b
+
+    def test_im2col_keys_cache_by_input_dtype(self):
+        rng = np.random.default_rng(0)
+        xf = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        xi = rng.integers(-127, 128, size=(2, 3, 8, 8), dtype=np.int8)
+        cols_f = im2col(xf, 3, 3, 1, 1)
+        cols_i = im2col(xi, 3, 3, 1, 1)
+        assert cols_f.dtype == np.float32
+        assert cols_i.dtype == np.int8
+        keys = {(sig.dtype) for sig in _SIGNATURE_CACHE.values()}
+        assert np.dtype(np.float32) in keys and np.dtype(np.int8) in keys
+
+    def test_int8_gather_matches_strided(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(-127, 128, size=(2, 3, 8, 8), dtype=np.int8)
+        np.testing.assert_array_equal(im2col(x, 3, 3, 1, 1),
+                                      im2col_gather(x, 3, 3, 1, 1))

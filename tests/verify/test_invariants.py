@@ -77,7 +77,8 @@ class TestRunInvariants:
                          "baseline_scorer_equivalence",
                          "taylor_score_ranges",
                          "importance_determinism",
-                         "compiled_inference_equivalence"}
+                         "compiled_inference_equivalence",
+                         "quantized_inference_equivalence"}
         failed = [r for r in results if not r.passed]
         assert not failed, "\n".join(f"{r.name}: {r.failures}"
                                      for r in failed)
