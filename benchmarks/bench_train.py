@@ -29,12 +29,16 @@ def main(argv=None) -> int:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny models and few repeats, for CI; "
                              "caps workers at 2")
+    parser.add_argument("--grad-transport", choices=("fp32", "int8"),
+                        default="fp32",
+                        help="gradient wire format for the sharded lane")
     parser.add_argument("--out", default=str(ROOT / "BENCH_train.json"),
                         help="output JSON path")
     args = parser.parse_args(argv)
 
     results = run_bench(workers=args.workers, repeats=args.repeats,
-                        smoke=args.smoke, seed=args.seed)
+                        smoke=args.smoke, seed=args.seed,
+                        transport=args.grad_transport)
     print(format_table(results))
     write_bench(results, args.out)
     print(f"\nresults written to {args.out}")

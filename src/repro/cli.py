@@ -49,7 +49,10 @@ def _training(args):
     return TrainingConfig(epochs=args.epochs, batch_size=args.batch_size,
                           lr=args.lr, momentum=0.9, weight_decay=5e-4,
                           lambda1=args.lambda1, lambda2=args.lambda2,
-                          workers=getattr(args, "workers", 0))
+                          workers=getattr(args, "workers", 0),
+                          grad_transport=getattr(args, "grad_transport",
+                                                 "fp32"),
+                          grad_bucket_kb=getattr(args, "grad_bucket_kb", 512))
 
 
 def _training_args(parser: argparse.ArgumentParser, epochs: int) -> None:
@@ -64,6 +67,14 @@ def _training_args(parser: argparse.ArgumentParser, epochs: int) -> None:
                         help="logical worker shards for importance scoring "
                              "and fine-tuning (0 = serial); results are "
                              "reproducible for a fixed worker count")
+    parser.add_argument("--grad-transport", choices=("fp32", "int8"),
+                        default="fp32",
+                        help="gradient wire format for sharded fine-tuning: "
+                             "fp32 is bit-exact, int8 trades bounded "
+                             "deterministic rounding for 4x less traffic")
+    parser.add_argument("--grad-bucket-kb", type=int, default=512,
+                        help="target gradient bucket size (KiB) for the "
+                             "overlapped all-reduce")
 
 
 def _load_checkpoint(path: str):
@@ -305,7 +316,8 @@ def cmd_infer_bench(args) -> int:
 def cmd_train_bench(args) -> int:
     from .parallel.bench import format_table, run_bench, write_bench
     results = run_bench(workers=args.workers, repeats=args.repeats,
-                        smoke=args.smoke, seed=args.seed)
+                        smoke=args.smoke, seed=args.seed,
+                        transport=args.grad_transport)
     print(format_table(results))
     if args.out:
         write_bench(results, args.out)
@@ -505,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_tbench.add_argument("--smoke", action="store_true",
                           help="tiny models / few repeats (CI); also caps "
                                "workers at 2")
+    p_tbench.add_argument("--grad-transport", choices=("fp32", "int8"),
+                          default="fp32",
+                          help="gradient wire format for the sharded "
+                               "fine-tune lane")
     p_tbench.add_argument("--out", default=None,
                           help="write results JSON to this path "
                                "(e.g. BENCH_train.json)")

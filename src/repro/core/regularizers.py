@@ -279,7 +279,13 @@ class FusedRegularizer:
             if weight.grad is None:
                 weight.grad = grad
             else:
-                weight.grad = weight.grad + grad
+                # One in-place add of the fully-assembled penalty gradient:
+                # elementwise identical to ``weight.grad + grad`` (the
+                # association of the penalty terms inside ``grad`` is
+                # unchanged), but never reallocates — ``weight.grad`` may
+                # be a view into the sharded trainer's preallocated
+                # reduction accumulators.
+                np.add(weight.grad, grad, out=weight.grad)
         if not saw_weight:
             raise ValueError("model contains no conv or linear layers")
         return float(l1_total), float(orth_total)

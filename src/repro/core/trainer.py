@@ -8,6 +8,7 @@ with the modified cost function in Equation 1").
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -57,6 +58,24 @@ class TrainingConfig:
     #: Materialise per-term L1/orth floats for the history. Turning this
     #: off skips two device-scalar syncs per batch in the autograd path.
     track_terms: bool = True
+    #: Gradient wire format of the sharded all-reduce (workers > 0):
+    #: "fp32" ships raw float32 buckets (bit-exact, the default); "int8"
+    #: ships int8 codes under per-bucket power-of-two scales — ~4× less
+    #: bucket traffic, deterministic, but lossy through quantization
+    #: rounding (see docs/performance.md).
+    grad_transport: str = "fp32"
+    #: Size target of one gradient bucket in KiB (workers > 0). Smaller
+    #: buckets publish earlier (more compute/reduce overlap), larger ones
+    #: amortise per-bucket costs better.
+    grad_bucket_kb: int = 512
+
+    def __post_init__(self):
+        if self.grad_transport not in ("fp32", "int8"):
+            raise ValueError(
+                f"unknown grad_transport {self.grad_transport!r}; "
+                "expected 'fp32' or 'int8'")
+        if self.grad_bucket_kb <= 0:
+            raise ValueError("grad_bucket_kb must be positive")
 
     def loss(self) -> ModifiedLoss:
         """The modified cost function this config describes."""
@@ -221,6 +240,16 @@ class Trainer:
                                       list(self.config.lr_milestones),
                                       self.config.lr_gamma)
                           if self.config.lr_milestones else None)
+        #: Cumulative parent-side wall-clock split of the sharded path
+        #: (seconds), surviving session teardown; `repro train-bench`
+        #: reports it per step. "step" covers the parent-side fused
+        #: regularizer + sentinel + optimizer work, "setup" the session
+        #: construction/teardown (pool spawn, shm segments), the rest
+        #: comes from ShardedTrainingSession.run_batch.
+        self.phase_totals = {"broadcast": 0.0, "compute": 0.0,
+                             "publish": 0.0, "reduce": 0.0, "step": 0.0,
+                             "setup": 0.0}
+        self.steps_run = 0
 
     def rebind(self) -> None:
         """Re-attach the optimizer to the model's current parameters.
@@ -336,12 +365,20 @@ class Trainer:
             self._session = None
         if self._session is None:
             from ..parallel.shard import ShardedTrainingSession
+            t_setup = time.perf_counter()
             self._session = ShardedTrainingSession(
                 self.model, self.config.workers,
                 capacity=max(self.config.batch_size, len(images)),
                 sample_shape=images.shape[1:],
                 supervision=self.supervision,
-                on_event=self.on_worker_event)
+                on_event=self.on_worker_event,
+                bucket_bytes=self.config.grad_bucket_kb * 1024,
+                transport=self.config.grad_transport)
+            # The parent parameters are now views of the shared weight
+            # segment; in-place SGD updates make the optimizer step
+            # itself the weight broadcast (bitwise-identical values).
+            self.optimizer.in_place = True
+            self.phase_totals["setup"] += time.perf_counter() - t_setup
         return self._session
 
     @property
@@ -366,6 +403,7 @@ class Trainer:
             self.optimizer.zero_grad()
             session = self._ensure_session(images)
             batch = session.run_batch(images, labels)
+            t_step = time.perf_counter()
             l1_value, orth_value = self._fused.accumulate(self.model)
             total = (batch["ce"] + cfg.lambda1 * l1_value
                      + cfg.lambda2 * orth_value)
@@ -375,6 +413,10 @@ class Trainer:
             self.optimizer.step()
             if self.post_step is not None:
                 self.post_step()
+            self.phase_totals["step"] += time.perf_counter() - t_step
+            for phase, seconds in batch["phases"].items():
+                self.phase_totals[phase] += seconds
+            self.steps_run += 1
             sums["loss"] += total
             sums["ce"] += batch["ce"]
             sums["l1"] += l1_value
@@ -386,8 +428,10 @@ class Trainer:
     def close(self) -> None:
         """Release the sharded-training worker pool, if one was started."""
         if self._session is not None:
+            t_setup = time.perf_counter()
             self._session.close()
             self._session = None
+            self.phase_totals["setup"] += time.perf_counter() - t_setup
 
     def _rewind(self, healthy_state, monitor: HealthMonitor) -> None:
         """Restore the last healthy weights and back off the learning rate."""

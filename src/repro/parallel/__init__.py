@@ -21,6 +21,7 @@ contract, and ``docs/supervision.md`` for the fault model and tuning
 knobs of the supervision layer.
 """
 
+from .bucket import BucketPlan
 from .errors import ParallelExecutionError, TaskFailedError
 from .pool import CRASH_TASK, EchoService, WorkerPool, resolve_processes
 from .scoring import (FusedTaylorScorer, ScoringService, ScoringSession,
@@ -48,6 +49,7 @@ __all__ = [
     "ScoringService",
     "ScoringSession",
     "aggregate_scores_fast",
+    "BucketPlan",
     "ShardedTrainingSession",
 ]
 

@@ -1,0 +1,212 @@
+"""Gradient buckets: flat layout, seqlock publication, int8 transport.
+
+The sharded trainer moves per-shard gradients from worker processes to
+the parent through shared memory. This module defines the three pieces
+that make that transfer overlapped and allocation-free:
+
+* :class:`BucketPlan` — a deterministic grouping of the model's
+  parameters into size-targeted *buckets* laid out back to back in one
+  flat float32 array per shard. Parameters are packed in **reverse**
+  ``named_parameters`` order because backward produces gradients roughly
+  from the output layer backwards, so the first buckets to fill are the
+  first the parent can reduce.
+* the **seqlock** publication protocol — a per-``(shard, bucket)``
+  int64 sequence word. The writer (exactly one per shard) sets the word
+  to the odd value ``2·step − 1`` before touching the bucket's data and
+  to the even value ``2·step`` after; the reader treats the bucket as
+  ready only when it observes the even value for the *current* step, and
+  re-reads the word after copying out of the region. A worker killed
+  mid-publish therefore leaves the word odd (or stale) and the parent
+  never consumes the torn data — the supervisor's respawned worker
+  recomputes the step from unchanged shared weights and republishes
+  bit-identical bytes.
+* optional **int8 transport** — per-bucket symmetric quantization with a
+  *power-of-two* scale (reusing :func:`repro.quant.quantize_array` with
+  an explicit scale). The exactness certificate: with ``scale = 2^e ≥
+  max|g|/127`` every code satisfies ``|q| ≤ 127`` and the reconstruction
+  ``q · scale`` is a float32 exponent shift of a small integer, hence
+  **bit-exact** — the only loss is the rounding applied at quantize
+  time, bounded by ``scale/2`` per element. Buckets whose certificate
+  cannot hold (non-finite gradients) fall back to shipping the raw
+  float32 region (``mode=RAW``); the parent additionally re-verifies the
+  certificate on receive and demotes a violating bucket to an exact
+  float64 dequantization rather than trusting the fast path.
+
+Nothing in here depends on the worker pool: the plan and protocol are
+pure functions of ``(parameter spec, workers, step)``, which is what
+keeps the fixed-``(workers, seed)`` bitwise-reproducibility contract of
+:mod:`repro.parallel.shard` intact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Bucket", "BucketPlan", "MODE_QUANT", "MODE_RAW",
+           "seq_writing", "seq_ready", "mark_writing", "mark_ready",
+           "is_ready", "pow2_scale", "quantize_bucket", "dequantize_bucket"]
+
+#: Default size target of one bucket (bytes of float32 gradient payload).
+DEFAULT_BUCKET_BYTES = 512 * 1024
+
+#: Transport mode codes stored per (shard, bucket) in shared memory.
+MODE_QUANT, MODE_RAW = 0, 1
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One contiguous bucket of the flat gradient layout."""
+
+    index: int
+    names: tuple[str, ...]
+    start: int          # element offset into the flat float32 array
+    stop: int
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+
+class BucketPlan:
+    """Deterministic assignment of parameters to flat gradient buckets.
+
+    Built from ``[(name, shape)]`` in ``named_parameters`` order; the
+    flat layout packs parameters in *reverse* order (see module doc).
+    The plan is a pure function of the parameter spec and
+    ``target_bytes``, so parent and every worker rebuild the identical
+    plan from the architecture alone.
+    """
+
+    def __init__(self, params: list[tuple[str, tuple[int, ...]]],
+                 target_bytes: int = DEFAULT_BUCKET_BYTES):
+        if target_bytes <= 0:
+            raise ValueError("target_bytes must be positive")
+        if not params:
+            raise ValueError("cannot bucket an empty parameter list")
+        self.target_bytes = int(target_bytes)
+        #: name -> (bucket index, flat start, flat stop, shape)
+        self.slices: dict[str, tuple[int, int, int, tuple[int, ...]]] = {}
+        buckets: list[Bucket] = []
+        names: list[str] = []
+        offset = 0
+        bucket_start = 0
+        bucket_bytes = 0
+        for name, shape in reversed(params):
+            size = int(np.prod(shape, dtype=np.int64)) if shape else 1
+            if bucket_bytes and bucket_bytes + size * 4 > self.target_bytes:
+                buckets.append(Bucket(len(buckets), tuple(names),
+                                      bucket_start, offset))
+                names = []
+                bucket_start = offset
+                bucket_bytes = 0
+            self.slices[name] = (len(buckets), offset, offset + size,
+                                 tuple(shape))
+            names.append(name)
+            offset += size
+            bucket_bytes += size * 4
+        buckets.append(Bucket(len(buckets), tuple(names), bucket_start,
+                              offset))
+        self.buckets: tuple[Bucket, ...] = tuple(buckets)
+        self.total_floats = offset
+
+    def __len__(self) -> int:
+        return len(self.buckets)
+
+    def bucket_of(self, name: str) -> int:
+        return self.slices[name][0]
+
+    def param_view(self, flat: np.ndarray, name: str) -> np.ndarray:
+        """Reshaped view of ``name``'s region inside a flat array."""
+        _, start, stop, shape = self.slices[name]
+        return flat[start:stop].reshape(shape)
+
+    def bucket_view(self, flat: np.ndarray, index: int) -> np.ndarray:
+        bucket = self.buckets[index]
+        return flat[bucket.start:bucket.stop]
+
+
+# ----------------------------------------------------------------------
+# Seqlock protocol (single writer per word, single reader)
+# ----------------------------------------------------------------------
+def seq_writing(step: int) -> int:
+    """Odd sequence value marking 'bucket data is being written'."""
+    return 2 * step - 1
+
+
+def seq_ready(step: int) -> int:
+    """Even sequence value marking 'bucket data of ``step`` is stable'."""
+    return 2 * step
+
+
+def mark_writing(seq: np.ndarray, index: int, step: int) -> None:
+    seq[index] = seq_writing(step)
+
+
+def mark_ready(seq: np.ndarray, index: int, step: int) -> None:
+    seq[index] = seq_ready(step)
+
+
+def is_ready(seq: np.ndarray, index: int, step: int) -> bool:
+    return int(seq[index]) == seq_ready(step)
+
+
+# ----------------------------------------------------------------------
+# int8 transport
+# ----------------------------------------------------------------------
+def pow2_scale(amax: float) -> float:
+    """Smallest power of two ``s`` with ``amax / s ≤ 127``.
+
+    A power-of-two scale is the whole exactness certificate: ``q · s``
+    only shifts the exponent of the small integer ``q``, so the float32
+    reconstruction is bit-exact for every representable magnitude.
+    """
+    if amax <= 0:
+        return 1.0
+    mantissa, exponent = math.frexp(amax / 127.0)
+    # frexp: amax/127 = mantissa * 2^exponent with mantissa in [0.5, 1).
+    # 2^(exponent-1) covers it only when the mantissa is exactly 0.5.
+    if mantissa == 0.5:
+        exponent -= 1
+    return math.ldexp(1.0, exponent)
+
+
+def quantize_bucket(flat: np.ndarray, q_out: np.ndarray
+                    ) -> tuple[int, float]:
+    """Quantize one float32 bucket into int8 codes.
+
+    Returns ``(mode, scale)``. ``MODE_QUANT`` with a power-of-two scale
+    when the certificate holds; ``MODE_RAW`` (codes untouched, reader
+    must use the float32 region) when the bucket contains non-finite
+    values — a NaN would otherwise poison the scale and hide the fault
+    from the numerical-health sentinels.
+    """
+    from ..quant import quantize_array
+    amax = float(np.max(np.abs(flat))) if flat.size else 0.0
+    if not math.isfinite(amax):
+        return MODE_RAW, 0.0
+    scale = pow2_scale(amax)
+    q, _ = quantize_array(flat, bits=8, scale=scale)
+    np.copyto(q_out, q, casting="unsafe")
+    return MODE_QUANT, scale
+
+
+def dequantize_bucket(q: np.ndarray, scale: float, out: np.ndarray,
+                      verify: bool = True) -> None:
+    """Exact reconstruction ``out = q · scale`` (float32).
+
+    ``verify=True`` re-checks the certificate on the reader side; a
+    violating bucket (non-power-of-two scale — e.g. a stale or corrupted
+    scale slot) is demoted to an exact float64 dequantization instead of
+    trusting the float32 fast path.
+    """
+    certified = (scale > 0 and math.isfinite(scale)
+                 and math.frexp(scale)[0] == 0.5)
+    if verify and not certified:
+        out64 = q.astype(np.float64) * float(scale)
+        np.copyto(out, out64.astype(np.float32))
+        return
+    np.copyto(out, q, casting="unsafe")
+    np.multiply(out, np.float32(scale), out=out)

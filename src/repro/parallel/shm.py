@@ -112,6 +112,39 @@ class SharedArrayBundle:
         return bundle
 
     @classmethod
+    def create_empty(cls, layout: dict[str, tuple[tuple[int, ...], str]]
+                     ) -> "SharedArrayBundle":
+        """Allocate a zero-filled segment from ``{name: (shape, dtype)}``.
+
+        Unlike :meth:`create` no source arrays are materialised or copied:
+        freshly mapped shared pages are already zero-filled by the kernel.
+        Used for the gradient-bucket and result blocks of the sharded
+        trainer, which workers overwrite every step anyway.
+        """
+        entries = []
+        offset = 0
+        for key, (shape, dtype) in layout.items():
+            dt = np.dtype(dtype)
+            offset = _aligned(offset)
+            entries.append((key, dt.str, tuple(int(s) for s in shape),
+                            offset))
+            offset += int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        total = max(offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=total)
+        reaper.register(shm.name)
+        spec = ShmSpec(name=shm.name, entries=tuple(entries),
+                       total_bytes=total)
+        try:
+            return cls(shm, spec, owner=True)
+        except BaseException:
+            try:
+                shm.close()
+                shm.unlink()
+            finally:
+                reaper.unregister(shm.name)
+            raise
+
+    @classmethod
     def attach(cls, spec: ShmSpec,
                untrack: bool | None = None) -> "SharedArrayBundle":
         """Map an existing segment from its spec (worker side).

@@ -69,7 +69,7 @@ from .errors import ParallelExecutionError, TaskFailedError
 from .pool import _ERR, _INIT_ERR, _OK, _READY, CRASH_TASK
 
 __all__ = ["SupervisionConfig", "WorkerEvent", "SupervisedWorkerPool",
-           "HANG_TASK", "STALL_HEARTBEAT_TASK"]
+           "TaskPipeline", "HANG_TASK", "STALL_HEARTBEAT_TASK"]
 
 #: Sentinel task making a worker loop forever while its heartbeat stays
 #: healthy — detectable only through the per-task deadline.
@@ -424,19 +424,22 @@ class SupervisedWorkerPool:
             slot.proc.start()
             slot.channel.after_spawn()
 
-    def _collect_messages(self) -> list:
-        """Wait up to ``poll_seconds``, then drain every live channel.
+    def _collect_messages(self, timeout: float | None = None) -> list:
+        """Wait up to ``timeout`` (default ``poll_seconds``), then drain
+        every live channel.
 
         Returns ``(slot, message)`` pairs for each complete frame. An
         empty return is the supervisor's cue to scan for dead processes.
         """
+        if timeout is None:
+            timeout = self.supervision.poll_seconds
         fds = [s.channel.r for s in self._slots
                if s.state != _DEAD and s.channel is not None
                and s.channel.r != -1]
         if fds:
-            select.select(fds, [], [], self.supervision.poll_seconds)
-        else:
-            time.sleep(self.supervision.poll_seconds)
+            select.select(fds, [], [], timeout)
+        elif timeout:
+            time.sleep(timeout)
         messages = []
         for slot in self._slots:
             if (slot.state == _DEAD or slot.channel is None
@@ -670,6 +673,39 @@ class SupervisedWorkerPool:
         return results
 
     # ------------------------------------------------------------------
+    # Standing pipeline
+    # ------------------------------------------------------------------
+    def start_pipeline(self, tasks: list) -> "TaskPipeline":
+        """Dispatch one *standing* task per seat and return the pipeline.
+
+        A standing task is a long-running ``service.handle`` call that
+        coordinates with the parent through shared memory (the sharded
+        trainer's per-epoch worker loop) instead of returning per step.
+        The pipeline keeps the supervision guarantees alive for such
+        tasks: the caller ``pump()``\\ s it from its own wait loops (death
+        detection, respawn + re-dispatch, budget accounting) and
+        ``bump_deadlines()`` whenever it observes progress, which turns
+        the per-task deadline into a per-step deadline.
+
+        Unlike :meth:`run_tasks` there is **no serial fallback here**:
+        running a standing task synchronously in the parent would
+        deadlock on the parent-driven control state it waits for. On an
+        exhausted budget the pipeline degrades the pool (events,
+        ``degraded`` flag) and the *caller* completes the remaining work
+        through its own serial path.
+        """
+        if self._closed:
+            raise ParallelExecutionError("pool is closed")
+        if self.degraded:
+            raise ParallelExecutionError(
+                "cannot start a pipeline on a degraded pool")
+        if len(tasks) > self.processes:
+            raise ValueError(
+                f"a pipeline is one standing task per seat: got "
+                f"{len(tasks)} tasks for {self.processes} seats")
+        return TaskPipeline(self, tasks)
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
         """Stop the watchdog, kill the workers, release queues/channels."""
         if self._closed:
@@ -705,3 +741,179 @@ class SupervisedWorkerPool:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class TaskPipeline:
+    """Parent-side handle of a set of standing tasks (one per seat).
+
+    Created by :meth:`SupervisedWorkerPool.start_pipeline`. The caller
+    owns the pacing: it calls :meth:`pump` (non-blocking by default)
+    from its shared-memory wait loops so deaths are noticed while it
+    waits on data, :meth:`bump_deadlines` once per observed step, and
+    :meth:`finish` after it has signalled its own stop condition through
+    whatever channel the standing tasks watch.
+
+    Fault handling mirrors :meth:`SupervisedWorkerPool.run_tasks`: a
+    SIGKILLed/hung/frozen worker is respawned (respawn budget) and its
+    standing task re-dispatched (retry budget). Standing tasks must be
+    idempotent *mid-flight*: a replacement re-enters the same task and
+    re-derives where the computation stands from shared state — which
+    the sharded trainer's seqlock protocol guarantees (a recomputed step
+    republishes bit-identical bytes). Exhausted budgets degrade the pool
+    and leave completion to the caller's serial path.
+    """
+
+    def __init__(self, pool: SupervisedWorkerPool, tasks: list):
+        self._pool = pool
+        self.tasks = list(tasks)
+        self.results: list = [None] * len(self.tasks)
+        self._done = [False] * len(self.tasks)
+        self._remaining = len(self.tasks)
+        self._pending = collections.deque(range(len(self.tasks)))
+        self._attempts: dict[int, int] = {}
+        self._stopping = False
+        self._dispatch()
+
+    @property
+    def degraded(self) -> bool:
+        return self._pool.degraded
+
+    @property
+    def finished(self) -> bool:
+        return self._remaining == 0
+
+    # ------------------------------------------------------------------
+    def _dispatch(self) -> None:
+        pool = self._pool
+        with pool._lock:
+            for slot in pool._slots:
+                if slot.state == _IDLE and self._pending:
+                    index = self._pending.popleft()
+                    slot.state = _BUSY
+                    slot.task_index = index
+                    slot.deadline_at = (
+                        time.monotonic()
+                        + pool.supervision.task_deadline_seconds)
+                    slot.task_q.put((index, self.tasks[index]))
+
+    def bump_deadlines(self) -> None:
+        """Re-arm the task deadline of every busy seat.
+
+        Called by the driver once per observed step, so the watchdog's
+        ``task_deadline_seconds`` bounds one *step* of a standing task
+        rather than its whole (epoch-long) lifetime.
+        """
+        pool = self._pool
+        deadline = (time.monotonic()
+                    + pool.supervision.task_deadline_seconds)
+        with pool._lock:
+            for slot in pool._slots:
+                if slot.state == _BUSY:
+                    slot.deadline_at = deadline
+
+    def _on_death(self, slot: _Slot) -> str | None:
+        pool = self._pool
+        if not self._stopping:
+            return pool._handle_death(slot, self._pending, self._attempts,
+                                      need_more_work=self._remaining > 0)
+        # During shutdown a standing task's purpose (the steps) is
+        # already served; its final summary is advisory. Account the
+        # death, but spend no respawn on it.
+        kind = pool._classify_death(slot)
+        index = slot.task_index
+        detail = (slot.kill_reason
+                  or f"process died with exit code {slot.proc.exitcode}")
+        with pool._lock:
+            slot.state = _DEAD
+            slot.task_index = None
+            slot.deadline_at = float("inf")
+            if slot.task_q is not None:
+                slot.task_q.close()
+                slot.task_q.cancel_join_thread()
+                slot.task_q = None
+            if slot.channel is not None:
+                slot.channel.close()
+                slot.channel = None
+        pool._emit(kind, slot.worker_id, task_index=index,
+                   detail=detail + " (during pipeline stop; not retried)")
+        if index is not None and not self._done[index]:
+            self._done[index] = True
+            self._remaining -= 1
+        return None
+
+    def pump(self, wait: float = 0.0) -> None:
+        """Process supervisor traffic; never blocks longer than ``wait``.
+
+        Raises :class:`TaskFailedError` if a standing task raised in its
+        worker (deterministic bug; the remote traceback matters more
+        than recovery). Worker deaths respawn/re-dispatch; exhausted
+        budgets degrade the pool — check :attr:`degraded` after pumping.
+        """
+        pool = self._pool
+        if pool.degraded or pool._closed or self._remaining == 0:
+            return
+        messages = pool._collect_messages(timeout=wait)
+        degrade_reason = None
+        for slot, (kind, index, payload) in messages:
+            if pool.degraded:
+                return
+            if kind == _OK:
+                with pool._lock:
+                    if slot.task_index == index:
+                        slot.state = _IDLE
+                        slot.task_index = None
+                        slot.deadline_at = float("inf")
+                if not self._done[index]:
+                    self.results[index] = payload
+                    self._done[index] = True
+                    self._remaining -= 1
+            elif kind == _ERR:
+                pool.close()
+                raise TaskFailedError(
+                    f"pipeline task {index} raised in worker:\n{payload}")
+            elif kind == _READY:
+                with pool._lock:
+                    if slot.state == _STARTING:
+                        slot.state = _IDLE
+                        slot.deadline_at = float("inf")
+            elif kind == _INIT_ERR:
+                if slot.proc.exitcode is None:
+                    slot.proc.kill()
+                    slot.proc.join(timeout=1.0)
+                degrade_reason = self._on_death(slot)
+                if degrade_reason:
+                    break
+        if degrade_reason is None:
+            for slot in pool._slots:
+                if (slot.state in (_BUSY, _IDLE, _STARTING)
+                        and slot.proc is not None
+                        and slot.proc.exitcode is not None):
+                    degrade_reason = self._on_death(slot)
+                    if degrade_reason:
+                        break
+        if degrade_reason is None and self._remaining and not any(
+                s.state != _DEAD for s in pool._slots):
+            degrade_reason = "no live workers remain"
+        if degrade_reason:
+            pool._degrade(degrade_reason)
+            return
+        self._dispatch()
+
+    def finish(self, timeout: float | None = None) -> list:
+        """Drain the final task results after the stop signal.
+
+        The caller must already have signalled its stop condition (the
+        sharded trainer flips its control block to STOP), so workers
+        return promptly. Deaths during the drain are not retried. With a
+        ``timeout`` the drain is abandoned after that many seconds — the
+        pool's ``close()`` will kill the stragglers.
+        """
+        self._stopping = True
+        pool = self._pool
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while self._remaining and not pool.degraded and not pool._closed:
+            self.pump(wait=pool.supervision.poll_seconds)
+            if deadline is not None and time.monotonic() > deadline:
+                break
+        return list(self.results)

@@ -149,11 +149,13 @@ def scribble_shm(bundle, seed: int = 0) -> None:
 
 @contextlib.contextmanager
 def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
-                 marker: str | Path | None = None, prelude=None):
+                 marker: str | Path | None = None, prelude=None,
+                 method: str = "handle"):
     """Arm a one-shot fault inside a worker-side service method.
 
-    Monkeypatches ``service_cls.handle`` so that the ``at_call``-th task
-    *handled in any worker process* triggers the fault — exactly once
+    Monkeypatches ``service_cls.<method>`` (``handle`` by default) so
+    that the ``at_call``-th call *in any worker process* triggers the
+    fault — exactly once
     across the whole pool, coordinated through an ``O_EXCL`` marker file
     that survives ``fork``. Must be entered *before* the pool is created
     (fork-start workers inherit the patched class); respawned workers
@@ -170,7 +172,7 @@ def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
         ``"freeze"`` — ``SIGSTOP`` the whole process, heartbeat thread
         included (only heartbeat staleness catches it).
     at_call:
-        Zero-based count of ``handle`` calls in the faulting process
+        Zero-based count of ``method`` calls in the faulting process
         before the fault fires.
     marker:
         Claim-file path (auto-generated when ``None``); yielded so tests
@@ -179,6 +181,11 @@ def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
         Optional callable ``(service) -> None`` run in the worker right
         before the fault — e.g. ``lambda s: scribble_shm(s._out)`` to
         model a crash that corrupted its shared output first.
+    method:
+        Name of the service method to trap. Standing-pipeline services
+        call ``handle`` only once per dispatch; trap an inner per-unit
+        method (e.g. ``TrainingService.run_shard``) to plant the fault
+        mid-stream — killing between two bucket publications of a step.
     """
     if mode not in ("kill", "hang", "freeze"):
         raise ValueError(f"unknown worker fault mode {mode!r}")
@@ -192,7 +199,7 @@ def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
         chaos_dir = Path(tempfile.gettempdir()) / "repro-chaos"
         chaos_dir.mkdir(exist_ok=True)
         marker = chaos_dir / f"worker-fault-{os.getpid()}-{uuid.uuid4().hex}"
-    original = service_cls.handle
+    original = getattr(service_cls, method)
     state = {"calls": 0}
 
     def _claim() -> bool:
@@ -203,7 +210,7 @@ def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
         os.close(fd)
         return True
 
-    def faulty_handle(self, task):
+    def faulty_method(self, *args, **kwargs):
         index = state["calls"]       # per-process counter (fork copies it)
         state["calls"] += 1
         if index == at_call and _claim():
@@ -216,13 +223,13 @@ def worker_fault(service_cls, mode: str = "kill", at_call: int = 0,
             else:                    # "hang"
                 while True:
                     time.sleep(3600)
-        return original(self, task)
+        return original(self, *args, **kwargs)
 
-    service_cls.handle = faulty_handle
+    setattr(service_cls, method, faulty_method)
     try:
         yield marker
     finally:
-        service_cls.handle = original
+        setattr(service_cls, method, original)
 
 
 # ----------------------------------------------------------------------

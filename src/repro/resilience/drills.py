@@ -21,6 +21,11 @@ the matching recovery path actually recovers:
   by the task deadline / heartbeat staleness, killed and replaced;
 * ``worker.degrade`` — a poison task that kills every host must drain the
   retry budget and finish *serially* (``degraded`` set, results intact);
+* ``worker.bucket`` — a sharded-training worker SIGKILLed *between two
+  gradient-bucket publications of one step* must be respawned, the
+  supervised re-dispatch must recompute the in-flight step, and the
+  final weights must come out bit-identical to the fault-free run (the
+  seqlock words keep the half-published buckets invisible);
 * ``shm.reaper`` — a shared-memory segment orphaned by a dead process
   must be reclaimed by the next startup sweep;
 * ``quant.deploy`` / ``quant.corrupt`` — the int8 deployable: a
@@ -317,6 +322,61 @@ def _drill_worker_degrade(seed: int) -> DrillResult:
     return result
 
 
+def _drill_worker_bucket(seed: int) -> DrillResult:
+    result = DrillResult("worker.bucket")
+    from ..parallel import SupervisionConfig
+    from ..parallel.shard import TrainingService
+    from .chaos import worker_fault
+
+    train, _ = _tiny_data(seed)
+    cfg = TrainingConfig(epochs=1, batch_size=16, lr=0.05, seed=seed,
+                         workers=2, grad_bucket_kb=2)
+
+    clean = _tiny_model(seed)
+    trainer = Trainer(clean, train, None, cfg)
+    try:
+        trainer.train(epochs=1)
+    finally:
+        trainer.close()
+
+    supervision = SupervisionConfig(poll_seconds=0.02, heartbeat_seconds=0.05,
+                                    respawn_delay=0.01, respawn_jitter=0.0,
+                                    task_deadline_seconds=30.0)
+    events = []
+    faulted = _tiny_model(seed)
+    # The kill lands inside backward, after the second bucket of the step
+    # was sealed and mid-publication of the third: the parent may already
+    # have reduced the sealed buckets when the worker dies.
+    with worker_fault(TrainingService, mode="kill", at_call=2,
+                      method="_publish_bucket") as marker:
+        trainer = Trainer(faulted, train, None, cfg,
+                          supervision=supervision,
+                          on_worker_event=events.append)
+        try:
+            trainer.train(epochs=1)
+            degraded = trainer.degraded
+        finally:
+            trainer.close()
+    if not marker.exists():
+        result.fail("mid-publish SIGKILL never fired in any worker")
+    marker.unlink(missing_ok=True)
+    if degraded:
+        result.fail("pool degraded on a single transient kill")
+    kinds = {e.kind for e in events}
+    if "respawn" not in kinds:
+        result.fail(f"no respawn event recorded (saw {sorted(kinds)})")
+    ref = clean.state_dict()
+    for key, value in faulted.state_dict().items():
+        if not np.array_equal(value, ref[key]):
+            result.fail(f"weights differ at {key!r} after kill+respawn")
+            break
+    from ..parallel import reaper
+    if reaper.live_segments():
+        result.fail(f"orphaned shm segments: {reaper.live_segments()}")
+    result.detail = "kill -9 mid-bucket-publish healed, weights bit-identical"
+    return result
+
+
 def _drill_shm_reaper(seed: int) -> DrillResult:
     result = DrillResult("shm.reaper")
     import multiprocessing as mp
@@ -438,6 +498,7 @@ def run_drills(seed: int = 0, quick: bool = False,
               _drill_sentinel_recovery, _drill_loader_retry,
               _drill_worker_crash, _drill_worker_respawn,
               _drill_worker_hang, _drill_worker_degrade,
+              _drill_worker_bucket,
               _drill_shm_reaper, *QUANT_DRILLS, *SERVE_DRILLS]
     if not quick:
         drills.append(_drill_crash_resume)

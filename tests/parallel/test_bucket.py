@@ -1,0 +1,181 @@
+"""Bucket plan, seqlock protocol, and int8 gradient transport."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.parallel.bucket import (MODE_QUANT, MODE_RAW, BucketPlan,
+                                   dequantize_bucket, is_ready, mark_ready,
+                                   mark_writing, pow2_scale, quantize_bucket,
+                                   seq_ready, seq_writing)
+from repro.parallel.shm import SharedArrayBundle
+
+PARAMS = [
+    ("features.0.weight", (8, 3, 3, 3)),
+    ("features.0.bias", (8,)),
+    ("features.3.weight", (16, 8, 3, 3)),
+    ("features.3.bias", (16,)),
+    ("classifier.weight", (10, 64)),
+    ("classifier.bias", (10,)),
+]
+
+
+class TestBucketPlan:
+    def test_layout_covers_every_parameter_exactly_once(self):
+        plan = BucketPlan(PARAMS, target_bytes=4096)
+        total = sum(int(np.prod(s)) for _, s in PARAMS)
+        assert plan.total_floats == total
+        covered = np.zeros(total, bool)
+        for name, _ in PARAMS:
+            _, start, stop, shape = plan.slices[name]
+            assert stop - start == int(np.prod(shape))
+            assert not covered[start:stop].any()
+            covered[start:stop] = True
+        assert covered.all()
+        # Buckets tile the flat array contiguously.
+        assert plan.buckets[0].start == 0
+        for prev, cur in zip(plan.buckets, plan.buckets[1:]):
+            assert cur.start == prev.stop
+        assert plan.buckets[-1].stop == total
+
+    def test_reverse_packing_and_size_target(self):
+        plan = BucketPlan(PARAMS, target_bytes=4096)
+        # Backward-order packing: the classifier (last parameter) owns
+        # the start of the flat layout.
+        assert plan.slices["classifier.bias"][1] == 0
+        for bucket in plan.buckets[:-1]:
+            assert bucket.size * 4 <= 4096 or len(bucket.names) == 1
+        # A parameter larger than the target gets its own bucket rather
+        # than splitting.
+        big = BucketPlan(PARAMS, target_bytes=64)
+        for name, shape in PARAMS:
+            index = big.bucket_of(name)
+            assert name in big.buckets[index].names
+
+    def test_plan_is_deterministic(self):
+        a = BucketPlan(PARAMS, target_bytes=1024)
+        b = BucketPlan(list(PARAMS), target_bytes=1024)
+        assert a.slices == b.slices
+        assert [x.names for x in a.buckets] == [x.names for x in b.buckets]
+
+    def test_views_alias_the_flat_array(self):
+        plan = BucketPlan(PARAMS, target_bytes=1024)
+        flat = np.zeros(plan.total_floats, np.float32)
+        view = plan.param_view(flat, "features.0.weight")
+        assert view.shape == (8, 3, 3, 3)
+        view[0, 0, 0, 0] = 7.0
+        _, start, _, _ = plan.slices["features.0.weight"]
+        assert flat[start] == 7.0
+        bucket = plan.bucket_view(flat, plan.bucket_of("features.0.weight"))
+        assert bucket.base is flat or bucket.base is flat.base
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            BucketPlan([], target_bytes=1024)
+        with pytest.raises(ValueError):
+            BucketPlan(PARAMS, target_bytes=0)
+
+
+class TestSeqlock:
+    def test_protocol_values(self):
+        assert seq_writing(1) == 1 and seq_ready(1) == 2
+        assert seq_writing(7) == 13 and seq_ready(7) == 14
+
+    def test_torn_write_is_never_ready(self):
+        """Regression: a bucket abandoned mid-write must stay invisible.
+
+        Models a worker SIGKILLed between ``mark_writing`` and
+        ``mark_ready``: whatever bytes landed in the region, the odd (or
+        stale) sequence word keeps every later step from consuming them.
+        """
+        seq = np.zeros(4, np.int64)
+        mark_writing(seq, 2, step=5)
+        assert not is_ready(seq, 2, step=5)      # odd: mid-write
+        assert not is_ready(seq, 2, step=4)      # not ready for any step
+        mark_ready(seq, 2, step=5)
+        assert is_ready(seq, 2, step=5)
+        assert not is_ready(seq, 2, step=6)      # stale for the next step
+        # Fresh (zeroed) segments are ready for no step at all.
+        assert not is_ready(seq, 0, step=1)
+
+    def test_republish_after_death_overwrites_cleanly(self):
+        seq = np.zeros(1, np.int64)
+        mark_writing(seq, 0, step=3)             # victim died here
+        mark_writing(seq, 0, step=3)             # replacement restarts
+        mark_ready(seq, 0, step=3)
+        assert is_ready(seq, 0, step=3)
+
+
+class TestInt8Transport:
+    def test_pow2_scale_is_a_covering_power_of_two(self):
+        for amax in (1e-12, 0.003, 0.5, 1.0, 127.0, 127.5, 1e6):
+            scale = pow2_scale(amax)
+            mantissa, _ = math.frexp(scale)
+            assert mantissa == 0.5, f"{scale} is not a power of two"
+            assert amax / scale <= 127.0
+            # Smallest such power: halving it must overflow the grid.
+            assert amax / (scale / 2) > 127.0
+        assert pow2_scale(0.0) == 1.0
+
+    def test_exact_boundary_amax(self):
+        # amax/127 exactly a power of two: frexp mantissa == 0.5 branch.
+        amax = 127.0 * 0.25
+        assert pow2_scale(amax) == 0.25
+
+    def test_roundtrip_is_bit_exact_for_representable_values(self):
+        rng = np.random.default_rng(0)
+        flat = (rng.standard_normal(513) * 0.01).astype(np.float32)
+        codes = np.zeros(flat.size, np.int8)
+        mode, scale = quantize_bucket(flat, codes)
+        assert mode == MODE_QUANT
+        out = np.empty_like(flat)
+        dequantize_bucket(codes, scale, out)
+        # Certificate: float32 q·scale equals the exact float64 product.
+        exact = codes.astype(np.float64) * scale
+        np.testing.assert_array_equal(out, exact.astype(np.float32))
+        # And the rounding loss is bounded by scale/2 per element.
+        assert np.max(np.abs(out - flat)) <= scale / 2
+
+    def test_zero_bucket_roundtrips_to_zero(self):
+        flat = np.zeros(17, np.float32)
+        codes = np.ones(17, np.int8)
+        mode, scale = quantize_bucket(flat, codes)
+        assert mode == MODE_QUANT
+        out = np.empty_like(flat)
+        dequantize_bucket(codes, scale, out)
+        assert not out.any()
+
+    def test_nonfinite_bucket_falls_back_to_raw(self):
+        flat = np.array([0.1, np.nan, 0.2], np.float32)
+        codes = np.zeros(3, np.int8)
+        mode, scale = quantize_bucket(flat, codes)
+        assert mode == MODE_RAW and scale == 0.0
+
+    def test_reader_demotes_uncertified_scale_to_float64(self):
+        codes = np.array([3, -7, 127], np.int8)
+        out = np.empty(3, np.float32)
+        # 0.3 is not a power of two: the fast path must not be trusted.
+        dequantize_bucket(codes, 0.3, out)
+        expected = (codes.astype(np.float64) * 0.3).astype(np.float32)
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestCreateEmpty:
+    def test_zero_filled_layout_round_trips_through_spec(self):
+        layout = {
+            "grads": ((24,), "<f4"),
+            "empty": ((0,), "<f4"),      # BN-less models produce these
+            "seq": ((3,), "<i8"),
+            "done": ((1,), "<i8"),
+        }
+        bundle = SharedArrayBundle.create_empty(layout)
+        try:
+            assert not bundle.arrays["grads"].any()
+            assert bundle.arrays["empty"].size == 0
+            other = SharedArrayBundle.attach(bundle.spec, untrack=False)
+            bundle.arrays["seq"][1] = 42
+            assert other.arrays["seq"][1] == 42
+            other.close()
+        finally:
+            bundle.unlink()

@@ -13,9 +13,14 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core.surgery import group_sizes, prune_groups
 from repro.core.trainer import Trainer, TrainingConfig
 from repro.data import make_cifar_like
 from repro.models import build_model
+from repro.models.registry import MODEL_REGISTRY
+from repro.nn import cross_entropy
+from repro.parallel.shard import ShardedTrainingSession
+from repro.tensor import Tensor
 
 
 def _setup(seed=0):
@@ -76,6 +81,177 @@ def test_multi_shard_training_converges():
     # not monotonicity.
     ce = [e.cross_entropy for e in history.epochs]
     assert min(ce[1:]) < ce[0]
+
+
+def _prune_half(model, seed=0):
+    """Remove ~half of every prunable group's channels in place."""
+    rng = np.random.default_rng(seed + 7)
+    groups = model.prunable_groups()
+    sizes = group_sizes(model, groups)
+    keep = {}
+    for group in groups:
+        n = sizes[group.name]
+        k = max(n - max(n // 2, 1), 1)
+        keep[group.name] = np.sort(rng.choice(n, size=k, replace=False))
+    prune_groups(model, groups, keep)
+
+
+def _monolithic_reduction(model, images, labels, workers):
+    """Reference all-reduce: serial per-shard backward, one dense pass.
+
+    Recomputes every shard's cross-entropy gradients with plain autograd
+    in this process and reduces them with the documented formula
+    ``g = Σ_k (n_k/n)·g_k`` in shard order, using the same float32
+    operations as the session — the pre-bucketing semantics the
+    overlapped path must reproduce bit for bit.
+    """
+    n = len(images)
+    n_shards = min(workers, n)
+    bounds = [n * i // n_shards for i in range(n_shards + 1)]
+    names = [name for name, _ in model.named_parameters()]
+    shard_grads = []
+    model.train()
+    for k in range(n_shards):
+        model.zero_grad()
+        logits = model(Tensor(images[bounds[k]:bounds[k + 1]]))
+        ce = cross_entropy(logits, labels[bounds[k]:bounds[k + 1]])
+        ce.backward()
+        shard_grads.append({
+            name: (np.array(p.grad, copy=True) if p.grad is not None
+                   else np.zeros_like(p.data))
+            for name, p in model.named_parameters()})
+    reduced = {}
+    for name in names:
+        if n_shards == 1:
+            reduced[name] = shard_grads[0][name]
+            continue
+        acc = np.multiply(shard_grads[0][name],
+                          np.float32(bounds[1] / n))
+        for k in range(1, n_shards):
+            scale = np.float32((bounds[k + 1] - bounds[k]) / n)
+            np.add(acc, np.multiply(shard_grads[k][name], scale), out=acc)
+        reduced[name] = acc
+    return reduced
+
+
+class TestBucketedReductionEquivalence:
+    """Overlapped bucketed all-reduce ≡ monolithic reduction, bitwise.
+
+    The acceptance matrix of the bucketed rewrite: every zoo model, dense
+    and after channel surgery, at workers ∈ {1, 2, 4} — the session's
+    reduced gradients must match the serial per-shard reference byte for
+    byte (same shards, same order, same float32 operations).
+    """
+
+    @pytest.mark.parametrize("name", sorted(MODEL_REGISTRY))
+    def test_session_gradients_match_reference(self, name):
+        train, _ = make_cifar_like(num_classes=3, image_size=8,
+                                   samples_per_class=6, seed=0)
+        images = train.images[:12].astype(np.float32)
+        labels = train.labels[:12]
+        for pruned in (False, True):
+            for workers in (1, 2, 4):
+                model = build_model(name, num_classes=3, image_size=8,
+                                    width=0.25, seed=0)
+                if pruned:
+                    _prune_half(model)
+                with ShardedTrainingSession(
+                        model, workers, capacity=len(images),
+                        sample_shape=images.shape[1:],
+                        bucket_bytes=2048) as session:
+                    # The reference runs against the same (now shared)
+                    # parameter arrays — binding copies them bitwise.
+                    expected = _monolithic_reduction(model, images,
+                                                     labels, workers)
+                    batch = session.run_batch(images, labels)
+                    label = f"{name} pruned={pruned} workers={workers}"
+                    for pname, param in model.named_parameters():
+                        np.testing.assert_array_equal(
+                            param.grad, expected[pname],
+                            err_msg=f"{label}: {pname}")
+                assert batch["count"] == len(images)
+                assert set(batch["phases"]) == {"broadcast", "compute",
+                                                "publish", "reduce"}
+
+
+class TestInt8Transport:
+    # Pure cross entropy at a modest lr: bucket-level scales share one
+    # grid across every parameter in the bucket, so the hot regularized
+    # recipe of BASE would amplify the (bounded, deterministic) rounding
+    # noise on this toy model. Production-shaped config, small buckets.
+    CFG = dataclasses.replace(BASE, lr=0.01, lambda1=0.0, lambda2=0.0,
+                              workers=2, grad_bucket_kb=4)
+
+    def test_int8_history_reproducible_and_close_to_fp32(self):
+        cfg8 = dataclasses.replace(self.CFG, grad_transport="int8")
+        model_a, hist_a = _train(cfg8)
+        model_b, hist_b = _train(cfg8)
+        assert _history_rows(hist_a) == _history_rows(hist_b)
+        state_a = model_a.state_dict()
+        for key, value in model_b.state_dict().items():
+            np.testing.assert_array_equal(value, state_a[key], err_msg=key)
+        # Quantization rounding must stay a perturbation, not a rewrite:
+        # the int8 run tracks the fp32 run's loss trajectory.
+        model_f, hist_f = _train(self.CFG)
+        for r8, rf in zip(_history_rows(hist_a), _history_rows(hist_f)):
+            assert r8[0] == pytest.approx(rf[0], rel=0.25)
+            assert np.isfinite(r8[0])
+
+    def test_int8_quantization_error_is_bounded_per_bucket(self):
+        from repro.parallel.bucket import pow2_scale
+
+        train, _ = make_cifar_like(num_classes=3, image_size=8,
+                                   samples_per_class=6, seed=0)
+        images = train.images[:8].astype(np.float32)
+        labels = train.labels[:8]
+        workers = 2
+
+        def grads(transport):
+            model = build_model("vgg11", num_classes=3, image_size=8,
+                                width=0.25, seed=0)
+            with ShardedTrainingSession(
+                    model, workers, capacity=len(images),
+                    sample_shape=images.shape[1:], bucket_bytes=2048,
+                    transport=transport) as session:
+                session.run_batch(images, labels)
+                return ({name: np.array(p.grad, copy=True)
+                         for name, p in model.named_parameters()},
+                        session.plan, model)
+
+        exact, plan, model = grads("fp32")
+        quant, _, _ = grads("int8")
+        # Per-shard, per-bucket scales: rounding error is ≤ scale/2 per
+        # element in each shard, and the shard weights sum to one, so
+        # max_k(scale_k)/2 bounds every element of the reduction.
+        n = len(images)
+        bounds = [n * i // workers for i in range(workers + 1)]
+        shard_scales = []
+        for k in range(workers):
+            model.zero_grad()
+            logits = model(Tensor(images[bounds[k]:bounds[k + 1]]))
+            cross_entropy(logits, labels[bounds[k]:bounds[k + 1]]).backward()
+            flat = np.zeros(plan.total_floats, np.float32)
+            for pname, param in model.named_parameters():
+                if param.grad is not None:
+                    plan.param_view(flat, pname)[...] = param.grad
+            shard_scales.append([
+                pow2_scale(float(np.max(np.abs(
+                    plan.bucket_view(flat, b.index)))))
+                for b in plan.buckets])
+        for pname in exact:
+            index = plan.bucket_of(pname)
+            bound = max(s[index] for s in shard_scales) / 2 + 1e-7
+            error = float(np.max(np.abs(exact[pname] - quant[pname])))
+            assert error <= bound, f"{pname}: {error} > {bound}"
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ValueError, match="grad_transport"):
+            dataclasses.replace(BASE, grad_transport="fp16")
+        model, train, _ = _setup()
+        with pytest.raises(ValueError, match="transport"):
+            ShardedTrainingSession(model, 1, capacity=8,
+                                   sample_shape=(3, 8, 8),
+                                   transport="fp16")
 
 
 def test_custom_loss_fn_rejected_with_workers():

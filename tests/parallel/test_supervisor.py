@@ -183,7 +183,11 @@ class TestBitIdentity:
 
         events = []
         faulted = _tiny_model()
-        with worker_fault(TrainingService, mode="kill", at_call=1) as marker:
+        # The standing pipeline calls `handle` once per dispatch, so the
+        # kill is planted on the per-shard inner method: it fires between
+        # the bucket publications of two shards of the same step.
+        with worker_fault(TrainingService, mode="kill", at_call=1,
+                          method="run_shard") as marker:
             trainer = Trainer(faulted, train, None, tcfg,
                               supervision=SupervisionConfig(**FAST),
                               on_worker_event=events.append)

@@ -10,7 +10,7 @@ class TestRunDrills:
         assert names == ["surgery.rollback", "checkpoint.tamper",
                          "sentinel.recovery", "loader.retry",
                          "worker.crash", "worker.respawn", "worker.hang",
-                         "worker.degrade", "shm.reaper",
+                         "worker.degrade", "worker.bucket", "shm.reaper",
                          "quant.deploy", "quant.corrupt",
                          "serve.shed", "serve.swap",
                          "serve.drain", "serve.restart"]
