@@ -37,6 +37,10 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--smoke", action="store_true",
                         help="tiny model and short sweep, for CI")
+    parser.add_argument("--replicas", type=int, default=0,
+                        help="bench the replicated tier: N replica worker "
+                             "processes behind the health-probed router "
+                             "(0 = the in-process server)")
     parser.add_argument("--out", default=str(ROOT / "BENCH_serve.json"),
                         help="output JSON path")
     args = parser.parse_args(argv)
@@ -47,7 +51,8 @@ def main(argv=None) -> int:
                         requests_per_connection=args.requests,
                         max_batch=args.max_batch,
                         variants=tuple(args.variant) if args.variant
-                        else _VARIANTS)
+                        else _VARIANTS,
+                        replicas=args.replicas)
     print(format_table(results))
     write_bench(results, args.out)
     print(f"\nresults written to {args.out}")

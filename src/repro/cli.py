@@ -326,7 +326,8 @@ def cmd_train_bench(args) -> int:
 
 
 def cmd_serve(args) -> int:
-    from .serve import (InferenceServer, ModelRegistry, ServeConfig,
+    from .serve import (InferenceServer, ModelRegistry, ReplicaConfig,
+                        ReplicaRouter, ReplicaSet, ReplicaSpec, ServeConfig,
                         SheddingConfig, restore_registry)
 
     if not args.model and not args.resume:
@@ -360,11 +361,37 @@ def cmd_serve(args) -> int:
             report = registry.deploy(name, version, checkpoint=checkpoint)
             print(f"deployed {name}@{version} from {checkpoint} "
                   f"(probe max|diff| {report.probe_max_abs_diff:.2e})")
-        server = InferenceServer(
-            registry, ServeConfig(host=args.host, port=args.port,
-                                  request_timeout_s=args.request_timeout,
-                                  drain_grace_s=args.drain_grace))
-        server.run_forever()
+        router = rset = None
+        if args.replicas > 0:
+            if not deployments:
+                print("--replicas needs --model checkpoints to deploy "
+                      "to the replica fleet")
+                return 1
+            if args.resume:
+                print("note: --replicas serves only the --model specs; "
+                      "manifest-restored models stay on the frontend")
+            rset = ReplicaSet(ReplicaConfig(
+                replicas=args.replicas,
+                max_batch=args.max_batch,
+                max_respawns=args.replica_respawns,
+                hedge_after_ms=args.replica_hedge_ms
+                if args.replica_hedge_ms > 0 else None,
+                request_timeout_s=args.request_timeout))
+            router = ReplicaRouter(rset, [
+                ReplicaSpec(name, version, checkpoint=checkpoint)
+                for name, version, checkpoint in deployments])
+            print(f"replicated tier: {args.replicas} replicas, "
+                  f"{len(deployments)} model(s)")
+        try:
+            server = InferenceServer(
+                registry, ServeConfig(host=args.host, port=args.port,
+                                      request_timeout_s=args.request_timeout,
+                                      drain_grace_s=args.drain_grace),
+                router=router)
+            server.run_forever()
+        finally:
+            if rset is not None:
+                rset.close()            # idempotent; server closes it too
     return 0
 
 
@@ -376,7 +403,8 @@ def cmd_serve_bench(args) -> int:
                         connections=connections,
                         requests_per_connection=args.requests,
                         max_batch=args.max_batch,
-                        variants=variants)
+                        variants=variants,
+                        replicas=args.replicas)
     print(format_table(results))
     if args.out:
         write_bench(results, args.out)
@@ -555,6 +583,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="redeploy every name@version journaled in "
                               "DIR's manifest (through probe validation) "
                               "before serving; implies --manifest DIR")
+    p_serve.add_argument("--replicas", type=int, default=0,
+                         help="run N replica worker processes behind the "
+                              "health-probed router (0 = in-process "
+                              "serving); each --model checkpoint deploys "
+                              "to every replica")
+    p_serve.add_argument("--replica-respawns", type=int, default=3,
+                         help="total crashed-replica respawns before the "
+                              "fleet degrades to in-process serving")
+    p_serve.add_argument("--replica-hedge-ms", type=float, default=0.0,
+                         help="hedge a straggling replica request onto a "
+                              "second replica after this many ms "
+                              "(<= 0 disables hedging)")
     p_serve.set_defaults(func=cmd_serve)
 
     p_sbench = sub.add_parser(
@@ -574,6 +614,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_sbench.add_argument("--smoke", action="store_true",
                           help="tiny model / short sweep (CI); asserts the "
                                "zero-drop serving contract")
+    p_sbench.add_argument("--replicas", type=int, default=0,
+                          help="bench the replicated tier: N replica "
+                               "processes behind the router (0 = the "
+                               "in-process server)")
     p_sbench.add_argument("--out", default=None,
                           help="write results JSON to this path "
                                "(e.g. BENCH_serve.json)")

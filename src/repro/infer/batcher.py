@@ -151,11 +151,16 @@ class BatchRunner:
     ``on_batch(samples, outputs)`` (optional) observes every successful
     batch — the serving layer uses it for batch-size metrics, adaptive
     window control, and the bitwise replay trace of its equivalence tests.
+    An observer that raises is contained: the fault is counted in
+    ``stats["observer_faults"]``, reported through ``on_observer_error``
+    (if set), and the worker keeps serving — by the time the observer
+    runs, every ticket in the batch has already resolved, so the hook can
+    never cost a caller its result.
     """
 
     def __init__(self, engine, max_batch: int | None = None,
                  max_wait: float = 0.002, *, clock: Clock = SYSTEM_CLOCK,
-                 on_batch=None):
+                 on_batch=None, on_observer_error=None):
         if max_wait < 0:
             raise ValueError("max_wait must be non-negative")
         self.engine = engine
@@ -166,8 +171,10 @@ class BatchRunner:
         self.max_wait = float(max_wait)
         self.clock = clock
         self.on_batch = on_batch
+        self.on_observer_error = on_observer_error
         self.stats = {"samples": 0, "batches": 0, "largest_batch": 0,
-                      "restarts": 0, "cancelled": 0, "expired": 0}
+                      "restarts": 0, "cancelled": 0, "expired": 0,
+                      "observer_faults": 0}
         self._queue: queue.SimpleQueue = queue.SimpleQueue()
         self._closed = False
         self._lock = threading.Lock()
@@ -281,8 +288,13 @@ class BatchRunner:
                 if self.on_batch is not None:
                     try:
                         self.on_batch(batch, outputs)
-                    except Exception:  # noqa: BLE001 - observer, not ours
-                        pass
+                    except Exception as exc:  # noqa: BLE001 - observer's bug
+                        self.stats["observer_faults"] += 1
+                        if self.on_observer_error is not None:
+                            try:
+                                self.on_observer_error(exc)
+                            except Exception:  # noqa: BLE001 - both hooks bad
+                                pass
                 pending = []
         except BaseException as exc:  # noqa: BLE001 - worker is dying
             # Something escaped the per-batch containment (a malformed

@@ -20,6 +20,14 @@ through :class:`~repro.parallel.shm.SharedArrayBundle` is reclaimed:
 
 The ledger lists segment *names*, not handles, so sweeping works from any
 process. Entries belonging to a still-running process are never touched.
+
+Beyond shm segments, replica-owned filesystem artifacts — unix-domain
+sockets, pid files, and their scratch directories — share the same
+lifecycle problem: a SIGKILLed serve run leaves them behind. They ride
+the same ledger as ``path:``-prefixed entries (:func:`register_path` /
+:func:`unregister_path`); the sweeps reclaim them in reverse-sorted
+order so files inside a registered directory are removed before the
+``rmdir`` of the directory itself.
 """
 
 from __future__ import annotations
@@ -32,8 +40,10 @@ import threading
 from multiprocessing import shared_memory
 from pathlib import Path
 
-__all__ = ["ledger_dir", "register", "unregister", "sweep_orphans",
-           "live_segments", "reap_all"]
+__all__ = ["ledger_dir", "register", "unregister", "register_path",
+           "unregister_path", "sweep_orphans", "live_segments", "reap_all"]
+
+_PATH_PREFIX = "path:"
 
 _lock = threading.Lock()
 _segments: set[str] = set()
@@ -98,6 +108,33 @@ def _unlink_segment(name: str) -> bool:
     return True
 
 
+def _unlink_path(path: str) -> bool:
+    """Best-effort removal of a ledgered file/socket/dir; True on removal.
+
+    Directories are removed with ``rmdir`` only — a registered scratch
+    dir is reclaimed after its (also-registered) contents, never by a
+    recursive delete of files the run did not ledger.
+    """
+    target = Path(path)
+    try:
+        if target.is_dir() and not target.is_symlink():
+            target.rmdir()
+        else:
+            target.unlink()
+    except FileNotFoundError:
+        return False
+    except OSError:  # pragma: no cover - non-empty dir, permissions
+        return False
+    return True
+
+
+def _reclaim(entry: str) -> bool:
+    """Destroy one ledger entry, dispatching on its type prefix."""
+    if entry.startswith(_PATH_PREFIX):
+        return _unlink_path(entry[len(_PATH_PREFIX):])
+    return _unlink_segment(entry)
+
+
 def _atexit_sweep() -> None:  # pragma: no cover - runs at interpreter exit
     reap_all()
 
@@ -122,6 +159,16 @@ def unregister(name: str) -> None:
         _write_ledger()
 
 
+def register_path(path: str | os.PathLike) -> None:
+    """Ledger a replica-owned filesystem artifact (socket/pid file/dir)."""
+    register(_PATH_PREFIX + str(Path(path).absolute()))
+
+
+def unregister_path(path: str | os.PathLike) -> None:
+    """Drop a filesystem artifact from the ledger after orderly removal."""
+    unregister(_PATH_PREFIX + str(Path(path).absolute()))
+
+
 def live_segments() -> set[str]:
     """Names this process still owns according to its ledger."""
     with _lock:
@@ -137,10 +184,12 @@ def reap_all() -> int:
     """
     with _lock:
         _check_fork()
-        doomed = sorted(_segments)
+        # Reverse-sorted so "path:<dir>/<file>" entries are reclaimed
+        # before their parent "path:<dir>" (a prefix sorts first).
+        doomed = sorted(_segments, reverse=True)
         _segments.clear()
         _write_ledger()
-    return sum(_unlink_segment(name) for name in doomed)
+    return sum(_reclaim(name) for name in doomed)
 
 
 def _pid_alive(pid: int) -> bool:
@@ -175,8 +224,9 @@ def sweep_orphans() -> list[str]:
             names = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
             names = []
-        for name in names:
-            if isinstance(name, str) and _unlink_segment(name):
+        for name in sorted((n for n in names if isinstance(n, str)),
+                           reverse=True):
+            if _reclaim(name):
                 reaped.append(name)
         try:
             path.unlink()

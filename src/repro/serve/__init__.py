@@ -15,12 +15,18 @@ Pieces (each importable on its own):
 ``registry``    name@version model registry, hot-swap, degrade-to-eager
 ``manifest``    journaled deploy manifest + warm restart (``--resume``)
 ``server``      the asyncio NDJSON frontend (deadlines, graceful drain)
+``replica``     replica worker processes: per-process registry + engine
+                behind a unix socket, heartbeats, bounded respawn
+``router``      health-aware dispatch across replicas: least-outstanding
+                routing, liveness probes, rid-keyed failover, hedging,
+                circuit breakers, rolling deploys, degrade
 ``client``      minimal blocking client (tests, drills, load generator)
 ``resilient``   self-healing client: reconnect, backoff, circuit breaker
 ``loadgen``     closed-loop load generator behind ``repro serve-bench``
 ``bench``       the BENCH_serve.json lane
 ``drills``      ``serve.shed`` / ``serve.swap`` / ``serve.drain`` /
-                ``serve.restart`` fault drills for
+                ``serve.restart`` / ``replica.kill`` / ``replica.hang`` /
+                ``replica.rolling`` fault drills for
                 ``python -m repro.verify --drills serve``
 
 Typical use::
@@ -37,10 +43,12 @@ lifecycle, and the BENCH_serve.json schema.
 """
 
 from .manifest import RestoreReport, ServeManifest, restore_registry
-from .metrics import LatencyReservoir, ServerMetrics
+from .metrics import LatencyReservoir, ServerMetrics, sum_counters
 from .registry import (DeployReport, ModelRegistry, ModelVersion,
                        NoSuchModelError, SwapValidationError)
+from .replica import ReplicaConfig, ReplicaSet, ReplicaSpec
 from .resilient import CircuitBreaker, CircuitOpenError, ResilientClient
+from .router import ReplicaRouter, ReplicasUnavailable
 from .scheduler import AdaptiveWindow, WindowConfig
 from .server import InferenceServer, ServeConfig, ServerThread
 from .shedding import AdmissionController, SheddingConfig
@@ -48,10 +56,12 @@ from .shedding import AdmissionController, SheddingConfig
 __all__ = [
     "AdaptiveWindow", "WindowConfig",
     "AdmissionController", "SheddingConfig",
-    "LatencyReservoir", "ServerMetrics",
+    "LatencyReservoir", "ServerMetrics", "sum_counters",
     "DeployReport", "ModelRegistry", "ModelVersion", "NoSuchModelError",
     "SwapValidationError",
     "ServeManifest", "RestoreReport", "restore_registry",
+    "ReplicaConfig", "ReplicaSet", "ReplicaSpec",
+    "ReplicaRouter", "ReplicasUnavailable",
     "CircuitBreaker", "CircuitOpenError", "ResilientClient",
     "InferenceServer", "ServeConfig", "ServerThread",
 ]

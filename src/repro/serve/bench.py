@@ -20,6 +20,8 @@ contract: finite p99, zero errors, zero dropped requests.
 from __future__ import annotations
 
 import json
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -61,12 +63,19 @@ _VARIANTS = ("dense", "pruned", "int8")
 def run_bench(smoke: bool = False, seed: int = 0,
               connections=(1, 4, 16), requests_per_connection: int = 40,
               max_batch: int = 16, max_pending: int = 256,
-              variants=_VARIANTS) -> dict:
+              variants=_VARIANTS, replicas: int = 0) -> dict:
     """Serve the variant sweep under offered load, return the payload.
 
     ``variants`` selects columns from ``("dense", "pruned", "int8")``;
     the int8 variant is the pruned model deployed through the quantized
     compile path, so dense→pruned→int8 reads as cumulative optimisation.
+
+    ``replicas > 0`` runs the replicated tier: the same variants are
+    deployed to ``replicas`` worker processes behind the health-aware
+    router (dense/pruned from checkpoints, int8 from its compiled plan
+    artifact), and the sweep measures the fleet. Every entry carries a
+    ``replicas`` column so the two topologies stay distinguishable in
+    ``BENCH_serve.json``.
     """
     unknown = [v for v in variants if v not in _VARIANTS]
     if unknown:
@@ -88,9 +97,11 @@ def run_bench(smoke: bool = False, seed: int = 0,
                                 p99_budget_ms=None))
     entries = []
     rng = np.random.default_rng(seed)
+    models: dict[str, object] = {}
     with registry:
         for variant in variants:
             model = _build_variant(spec, pruned=(variant != "dense"))
+            models[variant] = model
             kwargs = {}
             if variant == "int8":
                 kwargs = dict(quantize="int8", calibrate=[
@@ -98,23 +109,58 @@ def run_bench(smoke: bool = False, seed: int = 0,
                                ).astype(np.float32) for _ in range(3)])
             registry.deploy(f"{spec['name']}-{variant}", "v1", model=model,
                             input_shape=sample_shape, seed=seed, **kwargs)
-        with ServerThread(registry, ServeConfig()) as srv:
+        router = rset = tmpdir = None
+        if replicas:
+            from ..io import save_model
+            from ..qinfer.artifact import save_plan
+            from .replica import ReplicaConfig, ReplicaSet, ReplicaSpec
+            from .router import ReplicaRouter
+            tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+            specs = []
             for variant in variants:
                 ref = f"{spec['name']}-{variant}"
-                for conns in connections:
-                    report = run_load(srv.host, srv.port, ref, sample_shape,
-                                      connections=conns,
-                                      requests_per_connection=
-                                      requests_per_connection,
-                                      seed=seed)
-                    entry = {"variant": variant, **report.as_dict()}
-                    entries.append(entry)
-                    if smoke:
-                        _assert_smoke_contract(entry)
+                if variant == "int8":
+                    # Replicas must serve the *same* int8 engine, not a
+                    # requantisation — ship the compiled plan artifact.
+                    _, active = registry.resolve(ref)
+                    path = Path(tmpdir.name) / f"{ref}.rplan"
+                    save_plan(active.engine.plan, path)
+                    specs.append(ReplicaSpec(ref, "v1", artifact=str(path)))
+                else:
+                    path = Path(tmpdir.name) / f"{ref}.npz"
+                    save_model(models[variant], path)
+                    specs.append(ReplicaSpec(ref, "v1",
+                                             checkpoint=str(path)))
+            rset = ReplicaSet(ReplicaConfig(replicas=int(replicas),
+                                            max_batch=max_batch))
+            router = ReplicaRouter(rset, specs)
+        try:
+            with ServerThread(registry, ServeConfig(), router=router) as srv:
+                for variant in variants:
+                    ref = f"{spec['name']}-{variant}"
+                    for conns in connections:
+                        report = run_load(srv.host, srv.port, ref,
+                                          sample_shape,
+                                          connections=conns,
+                                          requests_per_connection=
+                                          requests_per_connection,
+                                          seed=seed)
+                        entry = {"variant": variant,
+                                 "replicas": int(replicas),
+                                 **report.as_dict()}
+                        entries.append(entry)
+                        if smoke:
+                            _assert_smoke_contract(entry)
+        finally:
+            if rset is not None:
+                rset.close()            # idempotent; server closes it too
+            if tmpdir is not None:
+                tmpdir.cleanup()
 
     return {
         "benchmark": "repro.serve closed-loop latency/throughput",
         "smoke": bool(smoke),
+        "replicas": int(replicas),
         "seed": int(seed),
         "model": spec["name"],
         "max_batch": int(max_batch),
@@ -144,7 +190,7 @@ def write_bench(results: dict, path) -> None:
 
 
 def format_table(results: dict) -> str:
-    header = (f"{'model':<14} {'variant':<7} {'conns':>5} "
+    header = (f"{'model':<14} {'variant':<7} {'repl':>4} {'conns':>5} "
               f"{'rps':>8} {'p50 ms':>8} {'p99 ms':>8} "
               f"{'rejected':>8} {'dropped':>7}")
     lines = [header, "-" * len(header)]
@@ -152,7 +198,8 @@ def format_table(results: dict) -> str:
         p50 = f"{e['p50_ms']:.2f}" if e["p50_ms"] is not None else "-"
         p99 = f"{e['p99_ms']:.2f}" if e["p99_ms"] is not None else "-"
         lines.append(
-            f"{e['model']:<14} {e['variant']:<7} {e['connections']:>5} "
+            f"{e['model']:<14} {e['variant']:<7} "
+            f"{e.get('replicas', 0):>4} {e['connections']:>5} "
             f"{e['throughput_rps']:>8.1f} {p50:>8} {p99:>8} "
             f"{e['rejected']:>8} {e['dropped']:>7}")
     return "\n".join(lines)

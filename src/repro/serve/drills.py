@@ -1,6 +1,6 @@
 """Serving fault drills for ``python -m repro.verify --drills serve``.
 
-Four drills, run against a *real* socket server in-process, extend the
+Seven drills, run against a *real* socket server in-process, extend the
 resilience battery to the serving layer:
 
 * ``serve.shed`` — offered load at 2× the admission bound: every
@@ -17,7 +17,16 @@ resilience battery to the serving layer:
 * ``serve.restart`` — a warm restart from the deploy manifest: every
   journaled version comes back through probe validation, a corrupted
   checkpoint is skipped *with a report*, and the restored server answers
-  correctly.
+  correctly;
+* ``replica.kill`` — SIGKILL of a replica mid-batch under live traffic:
+  every accepted request completes exactly once, bitwise-identical to an
+  unfaulted run, and the dead replica respawns within budget;
+* ``replica.hang`` — a wedged replica (healthy heartbeat, dead serving
+  path): the router's liveness probe times out, the replica is killed
+  and respawned, and traffic never notices;
+* ``replica.rolling`` — a rolling deploy across the replica fleet under
+  live traffic: zero drops, capacity never below N−1, and a
+  gate-failing checkpoint leaves every replica on the old version.
 
 All timing goes through the injectable :data:`repro.clock.SYSTEM_CLOCK`
 (the drills poll real threads, so virtual time would lie) — consistent
@@ -29,6 +38,7 @@ they use tiny models and finish in seconds.
 
 from __future__ import annotations
 
+import socket
 import tempfile
 import threading
 from pathlib import Path
@@ -92,6 +102,30 @@ class _GatedEngine:
         self.entered.set()
         self.release.wait(timeout=30)
         return self._engine.run(x)
+
+
+def _ref_engine(checkpoint, seed: int):
+    """A local max_batch=1 engine from ``checkpoint``: the unfaulted
+    reference a replicated answer must match bitwise (batch size 1 keeps
+    batch composition from perturbing BLAS accumulation order)."""
+    from ..infer import compile_model
+    from ..io import load_model
+    model = load_model(str(checkpoint))
+    model.eval()
+    probe = np.random.default_rng(seed).normal(
+        size=(4, 3, 8, 8)).astype(np.float32)
+    return compile_model(model, probe, max_batch=1)
+
+
+def _wedge_replica(handle) -> None:
+    """Freeze a replica's serving path over its own unix socket (the
+    ``chaos`` op): heartbeats keep flowing, requests stop — the exact
+    failure a liveness probe exists to catch."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(5.0)
+        sock.connect(str(handle.socket_path))
+        sock.sendall(b'{"op": "chaos", "wedged": true, "rid": "drill"}\n')
+        sock.recv(4096)                 # ack lands before the wedge bites
 
 
 def _poll_until(predicate, timeout_s: float = 10.0,
@@ -423,5 +457,299 @@ def _drill_serve_restart(seed: int):
     return result
 
 
+def _drill_serve_replica_kill(seed: int):
+    result = _drill_result("replica.kill")
+    from ..io import save_model
+    from .replica import ReplicaConfig, ReplicaSet, ReplicaSpec
+    from .router import ReplicaRouter
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "m.npz"
+        save_model(_tiny_model(seed), checkpoint)
+        reference = _ref_engine(checkpoint, seed)
+
+        config = ReplicaConfig(replicas=2, max_batch=1, engine_delay_ms=5.0,
+                               probe_interval_s=0.1, probe_timeout_s=1.0,
+                               respawn_base_delay_s=0.01)
+        rset = ReplicaSet(config)
+        router = ReplicaRouter(
+            rset, [ReplicaSpec("m", "v1", checkpoint=str(checkpoint))])
+        registry = ModelRegistry(max_batch=1)
+        registry.deploy("m", "v1", checkpoint=str(checkpoint), seed=seed)
+
+        workers, per_worker = 4, 8
+        total = workers * per_worker
+        lock = threading.Lock()
+        answered: list[tuple[np.ndarray, np.ndarray]] = []
+        failures: list[str] = []
+
+        def traffic(wid: int):
+            rng = np.random.default_rng(seed * 613 + wid)
+            try:
+                with ServeClient("127.0.0.1", port, timeout=60) as client:
+                    for _ in range(per_worker):
+                        sample = rng.normal(size=(3, 8, 8)).astype(np.float32)
+                        out = client.infer("m", sample)
+                        with lock:
+                            answered.append((sample, out))
+            except (ServerError, ConnectionError, OSError) as exc:
+                with lock:
+                    failures.append(f"traffic error: {exc!r}")
+
+        try:
+            with registry, ServerThread(registry, ServeConfig(),
+                                        router=router) as srv:
+                port = srv.port
+                threads = [threading.Thread(target=traffic, args=(i,))
+                           for i in range(workers)]
+                for t in threads:
+                    t.start()
+                _CLOCK.sleep(0.05)
+                rset.handles[0].proc.kill()     # SIGKILL mid-batch
+                for t in threads:
+                    t.join(timeout=60)
+                with ServeClient("127.0.0.1", port) as control:
+                    stats = control.stats()
+        finally:
+            rset.close()
+
+    # Verify serially: the compiled reference engine reuses scratch
+    # buffers, so it is checked from one thread only.
+    bitwise = sum(1 for sample, out in answered
+                  if np.array_equal(out, reference.run(sample[None])[0]))
+    if failures:
+        result.fail("; ".join(sorted(set(failures))[:3]))
+    if len(answered) != total:
+        result.fail(f"{total - len(answered)} of {total} accepted "
+                    "requests never completed")
+    if bitwise != len(answered):
+        result.fail(f"{len(answered) - bitwise} responses differ bitwise "
+                    "from the unfaulted engine")
+    if stats["counters"]["completed"] != total:
+        result.fail(f"server completed {stats['counters']['completed']} != "
+                    f"{total} requests: lost or double-counted work")
+    kinds = [e.kind for e in rset.events]
+    if "respawn" not in kinds:
+        result.fail(f"killed replica never respawned (events: {kinds})")
+    if stats["replicas"]["degraded"]:
+        result.fail("fleet degraded after a single in-budget kill")
+    result.detail = (f"{bitwise}/{total} bitwise-identical "
+                     f"across SIGKILL, {rset.respawns_used} respawn")
+    return result
+
+
+def _drill_serve_replica_hang(seed: int):
+    result = _drill_result("replica.hang")
+    from ..io import save_model
+    from .replica import ReplicaConfig, ReplicaSet, ReplicaSpec
+    from .router import ReplicaRouter
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "m.npz"
+        save_model(_tiny_model(seed), checkpoint)
+        reference = _ref_engine(checkpoint, seed)
+
+        config = ReplicaConfig(replicas=2, max_batch=1, engine_delay_ms=2.0,
+                               probe_interval_s=0.05, probe_timeout_s=0.3,
+                               respawn_base_delay_s=0.01, allow_chaos=True)
+        rset = ReplicaSet(config)
+        router = ReplicaRouter(
+            rset, [ReplicaSpec("m", "v1", checkpoint=str(checkpoint))])
+        registry = ModelRegistry(max_batch=1)
+        registry.deploy("m", "v1", checkpoint=str(checkpoint), seed=seed)
+
+        workers, per_worker = 4, 10
+        total = workers * per_worker
+        lock = threading.Lock()
+        answered: list[tuple[np.ndarray, np.ndarray]] = []
+        failures: list[str] = []
+
+        def traffic(wid: int):
+            rng = np.random.default_rng(seed * 821 + wid)
+            try:
+                with ServeClient("127.0.0.1", port, timeout=60) as client:
+                    for _ in range(per_worker):
+                        sample = rng.normal(size=(3, 8, 8)).astype(np.float32)
+                        out = client.infer("m", sample)
+                        with lock:
+                            answered.append((sample, out))
+            except (ServerError, ConnectionError, OSError) as exc:
+                with lock:
+                    failures.append(f"traffic error: {exc!r}")
+
+        try:
+            with registry, ServerThread(registry, ServeConfig(),
+                                        router=router) as srv:
+                port = srv.port
+                threads = [threading.Thread(target=traffic, args=(i,))
+                           for i in range(workers)]
+                for t in threads:
+                    t.start()
+                _CLOCK.sleep(0.05)
+                # The replica's process stays alive and its heartbeat keeps
+                # flowing — only the serving path freezes. The supervisor
+                # watchdog can't see this; the router's liveness probe must.
+                _wedge_replica(rset.handles[1])
+                for t in threads:
+                    t.join(timeout=60)
+                if not _poll_until(lambda: "respawn" in
+                                   [e.kind for e in rset.events],
+                                   timeout_s=15):
+                    result.fail("wedged replica was never respawned")
+        finally:
+            rset.close()
+
+    bitwise = sum(1 for sample, out in answered
+                  if np.array_equal(out, reference.run(sample[None])[0]))
+    if failures:
+        result.fail("; ".join(sorted(set(failures))[:3]))
+    if len(answered) != total:
+        result.fail(f"{total - len(answered)} of {total} requests "
+                    "lost behind the wedged replica")
+    if bitwise != len(answered):
+        result.fail(f"{len(answered) - bitwise} responses differ bitwise "
+                    "after failover")
+    kinds = [e.kind for e in rset.events]
+    if "hang" not in kinds:
+        result.fail(f"probe never declared the wedged replica hung "
+                    f"(events: {kinds})")
+    result.detail = (f"{bitwise}/{total} served across a wedged "
+                     f"replica; probe killed + respawned it")
+    return result
+
+
+def _drill_serve_replica_rolling(seed: int):
+    result = _drill_result("replica.rolling")
+    from ..io import save_model
+    from .replica import ReplicaConfig, ReplicaSet, ReplicaSpec
+    from .router import ReplicaRouter
+
+    dense = _tiny_model(seed)
+    pruned = _tiny_model(seed, pruned=True)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        ckpt_v1 = Path(tmp) / "v1.npz"
+        ckpt_v2 = Path(tmp) / "v2.npz"
+        ckpt_bad = Path(tmp) / "bad.npz"
+        save_model(dense, ckpt_v1)
+        save_model(pruned, ckpt_v2)
+        save_model(dense, ckpt_bad)
+        raw = bytearray(ckpt_bad.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF      # rot the gate-failing artifact
+        ckpt_bad.write_bytes(bytes(raw))
+
+        references = {"v1": _ref_engine(ckpt_v1, seed),
+                      "v2": _ref_engine(ckpt_v2, seed)}
+
+        config = ReplicaConfig(replicas=2, max_batch=1, engine_delay_ms=2.0,
+                               probe_interval_s=0.1, probe_timeout_s=1.0)
+        rset = ReplicaSet(config)
+        router = ReplicaRouter(
+            rset, [ReplicaSpec("m", "v1", checkpoint=str(ckpt_v1))])
+        registry = ModelRegistry(max_batch=1)
+        registry.deploy("m", "v1", checkpoint=str(ckpt_v1), seed=seed)
+
+        stop = threading.Event()
+        lock = threading.Lock()
+        served = {"total": 0, "v1": 0, "v2": 0}
+        failures: list[str] = []
+        capacity = {"min": config.replicas}
+
+        answered: list[tuple[str, np.ndarray, np.ndarray]] = []
+
+        def traffic(wid: int):
+            rng = np.random.default_rng(seed * 577 + wid)
+            try:
+                with ServeClient("127.0.0.1", port, timeout=60) as client:
+                    while not stop.is_set():
+                        sample = rng.normal(size=(3, 8, 8)).astype(np.float32)
+                        response = client.infer_verbose("m", sample)
+                        out = np.asarray(response["output"], np.float32)
+                        version = response["model"].split("@")[1]
+                        with lock:
+                            served["total"] += 1
+                            served[version] = served.get(version, 0) + 1
+                            answered.append((version, sample, out))
+            except (ServerError, ConnectionError, OSError) as exc:
+                with lock:
+                    failures.append(f"traffic error: {exc!r}")
+
+        def watch_capacity():
+            # Sampled invariant: a rolling deploy drains one replica at a
+            # time, so routable capacity must never dip below N-1.
+            while not stop.is_set():
+                routable = sum(1 for p in router._peers
+                               if p.alive and p.routable)
+                with lock:
+                    capacity["min"] = min(capacity["min"], routable)
+                _CLOCK.sleep(0.002)
+
+        try:
+            with registry, ServerThread(registry, ServeConfig(),
+                                        router=router) as srv:
+                port = srv.port
+                threads = [threading.Thread(target=traffic, args=(i,))
+                           for i in range(4)]
+                threads.append(threading.Thread(target=watch_capacity))
+                for t in threads:
+                    t.start()
+                rejected = None
+                try:
+                    with ServeClient("127.0.0.1", port) as control:
+                        _poll_until(lambda: served["total"] >= 10 or failures,
+                                    timeout_s=30)
+                        rolling = control.request(
+                            {"op": "swap", "name": "m", "version": "v2",
+                             "checkpoint": str(ckpt_v2)}).get("rolling")
+                        _poll_until(lambda: served.get("v2", 0) >= 10
+                                    or failures, timeout_s=15)
+                        try:
+                            control.request(
+                                {"op": "swap", "name": "m", "version": "v3",
+                                 "checkpoint": str(ckpt_bad)})
+                            result.fail("gate-failing checkpoint deployed")
+                        except ServerError as exc:
+                            rejected = exc
+                        stats = control.stats()
+                finally:
+                    stop.set()
+                    for t in threads:
+                        t.join(timeout=30)
+        finally:
+            rset.close()
+
+    bad = sum(1 for version, sample, out in answered
+              if not np.array_equal(
+                  out, references[version].run(sample[None])[0]))
+    if bad:
+        result.fail(f"{bad} responses differ bitwise from their version's "
+                    "reference engine")
+    if failures:
+        result.fail("; ".join(sorted(set(failures))[:3]))
+    if not rolling or not rolling.get("ok"):
+        result.fail(f"rolling deploy did not succeed: {rolling}")
+    elif sorted(rolling.get("updated", [])) != [0, 1]:
+        result.fail(f"rolling updated {rolling.get('updated')}, not both")
+    if served.get("v2", 0) == 0:
+        result.fail("no traffic reached v2 after the rolling deploy")
+    if capacity["min"] < config.replicas - 1:
+        result.fail(f"routable capacity dipped to {capacity['min']} "
+                    f"(< N-1 = {config.replicas - 1})")
+    if rejected is not None and rejected.error != "swap-rejected":
+        result.fail(f"bad artifact failed oddly: {rejected.error}")
+    models = {rid: (entry.get("models") or {}).get("m")
+              for rid, entry in stats["replicas"]["per_replica"].items()}
+    if any(ref != "m@v2" for ref in models.values()):
+        result.fail(f"aborted roll left mixed versions: {models}")
+    if stats["models"]["m"]["active"] != "m@v2":
+        result.fail("frontend registry diverged from the fleet after abort")
+    result.detail = (f"{served['total']} responses "
+                     f"({served.get('v1', 0)} v1 / {served.get('v2', 0)} v2) "
+                     f"across roll, min capacity {capacity['min']}, "
+                     f"bad artifact rejected fleet-wide")
+    return result
+
+
 SERVE_DRILLS = [_drill_serve_shed, _drill_serve_swap, _drill_serve_drain,
-                _drill_serve_restart]
+                _drill_serve_restart, _drill_serve_replica_kill,
+                _drill_serve_replica_hang, _drill_serve_replica_rolling]

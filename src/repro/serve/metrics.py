@@ -14,8 +14,9 @@ itself sorts a copy on demand — reads are rare, writes are not.
 from __future__ import annotations
 
 import threading
+from typing import Iterable, Mapping
 
-__all__ = ["LatencyReservoir", "ServerMetrics"]
+__all__ = ["LatencyReservoir", "ServerMetrics", "sum_counters"]
 
 
 class LatencyReservoir:
@@ -38,6 +39,51 @@ class LatencyReservoir:
             self._next = (self._next + 1) % self.capacity
         self.count += 1
 
+    def samples(self) -> list[float]:
+        """Retained window, oldest first (at most ``capacity`` values)."""
+        if len(self._ring) < self.capacity:
+            return list(self._ring)
+        return self._ring[self._next:] + self._ring[:self._next]
+
+    @classmethod
+    def from_samples(cls, values: Iterable[float],
+                     lifetime: int | None = None,
+                     capacity: int | None = None) -> "LatencyReservoir":
+        """Rebuild a reservoir from a wire-serialised sample window.
+
+        ``lifetime`` restores the original lifetime ``count`` (the window
+        only retains the most recent samples); defaults to the window
+        length.
+        """
+        values = [float(v) for v in values]
+        out = cls(capacity if capacity is not None else max(len(values), 1))
+        for value in values:
+            out.record(value)
+        if lifetime is not None:
+            out.count = max(int(lifetime), out.count)
+        return out
+
+    @classmethod
+    def merged(cls, reservoirs: Iterable["LatencyReservoir"],
+               capacity: int | None = None) -> "LatencyReservoir":
+        """Fleet-wide union of several reservoirs.
+
+        The merged window holds every retained sample from every input
+        (capacity defaults to the sum of input capacities) and the
+        lifetime ``count`` is the sum of lifetimes, so percentiles and
+        counts answer "how is the fleet doing" rather than any single
+        replica.
+        """
+        pool = list(reservoirs)
+        if capacity is None:
+            capacity = max(sum(r.capacity for r in pool), 1)
+        out = cls(capacity)
+        for reservoir in pool:
+            for value in reservoir.samples():
+                out.record(value)
+        out.count = sum(r.count for r in pool)
+        return out
+
     def percentile(self, p: float) -> float | None:
         """Nearest-rank percentile of the retained window; None if empty."""
         if not self._ring:
@@ -57,6 +103,15 @@ class LatencyReservoir:
         }
 
 
+def sum_counters(counter_maps: Iterable[Mapping[str, int]]) -> dict[str, int]:
+    """Element-wise sum of counter dicts (missing keys count as zero)."""
+    total: dict[str, int] = {}
+    for counters in counter_maps:
+        for name, value in counters.items():
+            total[name] = total.get(name, 0) + int(value)
+    return total
+
+
 class ServerMetrics:
     """Thread-safe roll-up of one server's request stream."""
 
@@ -66,7 +121,7 @@ class ServerMetrics:
         self.counters = {"received": 0, "accepted": 0, "rejected": 0,
                          "completed": 0, "errors": 0, "fallbacks": 0,
                          "swaps": 0, "cancelled": 0, "expired": 0,
-                         "replayed": 0}
+                         "replayed": 0, "observer_faults": 0}
         self.reject_reasons: dict[str, int] = {}
         self._latency = LatencyReservoir(reservoir)
         self._queue_wait = LatencyReservoir(reservoir)
@@ -94,6 +149,11 @@ class ServerMetrics:
                 per_model = self._per_model[model] = \
                     LatencyReservoir(self._reservoir)
             per_model.record(latency_ms)
+
+    def latency_samples(self) -> list[float]:
+        """Retained request-latency window (for cross-replica merging)."""
+        with self._lock:
+            return self._latency.samples()
 
     def snapshot(self, extra: dict | None = None) -> dict:
         """JSON-ready view; ``extra`` merges model/shed state from callers."""

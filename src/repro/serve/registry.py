@@ -136,7 +136,8 @@ class ModelRegistry:
                  max_worker_restarts: int = 3,
                  max_fallbacks: int = 8,
                  on_batch=None,
-                 manifest_dir=None):
+                 manifest_dir=None,
+                 metrics=None):
         self.max_batch = int(max_batch)
         self.window_config = window or WindowConfig()
         self.shedding_config = shedding or SheddingConfig()
@@ -144,6 +145,7 @@ class ModelRegistry:
         self.max_worker_restarts = int(max_worker_restarts)
         self.max_fallbacks = int(max_fallbacks)
         self.on_batch = on_batch    # callable(name, version, batch, outputs)
+        self.metrics = metrics      # ServerMetrics, set by the server
         self._lines: dict[str, _Line] = {}
         self._registry_lock = threading.Lock()
         self.manifest = None
@@ -235,7 +237,8 @@ class ModelRegistry:
             engine, max_batch=self.max_batch, max_wait=window.current(),
             clock=self.clock,
             on_batch=lambda batch, outputs, v=incoming:
-                self._observe_batch(v, batch, outputs))
+                self._observe_batch(v, batch, outputs),
+            on_observer_error=self._note_observer_fault)
 
         with self._registry_lock:
             line = self._lines.get(name)
@@ -369,6 +372,11 @@ class ModelRegistry:
         version.runner.max_wait = version.window.observe_batch(len(batch))
         if self.on_batch is not None:
             self.on_batch(version.name, version.version, batch, outputs)
+
+    def _note_observer_fault(self, exc: BaseException) -> None:
+        """A batch observer raised; the runner contained it — count it."""
+        if self.metrics is not None:
+            self.metrics.incr("observer_faults")
 
     # -- routing --------------------------------------------------------
 

@@ -102,6 +102,25 @@ class CircuitBreaker:
             self._opened_at = self.clock.monotonic()
             self._probing = False
 
+    def clone(self) -> "CircuitBreaker":
+        """A fresh (closed) breaker with the same thresholds and clock."""
+        return CircuitBreaker(self.failure_threshold, self.cooldown_s,
+                              clock=self.clock)
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of the breaker's current state."""
+        cooldown_remaining = 0.0
+        if self.state == "open" and self._opened_at is not None:
+            cooldown_remaining = max(
+                self.cooldown_s - (self.clock.monotonic() - self._opened_at),
+                0.0)
+        return {"state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "cooldown_remaining_s": round(cooldown_remaining, 3),
+                "probing": self._probing}
+
 
 class ResilientClient:
     """A :class:`ServeClient` that survives restarts, sheds, and drains.
@@ -112,6 +131,13 @@ class ResilientClient:
     known-dead. Non-retryable server answers (``bad-request``,
     ``no-such-model``, ``expired``, ...) propagate immediately — backoff
     must never mask a caller bug.
+
+    ``endpoints`` (optional) lists additional ``(host, port)`` fallbacks:
+    a transport fault fails the *current* endpoint over to the next one,
+    and each endpoint carries its own circuit breaker (cloned from
+    ``breaker``), so one dead frontend doesn't open the circuit for its
+    healthy siblings. :attr:`stats` exposes the per-endpoint breaker
+    states alongside the transport counters.
     """
 
     RETRYABLE = (Overloaded, Draining, ConnectionError, OSError)
@@ -121,12 +147,21 @@ class ResilientClient:
                  breaker: CircuitBreaker | None = None,
                  clock: Clock = SYSTEM_CLOCK,
                  timeout: float = 60.0,
-                 client_id: str | None = None):
-        self.host = host
-        self.port = port
+                 client_id: str | None = None,
+                 endpoints: list[tuple[str, int]] | None = None):
+        self.endpoints = [(host, int(port))]
+        for ep_host, ep_port in endpoints or ():
+            self.endpoints.append((ep_host, int(ep_port)))
+        self._active = 0
+        self.host, self.port = self.endpoints[0]
         self.policy = policy or RetryPolicy(max_attempts=6, base_delay=0.05,
                                             factor=2.0, max_delay=2.0)
-        self.breaker = breaker
+        self.breaker = breaker          # the primary endpoint's breaker
+        self._breakers: dict[tuple[str, int], CircuitBreaker] = {}
+        if breaker is not None:
+            self._breakers[self.endpoints[0]] = breaker
+            for endpoint in self.endpoints[1:]:
+                self._breakers[endpoint] = breaker.clone()
         self.clock = clock
         self.timeout = timeout
         # Stable across reconnects, distinct across processes/instances:
@@ -134,8 +169,19 @@ class ResilientClient:
         self.client_id = client_id or f"rc-{os.getpid()}-{id(self):x}"
         self._seq = 0
         self._client: ServeClient | None = None
-        self.stats = {"reconnects": 0, "retries": 0, "replayed": 0,
-                      "breaker_fast_fails": 0}
+        self._counts = {"reconnects": 0, "retries": 0, "replayed": 0,
+                        "breaker_fast_fails": 0, "failovers": 0}
+
+    @property
+    def stats(self) -> dict:
+        """Transport counters plus per-endpoint circuit-breaker state."""
+        payload = dict(self._counts)
+        payload["endpoint"] = f"{self.host}:{self.port}"
+        if self._breakers:
+            payload["breakers"] = {
+                f"{ep_host}:{ep_port}": b.snapshot()
+                for (ep_host, ep_port), b in self._breakers.items()}
+        return payload
 
     # -- plumbing -------------------------------------------------------
 
@@ -153,6 +199,35 @@ class ResilientClient:
                 pass
             self._client = None
 
+    def _endpoint_breaker(self) -> CircuitBreaker | None:
+        return self._breakers.get(self.endpoints[self._active])
+
+    def _failover(self) -> None:
+        """Point at the next endpoint (no-op with a single endpoint)."""
+        if len(self.endpoints) == 1:
+            return
+        self._disconnect()
+        self._active = (self._active + 1) % len(self.endpoints)
+        self.host, self.port = self.endpoints[self._active]
+        self._counts["failovers"] += 1
+
+    def _admitted(self) -> bool:
+        """Position on an endpoint whose breaker admits a call.
+
+        Rotates past open circuits (each endpoint's own breaker decides,
+        including the half-open single-probe admission); False when every
+        endpoint's circuit is open.
+        """
+        if not self._breakers:
+            return True
+        for _ in range(len(self.endpoints)):
+            if self._endpoint_breaker().allow():
+                return True
+            if len(self.endpoints) == 1:
+                return False
+            self._failover()
+        return False
+
     def request(self, payload: dict, *, idempotent: bool = True) -> dict:
         """Send one logical request, healing the transport as needed."""
         self._seq += 1
@@ -161,34 +236,37 @@ class ResilientClient:
         last: BaseException | None = None
         for attempt in range(self.policy.max_attempts):
             if attempt:
-                self.stats["retries"] += 1
+                self._counts["retries"] += 1
                 self.clock.sleep(self.policy.delay(attempt - 1))
-            if self.breaker is not None and not self.breaker.allow():
-                self.stats["breaker_fast_fails"] += 1
+            if not self._admitted():
+                self._counts["breaker_fast_fails"] += 1
+                breaker = self._endpoint_breaker()
                 raise CircuitOpenError(
-                    f"circuit open after {self.breaker.consecutive_failures} "
+                    f"circuit open after {breaker.consecutive_failures} "
                     f"consecutive failures; cooling down "
-                    f"{self.breaker.cooldown_s:.1f}s")
+                    f"{breaker.cooldown_s:.1f}s")
+            breaker = self._endpoint_breaker()
             try:
                 response = self._connected().request(dict(payload))
             except (Overloaded, Draining) as exc:
                 # The server answered — it is alive, just not willing.
                 # That feeds backoff, not the breaker.
-                if self.breaker is not None:
-                    self.breaker.on_success()
+                if breaker is not None:
+                    breaker.on_success()
                 last = exc
                 continue
             except (ConnectionError, OSError) as exc:
                 self._disconnect()
-                self.stats["reconnects"] += 1
-                if self.breaker is not None:
-                    self.breaker.on_failure()
+                self._counts["reconnects"] += 1
+                if breaker is not None:
+                    breaker.on_failure()
+                self._failover()
                 last = exc
                 continue
-            if self.breaker is not None:
-                self.breaker.on_success()
+            if breaker is not None:
+                breaker.on_success()
             if response.get("replayed"):
-                self.stats["replayed"] += 1
+                self._counts["replayed"] += 1
             return response
         raise RetryBudgetExhausted(
             f"request still failing after {self.policy.max_attempts} "

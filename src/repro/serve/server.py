@@ -77,11 +77,20 @@ class InferenceServer:
     def __init__(self, registry: ModelRegistry,
                  config: ServeConfig | None = None, *,
                  metrics: ServerMetrics | None = None,
-                 clock: Clock = SYSTEM_CLOCK):
+                 clock: Clock = SYSTEM_CLOCK,
+                 router=None):
         self.registry = registry
         self.config = config or ServeConfig()
         self.metrics = metrics or ServerMetrics()
         self.clock = clock
+        # Replicated tier (optional): a ReplicaRouter dispatches accepted
+        # requests across worker processes; the local registry stays as
+        # the validated fallback path (and the degrade target).
+        self.router = router
+        if router is not None and router.metrics is None:
+            router.metrics = self.metrics
+        if getattr(registry, "metrics", None) is None:
+            registry.metrics = self.metrics
         self.port: int | None = None
         self._server: asyncio.AbstractServer | None = None
         self._writers: set[asyncio.StreamWriter] = set()
@@ -104,6 +113,10 @@ class InferenceServer:
     async def start(self) -> None:
         self._idle = asyncio.Event()
         self._idle.set()
+        if self.router is not None:
+            # Replicas must be connected and deployed before the socket
+            # opens: the frontend never accepts traffic it cannot serve.
+            await self.router.start()
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port,
             limit=self.config.max_line_bytes)
@@ -136,6 +149,11 @@ class InferenceServer:
                     pass        # grace spent; the rest is cancelled below
         for writer in list(self._writers):
             writer.close()
+        if self.router is not None:
+            # After the drain wait: accepted requests have been answered
+            # (replicated or locally), so tearing the replicas down now
+            # drops nothing.
+            await self.router.aclose()
 
     def run_forever(self) -> None:
         """Blocking entry point used by ``repro serve``.
@@ -269,7 +287,10 @@ class InferenceServer:
             if op == "infer":
                 return await self._infer(msg)
             if op == "stats":
-                return {"id": rid, "ok": True, "stats": self.stats()}
+                payload = self.stats()
+                if self.router is not None:
+                    payload["replicas"] = await self.router.fleet_snapshot()
+                return {"id": rid, "ok": True, "stats": payload}
             if op == "models":
                 return {"id": rid, "ok": True,
                         "models": self.registry.models()}
@@ -287,10 +308,13 @@ class InferenceServer:
     # -- ops ------------------------------------------------------------
 
     def stats(self) -> dict:
+        lifecycle = {"draining": self._draining, "inflight": self._inflight}
+        if self.router is not None:
+            lifecycle["replicas_degraded"] = self.router.degraded
+            lifecycle["stop_reason"] = self.router.stop_reason
         return self.metrics.snapshot(extra={
             "models": self.registry.models(),
-            "lifecycle": {"draining": self._draining,
-                          "inflight": self._inflight}})
+            "lifecycle": lifecycle})
 
     async def _swap(self, msg: dict) -> dict:
         rid = msg.get("id")
@@ -302,15 +326,30 @@ class InferenceServer:
         if not name or not version or not checkpoint:
             return {"id": rid, "ok": False, "error": "bad-request",
                     "message": "swap needs name, version, checkpoint"}
+        rolling = None
+        if self.router is not None and self.router.usable:
+            # Rolling deploy: one replica at a time through its own
+            # compile+probe-validate gate. A rejection aborts with every
+            # replica still on the old version — the local registry is
+            # then never touched, so frontend and fleet stay consistent.
+            rolling = await self.router.rolling_deploy(
+                name, version, checkpoint=checkpoint)
+            if not rolling.get("ok"):
+                return {"id": rid, "ok": False, "error": "swap-rejected",
+                        "message": rolling.get("message", ""),
+                        "rolling": rolling}
         try:
             # Compile + validate off-loop so traffic keeps flowing.
             report = await asyncio.to_thread(
                 self.registry.deploy, name, version, checkpoint=checkpoint)
         except SwapValidationError as exc:
             return {"id": rid, "ok": False, "error": "swap-rejected",
-                    "message": str(exc)}
+                    "message": str(exc), "rolling": rolling}
         self.metrics.incr("swaps")
-        return {"id": rid, "ok": True, "swap": report.as_dict()}
+        response = {"id": rid, "ok": True, "swap": report.as_dict()}
+        if rolling is not None:
+            response["rolling"] = rolling
+        return response
 
     async def _infer(self, msg: dict) -> dict:
         rid = msg.get("id")
@@ -357,12 +396,20 @@ class InferenceServer:
             self._idle.clear()
         try:
             sample = np.asarray(msg["input"], dtype=np.float32)
-            output, served_by, active = await self._run(line, version,
-                                                        sample, deadline)
+            routed = None
+            if self.router is not None and self.router.usable:
+                routed = await self._route_replicated(ref, msg["input"],
+                                                      deadline)
+            if routed is not None:
+                output_list, served_by, active_ref = routed
+            else:
+                output, served_by, active = await self._run(line, version,
+                                                            sample, deadline)
+                output_list, active_ref = output.tolist(), active.ref
             latency_ms = (self.clock.monotonic() - start) * 1e3
-            self.metrics.record_completion(active.ref, latency_ms)
-            response = {"id": rid, "ok": True, "model": active.ref,
-                        "output": output.tolist(), "served_by": served_by,
+            self.metrics.record_completion(active_ref, latency_ms)
+            response = {"id": rid, "ok": True, "model": active_ref,
+                        "output": output_list, "served_by": served_by,
                         "latency_ms": round(latency_ms, 3)}
             if idem is not None:
                 self._remember(idem, response)
@@ -384,6 +431,37 @@ class InferenceServer:
             self._inflight -= 1
             if self._inflight == 0 and self._idle is not None:
                 self._idle.set()
+
+    async def _route_replicated(self, ref: str, raw_input, deadline):
+        """Dispatch one request to the replica tier.
+
+        Returns ``(output_list, served_by, model_ref)``, or ``None`` when
+        the request should be served on the local in-process path instead
+        (no routable replica, re-dispatch budget spent, replica-side
+        engine fault, or the tier just degraded). The replica's output
+        list is passed through verbatim — no numpy round-trip — so the
+        bytes the replica computed are the bytes the client decodes.
+        """
+        from .router import ReplicasUnavailable
+        try:
+            reply = await self.router.dispatch_infer(ref, raw_input,
+                                                     deadline)
+        except ReplicasUnavailable:
+            self.metrics.incr("replica_fallbacks")
+            return None
+        if reply.get("ok"):
+            served_by = f"replica:{reply.get('replica', '?')}"
+            return reply["output"], served_by, reply.get("model", ref)
+        error = reply.get("error")
+        if error == "expired":
+            raise DeadlineExpired(
+                reply.get("message", "deadline expired on replica"))
+        if error == "bad-request":
+            raise ValueError(reply.get("message", "bad request"))
+        # replica-fault / no-such-model skew: the local path still owns a
+        # validated copy of every line — answer there, never drop.
+        self.metrics.incr("replica_fallbacks")
+        return None
 
     def _remember(self, idem: str, response: dict) -> None:
         """Cache one successful response under its idempotency key."""

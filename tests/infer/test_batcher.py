@@ -159,6 +159,58 @@ class TestBatchRunner:
                 runner.submit(sample).result(timeout=10.0)
             assert runner.stats["restarts"] == 0
             assert runner.stats["batches"] == 3
+            # The fault is contained *and counted* — never silent.
+            assert runner.stats["observer_faults"] == 3
+
+    def test_observer_faults_are_reported_through_the_error_hook(self):
+        failures = []
+
+        def bad_hook(batch, outputs):
+            raise RuntimeError("observer bug")
+
+        with BatchRunner(_StubEngine(), max_wait=0.0, on_batch=bad_hook,
+                         on_observer_error=failures.append) as runner:
+            sample = np.ones((2,), dtype=np.float32)
+            runner.submit(sample).result(timeout=10.0)
+        assert len(failures) == 1
+        assert isinstance(failures[0], RuntimeError)
+
+    def test_raising_error_hook_is_itself_contained(self):
+        # The containment must not regress one level up: a buggy
+        # on_observer_error callback cannot kill the worker either.
+        def bad_hook(batch, outputs):
+            raise RuntimeError("observer bug")
+
+        def worse_hook(exc):
+            raise ValueError("error hook bug")
+
+        with BatchRunner(_StubEngine(), max_wait=0.0, on_batch=bad_hook,
+                         on_observer_error=worse_hook) as runner:
+            sample = np.ones((2,), dtype=np.float32)
+            for _ in range(2):
+                runner.submit(sample).result(timeout=10.0)
+            assert runner.stats["observer_faults"] == 2
+            assert runner.stats["restarts"] == 0
+
+    def test_registry_counts_observer_faults_in_server_metrics(self):
+        from repro.serve import ModelRegistry, ServerMetrics
+
+        def bad_hook(batch, outputs):
+            raise RuntimeError("observer bug")
+
+        metrics = ServerMetrics()
+        model = build_model("vgg11", num_classes=3, image_size=8,
+                            width=0.125, seed=0)
+        perturb_batchnorm_stats(model, seed=0)
+        model.eval()
+        with ModelRegistry(max_batch=4, metrics=metrics) as registry:
+            registry.deploy("m", "v1", model=model, input_shape=(3, 8, 8),
+                            seed=0)
+            _, version = registry.resolve("m")
+            version.runner.on_batch = bad_hook
+            sample = np.zeros((3, 8, 8), dtype=np.float32)
+            version.runner.submit(sample).result(timeout=10.0)
+        assert metrics.snapshot()["counters"]["observer_faults"] == 1
 
     def test_restart_not_attempted_after_close(self):
         engine = _engine()

@@ -135,3 +135,64 @@ class TestForkSafety:
         assert reaper.live_segments() == {"parent-seg"}
         reaper.unregister("parent-seg")
         child_ledger.unlink()
+
+
+class TestPathEntries:
+    """Filesystem artifacts (sockets, pid files, socket dirs) ride the
+    same ledger as shm segments, prefixed so sweeps can tell them apart."""
+
+    def test_register_path_lands_prefixed_in_the_ledger(self, ledger,
+                                                        tmp_path):
+        target = tmp_path / "replica.sock"
+        target.write_text("")
+        reaper.register_path(target)
+        entry = f"path:{target.absolute()}"
+        assert entry in reaper.live_segments()
+        path = ledger / f"{os.getpid()}.json"
+        assert entry in json.loads(path.read_text())
+        reaper.unregister_path(target)
+        assert reaper.live_segments() == set()
+
+    def test_reap_all_unlinks_registered_files(self, ledger, tmp_path):
+        target = tmp_path / "r0.pid"
+        target.write_text("1234")
+        reaper.register_path(target)
+        assert reaper.reap_all() == 1
+        assert not target.exists()
+        assert reaper.live_segments() == set()
+
+    def test_reap_all_removes_files_before_their_directory(self, ledger,
+                                                           tmp_path):
+        # Registration order is dir first (it exists first); reclaim must
+        # run deepest-first or the rmdir fails on a non-empty directory.
+        socket_dir = tmp_path / "replicas"
+        socket_dir.mkdir()
+        reaper.register_path(socket_dir)
+        for name in ("r0.sock", "r1.sock", "r0.pid"):
+            child = socket_dir / name
+            child.write_text("")
+            reaper.register_path(child)
+        assert reaper.reap_all() == 4
+        assert not socket_dir.exists()
+
+    def test_missing_paths_reap_quietly(self, ledger, tmp_path):
+        target = tmp_path / "already-gone.sock"
+        reaper.register_path(target)        # never created on disk
+        assert reaper.reap_all() == 0       # nothing reclaimed, no raise
+        assert reaper.live_segments() == set()
+
+    def test_orphan_sweep_reclaims_a_dead_replicas_artifacts(self, ledger,
+                                                             tmp_path):
+        socket_dir = tmp_path / "repro-replicas-x"
+        socket_dir.mkdir()
+        sock = socket_dir / "r0.1.sock"
+        sock.write_text("")
+        dead = TestOrphanSweep._dead_pid(self)
+        (ledger / f"{dead}.json").write_text(json.dumps(
+            [f"path:{socket_dir.absolute()}",
+             f"path:{sock.absolute()}"]))
+        reaped = reaper.sweep_orphans()
+        assert len(reaped) == 2
+        assert not sock.exists()
+        assert not socket_dir.exists()
+        assert not (ledger / f"{dead}.json").exists()

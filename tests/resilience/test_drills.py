@@ -13,7 +13,9 @@ class TestRunDrills:
                          "worker.degrade", "worker.bucket", "shm.reaper",
                          "quant.deploy", "quant.corrupt",
                          "serve.shed", "serve.swap",
-                         "serve.drain", "serve.restart"]
+                         "serve.drain", "serve.restart",
+                         "replica.kill", "replica.hang",
+                         "replica.rolling"]
         for result in results:
             assert result.passed, f"{result.name}: {result.failures}"
             assert result.seconds >= 0.0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.serve import LatencyReservoir, ServerMetrics
+from repro.serve import LatencyReservoir, ServerMetrics, sum_counters
 
 
 class TestLatencyReservoir:
@@ -69,6 +69,74 @@ class TestLatencyReservoir:
         assert summary["count"] == 3
         assert summary["p50_ms"] == 5.0
         assert summary["max_ms"] == 9.0
+
+
+class TestCrossReplicaAggregation:
+    """Fleet-wide stats: per-replica reservoirs merge, counters sum."""
+
+    def test_samples_unwraps_the_ring_in_arrival_order(self):
+        reservoir = LatencyReservoir(3)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            reservoir.record(v)
+        assert reservoir.samples() == [3.0, 4.0, 5.0]
+
+    def test_from_samples_round_trips_window_and_lifetime(self):
+        original = LatencyReservoir(4)
+        for v in (10.0, 20.0, 30.0, 40.0, 50.0):
+            original.record(v)
+        rebuilt = LatencyReservoir.from_samples(original.samples(),
+                                                lifetime=original.count)
+        assert rebuilt.samples() == original.samples()
+        assert rebuilt.count == original.count
+        assert rebuilt.summary() == original.summary()
+
+    def test_merged_percentiles_cover_every_replica_window(self):
+        # Two replicas with disjoint latency regimes: the fleet p50/p99
+        # must be computed over the union, not either window alone.
+        fast = LatencyReservoir.from_samples([1.0, 2.0, 3.0, 4.0])
+        slow = LatencyReservoir.from_samples([100.0, 200.0])
+        fleet = LatencyReservoir.merged([fast, slow])
+        assert fleet.count == 6
+        assert fleet.percentile(100.0) == 200.0
+        assert fleet.percentile(0.0) == 1.0
+        # p50 sits inside the fast replica's window (4 of 6 samples).
+        assert fleet.percentile(50.0) in (3.0, 4.0)
+
+    def test_merged_preserves_lifetime_counts_past_the_window(self):
+        a = LatencyReservoir(2)
+        for v in (1.0, 2.0, 3.0):            # lifetime 3, window 2
+            a.record(v)
+        b = LatencyReservoir.from_samples([5.0])
+        fleet = LatencyReservoir.merged(
+            [LatencyReservoir.from_samples(a.samples(), lifetime=a.count),
+             b])
+        assert fleet.count == 4              # 3 + 1 lifetime, not 2 + 1
+        assert fleet.summary()["max_ms"] == 5.0
+
+    def test_merged_of_nothing_is_an_empty_reservoir(self):
+        fleet = LatencyReservoir.merged([])
+        assert fleet.percentile(99.0) is None
+        assert fleet.summary()["count"] == 0
+
+    def test_sum_counters_unions_keys_and_sums_values(self):
+        fleet = sum_counters([
+            {"completed": 3, "errors": 1},
+            {"completed": 4, "expired": 2},
+            {},
+        ])
+        assert fleet == {"completed": 7, "errors": 1, "expired": 2}
+
+    def test_server_metrics_exports_its_sample_window(self):
+        metrics = ServerMetrics()
+        metrics.record_completion("m@v1", 10.0)
+        metrics.record_completion("m@v1", 30.0)
+        samples = metrics.latency_samples()
+        assert samples == [10.0, 30.0]
+        # The export is what a replica ships over the wire; rebuilding
+        # from it reproduces the summary the replica would report.
+        rebuilt = LatencyReservoir.from_samples(samples, lifetime=2)
+        assert rebuilt.summary()["p50_ms"] == (
+            metrics.snapshot()["latency"]["p50_ms"])
 
 
 class TestServerMetrics:

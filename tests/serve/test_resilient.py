@@ -264,3 +264,124 @@ class TestResilientAgainstLiveServer:
         with pytest.raises(CircuitOpenError):
             rc.ping()
         assert rc.stats["reconnects"] == 2
+
+
+def _dead_port() -> int:
+    """A port nothing listens on: connects fail fast with refusal."""
+    import socket
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    return port
+
+
+class TestMultiEndpointFailover:
+    """``endpoints=`` fallbacks: per-endpoint breakers, half-open probes."""
+
+    def test_stats_exposes_per_endpoint_breaker_state(self):
+        clock = FakeClock()
+        rc = ResilientClient(
+            "10.0.0.1", 1111, clock=clock,
+            breaker=CircuitBreaker(failure_threshold=3, clock=clock),
+            endpoints=[("10.0.0.2", 2222)])
+        stats = rc.stats
+        assert stats["endpoint"] == "10.0.0.1:1111"
+        assert set(stats["breakers"]) == {"10.0.0.1:1111", "10.0.0.2:2222"}
+        for snap in stats["breakers"].values():
+            assert snap["state"] == "closed"
+            assert snap["consecutive_failures"] == 0
+        # The primary keeps the caller's breaker object; the fallback got
+        # its own clone — one dead endpoint must not open the other's
+        # circuit.
+        assert rc.breaker is rc._breakers[("10.0.0.1", 1111)]
+        assert rc._breakers[("10.0.0.2", 2222)] is not rc.breaker
+
+    def test_transport_fault_fails_over_and_opens_only_that_breaker(self):
+        dead = _dead_port()
+        clock = FakeClock()
+        with _registry() as registry:
+            registry.deploy("m", "v1", model=_tiny_model(),
+                            input_shape=(3, 8, 8))
+            with ServerThread(registry, ServeConfig()) as srv:
+                rc = ResilientClient(
+                    "127.0.0.1", dead, clock=clock,
+                    breaker=CircuitBreaker(failure_threshold=1,
+                                           cooldown_s=3600.0, clock=clock),
+                    policy=RetryPolicy(max_attempts=4, base_delay=0.01,
+                                       max_delay=0.01),
+                    endpoints=[("127.0.0.1", srv.port)])
+                sample = np.random.default_rng(3).normal(
+                    size=(3, 8, 8)).astype(np.float32)
+                out = rc.infer("m", sample)
+                with ServeClient("127.0.0.1", srv.port) as direct:
+                    expected = direct.infer("m", sample)
+                assert np.array_equal(out, expected)    # bitwise via fallback
+                stats = rc.stats
+                assert stats["failovers"] == 1
+                assert stats["endpoint"] == f"127.0.0.1:{srv.port}"
+                assert stats["breakers"][f"127.0.0.1:{dead}"]["state"] == \
+                    "open"
+                assert stats["breakers"][f"127.0.0.1:{srv.port}"]["state"] \
+                    == "closed"
+                # Follow-up traffic sticks to the healthy endpoint and
+                # never pokes the open primary circuit.
+                rc.infer("m", sample)
+                after = rc.stats
+                assert after["failovers"] == 1
+                assert (after["breakers"][f"127.0.0.1:{dead}"]
+                        ["consecutive_failures"] == 1)
+                rc.close()
+
+    def test_half_open_probe_recovers_the_primary_after_cooldown(self):
+        primary_port = _dead_port()     # later: a real server binds here
+        clock = FakeClock()
+        sample = np.random.default_rng(4).normal(
+            size=(3, 8, 8)).astype(np.float32)
+        cooldown = 10.0
+        with _registry() as fallback_registry:
+            fallback_registry.deploy("m", "v1", model=_tiny_model(),
+                                     input_shape=(3, 8, 8))
+            rc = ResilientClient(
+                "127.0.0.1", primary_port, clock=clock,
+                breaker=CircuitBreaker(failure_threshold=1,
+                                       cooldown_s=cooldown, clock=clock),
+                policy=RetryPolicy(max_attempts=4, base_delay=0.001,
+                                   max_delay=0.001))
+            with ServerThread(fallback_registry, ServeConfig()) as fallback:
+                rc.endpoints.append(("127.0.0.1", fallback.port))
+                rc._breakers[("127.0.0.1", fallback.port)] = \
+                    rc.breaker.clone()
+                # Primary down: first call opens its circuit and fails
+                # over to the fallback.
+                out = rc.infer("m", sample)
+                assert out.shape == (3,)
+                assert rc.stats["endpoint"] == f"127.0.0.1:{fallback.port}"
+
+            # The fallback dies too, and the primary comes back.
+            with _registry() as revived_registry:
+                revived_registry.deploy("m", "v1", model=_tiny_model(),
+                                        input_shape=(3, 8, 8))
+                with ServerThread(revived_registry,
+                                  ServeConfig(port=primary_port)) as srv:
+                    assert srv.port == primary_port
+                    # Before the cooldown elapses the primary's circuit is
+                    # still open: the fallback's failure opens its breaker
+                    # and no endpoint admits — fail fast, not hang.
+                    with pytest.raises(CircuitOpenError):
+                        rc.infer("m", sample)
+                    assert rc.stats["breaker_fast_fails"] == 1
+
+                    # After the cooldown, each circuit admits exactly one
+                    # half-open probe; the probe against the revived
+                    # primary succeeds and closes its circuit for good.
+                    clock.advance(cooldown)
+                    out = rc.infer("m", sample)
+                    with ServeClient("127.0.0.1", primary_port) as direct:
+                        assert np.array_equal(out, direct.infer("m", sample))
+                    stats = rc.stats
+                    assert stats["endpoint"] == f"127.0.0.1:{primary_port}"
+                    assert (stats["breakers"]
+                            [f"127.0.0.1:{primary_port}"]["state"]
+                            == "closed")
+            rc.close()
